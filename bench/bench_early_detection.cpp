@@ -1,0 +1,45 @@
+// Extension bench (paper Section 4.3): TLS transaction data is only
+// complete once connections close, so the paper's approach is offline.
+// How early could an ISP classify a session if the proxy exported
+// partial records? Accuracy vs observation horizon.
+#include "bench_common.hpp"
+#include "util/render.hpp"
+
+int main() {
+  using namespace droppkt;
+  bench::print_header(
+      "Extension - early detection from partial TLS data",
+      "Section 4.3 limitation (no real-time inference from TLS records)");
+
+  const auto& ds = bench::dataset_for("Svc1");
+
+  util::TextTable table({"observation horizon", "accuracy", "recall(low)"});
+  const double horizons[] = {15.0, 30.0, 60.0, 120.0, 240.0, 1e9};
+  for (double h : horizons) {
+    // Truncate every session's log at the horizon, then run the usual
+    // 5-fold protocol on the truncated views.
+    ml::Dataset data(core::tls_feature_names(), core::kNumQoeClasses);
+    for (const auto& s : ds) {
+      const auto view = h >= 1e9 ? s.record.tls
+                                 : core::truncate_tls_log(s.record.tls, h);
+      data.add_row(core::extract_tls_features(view), s.labels.combined);
+    }
+    const auto cv =
+        ml::cross_validate(data, core::forest_factory(), 5, 42 ^ 0xcafeULL);
+    const char* label = h >= 1e9 ? "full session (paper)" : nullptr;
+    char buf[32];
+    if (label == nullptr) {
+      std::snprintf(buf, sizeof(buf), "first %.0f s", h);
+      label = buf;
+    }
+    table.add_row({label, bench::pct0(cv.accuracy()),
+                   bench::pct0(cv.recall(0))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: accuracy rises with the horizon and\n"
+              "saturates well before full-session observation - early\n"
+              "windows carry most of the signal (the paper's CUM_DL_60s\n"
+              "importance hints at this), so near-real-time screening is\n"
+              "plausible if the proxy can export partial records.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Extension bench: Encrypted ClientHello (ECH). The paper's pipeline
+// leans on the SNI twice — video-traffic identification and the
+// fresh-server term (delta) of the session-identification heuristic.
+// With ECH the proxy sees only server IPs, and CDNs share few IPs across
+// many hostnames. How much of the session-ID result survives?
+#include <functional>
+
+#include "bench_common.hpp"
+#include "core/session_id.hpp"
+#include "util/render.hpp"
+
+namespace {
+
+using namespace droppkt;
+
+/// Replace SNIs by server "identities" visible without ECH decryption:
+/// IPs drawn from a small shared pool (CDN anycast / shared frontends).
+trace::TlsLog anonymize(const trace::TlsLog& log, int ip_pool) {
+  trace::TlsLog out = log;
+  for (auto& t : out) {
+    const auto h = std::hash<std::string>{}(t.sni);
+    t.sni = "198.51.100." + std::to_string(h % ip_pool);
+  }
+  return out;
+}
+
+struct Outcome {
+  double new_recall = 0.0;
+  double existing_acc = 0.0;
+};
+
+Outcome evaluate(const std::function<trace::TlsLog(const trace::TlsLog&)>& view) {
+  std::size_t tp = 0, fn = 0, fp = 0, tn = 0;
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    const auto stream =
+        core::build_back_to_back(has::svc1_profile(), 8, bench::kBenchSeed + i);
+    const auto pred = core::detect_session_starts(view(stream.merged));
+    for (std::size_t j = 0; j < pred.size(); ++j) {
+      if (stream.truth_new[j] && pred[j]) ++tp;
+      else if (stream.truth_new[j]) ++fn;
+      else if (pred[j]) ++fp;
+      else ++tn;
+    }
+  }
+  return {static_cast<double>(tp) / std::max<std::size_t>(1, tp + fn),
+          static_cast<double>(tn) / std::max<std::size_t>(1, tn + fp)};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension - session identification under Encrypted ClientHello",
+      "Section 2.2 (SNI dependence of the pipeline)");
+
+  util::TextTable table({"server identity visible to proxy", "new recall",
+                         "existing correct"});
+  struct Case {
+    const char* name;
+    std::function<trace::TlsLog(const trace::TlsLog&)> view;
+  };
+  const Case cases[] = {
+      {"SNI (paper setting)",
+       [](const trace::TlsLog& l) { return l; }},
+      {"IP only, 256 CDN addresses",
+       [](const trace::TlsLog& l) { return anonymize(l, 256); }},
+      {"IP only, 16 shared addresses",
+       [](const trace::TlsLog& l) { return anonymize(l, 16); }},
+      {"IP only, 4 shared addresses",
+       [](const trace::TlsLog& l) { return anonymize(l, 4); }},
+  };
+  for (const auto& c : cases) {
+    const auto o = evaluate(c.view);
+    table.add_row({c.name, bench::pct0(o.new_recall),
+                   bench::pct0(o.existing_acc)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("expected shape: with many distinct CDN addresses, IPs are a\n"
+              "serviceable SNI substitute; as frontends consolidate onto a\n"
+              "few shared IPs, the fresh-server signal (delta) disappears\n"
+              "and new-session recall collapses - ECH plus IP consolidation\n"
+              "would force ISPs back to volumetric-only methods. (QoE\n"
+              "feature extraction itself is unaffected: it never reads the\n"
+              "SNI.)\n");
+  return 0;
+}

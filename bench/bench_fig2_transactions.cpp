@@ -1,0 +1,58 @@
+// Figure 2: TLS transactions vs HTTP transactions in the first 5 seconds
+// of a Svc1 session, plus the HTTP-per-TLS aggregation ratio the paper
+// reports (12.1 for Svc1).
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace droppkt;
+
+void timeline_for_first_session() {
+  const auto& ds = bench::dataset_for("Svc1");
+  const auto& s = ds.front().record;
+
+  std::printf("First 5 seconds of a %s session (session %s):\n\n",
+              s.service.c_str(), s.video_id.c_str());
+  std::printf("  TLS transactions (what the proxy reports):\n");
+  int tls_n = 0;
+  for (const auto& t : s.tls) {
+    if (t.start_s > 5.0) continue;
+    ++tls_n;
+    std::printf("    #%d  %-28s  start %.2fs  end %.1fs  dl %.0f KB\n", tls_n,
+                t.sni.c_str(), t.start_s, t.end_s, t.dl_bytes / 1000.0);
+  }
+  std::printf("\n  HTTP transactions inside them (invisible to the proxy):\n");
+  int http_n = 0;
+  for (const auto& t : s.http) {
+    if (t.request_s > 5.0) continue;
+    ++http_n;
+    std::printf("    #%-3d %.2fs  %-8s  dl %.0f KB\n", http_n, t.request_s,
+                to_string(t.kind).c_str(), t.dl_bytes / 1000.0);
+  }
+  std::printf("\n  -> %d HTTP transactions fell inside %d TLS transactions "
+              "in the first 5 s\n\n", http_n, tls_n);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 2 - TLS vs HTTP transactions at session start",
+      "Fig. 2 + Section 2.2 (avg 12.1 HTTP per TLS transaction in Svc1)");
+
+  timeline_for_first_session();
+
+  const auto& ds = bench::dataset_for("Svc1");
+  double tls = 0.0, http = 0.0;
+  for (const auto& s : ds) {
+    tls += static_cast<double>(s.record.tls.size());
+    http += static_cast<double>(s.record.http.size());
+  }
+  std::printf("Dataset-wide aggregation (Svc1, %zu sessions):\n", ds.size());
+  std::printf("  avg TLS transactions per session : %.1f   (paper: 19.5)\n",
+              tls / ds.size());
+  std::printf("  avg HTTP transactions per session: %.1f\n", http / ds.size());
+  std::printf("  avg HTTP per TLS transaction     : %.1f   (paper: 12.1)\n",
+              http / tls);
+  return 0;
+}

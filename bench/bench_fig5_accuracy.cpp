@@ -1,0 +1,43 @@
+// Figure 5: classification accuracy / recall / precision for each QoE
+// metric (re-buffering, video quality, combined), per service.
+// Random Forest, 38 TLS features, 5-fold stratified cross-validation.
+#include "bench_common.hpp"
+#include "util/render.hpp"
+
+int main() {
+  using namespace droppkt;
+  bench::print_header(
+      "Figure 5 - Accuracy per QoE metric (TLS transaction data)",
+      "Fig. 5a/5b + Section 4.2 (Svc3 reported in text)");
+
+  struct PaperRow {
+    const char* svc;
+    const char* metric;
+    const char* note;
+  };
+
+  for (const char* svc : {"Svc1", "Svc2", "Svc3"}) {
+    const auto& ds = bench::dataset_for(svc);
+    std::printf("%s (%zu sessions):\n", svc, ds.size());
+    util::TextTable table(
+        {"QoE metric", "accuracy", "recall(worst)", "precision(worst)"});
+    for (auto target : {core::QoeTarget::kRebuffering,
+                        core::QoeTarget::kVideoQuality,
+                        core::QoeTarget::kCombined}) {
+      const auto cv = core::evaluate_tls(ds, target);
+      const auto s = core::scores_from(cv);
+      table.add_row({core::to_string(target), bench::pct0(s.accuracy),
+                     bench::pct0(s.recall_low), bench::pct0(s.precision_low)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf("paper shape:\n");
+  std::printf("  - Svc1: video-quality recall (68%%) >> re-buffering recall "
+              "(21%%) - quality degrades under poor networks\n");
+  std::printf("  - Svc2: re-buffering recall (71%%) > video-quality recall "
+              "(40%%) - trend reversed\n");
+  std::printf("  - combined QoE: high accuracy for all services, recall "
+              "73-85%%\n");
+  return 0;
+}

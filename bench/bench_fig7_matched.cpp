@@ -1,0 +1,77 @@
+// Figure 7: distributions of a transaction-level statistic and a temporal
+// feature for sessions *matched on session-level features* — the paper's
+// evidence that within-session TLS structure separates QoE classes even
+// when session-level volumetrics cannot.
+//   7a: CUM_DL_60s for Svc1 sessions, duration 2-3 min, SDR_DL 1400-1600 kbps
+//   7b: D2U_MED for Svc2 sessions, duration 2-3 min, SDR_DL 1000-1200 kbps
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/tls_features.hpp"
+#include "util/render.hpp"
+
+namespace {
+
+using namespace droppkt;
+
+void matched_boxplot(const char* svc, const char* feature,
+                     double sdr_lo, double sdr_hi,
+                     const char* title) {
+  const auto& ds = bench::dataset_for(svc);
+  const auto names = core::tls_feature_names();
+  const auto fidx = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), feature) - names.begin());
+  const auto sdr_idx = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), "SDR_DL") - names.begin());
+  const auto dur_idx = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), "SES_DUR") - names.begin());
+
+  // Widen the SDR band until each class has a handful of matched sessions
+  // (the paper's bands give n = 11..52 per class on its dataset).
+  std::vector<std::vector<double>> by_class(3);
+  double lo = sdr_lo, hi = sdr_hi;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    for (auto& v : by_class) v.clear();
+    for (const auto& s : ds) {
+      const auto f = core::extract_tls_features(s.record.tls);
+      if (f[dur_idx] < 120.0 || f[dur_idx] > 180.0) continue;
+      if (f[sdr_idx] < lo || f[sdr_idx] > hi) continue;
+      by_class[s.labels.combined].push_back(f[fidx]);
+    }
+    const std::size_t min_n = std::min({by_class[0].size(), by_class[1].size(),
+                                        by_class[2].size()});
+    if (min_n >= 8) break;
+    lo *= 0.9;
+    hi *= 1.1;
+  }
+
+  std::printf("%s\n", title);
+  std::printf("  matched on: session duration 2-3 min, SDR_DL %.0f-%.0f kbps\n",
+              lo, hi);
+  std::printf("%s\n",
+              util::box_plot({{"low", by_class[0]},
+                              {"medium", by_class[1]},
+                              {"high", by_class[2]}},
+                             feature)
+                  .c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 7 - Transaction/temporal features under matched session-level "
+      "features",
+      "Fig. 7a (Svc1 CUM_DL_60s) and Fig. 7b (Svc2 D2U_MED)");
+
+  matched_boxplot("Svc1", "CUM_DL_60s", 1400.0, 1600.0,
+                  "Figure 7a: Svc1, CUM_DL_60s (bytes)");
+  matched_boxplot("Svc2", "D2U_MED", 1000.0, 1200.0,
+                  "Figure 7b: Svc2, D2U_MED");
+
+  std::printf("paper shape: within a fixed session-level band, low and high\n"
+              "QoE sessions separate clearly (paper 7a: 25th pct 17 MB vs\n"
+              "23 MB); the medium class overlaps both - which is why medium\n"
+              "is the hardest class in Table 2.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Extension bench (paper Section 5 future work): the accuracy vs
+// scalability trade-off across the data-granularity spectrum —
+// TLS transactions vs NetFlow records at several export timeouts vs
+// full packet traces (ML16).
+#include "bench_common.hpp"
+#include "core/flow_features.hpp"
+#include "core/ml16_features.hpp"
+#include "net/link_model.hpp"
+#include "trace/packet_generator.hpp"
+#include "util/render.hpp"
+
+int main() {
+  using namespace droppkt;
+  bench::print_header(
+      "Extension - accuracy vs granularity (TLS / NetFlow / packets)",
+      "Section 5 future work: flow-level data with periodic summaries");
+
+  const char* svc = "Svc1";
+  const auto& ds = bench::dataset_for(svc);
+
+  util::TextTable table({"data source", "records/session", "accuracy",
+                         "recall(low)", "precision(low)"});
+
+  // TLS transactions (the paper's main result).
+  {
+    const auto cv = core::evaluate_tls(ds, core::QoeTarget::kCombined);
+    const auto s = core::scores_from(cv);
+    double records = 0.0;
+    for (const auto& x : ds) records += static_cast<double>(x.record.tls.size());
+    table.add_row({"TLS transactions (proxy)",
+                   util::fixed(records / ds.size(), 1), bench::pct0(s.accuracy),
+                   bench::pct0(s.recall_low), bench::pct0(s.precision_low)});
+  }
+
+  // NetFlow at three export granularities.
+  struct FlowCase {
+    const char* name;
+    trace::FlowExportConfig config;
+  };
+  const FlowCase cases[] = {
+      {"NetFlow, 300 s active timeout", {.active_timeout_s = 300.0,
+                                         .inactive_timeout_s = 15.0}},
+      {"NetFlow, 60 s active timeout", {.active_timeout_s = 60.0,
+                                        .inactive_timeout_s = 15.0}},
+      {"NetFlow, 10 s active timeout", {.active_timeout_s = 10.0,
+                                        .inactive_timeout_s = 10.0}},
+  };
+  for (const auto& c : cases) {
+    double records = 0.0;
+    for (const auto& x : ds) {
+      records +=
+          static_cast<double>(core::flows_for_session(x.record, c.config).size());
+    }
+    const auto data =
+        core::make_flow_dataset(ds, core::QoeTarget::kCombined, c.config);
+    const auto s = core::scores_from(
+        ml::cross_validate(data, core::forest_factory(), 5, 42 ^ 0xcafeULL));
+    table.add_row({c.name, util::fixed(records / ds.size(), 1),
+                   bench::pct0(s.accuracy), bench::pct0(s.recall_low),
+                   bench::pct0(s.precision_low)});
+  }
+
+  // Full packet pipeline (ML16).
+  {
+    double records = 0.0;
+    for (const auto& x : ds) {
+      const trace::PacketTraceGenerator gen(
+          net::link_params_for(x.record.environment));
+      records += static_cast<double>(gen.estimate_packet_count(x.record.http));
+    }
+    const auto data = core::make_ml16_dataset(ds, core::QoeTarget::kCombined);
+    const auto s = core::scores_from(
+        ml::cross_validate(data, core::forest_factory(), 5, 42 ^ 0xcafeULL));
+    table.add_row({"packet trace (ML16)", util::fixed(records / ds.size(), 0),
+                   bench::pct0(s.accuracy), bench::pct0(s.recall_low),
+                   bench::pct0(s.precision_low)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: accuracy grows with granularity, but the\n"
+              "record volume grows much faster - finer NetFlow summaries\n"
+              "sit between TLS transactions and packets on both axes,\n"
+              "exactly the trade-off the paper proposes to explore.\n\n");
+  std::printf("note: flow records lack SNI; identification relies on DNS\n"
+              "(see trace::identify_video_flows), which the TLS path gets\n"
+              "for free.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: Random Forest hyperparameters (ensemble size, tree depth,
+// per-split feature sampling) on the combined QoE target. The paper uses
+// scikit-learn defaults; this sweep shows how sensitive the headline
+// result is to those choices.
+#include "bench_common.hpp"
+#include "util/render.hpp"
+
+namespace {
+
+using namespace droppkt;
+
+core::Scores run(const ml::Dataset& data, ml::RandomForestParams params) {
+  auto factory = [params]() -> std::unique_ptr<ml::Classifier> {
+    return std::make_unique<ml::RandomForest>(params);
+  };
+  return core::scores_from(ml::cross_validate(data, factory, 5, 42 ^ 0xcafeULL));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation - Random Forest hyperparameters",
+                      "Section 4.2 model configuration");
+
+  const auto& ds = bench::dataset_for("Svc1");
+  const auto data = core::make_tls_dataset(ds, core::QoeTarget::kCombined);
+
+  std::printf("Ensemble size (max_depth=24, mtry=sqrt):\n");
+  util::TextTable trees({"num_trees", "accuracy", "recall(low)"});
+  for (std::size_t n : {1u, 5u, 20u, 50u, 100u, 200u}) {
+    ml::RandomForestParams p;
+    p.num_trees = n;
+    const auto s = run(data, p);
+    trees.add_row({std::to_string(n), bench::pct0(s.accuracy),
+                   bench::pct0(s.recall_low)});
+  }
+  std::printf("%s\n", trees.render().c_str());
+
+  std::printf("Tree depth (100 trees):\n");
+  util::TextTable depth({"max_depth", "accuracy", "recall(low)"});
+  for (int d : {2, 4, 8, 16, 24}) {
+    ml::RandomForestParams p;
+    p.max_depth = d;
+    const auto s = run(data, p);
+    depth.add_row({std::to_string(d), bench::pct0(s.accuracy),
+                   bench::pct0(s.recall_low)});
+  }
+  std::printf("%s\n", depth.render().c_str());
+
+  std::printf("Features per split (100 trees, depth 24; 38 features total):\n");
+  util::TextTable mtry({"max_features", "accuracy", "recall(low)"});
+  for (std::size_t m : {1u, 3u, 6u, 12u, 24u, 38u}) {
+    ml::RandomForestParams p;
+    p.max_features = m;
+    const auto s = run(data, p);
+    mtry.add_row({std::to_string(m), bench::pct0(s.accuracy),
+                  bench::pct0(s.recall_low)});
+  }
+  std::printf("%s\n", mtry.render().c_str());
+
+  std::printf("expected shape: accuracy saturates by ~50 trees and depth\n"
+              "~8-16; very small mtry or a single stump-like tree loses\n"
+              "several points - the headline result is robust to the exact\n"
+              "configuration, as ensemble methods usually are.\n");
+  return 0;
+}

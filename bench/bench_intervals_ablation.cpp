@@ -1,0 +1,52 @@
+// Temporal-interval ablation: the paper treats the CUM_* interval
+// end-points as a model hyperparameter ("we explored other intervals ...
+// but found the above to yield the highest accuracy"). This bench sweeps
+// alternative interval sets on the combined QoE target.
+#include "bench_common.hpp"
+#include "util/render.hpp"
+
+int main() {
+  using namespace droppkt;
+  bench::print_header("Ablation - temporal interval hyperparameter",
+                      "Section 3 (interval end-point choice)");
+
+  struct IntervalCase {
+    const char* name;
+    std::vector<double> ends;
+  };
+  const std::vector<IntervalCase> cases{
+      {"paper {30,60,120,240,480,720,960,1200}",
+       {30, 60, 120, 240, 480, 720, 960, 1200}},
+      {"uniform coarse {300,600,900,1200}", {300, 600, 900, 1200}},
+      {"uniform fine {150,...,1200 step 150}",
+       {150, 300, 450, 600, 750, 900, 1050, 1200}},
+      {"front-loaded {10,20,30,45,60,90,120,180}",
+       {10, 20, 30, 45, 60, 90, 120, 180}},
+      {"single {60}", {60}},
+  };
+
+  util::TextTable table({"interval set", "#features", "Svc1 A", "Svc2 A",
+                         "Svc3 A", "mean A"});
+  for (const auto& c : cases) {
+    core::TlsFeatureConfig cfg;
+    cfg.interval_ends_s = c.ends;
+    std::vector<std::string> row{c.name,
+                                 std::to_string(4 + 18 + 2 * c.ends.size())};
+    double sum = 0.0;
+    for (const char* svc : {"Svc1", "Svc2", "Svc3"}) {
+      const auto& ds = bench::dataset_for(svc);
+      const auto cv = core::evaluate_tls(ds, core::QoeTarget::kCombined,
+                                         core::FeatureSet::kFull, cfg);
+      row.push_back(bench::pct0(cv.accuracy()));
+      sum += cv.accuracy();
+    }
+    row.push_back(bench::pct0(sum / 3.0));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper shape: exponentially spaced intervals starting fine\n"
+              "(sessions are most vulnerable early, when the buffer is\n"
+              "empty) perform at or near the top; a single interval loses\n"
+              "accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Model ablation: the paper "tested different ML-based models, namely SVM,
+// k-NN, XGBoost, Random Forest, and Multilayer Perceptron" and reports
+// Random Forest because it "yielded the highest accuracy". This bench
+// regenerates that comparison on the combined QoE target.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ml/gbt.hpp"
+#include "ml/knn.hpp"
+#include "ml/mlp.hpp"
+#include "ml/svm.hpp"
+#include "util/render.hpp"
+
+int main() {
+  using namespace droppkt;
+  bench::print_header("Model ablation - classifier choice",
+                      "Section 4.2 (RF chosen over SVM, k-NN, XGBoost, MLP)");
+
+  struct ModelCase {
+    const char* name;
+    std::function<std::unique_ptr<ml::Classifier>()> make;
+  };
+  const std::vector<ModelCase> models{
+      {"Random Forest", [] {
+         return std::unique_ptr<ml::Classifier>(
+             std::make_unique<ml::RandomForest>());
+       }},
+      {"XGBoost-style GBT", [] {
+         return std::unique_ptr<ml::Classifier>(
+             std::make_unique<ml::GradientBoosting>());
+       }},
+      {"k-NN (k=7)", [] {
+         return std::unique_ptr<ml::Classifier>(
+             std::make_unique<ml::KnnClassifier>());
+       }},
+      {"Linear SVM", [] {
+         return std::unique_ptr<ml::Classifier>(
+             std::make_unique<ml::LinearSvm>());
+       }},
+      {"MLP (64 hidden)", [] {
+         return std::unique_ptr<ml::Classifier>(
+             std::make_unique<ml::MlpClassifier>());
+       }},
+  };
+
+  util::TextTable table({"model", "Svc1 A", "Svc1 R", "Svc2 A", "Svc2 R",
+                         "Svc3 A", "Svc3 R"});
+  std::map<std::string, double> mean_accuracy;
+  for (const auto& m : models) {
+    std::vector<std::string> row{m.name};
+    double acc_sum = 0.0;
+    for (const char* svc : {"Svc1", "Svc2", "Svc3"}) {
+      const auto& ds = bench::dataset_for(svc);
+      const auto data = core::make_tls_dataset(ds, core::QoeTarget::kCombined);
+      const auto cv = ml::cross_validate(data, m.make, 5, 42 ^ 0xcafeULL);
+      row.push_back(bench::pct0(cv.accuracy()));
+      row.push_back(bench::pct0(cv.recall(0)));
+      acc_sum += cv.accuracy();
+    }
+    mean_accuracy[m.name] = acc_sum / 3.0;
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto best = std::max_element(
+      mean_accuracy.begin(), mean_accuracy.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::printf("highest mean accuracy: %s (%s)\n", best->first.c_str(),
+              bench::pct0(best->second).c_str());
+  std::printf("paper shape: tree ensembles (Random Forest) on top.\n");
+  return 0;
+}

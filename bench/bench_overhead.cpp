@@ -1,0 +1,97 @@
+// Micro-benchmarks (google-benchmark) behind the Section 4.2 overhead
+// claims: per-session feature extraction cost for the TLS pipeline vs the
+// packet pipeline, plus the simulation itself.
+#include <benchmark/benchmark.h>
+
+#include "core/dataset_builder.hpp"
+#include "core/ml16_features.hpp"
+#include "core/tls_features.hpp"
+#include "net/link_model.hpp"
+#include "trace/packet_generator.hpp"
+
+namespace {
+
+using namespace droppkt;
+
+const core::LabeledDataset& sample_sessions() {
+  static const core::LabeledDataset ds = [] {
+    core::DatasetConfig cfg;
+    cfg.num_sessions = 64;
+    cfg.seed = 7;
+    return core::build_dataset(has::svc1_profile(), cfg);
+  }();
+  return ds;
+}
+
+void BM_TlsFeatureExtraction(benchmark::State& state) {
+  const auto& ds = sample_sessions();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto f = core::extract_tls_features(ds[i % ds.size()].record.tls);
+    benchmark::DoNotOptimize(f.data());
+    ++i;
+  }
+  state.SetLabel("per session, 38 features from ~25 TLS transactions");
+}
+BENCHMARK(BM_TlsFeatureExtraction);
+
+void BM_PacketFeatureExtraction(benchmark::State& state) {
+  const auto& ds = sample_sessions();
+  // Pre-generate packet logs so the benchmark isolates extraction cost.
+  static const std::vector<trace::PacketLog> logs = [] {
+    std::vector<trace::PacketLog> out;
+    for (const auto& s : sample_sessions()) {
+      util::Rng rng(s.record.seed ^ 0x9ac4e7ULL);
+      const trace::PacketTraceGenerator gen(
+          net::link_params_for(s.record.environment));
+      out.push_back(gen.generate(s.record.http, rng));
+    }
+    return out;
+  }();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto f = core::extract_ml16_features(logs[i % logs.size()]);
+    benchmark::DoNotOptimize(f.data());
+    ++i;
+  }
+  state.SetLabel("per session, ML16 features from ~30k packets");
+}
+BENCHMARK(BM_PacketFeatureExtraction);
+
+void BM_PacketGeneration(benchmark::State& state) {
+  const auto& ds = sample_sessions();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& s = ds[i % ds.size()];
+    util::Rng rng(s.record.seed ^ 0x9ac4e7ULL);
+    const trace::PacketTraceGenerator gen(
+        net::link_params_for(s.record.environment));
+    const auto log = gen.generate(s.record.http, rng);
+    benchmark::DoNotOptimize(log.data());
+    ++i;
+  }
+  state.SetLabel("expand one session's HTTP log into a packet trace");
+}
+BENCHMARK(BM_PacketGeneration);
+
+void BM_SimulateSession(benchmark::State& state) {
+  const net::TracePool pool(16, 3);
+  const auto catalog = has::VideoCatalog::generate("Svc1", 10, 3);
+  const auto svc = has::svc1_profile();
+  const has::PlayerSimulator player;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    util::Rng rng(++seed);
+    const auto& bw = pool.sample(rng);
+    const net::LinkModel link(bw);
+    auto result =
+        player.play(svc, catalog.sample(rng), link, 180.0, rng);
+    benchmark::DoNotOptimize(result.http.data());
+  }
+  state.SetLabel("one 3-minute Svc1 session end-to-end");
+}
+BENCHMARK(BM_SimulateSession);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table 5: session-identification accuracy on back-to-back Svc1 sessions
+// (heuristic: W=3 s, Nmin=2, delta_min=0.5).
+#include "bench_common.hpp"
+#include "core/session_id.hpp"
+#include "util/render.hpp"
+
+int main() {
+  using namespace droppkt;
+  bench::print_header("Table 5 - Session identification for back-to-back "
+                      "sessions",
+                      "Table 5 (89% of new sessions, 98% of existing "
+                      "transactions correct)");
+
+  // Many independent streams of consecutive sessions, as in the paper's
+  // stress test where every session was streamed back-to-back.
+  std::size_t tp = 0, fn = 0, fp = 0, tn = 0;
+  std::size_t total_sessions = 0;
+  const std::size_t streams = 40;
+  const std::size_t sessions_per_stream = 8;
+  for (std::size_t i = 0; i < streams; ++i) {
+    const auto stream = core::build_back_to_back(
+        has::svc1_profile(), sessions_per_stream, bench::kBenchSeed + i);
+    const auto pred = core::detect_session_starts(stream.merged);
+    total_sessions += stream.num_sessions;
+    for (std::size_t j = 0; j < pred.size(); ++j) {
+      if (stream.truth_new[j] && pred[j]) ++tp;
+      else if (stream.truth_new[j]) ++fn;
+      else if (pred[j]) ++fp;
+      else ++tn;
+    }
+  }
+
+  std::printf("%zu streams x %zu consecutive sessions = %zu sessions, "
+              "%zu transactions\n\n",
+              streams, sessions_per_stream, total_sessions,
+              tp + fn + fp + tn);
+
+  util::TextTable table({"actual", "#transactions", "-> existing", "-> new"});
+  const double exist_n = static_cast<double>(tn + fp);
+  const double new_n = static_cast<double>(tp + fn);
+  table.add_row({"Existing", std::to_string(tn + fp),
+                 bench::pct0(tn / exist_n), bench::pct0(fp / exist_n)});
+  table.add_row({"New", std::to_string(tp + fn), bench::pct0(fn / new_n),
+                 bench::pct0(tp / new_n)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("paper Table 5: Existing 13269 (98%% / 2%%), New 1545 "
+              "(11%% / 89%%)\n\n");
+  std::printf("paper shape: a timeout-based rule would merge ALL of these\n"
+              "into one session (transactions overlap across boundaries);\n"
+              "the burst + fresh-server heuristic recovers ~9 in 10 session\n"
+              "starts while barely disturbing existing transactions.\n");
+  return 0;
+}

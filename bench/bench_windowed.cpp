@@ -1,0 +1,83 @@
+// Extension bench: fine-granular (per-window) estimation, the style of
+// Requet/BUFFEST/Mazhar&Shafiq, and the derivation of per-session metrics
+// from it — the comparison the paper explicitly skipped ("A comparison
+// with these approaches would require estimation of per-session metrics
+// from fine-granular estimation. For simplicity, we consider an algorithm
+// that directly estimates per-session metrics.").
+#include "bench_common.hpp"
+#include "core/windowed.hpp"
+#include "util/render.hpp"
+
+int main() {
+  using namespace droppkt;
+  bench::print_header(
+      "Extension - fine-granular (windowed) estimation vs per-session",
+      "Section 4.2, comparison-with-packet-traces discussion");
+
+  core::DatasetConfig cfg;
+  cfg.num_sessions = 900;
+  cfg.seed = bench::kBenchSeed + 11;
+  const auto train = core::build_dataset(has::svc2_profile(), cfg);
+  cfg.seed = bench::kBenchSeed + 12;
+  cfg.num_sessions = 500;
+  const auto test = core::build_dataset(has::svc2_profile(), cfg);
+
+  const core::WindowedConfig wcfg;
+
+  // 1. Train the window-level stall detector on packet features.
+  const auto window_train = core::make_window_dataset(train, wcfg);
+  ml::RandomForestParams params;
+  params.num_trees = 60;
+  params.min_samples_leaf = 5;
+  ml::RandomForest window_model(params);
+  window_model.fit(window_train);
+
+  // 2. Window-level detection quality on held-out sessions.
+  ml::ConfusionMatrix window_cm(2);
+  std::vector<std::vector<int>> per_session_preds;
+  for (const auto& s : test) {
+    const auto windows = core::windows_for_session(s, wcfg);
+    std::vector<int> preds;
+    for (std::size_t w = 0; w < windows.features.size(); ++w) {
+      const int p = window_model.predict(windows.features[w]);
+      window_cm.add(windows.stalled[w], p);
+      preds.push_back(p);
+    }
+    per_session_preds.push_back(std::move(preds));
+  }
+  std::printf("Window-level stall detection (%zu windows of %.0f s):\n",
+              window_cm.total(), wcfg.window_s);
+  std::printf("%s", window_cm.render({"smooth", "stalled"}).c_str());
+  std::printf("  accuracy %s, stalled-window recall %s\n\n",
+              bench::pct0(window_cm.accuracy()).c_str(),
+              bench::pct0(window_cm.recall(1)).c_str());
+
+  // 3. Derive per-session re-buffering classes from window predictions and
+  //    compare against the paper's direct per-session approach on TLS data.
+  ml::ConfusionMatrix derived(core::kNumQoeClasses);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    derived.add(test[i].labels.rebuffering,
+                core::session_rebuffering_from_windows(per_session_preds[i],
+                                                       wcfg));
+  }
+  const auto direct =
+      core::evaluate_tls(test, core::QoeTarget::kRebuffering);
+
+  util::TextTable table({"approach", "data", "session rebuf accuracy",
+                         "recall(high)"});
+  table.add_row({"windowed packets -> derived", "packet traces",
+                 bench::pct0(derived.accuracy()),
+                 bench::pct0(derived.recall(0))});
+  table.add_row({"direct per-session (paper)", "TLS transactions",
+                 bench::pct0(direct.accuracy()),
+                 bench::pct0(direct.recall(0))});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("expected shape: windowed detection finds stalled windows\n"
+              "reliably, but deriving the paper's 3-class per-session metric\n"
+              "quantizes badly (a single 10 s window already exceeds the 2%%\n"
+              "mild threshold), so the coarse direct approach is competitive\n"
+              "at a fraction of the data - supporting the paper's design\n"
+              "choice of estimating per-session metrics directly.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// CLI: classify proxy TLS-log exports with a saved model.
+//
+//   classify_log <model-path> <tls-log.csv> [more-logs.csv ...]
+//
+// Each CSV holds one session's TLS transactions in the proxy export
+// format (start_s,end_s,ul_bytes,dl_bytes,sni). Demonstrates the
+// deployment path: models are trained once (train_model) and shipped to
+// monitoring nodes that only ever see proxy logs.
+#include <cstdio>
+
+#include "core/estimator.hpp"
+#include "trace/serialize.hpp"
+
+int main(int argc, char** argv) {
+  using namespace droppkt;
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <model-path> <tls-log.csv> [...]\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    const auto estimator = core::QoeEstimator::load_file(argv[1]);
+    std::printf("loaded %s estimator from %s\n\n",
+                core::to_string(estimator.config().target).c_str(), argv[1]);
+    for (int i = 2; i < argc; ++i) {
+      const auto log = trace::read_tls_csv_file(argv[i]);
+      const int cls = estimator.predict(log);
+      const auto proba = estimator.predict_proba(log);
+      std::printf("%-32s %zu transactions -> %-6s (p=%.2f)\n", argv[i],
+                  log.size(), estimator.class_name(cls).c_str(),
+                  proba[static_cast<std::size_t>(cls)]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: simulate a small dataset, train the estimator, and classify
+// a fresh session's TLS transaction log.
+//
+// This is the whole public API surface in ~60 lines: build_dataset ->
+// QoeEstimator::train -> QoeEstimator::predict.
+#include <cstdio>
+
+#include "core/dataset_builder.hpp"
+#include "core/estimator.hpp"
+#include "core/pipeline.hpp"
+
+int main() {
+  using namespace droppkt;
+
+  // 1. Simulate a training corpus for Svc1 (300 sessions keeps this quick;
+  //    the benches use the paper's full 2111).
+  const has::ServiceProfile svc = has::svc1_profile();
+  core::DatasetConfig config;
+  config.num_sessions = 300;
+  config.seed = 7;
+  std::printf("Simulating %zu %s sessions...\n", config.num_sessions,
+              svc.name.c_str());
+  const core::LabeledDataset dataset = core::build_dataset(svc, config);
+
+  // 2. Train a combined-QoE estimator on the first 250 sessions.
+  core::QoeEstimator estimator;
+  const core::LabeledDataset train(dataset.begin(), dataset.begin() + 250);
+  estimator.train(train);
+  std::printf("Trained Random Forest on %zu sessions (38 TLS features).\n\n",
+              train.size());
+
+  // 3. Classify held-out sessions straight from their TLS logs.
+  int correct = 0, total = 0;
+  for (std::size_t i = 250; i < dataset.size(); ++i) {
+    const auto& session = dataset[i];
+    const int predicted = estimator.predict(session.record.tls);
+    const int actual = session.labels.combined;
+    correct += (predicted == actual);
+    ++total;
+    if (i < 256) {  // print a few
+      std::printf("session %zu: %2zu TLS transactions -> predicted %-6s actual %-6s\n",
+                  i, session.record.tls.size(),
+                  estimator.class_name(predicted).c_str(),
+                  estimator.class_name(actual).c_str());
+    }
+  }
+  std::printf("\nHold-out accuracy: %d/%d = %.0f%%\n", correct, total,
+              100.0 * correct / total);
+
+  // 4. What drives the predictions?
+  std::printf("\nTop-5 feature importances:\n");
+  const auto importances = estimator.feature_importances();
+  for (std::size_t i = 0; i < 5 && i < importances.size(); ++i) {
+    std::printf("  %-16s %.3f\n", importances[i].first.c_str(),
+                importances[i].second);
+  }
+  return 0;
+}

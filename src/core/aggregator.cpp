@@ -1,0 +1,64 @@
+#include "core/aggregator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  DROPPKT_EXPECT(successes <= trials,
+                 "wilson_interval: successes cannot exceed trials");
+  DROPPKT_EXPECT(z > 0.0, "wilson_interval: z must be positive");
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+LocationAggregator::LocationAggregator(AggregatorConfig config)
+    : config_(config) {
+  DROPPKT_EXPECT(config_.alert_rate > 0.0 && config_.alert_rate < 1.0,
+                 "LocationAggregator: alert rate must be in (0,1)");
+  DROPPKT_EXPECT(config_.min_sessions >= 1,
+                 "LocationAggregator: min_sessions must be >= 1");
+}
+
+void LocationAggregator::record(const std::string& location,
+                                int predicted_class) {
+  DROPPKT_EXPECT(!location.empty(),
+                 "LocationAggregator: location must be non-empty");
+  auto& stats = locations_[location];
+  stats.location = location;
+  ++stats.sessions;
+  if (predicted_class == 0) ++stats.low_qoe;
+  ++total_;
+}
+
+Interval LocationAggregator::interval(const std::string& location) const {
+  const auto it = locations_.find(location);
+  if (it == locations_.end()) return {0.0, 1.0};
+  return wilson_interval(it->second.low_qoe, it->second.sessions, config_.z);
+}
+
+std::vector<LocationStats> LocationAggregator::flagged() const {
+  std::vector<LocationStats> out;
+  for (const auto& [name, stats] : locations_) {
+    if (stats.sessions < config_.min_sessions) continue;
+    const auto ci = wilson_interval(stats.low_qoe, stats.sessions, config_.z);
+    if (ci.low > config_.alert_rate) out.push_back(stats);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LocationStats& a, const LocationStats& b) {
+              return a.rate() > b.rate();
+            });
+  return out;
+}
+
+}  // namespace droppkt::core

@@ -1,0 +1,73 @@
+// Location aggregation: turning per-session QoE estimates into the
+// network-level signal the paper's introduction motivates — "identify
+// parts of the network that underperform in a lightweight manner", so
+// fine-grained collection can be targeted there.
+//
+// Each session estimate is a noisy Bernoulli observation of a location's
+// low-QoE rate; the aggregator maintains per-location counts and flags
+// locations whose rate is credibly above a threshold using a Wilson score
+// interval (robust at the small per-location sample sizes a monitoring
+// window yields).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace droppkt::core {
+
+/// Wilson score interval for a binomial proportion at z standard errors.
+struct Interval {
+  double low = 0.0;
+  double high = 1.0;
+};
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z = 1.96);
+
+struct LocationStats {
+  std::string location;
+  std::size_t sessions = 0;
+  std::size_t low_qoe = 0;
+  double rate() const {
+    return sessions ? static_cast<double>(low_qoe) / sessions : 0.0;
+  }
+};
+
+struct AggregatorConfig {
+  /// A location is flagged when the *lower* bound of its low-QoE rate
+  /// interval exceeds this threshold — i.e. it is credibly degraded, not
+  /// just unlucky.
+  double alert_rate = 0.5;
+  double z = 1.96;  // ~95% interval
+  /// Locations with fewer sessions than this are never flagged.
+  std::size_t min_sessions = 10;
+};
+
+/// Accumulates per-location session classifications and reports the
+/// credibly-degraded set.
+class LocationAggregator {
+ public:
+  explicit LocationAggregator(AggregatorConfig config = {});
+
+  /// Record one classified session (predicted_class 0 = low QoE).
+  void record(const std::string& location, int predicted_class);
+
+  std::size_t total_sessions() const { return total_; }
+  const std::map<std::string, LocationStats>& locations() const {
+    return locations_;
+  }
+
+  /// The location's interval, or (0,1) if unseen.
+  Interval interval(const std::string& location) const;
+
+  /// Locations whose low-QoE rate is credibly above the alert threshold,
+  /// worst first.
+  std::vector<LocationStats> flagged() const;
+
+ private:
+  AggregatorConfig config_;
+  std::map<std::string, LocationStats> locations_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace droppkt::core

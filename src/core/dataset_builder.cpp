@@ -1,0 +1,138 @@
+#include "core/dataset_builder.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "has/player.hpp"
+#include "net/link_model.hpp"
+#include "trace/connection_manager.hpp"
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+
+double dataset_scale() {
+  const char* env = std::getenv("DROPPKT_SESSIONS_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  if (v <= 0.0 || v > 1.0) return 1.0;
+  return v;
+}
+
+std::size_t paper_session_count(const std::string& service_name) {
+  std::size_t base = 0;
+  if (service_name == "Svc1") base = 2111;
+  else if (service_name == "Svc2") base = 2216;
+  else if (service_name == "Svc3") base = 1440;
+  else throw ContractViolation("paper_session_count: unknown service '" +
+                               service_name + "'");
+  const auto scaled =
+      static_cast<std::size_t>(static_cast<double>(base) * dataset_scale());
+  return std::max<std::size_t>(50, scaled);
+}
+
+LabeledDataset build_dataset(const has::ServiceProfile& svc,
+                             const DatasetConfig& config) {
+  const std::size_t n = config.num_sessions > 0
+                            ? config.num_sessions
+                            : paper_session_count(svc.name);
+
+  // Independent substreams so changing one knob doesn't reshuffle others.
+  util::Rng master(config.seed ^ std::hash<std::string>{}(svc.name));
+  const net::TracePool pool(config.trace_pool_size, master());
+  const auto catalog =
+      has::VideoCatalog::generate(svc.name, config.catalog_size, master());
+  const has::PlayerSimulator player;
+
+  LabeledDataset dataset;
+  dataset.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t session_seed = master();
+    util::Rng rng(session_seed);
+
+    const net::BandwidthTrace& bw = pool.sample(rng);
+    const double watch_s = pool.sample_session_duration(rng);
+    const has::Video& video = catalog.sample(rng);
+    const net::LinkModel link(bw);
+
+    has::PlaybackResult playback = player.play(svc, video, link, watch_s, rng);
+    const trace::ConnectionManager conns(svc.connections, rng);
+    trace::TlsLog tls = conns.collect(playback.http, rng);
+
+    LabeledSession session;
+    session.labels = compute_labels(playback.ground_truth, svc);
+    session.record = {.service = svc.name,
+                      .video_id = video.id,
+                      .environment = bw.environment(),
+                      .trace_avg_kbps = bw.average_kbps(),
+                      .watch_duration_s = watch_s,
+                      .seed = session_seed,
+                      .ground_truth = std::move(playback.ground_truth),
+                      .http = std::move(playback.http),
+                      .tls = std::move(tls)};
+    dataset.push_back(std::move(session));
+  }
+  return dataset;
+}
+
+BackToBackStream build_back_to_back(const has::ServiceProfile& svc,
+                                    std::size_t num_sessions,
+                                    std::uint64_t seed) {
+  DROPPKT_EXPECT(num_sessions >= 1, "build_back_to_back: need >= 1 session");
+  util::Rng master(seed ^ 0xb2bULL);
+  const net::TracePool pool(64, master());
+  const auto catalog = has::VideoCatalog::generate(svc.name, 60, master());
+  const has::PlayerSimulator player;
+
+  struct Tagged {
+    trace::TlsTransaction txn;
+    bool is_first = false;
+  };
+  std::vector<Tagged> all;
+  double offset_s = 0.0;
+
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    util::Rng rng(master());
+    const net::BandwidthTrace& bw = pool.sample(rng);
+    const double watch_s = pool.sample_session_duration(rng);
+    const has::Video& video = catalog.sample(rng);
+    const net::LinkModel link(bw);
+
+    has::PlaybackResult playback = player.play(svc, video, link, watch_s, rng);
+    const trace::ConnectionManager conns(svc.connections, rng);
+    trace::TlsLog tls = conns.collect(playback.http, rng);
+
+    // Shift into the stream's timeline and tag the session's first
+    // transaction (earliest start) as ground-truth "New".
+    std::size_t first_idx = 0;
+    for (std::size_t i = 1; i < tls.size(); ++i) {
+      if (tls[i].start_s < tls[first_idx].start_s) first_idx = i;
+    }
+    for (std::size_t i = 0; i < tls.size(); ++i) {
+      Tagged t;
+      t.txn = tls[i];
+      t.txn.start_s += offset_s;
+      t.txn.end_s += offset_s;
+      t.is_first = (i == first_idx);
+      all.push_back(std::move(t));
+    }
+    // The next video starts the moment this player closes.
+    offset_s += playback.ground_truth.session_end_s;
+  }
+
+  std::stable_sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    return a.txn.start_s < b.txn.start_s;
+  });
+
+  BackToBackStream stream;
+  stream.num_sessions = num_sessions;
+  stream.merged.reserve(all.size());
+  stream.truth_new.reserve(all.size());
+  for (auto& t : all) {
+    stream.merged.push_back(std::move(t.txn));
+    stream.truth_new.push_back(t.is_first);
+  }
+  return stream;
+}
+
+}  // namespace droppkt::core

@@ -1,0 +1,58 @@
+// Dataset generation: drives the full simulation stack to produce the
+// paper's evaluation corpus (Section 4.1) — thousands of sessions per
+// service streamed under diverse emulated network conditions, each with
+// ground-truth labels, an HTTP log, and the proxy's TLS log.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/qoe_labels.hpp"
+#include "has/service_profile.hpp"
+#include "net/trace_generator.hpp"
+#include "trace/session_record.hpp"
+
+namespace droppkt::core {
+
+/// A simulated session plus its ground-truth QoE labels.
+struct LabeledSession {
+  trace::SessionRecord record;
+  QoeLabels labels;
+};
+
+using LabeledDataset = std::vector<LabeledSession>;
+
+struct DatasetConfig {
+  std::size_t num_sessions = 0;     // 0: use the paper's count for the service
+  std::size_t catalog_size = 60;    // paper: 50-75 titles per service
+  std::size_t trace_pool_size = 300;
+  std::uint64_t seed = 20201204;    // CoNEXT'20 conference date
+};
+
+/// The paper's session count for a service (Svc1 2111, Svc2 2216,
+/// Svc3 1440), scaled by DROPPKT_SESSIONS_SCALE if set.
+std::size_t paper_session_count(const std::string& service_name);
+
+/// Value of DROPPKT_SESSIONS_SCALE clamped to (0, 1]; 1 when unset.
+double dataset_scale();
+
+/// Simulate a full dataset for one service.
+LabeledDataset build_dataset(const has::ServiceProfile& svc,
+                             const DatasetConfig& config = {});
+
+/// A merged TLS log of back-to-back sessions for the session-identification
+/// experiment (Table 5).
+struct BackToBackStream {
+  trace::TlsLog merged;          // sorted by start time
+  std::vector<bool> truth_new;   // parallel to merged: first txn of a session
+  std::size_t num_sessions = 0;
+};
+
+/// Stream `num_sessions` videos consecutively (each starting the moment the
+/// previous player closes) and merge the proxy's view into one log.
+BackToBackStream build_back_to_back(const has::ServiceProfile& svc,
+                                    std::size_t num_sessions,
+                                    std::uint64_t seed);
+
+}  // namespace droppkt::core

@@ -1,0 +1,107 @@
+#include "core/emimic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+
+QoeLabels EmimicEstimate::to_labels(const has::ServiceProfile& svc) const {
+  QoeLabels labels;
+  labels.rebuffer_ratio = rebuffer_ratio;
+  labels.rebuffering = rebuffering_class(rebuffer_ratio);
+  // Map the estimated average bitrate onto the nearest ladder rung, then
+  // categorize its height with the service thresholds (eMIMIC assumes the
+  // ladder is known for the service).
+  std::size_t best = 0;
+  double best_err = 1e18;
+  for (std::size_t q = 0; q < svc.ladder.size(); ++q) {
+    const double err = std::abs(std::log(
+        std::max(1.0, avg_bitrate_kbps) / svc.ladder.level(q).bitrate_kbps));
+    if (err < best_err) {
+      best_err = err;
+      best = q;
+    }
+  }
+  labels.video_quality = quality_class(svc.ladder.level(best).height_px, svc);
+  labels.combined = std::min(labels.rebuffering, labels.video_quality);
+  return labels;
+}
+
+EmimicEstimate emimic_estimate(const has::HttpLog& http,
+                               double segment_duration_s,
+                               const EmimicConfig& config) {
+  DROPPKT_EXPECT(segment_duration_s > 0.0,
+                 "emimic_estimate: segment duration must be positive");
+  DROPPKT_EXPECT(config.startup_segments >= 1.0,
+                 "emimic_estimate: need at least one startup segment");
+
+  EmimicEstimate est;
+  if (http.empty()) return est;
+
+  // 1. Detect media segments: large responses, with back-to-back range
+  // requests (gap below 200 ms) merged into one segment.
+  struct Segment {
+    double arrival_s = 0.0;  // last byte of the (merged) segment
+    double bytes = 0.0;
+  };
+  std::vector<Segment> segments;
+  double prev_request = -1e18;
+  double prev_end = -1e18;
+  for (const auto& txn : http) {
+    DROPPKT_EXPECT(txn.request_s >= prev_request,
+                   "emimic_estimate: log must be sorted by request time");
+    prev_request = txn.request_s;
+    if (txn.dl_bytes < config.min_segment_bytes) continue;
+    const bool continuation =
+        !segments.empty() && (txn.request_s - prev_end) < 0.2;
+    if (continuation) {
+      segments.back().arrival_s = txn.response_end_s;
+      segments.back().bytes += txn.dl_bytes;
+    } else {
+      segments.push_back({txn.response_end_s, txn.dl_bytes});
+    }
+    prev_end = txn.response_end_s;
+  }
+  est.segments_detected = segments.size();
+  if (segments.empty()) return est;
+
+  // 2. Replay playback against segment arrivals: playback starts once the
+  // startup buffer is filled, the playhead consumes one segment duration
+  // per segment, and it stalls whenever it catches up with arrivals.
+  const auto startup_n = static_cast<std::size_t>(
+      std::min<double>(config.startup_segments, segments.size()));
+  const double session_t0 = http.front().request_s;
+  const double play_start = segments[startup_n - 1].arrival_s;
+  est.startup_delay_s = play_start - session_t0;
+
+  double stall_s = 0.0;
+  for (std::size_t i = startup_n; i < segments.size(); ++i) {
+    // Media available before segment i arrives: i segments.
+    const double exhaust_t = play_start + stall_s +
+                             static_cast<double>(i) * segment_duration_s;
+    if (segments[i].arrival_s > exhaust_t) {
+      stall_s += segments[i].arrival_s - exhaust_t;
+    }
+  }
+
+  // 3. Playback time: bounded by the media fetched and by the observed
+  // session span (the user closes the player at the last activity).
+  const double last_activity = std::max(
+      segments.back().arrival_s, http.back().response_end_s);
+  const double media_s =
+      static_cast<double>(segments.size()) * segment_duration_s;
+  const double wall_play_budget =
+      std::max(1.0, last_activity - play_start - stall_s);
+  const double playback_s = std::min(media_s, wall_play_budget);
+
+  est.rebuffer_ratio = stall_s / std::max(1.0, playback_s);
+
+  double media_bytes = 0.0;
+  for (const auto& s : segments) media_bytes += s.bytes;
+  est.avg_bitrate_kbps = media_bytes * 8.0 / 1000.0 / media_s;
+  return est;
+}
+
+}  // namespace droppkt::core

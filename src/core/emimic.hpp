@@ -1,0 +1,48 @@
+// eMIMIC-style analytic QoE estimation (Mangla et al., TMA 2018 — the
+// paper's reference [22], by the same authors).
+//
+// Instead of learning a classifier, eMIMIC reconstructs the HAS session
+// analytically from HTTP-level transactions: segment requests are
+// detected from the request/response pattern, each segment is assumed to
+// carry a fixed media duration, and playback is replayed against segment
+// arrival times to estimate startup, re-buffering and average bitrate.
+// It needs the fine-grained (per-request) view — exactly the data the
+// paper argues is expensive — which makes it the natural analytic
+// counterpart to the ML16 comparison.
+#pragma once
+
+#include "core/qoe_labels.hpp"
+#include "has/http_transaction.hpp"
+#include "has/service_profile.hpp"
+
+namespace droppkt::core {
+
+struct EmimicConfig {
+  /// Requests at least this large are treated as media segments.
+  double min_segment_bytes = 30e3;
+  /// Buffer level (media seconds) at which playback is assumed to start.
+  double startup_segments = 2.0;
+};
+
+/// eMIMIC's reconstruction of a session.
+struct EmimicEstimate {
+  double startup_delay_s = 0.0;
+  double rebuffer_ratio = 0.0;
+  double avg_bitrate_kbps = 0.0;   // media bytes over played duration
+  std::size_t segments_detected = 0;
+
+  /// Categorical labels derived from the reconstruction, using the same
+  /// thresholds as the ground truth (rr classes; bitrate mapped onto the
+  /// service ladder for the quality class).
+  QoeLabels to_labels(const has::ServiceProfile& svc) const;
+};
+
+/// Reconstruct a session from its HTTP transaction log. The log must be
+/// sorted by request time (the player guarantees this); `segment_duration`
+/// is the service's nominal media seconds per segment — eMIMIC assumes it
+/// is known or estimated out of band.
+EmimicEstimate emimic_estimate(const has::HttpLog& http,
+                               double segment_duration_s,
+                               const EmimicConfig& config = {});
+
+}  // namespace droppkt::core

@@ -1,0 +1,98 @@
+#include "core/estimator.hpp"
+
+#include <fstream>
+
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+
+QoeEstimator::QoeEstimator(Config config)
+    : config_(std::move(config)), forest_(config_.forest) {}
+
+void QoeEstimator::train(const LabeledDataset& sessions) {
+  std::vector<std::pair<trace::TlsLog, int>> labelled;
+  labelled.reserve(sessions.size());
+  for (const auto& s : sessions) {
+    labelled.emplace_back(s.record.tls, s.labels.label_for(config_.target));
+  }
+  train_raw(labelled);
+}
+
+void QoeEstimator::train_raw(
+    const std::vector<std::pair<trace::TlsLog, int>>& labelled) {
+  DROPPKT_EXPECT(!labelled.empty(), "QoeEstimator: empty training set");
+  ml::Dataset data(tls_feature_names(config_.features), kNumQoeClasses);
+  for (const auto& [log, label] : labelled) {
+    data.add_row(extract_tls_features(log, config_.features), label);
+  }
+  forest_ = ml::RandomForest(config_.forest);
+  forest_.fit(data);
+  trained_ = true;
+}
+
+int QoeEstimator::predict(const trace::TlsLog& session) const {
+  DROPPKT_EXPECT(trained_, "QoeEstimator: predict before train");
+  return forest_.predict(extract_tls_features(session, config_.features));
+}
+
+std::vector<double> QoeEstimator::predict_proba(
+    const trace::TlsLog& session) const {
+  DROPPKT_EXPECT(trained_, "QoeEstimator: predict before train");
+  return forest_.predict_proba(extract_tls_features(session, config_.features));
+}
+
+const std::string& QoeEstimator::class_name(int cls) const {
+  const auto& names = class_names(config_.target);
+  DROPPKT_EXPECT(cls >= 0 && cls < static_cast<int>(names.size()),
+                 "QoeEstimator: class out of range");
+  return names[static_cast<std::size_t>(cls)];
+}
+
+std::vector<std::pair<std::string, double>> QoeEstimator::feature_importances()
+    const {
+  DROPPKT_EXPECT(trained_, "QoeEstimator: importances before train");
+  return forest_.ranked_importances();
+}
+
+void QoeEstimator::save_file(const std::string& path) const {
+  DROPPKT_EXPECT(trained_, "QoeEstimator: save before train");
+  std::ofstream ofs(path);
+  if (!ofs) throw std::runtime_error("QoeEstimator: cannot open " + path);
+  ofs << "droppkt-estimator v1\n";
+  ofs << static_cast<int>(config_.target) << '\n';
+  ofs << config_.features.interval_ends_s.size();
+  for (double end : config_.features.interval_ends_s) ofs << ' ' << end;
+  ofs << '\n';
+  forest_.save(ofs);
+  if (!ofs) throw std::runtime_error("QoeEstimator: write failed " + path);
+}
+
+QoeEstimator QoeEstimator::load_file(const std::string& path) {
+  std::ifstream ifs(path);
+  if (!ifs) throw std::runtime_error("QoeEstimator: cannot open " + path);
+  std::string header;
+  std::getline(ifs, header);
+  DROPPKT_EXPECT(header == "droppkt-estimator v1",
+                 "QoeEstimator::load: unrecognized header '" + header + "'");
+  int target = 0;
+  std::size_t n_intervals = 0;
+  ifs >> target >> n_intervals;
+  DROPPKT_EXPECT(ifs.good() && target >= 0 && target <= 2 &&
+                     n_intervals >= 1 && n_intervals <= 1000,
+                 "QoeEstimator::load: malformed config");
+  Config config;
+  config.target = static_cast<QoeTarget>(target);
+  config.features.interval_ends_s.resize(n_intervals);
+  for (auto& end : config.features.interval_ends_s) ifs >> end;
+  ifs.ignore(1, '\n');
+
+  QoeEstimator estimator(config);
+  estimator.forest_ = ml::RandomForest::load(ifs);
+  DROPPKT_EXPECT(
+      estimator.forest_.num_trees() >= 1,
+      "QoeEstimator::load: model file contained no trees");
+  estimator.trained_ = true;
+  return estimator;
+}
+
+}  // namespace droppkt::core

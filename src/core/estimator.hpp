@@ -1,0 +1,64 @@
+// QoEEstimator: the library's primary public API.
+//
+// Train on labelled sessions (simulated here; proxy logs + ground truth in
+// a deployment), then estimate categorical QoE for new sessions straight
+// from their TLS transaction logs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dataset_builder.hpp"
+#include "core/qoe_labels.hpp"
+#include "core/tls_features.hpp"
+#include "ml/random_forest.hpp"
+
+namespace droppkt::core {
+
+/// Configuration of a QoeEstimator.
+struct EstimatorConfig {
+  QoeTarget target = QoeTarget::kCombined;
+  TlsFeatureConfig features;
+  ml::RandomForestParams forest;
+};
+
+/// End-to-end estimator: TLS log -> 38 features -> Random Forest -> class.
+class QoeEstimator {
+ public:
+  using Config = EstimatorConfig;
+
+  explicit QoeEstimator(Config config = {});
+
+  /// Train on labelled sessions. Throws if `sessions` is empty.
+  void train(const LabeledDataset& sessions);
+
+  /// Train directly on (TLS log, class label) pairs — the deployment path.
+  void train_raw(const std::vector<std::pair<trace::TlsLog, int>>& labelled);
+
+  bool trained() const { return trained_; }
+  const Config& config() const { return config_; }
+
+  /// Predicted class for a session (0 = worst, 2 = best).
+  int predict(const trace::TlsLog& session) const;
+
+  /// Human-readable class name for a prediction on this target.
+  const std::string& class_name(int cls) const;
+
+  /// Per-class probabilities.
+  std::vector<double> predict_proba(const trace::TlsLog& session) const;
+
+  /// Forest feature importances paired with feature names, descending.
+  std::vector<std::pair<std::string, double>> feature_importances() const;
+
+  /// Persist the trained estimator (target, feature intervals, forest) so
+  /// monitoring nodes can load it without the training corpus.
+  void save_file(const std::string& path) const;
+  static QoeEstimator load_file(const std::string& path);
+
+ private:
+  Config config_;
+  ml::RandomForest forest_;
+  bool trained_ = false;
+};
+
+}  // namespace droppkt::core

@@ -1,0 +1,90 @@
+#include "core/flow_features.hpp"
+
+#include <set>
+
+#include "net/link_model.hpp"
+#include "trace/packet_generator.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::core {
+
+namespace {
+
+/// A flow record carries the same (start, end, ul, dl) shape as a TLS
+/// transaction; converting lets the 38-feature extractor run unchanged.
+trace::TlsLog as_transactions(const trace::FlowLog& flows) {
+  trace::TlsLog log;
+  log.reserve(flows.size());
+  for (const auto& f : flows) {
+    log.push_back({.start_s = f.first_s,
+                   .end_s = f.last_s,
+                   .ul_bytes = f.ul_bytes,
+                   .dl_bytes = f.dl_bytes,
+                   .sni = f.server_ip,
+                   .http_count = 0});
+  }
+  return log;
+}
+
+}  // namespace
+
+std::vector<std::string> flow_feature_names(const TlsFeatureConfig& config) {
+  auto names = tls_feature_names(config);
+  for (auto& n : names) n = "FLOW_" + n;
+  return names;
+}
+
+std::vector<double> extract_flow_features(const trace::FlowLog& flows,
+                                          const TlsFeatureConfig& config) {
+  return extract_tls_features(as_transactions(flows), config);
+}
+
+trace::FlowLog flows_for_session(const trace::SessionRecord& record,
+                                 const trace::FlowExportConfig& config) {
+  util::Rng rng(record.seed ^ 0x9ac4e7ULL);
+  const trace::PacketTraceGenerator gen(net::link_params_for(record.environment));
+  const trace::PacketLog packets = gen.generate(record.http, rng);
+
+  // Connection id -> server IP, derived from the HTTP log's host mapping.
+  std::vector<std::pair<std::uint32_t, std::string>> ip_of_flow;
+  std::set<std::uint32_t> seen;
+  for (const auto& txn : record.http) {
+    if (txn.connection_id < 0) continue;
+    const auto id = static_cast<std::uint32_t>(txn.connection_id);
+    if (seen.insert(id).second) {
+      ip_of_flow.emplace_back(id, trace::server_ip_for_host(txn.host));
+    }
+  }
+  const trace::FlowExporter exporter(config);
+  return exporter.export_flows(packets, ip_of_flow);
+}
+
+trace::DnsLog dns_for_session(const trace::SessionRecord& record) {
+  trace::DnsLog dns;
+  std::set<std::string> seen;
+  for (const auto& txn : record.http) {
+    if (txn.host.empty()) continue;
+    if (seen.insert(txn.host).second) {
+      dns.push_back({.ts_s = txn.request_s - 0.01,
+                     .name = txn.host,
+                     .ip = trace::server_ip_for_host(txn.host)});
+    }
+  }
+  return dns;
+}
+
+ml::Dataset make_flow_dataset(const LabeledDataset& sessions, QoeTarget target,
+                              const trace::FlowExportConfig& config,
+                              const TlsFeatureConfig& features) {
+  DROPPKT_EXPECT(!sessions.empty(), "make_flow_dataset: empty dataset");
+  ml::Dataset data(flow_feature_names(features), kNumQoeClasses);
+  for (const auto& s : sessions) {
+    const auto flows = flows_for_session(s.record, config);
+    data.add_row(extract_flow_features(flows, features),
+                 s.labels.label_for(target));
+  }
+  return data;
+}
+
+}  // namespace droppkt::core

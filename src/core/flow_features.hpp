@@ -1,0 +1,41 @@
+// Flow-record features and the flow-based inference path — the paper's
+// future-work direction ("accuracy vs. scalability trade-off for other
+// forms of network data such as more granular flow-level data collected
+// using NetFlow", Section 5).
+//
+// A bidirectional flow record carries the same shape of information as a
+// TLS transaction (start, end, uplink/downlink bytes), so the 38-feature
+// extraction applies verbatim; what changes is (a) granularity — the
+// exporter's active timeout cuts long connections into periodic records —
+// and (b) identification, which needs DNS assistance instead of SNI.
+#pragma once
+
+#include "core/dataset_builder.hpp"
+#include "core/tls_features.hpp"
+#include "ml/dataset.hpp"
+#include "trace/flow_export.hpp"
+
+namespace droppkt::core {
+
+/// Feature names for the flow path (same structure as the TLS features).
+std::vector<std::string> flow_feature_names(const TlsFeatureConfig& config = {});
+
+/// Extract the 38-feature vector from a session's flow records.
+std::vector<double> extract_flow_features(const trace::FlowLog& flows,
+                                          const TlsFeatureConfig& config = {});
+
+/// Regenerate a session's flow view: packets are rebuilt deterministically
+/// from the stored session seed and run through a FlowExporter.
+trace::FlowLog flows_for_session(const trace::SessionRecord& record,
+                                 const trace::FlowExportConfig& config = {});
+
+/// The DNS lookups a monitor would have seen for this session (one per
+/// distinct hostname, at its first use).
+trace::DnsLog dns_for_session(const trace::SessionRecord& record);
+
+/// Build an ML dataset from the flow view of labelled sessions.
+ml::Dataset make_flow_dataset(const LabeledDataset& sessions, QoeTarget target,
+                              const trace::FlowExportConfig& config = {},
+                              const TlsFeatureConfig& features = {});
+
+}  // namespace droppkt::core

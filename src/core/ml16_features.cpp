@@ -1,0 +1,252 @@
+#include "core/ml16_features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace droppkt::core {
+
+std::vector<std::string> ml16_feature_names() {
+  std::vector<std::string> names;
+  // Chunk features (video-segment proxies).
+  const char* chunk_metrics[] = {"CHUNK_SIZE", "CHUNK_DUR", "CHUNK_IAT",
+                                 "CHUNK_RATE"};
+  const char* stats[] = {"MIN", "MED", "MAX", "AVG", "STD"};
+  for (const char* m : chunk_metrics) {
+    for (const char* s : stats) names.push_back(std::string(m) + "_" + s);
+  }
+  names.push_back("CHUNKS_PER_SEC");
+  names.push_back("NUM_CHUNKS");
+  // Network-health features.
+  names.push_back("AVG_TPUT_KBPS");
+  names.push_back("STD_TPUT_KBPS");
+  names.push_back("P25_TPUT_KBPS");
+  names.push_back("RETX_RATE");
+  names.push_back("LOSS_RATE");
+  names.push_back("RTT_AVG_MS");
+  names.push_back("RTT_STD_MS");
+  names.push_back("RTT_MAX_MS");
+  // Volume features.
+  names.push_back("TOTAL_DL_BYTES");
+  names.push_back("TOTAL_UL_BYTES");
+  names.push_back("SES_DUR");
+  names.push_back("PKTS_PER_SEC");
+  // Rate/temporal features (packet-level counterparts of the strongest
+  // TLS features — packets strictly contain that information too).
+  names.push_back("SDR_DL_KBPS");
+  names.push_back("SDR_UL_KBPS");
+  // Payload-level downlink:uplink ratio (pure ACKs excluded) — the packet
+  // counterpart of the TLS D2U feature.
+  names.push_back("D2U_RATIO");
+  names.push_back("CHUNK_D2U_MED");
+  names.push_back("CHUNK_D2U_MAX");
+  for (const char* w : {"30S", "60S", "120S", "240S", "480S"}) {
+    names.push_back(std::string("CUM_DL_") + w);
+    names.push_back(std::string("CUM_UL_") + w);
+  }
+  // Flow (connection) aggregates — the packet monitor's reconstruction of
+  // the per-connection view a proxy would report.
+  names.push_back("NUM_FLOWS");
+  names.push_back("FLOW_DL_MED");
+  names.push_back("FLOW_DL_MAX");
+  names.push_back("FLOW_D2U_MED");
+  names.push_back("FLOW_DUR_MED");
+  return names;
+}
+
+std::vector<double> extract_ml16_features(const trace::PacketLog& packets,
+                                          const Ml16Config& config) {
+  const auto names_count = ml16_feature_names().size();
+  std::vector<double> features(names_count, 0.0);
+  if (packets.empty()) return features;
+
+  const double first_ts = packets.front().ts_s;
+  const double last_ts = packets.back().ts_s;
+  const double ses_dur = std::max(1e-3, last_ts - first_ts);
+
+  // --- Single pass: volumes, retransmissions, per-second throughput,
+  // chunk reconstruction, and RTT samples. ---
+  double total_dl = 0.0, total_ul = 0.0;
+  std::size_t retx = 0, dl_packets = 0;
+
+  // Per-second byte series for throughput stats and cumulative windows.
+  std::vector<double> per_sec(static_cast<std::size_t>(ses_dur) + 1, 0.0);
+  std::vector<double> per_sec_ul(per_sec.size(), 0.0);
+
+  struct Chunk {
+    double start_s = 0.0;
+    double last_s = 0.0;
+    double bytes = 0.0;
+    double ul_payload = 0.0;  // request bytes that opened/fed the chunk
+  };
+  std::vector<Chunk> chunks;
+  // Chunk reassembly is per flow: requests on one connection must not
+  // truncate a response in flight on another.
+  std::map<std::uint32_t, Chunk> open_chunks;
+  double total_ul_payload = 0.0;
+
+  // RTT: per flow, remember the last request (uplink with payload) time and
+  // take the delay to the next downlink packet as a sample.
+  std::map<std::uint32_t, double> pending_request;
+  std::vector<double> rtt_samples;
+
+  // Per-flow byte/time aggregates.
+  struct FlowAgg {
+    double first_s = 0.0;
+    double last_s = 0.0;
+    double dl = 0.0;
+    double ul_payload = 0.0;
+  };
+  std::map<std::uint32_t, FlowAgg> flows;
+  auto touch_flow = [&flows](const trace::PacketRecord& p) -> FlowAgg& {
+    auto [it, inserted] = flows.try_emplace(p.flow_id);
+    if (inserted) it->second.first_s = p.ts_s;
+    it->second.last_s = p.ts_s;
+    return it->second;
+  };
+
+  auto close_chunk = [&](std::uint32_t flow) {
+    auto it = open_chunks.find(flow);
+    if (it == open_chunks.end()) return;
+    if (it->second.bytes >= config.min_chunk_bytes) {
+      chunks.push_back(it->second);
+    }
+    open_chunks.erase(it);
+  };
+
+  for (const auto& p : packets) {
+    DROPPKT_EXPECT(p.ts_s >= first_ts, "ml16: packets must be sorted");
+    if (p.dir == trace::Direction::kUplink) {
+      total_ul += p.size_bytes;
+      total_ul_payload += p.payload_bytes;
+      touch_flow(p).ul_payload += p.payload_bytes;
+      const auto usec = static_cast<std::size_t>(p.ts_s - first_ts);
+      if (usec < per_sec_ul.size()) per_sec_ul[usec] += p.size_bytes;
+      if (p.payload_bytes > 0) {
+        // New HTTP request: closes the flow's previous chunk, opens the next.
+        close_chunk(p.flow_id);
+        open_chunks[p.flow_id] = {p.ts_s, p.ts_s, 0.0,
+                                  static_cast<double>(p.payload_bytes)};
+        pending_request[p.flow_id] = p.ts_s;
+      }
+    } else {
+      total_dl += p.size_bytes;
+      ++dl_packets;
+      touch_flow(p).dl += p.size_bytes;
+      if (p.retransmission) ++retx;
+      const auto sec = static_cast<std::size_t>(p.ts_s - first_ts);
+      if (sec < per_sec.size()) per_sec[sec] += p.size_bytes;
+      auto oc = open_chunks.find(p.flow_id);
+      if (oc != open_chunks.end()) {
+        Chunk& cur = oc->second;
+        if (p.ts_s - cur.last_s > config.chunk_gap_s && cur.bytes > 0) {
+          close_chunk(p.flow_id);
+        } else {
+          cur.bytes += p.payload_bytes;
+          cur.last_s = p.ts_s;
+        }
+      }
+      auto it = pending_request.find(p.flow_id);
+      if (it != pending_request.end()) {
+        rtt_samples.push_back((p.ts_s - it->second) * 1000.0);  // ms
+        pending_request.erase(it);
+      }
+    }
+  }
+  for (auto& [flow, chunk] : std::map<std::uint32_t, Chunk>(open_chunks)) {
+    close_chunk(flow);
+  }
+
+  // Chunk-derived series (inter-arrivals need start order).
+  std::sort(chunks.begin(), chunks.end(),
+            [](const Chunk& a, const Chunk& b) { return a.start_s < b.start_s; });
+  std::vector<double> sizes, durs, iats, rates;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const auto& c = chunks[i];
+    sizes.push_back(c.bytes);
+    const double d = std::max(1e-3, c.last_s - c.start_s);
+    durs.push_back(d);
+    rates.push_back(c.bytes * 8.0 / 1000.0 / d);
+    if (i > 0) iats.push_back(c.start_s - chunks[i - 1].start_s);
+  }
+
+  std::size_t f = 0;
+  for (const auto* series : {&sizes, &durs, &iats, &rates}) {
+    const auto s = util::summarize(*series);
+    features[f++] = s.min;
+    features[f++] = s.median;
+    features[f++] = s.max;
+    features[f++] = s.mean;
+    features[f++] = s.stddev;
+  }
+  features[f++] = static_cast<double>(chunks.size()) / ses_dur;
+  features[f++] = static_cast<double>(chunks.size());
+
+  // Throughput over active seconds (kbps).
+  std::vector<double> tput;
+  for (double bytes : per_sec) tput.push_back(bytes * 8.0 / 1000.0);
+  features[f++] = util::mean(tput);
+  features[f++] = util::stddev(tput);
+  features[f++] = util::percentile(tput, 25.0);
+
+  const double retx_rate =
+      dl_packets > 0 ? static_cast<double>(retx) / static_cast<double>(dl_packets)
+                     : 0.0;
+  features[f++] = retx_rate;
+  // Passive loss estimate: retransmissions stand in for lost originals.
+  features[f++] = retx_rate / (1.0 + retx_rate);
+
+  const auto rtt = util::summarize(rtt_samples);
+  features[f++] = rtt.mean;
+  features[f++] = rtt.stddev;
+  features[f++] = rtt.max;
+
+  features[f++] = total_dl;
+  features[f++] = total_ul;
+  features[f++] = ses_dur;
+  features[f++] = static_cast<double>(packets.size()) / ses_dur;
+
+  features[f++] = total_dl * 8.0 / 1000.0 / ses_dur;
+  features[f++] = total_ul * 8.0 / 1000.0 / ses_dur;
+  features[f++] =
+      total_ul_payload > 0.0 ? total_dl / total_ul_payload : 0.0;
+  std::vector<double> chunk_d2u;
+  for (const auto& c : chunks) {
+    if (c.ul_payload > 0.0) chunk_d2u.push_back(c.bytes / c.ul_payload);
+  }
+  features[f++] = util::median(chunk_d2u);
+  features[f++] = chunk_d2u.empty()
+                      ? 0.0
+                      : *std::max_element(chunk_d2u.begin(), chunk_d2u.end());
+  for (const double window_s : {30.0, 60.0, 120.0, 240.0, 480.0}) {
+    double cum_dl = 0.0, cum_ul = 0.0;
+    const auto end_sec = static_cast<std::size_t>(window_s);
+    for (std::size_t s = 0; s < per_sec.size() && s < end_sec; ++s) {
+      cum_dl += per_sec[s];
+      cum_ul += per_sec_ul[s];
+    }
+    features[f++] = cum_dl;
+    features[f++] = cum_ul;
+  }
+
+  std::vector<double> flow_dl, flow_d2u, flow_dur;
+  for (const auto& [id, agg] : flows) {
+    flow_dl.push_back(agg.dl);
+    flow_dur.push_back(agg.last_s - agg.first_s);
+    if (agg.ul_payload > 0.0) flow_d2u.push_back(agg.dl / agg.ul_payload);
+  }
+  features[f++] = static_cast<double>(flows.size());
+  features[f++] = util::median(flow_dl);
+  features[f++] =
+      flow_dl.empty() ? 0.0 : *std::max_element(flow_dl.begin(), flow_dl.end());
+  features[f++] = util::median(flow_d2u);
+  features[f++] = util::median(flow_dur);
+
+  DROPPKT_ENSURE(f == names_count, "ml16: feature count drift");
+  return features;
+}
+
+}  // namespace droppkt::core

@@ -1,0 +1,33 @@
+// ML16 baseline: packet-trace features after Dimopoulos et al.,
+// "Measuring Video QoE from Encrypted Traffic" (IMC 2016) — the
+// comparison point of the paper's Table 4.
+//
+// The feature set combines (a) video-chunk statistics recovered from the
+// request/response structure of the packet trace and (b) network-health
+// metrics: throughput, RTT estimates, loss and retransmissions. All of it
+// is computed from the packet log alone, the way a passive monitor would.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/records.hpp"
+
+namespace droppkt::core {
+
+/// Chunk detection: a new chunk starts at each uplink packet with payload
+/// (an HTTP request); the chunk aggregates following downlink data.
+struct Ml16Config {
+  double min_chunk_bytes = 10e3;  // ignore tiny responses (beacons, inits)
+  double chunk_gap_s = 0.25;      // idle gap that also closes a chunk
+};
+
+/// Names of the ML16 features, in extraction order.
+std::vector<std::string> ml16_feature_names();
+
+/// Extract the ML16 feature vector from one session's packet trace.
+/// Packets must be sorted by timestamp (the generator guarantees this).
+std::vector<double> extract_ml16_features(const trace::PacketLog& packets,
+                                          const Ml16Config& config = {});
+
+}  // namespace droppkt::core

@@ -1,0 +1,77 @@
+#include "core/monitor.hpp"
+
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+
+StreamingMonitor::StreamingMonitor(const QoeEstimator& estimator,
+                                   Callback on_session, MonitorConfig config)
+    : estimator_(&estimator),
+      on_session_(std::move(on_session)),
+      config_(config) {
+  DROPPKT_EXPECT(estimator.trained(),
+                 "StreamingMonitor: estimator must be trained");
+  DROPPKT_EXPECT(static_cast<bool>(on_session_),
+                 "StreamingMonitor: callback must be callable");
+  DROPPKT_EXPECT(config_.client_idle_timeout_s > 0.0,
+                 "StreamingMonitor: idle timeout must be positive");
+}
+
+void StreamingMonitor::emit(const std::string& client, ClientState& state) {
+  if (state.pending.size() >= config_.min_transactions) {
+    MonitoredSession session;
+    session.client = client;
+    session.predicted_class = estimator_->predict(state.pending);
+    session.start_s = state.pending.front().start_s;
+    session.end_s = state.pending.front().end_s;
+    for (const auto& t : state.pending) {
+      session.end_s = std::max(session.end_s, t.end_s);
+    }
+    session.transactions = std::move(state.pending);
+    ++sessions_reported_;
+    on_session_(session);
+  }
+  state.pending.clear();
+}
+
+void StreamingMonitor::observe(const std::string& client,
+                               const trace::TlsTransaction& txn) {
+  DROPPKT_EXPECT(!client.empty(), "StreamingMonitor: client must be non-empty");
+  auto& state = clients_[client];
+  DROPPKT_EXPECT(txn.start_s >= state.last_start_s,
+                 "StreamingMonitor: records must arrive in start-time order");
+
+  // Idle gap: the previous session ended long ago.
+  if (!state.pending.empty() &&
+      txn.start_s - state.last_start_s > config_.client_idle_timeout_s) {
+    emit(client, state);
+  }
+
+  state.pending.push_back(txn);
+  state.last_start_s = txn.start_s;
+
+  // Online boundary detection: re-run the burst+fresh-server heuristic on
+  // the buffered window. A boundary at index k becomes detectable once its
+  // burst (the W-second look-ahead) has arrived in the buffer; at that
+  // point everything before k is a completed session.
+  const auto starts = detect_session_starts(state.pending, config_.session_id);
+  for (std::size_t k = 1; k < starts.size(); ++k) {
+    if (!starts[k]) continue;
+    ClientState head;
+    head.pending.assign(state.pending.begin(),
+                        state.pending.begin() + static_cast<std::ptrdiff_t>(k));
+    emit(client, head);
+    state.pending.erase(state.pending.begin(),
+                        state.pending.begin() + static_cast<std::ptrdiff_t>(k));
+    break;
+  }
+}
+
+void StreamingMonitor::finish() {
+  for (auto& [client, state] : clients_) {
+    if (!state.pending.empty()) emit(client, state);
+  }
+  clients_.clear();
+}
+
+}  // namespace droppkt::core

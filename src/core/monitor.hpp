@@ -1,0 +1,75 @@
+// Streaming monitor: the deployment-shaped wrapper around the paper's
+// pipeline. A transparent proxy emits TLS transaction records as
+// connections close, interleaved across many subscribers; the monitor
+// demultiplexes them per client, delimits sessions online with the
+// burst+fresh-server heuristic, and emits a QoE estimate for every
+// completed session.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/estimator.hpp"
+#include "core/session_id.hpp"
+#include "trace/records.hpp"
+
+namespace droppkt::core {
+
+/// A completed, classified session as reported by the monitor.
+struct MonitoredSession {
+  std::string client;
+  trace::TlsLog transactions;
+  int predicted_class = 0;  // 0 = low/worst
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct MonitorConfig {
+  SessionIdParams session_id;
+  /// A client idle this long has finished its last session.
+  double client_idle_timeout_s = 120.0;
+  /// Sessions with fewer transactions than this are dropped as noise
+  /// (stray beacons, preconnects that never carried traffic).
+  std::size_t min_transactions = 3;
+};
+
+/// Online QoE monitoring over a proxy's TLS transaction feed.
+///
+/// Records must arrive in global start-time order (the proxy's export
+/// order); interleaving across clients is expected. The estimator is
+/// borrowed and must outlive the monitor.
+class StreamingMonitor {
+ public:
+  using Callback = std::function<void(const MonitoredSession&)>;
+
+  StreamingMonitor(const QoeEstimator& estimator, Callback on_session,
+                   MonitorConfig config = {});
+
+  /// Feed one proxy record for a client. Completed sessions (detected via
+  /// a new-session burst or the client idle timeout) are classified and
+  /// reported through the callback before this call returns.
+  void observe(const std::string& client, const trace::TlsTransaction& txn);
+
+  /// Flush all in-progress sessions (end of the monitoring window).
+  void finish();
+
+  std::size_t sessions_reported() const { return sessions_reported_; }
+  std::size_t open_clients() const { return clients_.size(); }
+
+ private:
+  struct ClientState {
+    trace::TlsLog pending;        // transactions of the in-progress session
+    double last_start_s = -1e18;  // latest transaction start seen
+  };
+
+  void emit(const std::string& client, ClientState& state);
+
+  const QoeEstimator* estimator_;
+  Callback on_session_;
+  MonitorConfig config_;
+  std::map<std::string, ClientState> clients_;
+  std::size_t sessions_reported_ = 0;
+};
+
+}  // namespace droppkt::core

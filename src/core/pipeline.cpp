@@ -1,0 +1,81 @@
+#include "core/pipeline.hpp"
+
+#include "net/link_model.hpp"
+#include "trace/packet_generator.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::core {
+
+std::string to_string(FeatureSet set) {
+  switch (set) {
+    case FeatureSet::kSessionLevel: return "Only Session-level (SL)";
+    case FeatureSet::kSessionPlusTransaction: return "SL + Transaction Stats (TS)";
+    case FeatureSet::kFull: return "SL + TS + Temporal Stats";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> feature_set_names(FeatureSet set,
+                                           const TlsFeatureConfig& config) {
+  std::vector<std::string> names = session_level_feature_names();
+  if (set == FeatureSet::kSessionLevel) return names;
+  for (auto& n : transaction_stat_feature_names()) names.push_back(std::move(n));
+  if (set == FeatureSet::kSessionPlusTransaction) return names;
+  for (auto& n : temporal_feature_names(config)) names.push_back(std::move(n));
+  return names;
+}
+
+ml::Dataset make_tls_dataset(const LabeledDataset& sessions, QoeTarget target,
+                             const TlsFeatureConfig& config, FeatureSet set) {
+  DROPPKT_EXPECT(!sessions.empty(), "make_tls_dataset: empty dataset");
+  ml::Dataset full(tls_feature_names(config), kNumQoeClasses);
+  for (const auto& s : sessions) {
+    full.add_row(extract_tls_features(s.record.tls, config),
+                 s.labels.label_for(target));
+  }
+  if (set == FeatureSet::kFull) return full;
+  return full.select_features(feature_set_names(set, config));
+}
+
+ml::Dataset make_ml16_dataset(const LabeledDataset& sessions, QoeTarget target,
+                              const Ml16Config& config) {
+  DROPPKT_EXPECT(!sessions.empty(), "make_ml16_dataset: empty dataset");
+  ml::Dataset data(ml16_feature_names(), kNumQoeClasses);
+  for (const auto& s : sessions) {
+    // Regenerate the packet view deterministically from the session seed.
+    util::Rng rng(s.record.seed ^ 0x9ac4e7ULL);
+    const trace::PacketTraceGenerator gen(
+        net::link_params_for(s.record.environment));
+    const trace::PacketLog packets = gen.generate(s.record.http, rng);
+    data.add_row(extract_ml16_features(packets, config),
+                 s.labels.label_for(target));
+  }
+  return data;
+}
+
+Scores scores_from(const ml::CrossValidationResult& cv) {
+  return {.accuracy = cv.accuracy(),
+          .recall_low = cv.recall(0),
+          .precision_low = cv.precision(0)};
+}
+
+std::function<std::unique_ptr<ml::Classifier>()> forest_factory(
+    std::uint64_t seed, std::size_t num_trees) {
+  return [seed, num_trees]() -> std::unique_ptr<ml::Classifier> {
+    ml::RandomForestParams params;
+    params.num_trees = num_trees;
+    params.seed = seed;
+    return std::make_unique<ml::RandomForest>(params);
+  };
+}
+
+ml::CrossValidationResult evaluate_tls(const LabeledDataset& sessions,
+                                       QoeTarget target, FeatureSet set,
+                                       const TlsFeatureConfig& config,
+                                       std::uint64_t seed) {
+  const ml::Dataset data = make_tls_dataset(sessions, target, config, set);
+  return ml::cross_validate(data, forest_factory(seed), 5, seed ^ 0xcafeULL);
+}
+
+}  // namespace droppkt::core

@@ -1,0 +1,62 @@
+// Experiment pipeline: glue between the simulated datasets and the ML
+// evaluation protocol. Every bench binary builds on these helpers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/dataset_builder.hpp"
+#include "core/ml16_features.hpp"
+#include "core/tls_features.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/random_forest.hpp"
+
+namespace droppkt::core {
+
+/// The paper's Table 3 feature ablation groups.
+enum class FeatureSet {
+  kSessionLevel,          // SL (4 features)
+  kSessionPlusTransaction,  // SL + TS (22)
+  kFull,                  // SL + TS + Temporal (38)
+};
+
+std::string to_string(FeatureSet set);
+
+/// Feature names for an ablation group.
+std::vector<std::string> feature_set_names(FeatureSet set,
+                                           const TlsFeatureConfig& config = {});
+
+/// Build the ML dataset from TLS features of labelled sessions.
+ml::Dataset make_tls_dataset(const LabeledDataset& sessions, QoeTarget target,
+                             const TlsFeatureConfig& config = {},
+                             FeatureSet set = FeatureSet::kFull);
+
+/// Build the ML16 dataset: regenerate each session's packet trace from its
+/// stored seed and extract the packet-based features.
+ml::Dataset make_ml16_dataset(const LabeledDataset& sessions, QoeTarget target,
+                              const Ml16Config& config = {});
+
+/// Accuracy, low-class recall and low-class precision — the three numbers
+/// every results table in the paper reports.
+struct Scores {
+  double accuracy = 0.0;
+  double recall_low = 0.0;
+  double precision_low = 0.0;
+};
+
+Scores scores_from(const ml::CrossValidationResult& cv);
+
+/// Fresh default-configured Random Forest per CV fold.
+std::function<std::unique_ptr<ml::Classifier>()> forest_factory(
+    std::uint64_t seed = 42, std::size_t num_trees = 100);
+
+/// Run the paper's protocol: 5-fold stratified CV with a Random Forest.
+ml::CrossValidationResult evaluate_tls(const LabeledDataset& sessions,
+                                       QoeTarget target,
+                                       FeatureSet set = FeatureSet::kFull,
+                                       const TlsFeatureConfig& config = {},
+                                       std::uint64_t seed = 42);
+
+}  // namespace droppkt::core

@@ -1,0 +1,80 @@
+#include "core/qoe_labels.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+
+std::string to_string(QoeTarget target) {
+  switch (target) {
+    case QoeTarget::kRebuffering: return "re-buffering";
+    case QoeTarget::kVideoQuality: return "video quality";
+    case QoeTarget::kCombined: return "combined QoE";
+  }
+  return "unknown";
+}
+
+const std::vector<std::string>& class_names(QoeTarget target) {
+  static const std::vector<std::string> kRebuf{"high", "mild", "zero"};
+  static const std::vector<std::string> kQuality{"low", "medium", "high"};
+  switch (target) {
+    case QoeTarget::kRebuffering: return kRebuf;
+    case QoeTarget::kVideoQuality:
+    case QoeTarget::kCombined: return kQuality;
+  }
+  return kQuality;
+}
+
+int QoeLabels::label_for(QoeTarget target) const {
+  switch (target) {
+    case QoeTarget::kRebuffering: return rebuffering;
+    case QoeTarget::kVideoQuality: return video_quality;
+    case QoeTarget::kCombined: return combined;
+  }
+  return combined;
+}
+
+int rebuffering_class(double rr) {
+  DROPPKT_EXPECT(rr >= 0.0, "rebuffering_class: rr must be non-negative");
+  if (rr == 0.0) return 2;       // zero
+  if (rr <= 0.02) return 1;      // mild
+  return 0;                      // high
+}
+
+int quality_class(int height_px, const has::ServiceProfile& svc) {
+  if (height_px <= svc.low_max_px) return 0;
+  if (height_px <= svc.med_max_px) return 1;
+  return 2;
+}
+
+int video_quality_label(const has::GroundTruth& gt,
+                        const has::ServiceProfile& svc) {
+  if (gt.played_height_per_s.empty()) return 0;  // nothing played: worst
+  std::array<std::size_t, kNumQoeClasses> counts{};
+  for (int h : gt.played_height_per_s) {
+    ++counts[static_cast<std::size_t>(quality_class(h, svc))];
+  }
+  // Majority; ties select the lower category.
+  int best = 0;
+  for (int c = 1; c < kNumQoeClasses; ++c) {
+    if (counts[static_cast<std::size_t>(c)] >
+        counts[static_cast<std::size_t>(best)]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+QoeLabels compute_labels(const has::GroundTruth& gt,
+                         const has::ServiceProfile& svc) {
+  QoeLabels labels;
+  labels.rebuffer_ratio = gt.rebuffer_ratio();
+  labels.rebuffering = rebuffering_class(labels.rebuffer_ratio);
+  labels.video_quality = video_quality_label(gt, svc);
+  labels.combined = std::min(labels.rebuffering, labels.video_quality);
+  return labels;
+}
+
+}  // namespace droppkt::core

@@ -1,0 +1,53 @@
+// Categorical QoE labels (paper Section 2.1).
+//
+// All three targets use a 3-class ordinal scale encoded worst-to-best:
+// class 0 is the "performance problem" class the paper's recall numbers
+// focus on. For re-buffering the classes are high / mild / zero; for video
+// quality low / medium / high; the combined metric is the minimum (worse)
+// of the two.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "has/player.hpp"
+#include "has/service_profile.hpp"
+
+namespace droppkt::core {
+
+/// Which QoE metric a model estimates.
+enum class QoeTarget { kRebuffering, kVideoQuality, kCombined };
+
+std::string to_string(QoeTarget target);
+
+/// Class names, worst first, for a target (3 classes each).
+const std::vector<std::string>& class_names(QoeTarget target);
+
+inline constexpr int kNumQoeClasses = 3;
+
+/// Per-session ground-truth labels.
+struct QoeLabels {
+  int rebuffering = 2;   // 0: rr > 2%, 1: 0 < rr <= 2%, 2: no stalls
+  int video_quality = 2; // 0: low, 1: medium, 2: high (majority category)
+  int combined = 2;      // min(rebuffering, video_quality)
+  double rebuffer_ratio = 0.0;  // raw rr for reference
+
+  int label_for(QoeTarget target) const;
+};
+
+/// Categorize a re-buffering ratio (paper: zero / mild <= 2% / high).
+int rebuffering_class(double rebuffer_ratio);
+
+/// Categorize one played height against a service's thresholds.
+int quality_class(int height_px, const has::ServiceProfile& svc);
+
+/// Majority-category video quality over the played seconds; ties pick the
+/// lower category (paper Section 2.1). Sessions that never played are low.
+int video_quality_label(const has::GroundTruth& gt,
+                        const has::ServiceProfile& svc);
+
+/// Full label computation for one session.
+QoeLabels compute_labels(const has::GroundTruth& gt,
+                         const has::ServiceProfile& svc);
+
+}  // namespace droppkt::core

@@ -1,0 +1,67 @@
+#include "core/session_id.hpp"
+
+#include <set>
+#include <string>
+
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+
+std::vector<bool> detect_session_starts(const trace::TlsLog& merged,
+                                        const SessionIdParams& params) {
+  DROPPKT_EXPECT(params.window_s > 0.0, "SessionIdParams: W must be > 0");
+  DROPPKT_EXPECT(params.delta_min >= 0.0 && params.delta_min <= 1.0,
+                 "SessionIdParams: delta_min must be in [0,1]");
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    DROPPKT_EXPECT(merged[i].start_s >= merged[i - 1].start_s,
+                   "detect_session_starts: log must be sorted by start time");
+  }
+
+  std::vector<bool> is_start(merged.size(), false);
+  if (merged.empty()) return is_start;
+
+  std::set<std::string> session_servers;  // servers seen this session
+  double last_start_s = -1e18;            // refractory anchor
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    bool starts_new = (i == 0);
+    // Transactions inside the burst window of a just-detected start belong
+    // to that session — without this, every member of the opening burst
+    // would re-trigger detection.
+    const bool in_refractory =
+        merged[i].start_s - last_start_s <= params.window_s;
+    if (!starts_new && !in_refractory) {
+      // Succeeding transactions starting within W seconds of this one
+      // (paper Section 4.2: N and δ are computed over that set).
+      std::size_t n = 0;
+      std::size_t fresh = 0;
+      for (std::size_t j = i + 1; j < merged.size(); ++j) {
+        if (merged[j].start_s - merged[i].start_s > params.window_s) break;
+        ++n;
+        if (session_servers.count(merged[j].sni) == 0) ++fresh;
+      }
+      const double delta =
+          n > 0 ? static_cast<double>(fresh) / static_cast<double>(n) : 0.0;
+      starts_new = n > params.n_min && delta > params.delta_min;
+    }
+    if (starts_new) {
+      is_start[i] = true;
+      session_servers.clear();
+      last_start_s = merged[i].start_s;
+    }
+    session_servers.insert(merged[i].sni);
+  }
+  return is_start;
+}
+
+std::vector<trace::TlsLog> split_sessions(const trace::TlsLog& merged,
+                                          const SessionIdParams& params) {
+  const auto starts = detect_session_starts(merged, params);
+  std::vector<trace::TlsLog> sessions;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (starts[i] || sessions.empty()) sessions.emplace_back();
+    sessions.back().push_back(merged[i]);
+  }
+  return sessions;
+}
+
+}  // namespace droppkt::core

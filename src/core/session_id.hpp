@@ -1,0 +1,37 @@
+// Session-identification heuristic (paper Section 4.2, Table 5).
+//
+// Back-to-back sessions from the same service produce overlapping TLS
+// transactions (connections linger past the player close), so timeouts
+// cannot delimit sessions. The heuristic uses two insights instead:
+// (i) a session opens with a burst of transactions, and (ii) a new session
+// talks to a (mostly) fresh set of servers. A transaction starts a new
+// session when more than Nmin transactions start within W seconds of it
+// AND more than a δmin fraction of them target servers not yet seen in the
+// current session.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/records.hpp"
+
+namespace droppkt::core {
+
+struct SessionIdParams {
+  double window_s = 3.0;   // W
+  std::size_t n_min = 2;   // Nmin
+  double delta_min = 0.5;  // δmin
+};
+
+/// For each transaction of a time-merged log (sorted by start time),
+/// decide whether it begins a new session. The first transaction is always
+/// a session start.
+std::vector<bool> detect_session_starts(const trace::TlsLog& merged,
+                                        const SessionIdParams& params = {});
+
+/// Convenience: split a merged log into per-session TLS logs using the
+/// detected boundaries.
+std::vector<trace::TlsLog> split_sessions(const trace::TlsLog& merged,
+                                          const SessionIdParams& params = {});
+
+}  // namespace droppkt::core

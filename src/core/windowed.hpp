@@ -1,0 +1,57 @@
+// Fine-granular (windowed) estimation — the estimation style of the
+// related work the paper positions against (Requet [14], BUFFEST [17],
+// Mazhar & Shafiq [24]): classify every T-second window of a session from
+// packet-level features, here for stall detection. The paper notes that
+// comparing against these approaches "would require estimation of
+// per-session metrics from fine-granular estimation" — this module
+// implements that derivation, closing the comparison the paper skipped.
+#pragma once
+
+#include <span>
+
+#include "core/dataset_builder.hpp"
+#include "ml/dataset.hpp"
+#include "trace/records.hpp"
+
+namespace droppkt::core {
+
+struct WindowedConfig {
+  double window_s = 10.0;
+  /// A window is labelled "stalled" if at least this fraction of it was
+  /// spent re-buffering.
+  double stall_fraction_threshold = 0.05;
+};
+
+/// Names of the per-window packet features.
+std::vector<std::string> window_feature_names();
+
+/// Features of one window's packet slice (packets with ts in
+/// [win_start, win_start + window_s), sorted by time).
+std::vector<double> extract_window_features(
+    std::span<const trace::PacketRecord> slice, double win_start_s,
+    double window_s);
+
+/// One session's windows: features plus the stall ground-truth label
+/// (1 = stalled window, 0 = smooth).
+struct SessionWindows {
+  std::vector<std::vector<double>> features;
+  std::vector<int> stalled;
+};
+
+/// Cut a session into windows, regenerate its packet view, and label each
+/// window from the ground-truth stall intervals.
+SessionWindows windows_for_session(const LabeledSession& session,
+                                   const WindowedConfig& config = {});
+
+/// Pooled window dataset over many sessions (binary classes).
+ml::Dataset make_window_dataset(const LabeledDataset& sessions,
+                                const WindowedConfig& config = {});
+
+/// Derive the paper's per-session re-buffering class (high / mild / zero,
+/// encoded 0/1/2) from per-window stall predictions: predicted stalled
+/// windows approximate stall time; the ratio to playback time is then
+/// categorized with the Section 2.1 thresholds.
+int session_rebuffering_from_windows(std::span<const int> window_predictions,
+                                     const WindowedConfig& config = {});
+
+}  // namespace droppkt::core

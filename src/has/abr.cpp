@@ -1,0 +1,204 @@
+#include "has/abr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace droppkt::has {
+
+namespace {
+void check_ctx(const AbrContext& ctx) {
+  DROPPKT_EXPECT(ctx.ladder != nullptr, "AbrContext: ladder must be set");
+  DROPPKT_EXPECT(ctx.buffer_capacity_s > 0.0,
+                 "AbrContext: buffer capacity must be positive");
+  DROPPKT_EXPECT(ctx.buffer_s >= 0.0, "AbrContext: buffer must be non-negative");
+}
+}  // namespace
+
+BufferFillAbr::BufferFillAbr(double reservoir_s, double cushion_s,
+                             double rate_safety)
+    : reservoir_s_(reservoir_s), cushion_s_(cushion_s), rate_safety_(rate_safety) {
+  DROPPKT_EXPECT(0.0 < reservoir_s_ && reservoir_s_ < cushion_s_,
+                 "BufferFillAbr: need 0 < reservoir < cushion");
+  DROPPKT_EXPECT(rate_safety_ > 0.0, "BufferFillAbr: rate_safety must be > 0");
+}
+
+std::size_t BufferFillAbr::choose(const AbrContext& ctx) {
+  check_ctx(ctx);
+  const QualityLadder& ladder = *ctx.ladder;
+  if (ctx.startup) return ladder.lowest();
+
+  // The rate cap prevents mapping a full buffer to a level the network
+  // cannot possibly sustain.
+  const std::size_t rate_cap =
+      ladder.max_sustainable(rate_safety_ * ctx.throughput_kbps);
+
+  if (ctx.buffer_s <= reservoir_s_) return ladder.lowest();
+  std::size_t buffer_level;
+  if (ctx.buffer_s >= cushion_s_) {
+    buffer_level = ladder.highest();
+  } else {
+    const double frac =
+        (ctx.buffer_s - reservoir_s_) / (cushion_s_ - reservoir_s_);
+    buffer_level = static_cast<std::size_t>(
+        std::lround(frac * static_cast<double>(ladder.highest())));
+  }
+  return std::min(buffer_level, rate_cap);
+}
+
+StickyRateAbr::StickyRateAbr(double rate_safety, double up_hysteresis,
+                             double panic_buffer_s)
+    : rate_safety_(rate_safety),
+      up_hysteresis_(up_hysteresis),
+      panic_buffer_s_(panic_buffer_s) {
+  DROPPKT_EXPECT(rate_safety_ > 0.0, "StickyRateAbr: rate_safety must be > 0");
+  DROPPKT_EXPECT(up_hysteresis_ >= 1.0,
+                 "StickyRateAbr: up hysteresis must be >= 1");
+  DROPPKT_EXPECT(panic_buffer_s_ >= 0.0,
+                 "StickyRateAbr: panic buffer must be non-negative");
+}
+
+std::size_t StickyRateAbr::choose(const AbrContext& ctx) {
+  check_ctx(ctx);
+  const QualityLadder& ladder = *ctx.ladder;
+  const double est = rate_safety_ * ctx.throughput_kbps;
+
+  if (ctx.startup) {
+    // Start at the rate-based target straight away: the service prefers
+    // quality over a fast start.
+    return ladder.max_sustainable(est);
+  }
+
+  const std::size_t cur = std::min(ctx.current_quality, ladder.highest());
+
+  // Panic: buffer nearly empty. The service still favours quality, so it
+  // steps down one level at a time toward the sustainable rate rather than
+  // dropping straight to it — which is why poor networks show up as stalls
+  // here rather than as low quality.
+  if (ctx.buffer_s < panic_buffer_s_) {
+    const std::size_t target = ladder.max_sustainable(est);
+    if (target < cur) return cur - 1;
+    return cur;
+  }
+
+  // Upswitch only with clear headroom above the *next* level.
+  if (cur < ladder.highest()) {
+    const double next_rate = ladder.level(cur + 1).bitrate_kbps;
+    if (est >= up_hysteresis_ * next_rate) return cur + 1;
+  }
+  // Otherwise hold: quality is sticky while the buffer is healthy.
+  return cur;
+}
+
+HybridAbr::HybridAbr(double rate_safety, double low_buffer_s, double high_buffer_s)
+    : rate_safety_(rate_safety),
+      low_buffer_s_(low_buffer_s),
+      high_buffer_s_(high_buffer_s) {
+  DROPPKT_EXPECT(rate_safety_ > 0.0, "HybridAbr: rate_safety must be > 0");
+  DROPPKT_EXPECT(0.0 <= low_buffer_s_ && low_buffer_s_ < high_buffer_s_,
+                 "HybridAbr: need 0 <= low < high buffer thresholds");
+}
+
+std::size_t HybridAbr::choose(const AbrContext& ctx) {
+  check_ctx(ctx);
+  const QualityLadder& ladder = *ctx.ladder;
+  const std::size_t rate_level =
+      ladder.max_sustainable(rate_safety_ * ctx.throughput_kbps);
+  if (ctx.startup) {
+    // Moderate start: one below the rate target.
+    return rate_level > 0 ? rate_level - 1 : 0;
+  }
+  const std::size_t cur = std::min(ctx.current_quality, ladder.highest());
+  if (ctx.buffer_s < low_buffer_s_) {
+    // Draining: step down toward the rate target, one level at a time.
+    if (rate_level < cur) return cur - 1;
+    return std::min(cur, rate_level);
+  }
+  if (ctx.buffer_s > high_buffer_s_) {
+    // Comfortable: jump to the rate target.
+    return rate_level;
+  }
+  // In between: step toward the rate target, one level at a time.
+  if (rate_level > cur) return std::min(cur + 1, ladder.highest());
+  return std::min(cur, rate_level);
+}
+
+MpcAbr::MpcAbr(double segment_duration_s, int horizon,
+               double stall_penalty_kbps, double switch_penalty,
+               double throughput_discount)
+    : segment_duration_s_(segment_duration_s),
+      horizon_(horizon),
+      stall_penalty_kbps_(stall_penalty_kbps),
+      switch_penalty_(switch_penalty),
+      throughput_discount_(throughput_discount) {
+  DROPPKT_EXPECT(segment_duration_s_ > 0.0,
+                 "MpcAbr: segment duration must be positive");
+  DROPPKT_EXPECT(horizon_ >= 1, "MpcAbr: horizon must be >= 1");
+  DROPPKT_EXPECT(throughput_discount_ > 0.0 && throughput_discount_ <= 1.0,
+                 "MpcAbr: throughput discount must be in (0,1]");
+}
+
+double MpcAbr::utility(const AbrContext& ctx, std::size_t level) const {
+  // Robust MPC: plan against a pessimistic throughput estimate.
+  const double tput =
+      std::max(1.0, throughput_discount_ * ctx.throughput_kbps);
+  const double seg_kbits =
+      ctx.ladder->level(level).bitrate_kbps * segment_duration_s_;
+  double buffer = ctx.buffer_s;
+  double stall = 0.0;
+  for (int k = 0; k < horizon_; ++k) {
+    const double dl_time = seg_kbits / tput;
+    if (dl_time > buffer) {
+      stall += dl_time - buffer;
+      buffer = 0.0;
+    } else {
+      buffer -= dl_time;
+    }
+    buffer = std::min(buffer + segment_duration_s_, ctx.buffer_capacity_s);
+  }
+  const double bitrate_term =
+      static_cast<double>(horizon_) * ctx.ladder->level(level).bitrate_kbps;
+  const double switch_term =
+      switch_penalty_ *
+      std::abs(ctx.ladder->level(level).bitrate_kbps -
+               ctx.ladder->level(std::min(ctx.current_quality,
+                                          ctx.ladder->highest()))
+                   .bitrate_kbps);
+  return bitrate_term - stall_penalty_kbps_ * stall - switch_term;
+}
+
+std::size_t MpcAbr::choose(const AbrContext& ctx) {
+  check_ctx(ctx);
+  const QualityLadder& ladder = *ctx.ladder;
+  if (ctx.startup) {
+    return ladder.max_sustainable(0.8 * ctx.throughput_kbps);
+  }
+  std::size_t best = 0;
+  double best_utility = -1e18;
+  for (std::size_t q = 0; q <= ladder.highest(); ++q) {
+    const double u = utility(ctx, q);
+    if (u > best_utility) {
+      best_utility = u;
+      best = q;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<AbrAlgorithm> make_abr(AbrKind kind) {
+  switch (kind) {
+    case AbrKind::kBufferFill:
+      return std::make_unique<BufferFillAbr>(4.0, 25.0, 0.9);
+    case AbrKind::kStickyRate:
+      return std::make_unique<StickyRateAbr>(1.0, 1.0, 3.0);
+    case AbrKind::kHybrid:
+      return std::make_unique<HybridAbr>(0.85, 14.0, 30.0);
+    case AbrKind::kMpc:
+      // 4 s segments by default (matches Svc2, the drift bench's subject).
+      return std::make_unique<MpcAbr>(4.0);
+  }
+  return nullptr;
+}
+
+}  // namespace droppkt::has

@@ -1,0 +1,113 @@
+// Adaptive bitrate (ABR) algorithms.
+//
+// Three families cover the behaviours the paper attributes to its three
+// services: a conservative buffer-filling algorithm (Svc1: sacrifices
+// quality to avoid stalls), a sticky rate-based algorithm (Svc2: holds
+// quality until the buffer runs low, so poor networks cause stalls), and
+// a hybrid in between (Svc3).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "has/quality_ladder.hpp"
+
+namespace droppkt::has {
+
+/// Everything an ABR decision may look at.
+struct AbrContext {
+  double buffer_s = 0.0;             // media seconds currently buffered
+  double buffer_capacity_s = 0.0;    // maximum buffer the player fills to
+  double throughput_kbps = 0.0;      // smoothed measured throughput
+  std::size_t current_quality = 0;   // level of the previous segment
+  bool startup = false;              // before playback has begun
+  const QualityLadder* ladder = nullptr;
+};
+
+/// Strategy interface: choose the quality level for the next segment.
+class AbrAlgorithm {
+ public:
+  virtual ~AbrAlgorithm() = default;
+  virtual std::size_t choose(const AbrContext& ctx) = 0;
+};
+
+/// Buffer-filling ABR (BBA-family, Huang et al. SIGCOMM'14 flavour).
+///
+/// Quality is a function of buffered media seconds: at or below
+/// `reservoir_s` stream the lowest level, at `cushion_s` and above the
+/// rate-capped maximum, linear in between. During startup it always picks
+/// the lowest level, which is exactly the paper's description of Svc1
+/// ("attempts to avoid re-buffering by quickly filling the buffer at the
+/// expense of streaming at low video quality").
+class BufferFillAbr final : public AbrAlgorithm {
+ public:
+  BufferFillAbr(double reservoir_s, double cushion_s, double rate_safety);
+  std::size_t choose(const AbrContext& ctx) override;
+
+ private:
+  double reservoir_s_;
+  double cushion_s_;
+  double rate_safety_;
+};
+
+/// Sticky rate-based ABR (FESTIVE-family flavour).
+///
+/// Picks the highest level sustainable at `rate_safety * throughput`, but
+/// only switches down when the buffer drops below `panic_buffer_s`, and
+/// switches up only when the estimate exceeds the next level by
+/// `up_hysteresis`. Holding quality as the buffer drains reproduces the
+/// paper's Svc2 ("switch video quality only when the video buffer runs
+/// low"), converting poor networks into re-buffering.
+class StickyRateAbr final : public AbrAlgorithm {
+ public:
+  StickyRateAbr(double rate_safety, double up_hysteresis, double panic_buffer_s);
+  std::size_t choose(const AbrContext& ctx) override;
+
+ private:
+  double rate_safety_;
+  double up_hysteresis_;
+  double panic_buffer_s_;
+};
+
+/// Hybrid: rate-based target with buffer-based damping (Svc3).
+class HybridAbr final : public AbrAlgorithm {
+ public:
+  HybridAbr(double rate_safety, double low_buffer_s, double high_buffer_s);
+  std::size_t choose(const AbrContext& ctx) override;
+
+ private:
+  double rate_safety_;
+  double low_buffer_s_;
+  double high_buffer_s_;
+};
+
+/// Model-predictive ABR (robust-MPC flavour, Yin et al. SIGCOMM'15 [36]).
+///
+/// For each candidate level it simulates the next `horizon` segments at
+/// that level against the (discounted) throughput estimate, scoring
+/// utility = bitrate − stall penalty − switching penalty, and picks the
+/// best. `segment_duration_s` must match the service's segments.
+class MpcAbr final : public AbrAlgorithm {
+ public:
+  MpcAbr(double segment_duration_s, int horizon = 5,
+         double stall_penalty_kbps = 3000.0, double switch_penalty = 1.0,
+         double throughput_discount = 0.8);
+  std::size_t choose(const AbrContext& ctx) override;
+
+ private:
+  double utility(const AbrContext& ctx, std::size_t level) const;
+
+  double segment_duration_s_;
+  int horizon_;
+  double stall_penalty_kbps_;
+  double switch_penalty_;
+  double throughput_discount_;
+};
+
+/// Which family a service profile instantiates.
+enum class AbrKind { kBufferFill, kStickyRate, kHybrid, kMpc };
+
+/// Factory used by ServiceProfile.
+std::unique_ptr<AbrAlgorithm> make_abr(AbrKind kind);
+
+}  // namespace droppkt::has

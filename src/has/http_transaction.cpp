@@ -1,0 +1,3 @@
+// to_string(HttpKind) lives in player.cpp alongside the simulator that
+// produces the records; this TU intentionally left as the module anchor.
+#include "has/http_transaction.hpp"

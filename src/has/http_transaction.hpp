@@ -1,0 +1,47 @@
+// HTTP transaction records emitted by the player simulator.
+//
+// These are the "fine-grained" application-layer events that the paper's
+// Figure 2 contrasts with TLS transactions; the TLS collector groups them
+// onto connections and the packet generator expands them into packets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace droppkt::has {
+
+/// What a request fetched.
+enum class HttpKind {
+  kManifest,      // media presentation description / playlist
+  kInitSegment,   // codec init data
+  kVideoSegment,  // a media (video or muxed) range/segment request
+  kAudioSegment,  // separate audio rendition request
+  kBeacon,        // telemetry / QoE ping (uplink-heavy, tiny downlink)
+  kAsset,         // thumbnails / ad creative / UI assets — QoE-irrelevant
+                  // bytes that share the video hosts and blur the features
+};
+
+std::string to_string(HttpKind kind);
+
+/// One request/response exchange as the client experienced it.
+struct HttpTransaction {
+  double request_s = 0.0;         // request sent
+  double response_start_s = 0.0;  // first response byte
+  double response_end_s = 0.0;    // last response byte
+  double ul_bytes = 0.0;          // request + headers on the wire
+  double dl_bytes = 0.0;          // response bytes on the wire
+  HttpKind kind = HttpKind::kVideoSegment;
+  std::size_t quality = 0;        // ladder index, for segment requests
+  std::string host;               // server the request went to
+  double rtt_s = 0.0;             // RTT sampled for this exchange (packet gen)
+  std::int32_t connection_id = -1;  // TLS connection carrying this exchange
+                                    // (set by the connection manager)
+
+  double duration_s() const { return response_end_s - request_s; }
+};
+
+using HttpLog = std::vector<HttpTransaction>;
+
+}  // namespace droppkt::has

@@ -1,0 +1,366 @@
+#include "has/player.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace droppkt::has {
+
+double GroundTruth::stall_time_s() const {
+  double total = 0.0;
+  for (const auto& s : stalls) total += s.length();
+  return total;
+}
+
+double GroundTruth::rebuffer_ratio() const {
+  if (playback_s <= 0.0) return 0.0;
+  return stall_time_s() / playback_s;
+}
+
+std::string to_string(HttpKind kind) {
+  switch (kind) {
+    case HttpKind::kManifest: return "manifest";
+    case HttpKind::kInitSegment: return "init";
+    case HttpKind::kVideoSegment: return "video";
+    case HttpKind::kAudioSegment: return "audio";
+    case HttpKind::kBeacon: return "beacon";
+    case HttpKind::kAsset: return "asset";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Mutable playback state threaded through the simulation.
+struct PlayState {
+  double wall_s = 0.0;      // simulation clock
+  double buffer_s = 0.0;    // buffered media seconds
+  double close_s = 1e18;    // wall time the user closes the player
+  double paused_until_s = -1.0;  // user pause in effect until this instant
+  bool started = false;     // first frame shown
+  bool playing = false;     // currently rendering (false during stalls)
+  double stall_start_s = 0.0;
+  GroundTruth gt;
+
+  bool paused_at(double t) const { return t < paused_until_s; }
+};
+
+/// Advance the wall clock by dt, draining the buffer and recording stalls.
+/// Nothing plays or stalls after the user closes the player (close_s) —
+/// an in-flight transfer may still finish on the wire, but it no longer
+/// contributes to QoE.
+void advance(PlayState& st, double dt) {
+  DROPPKT_ENSURE(dt >= -1e-9, "advance: time must not go backwards");
+  if (dt <= 0.0) return;
+  if (!st.started) {
+    st.wall_s += dt;
+    return;
+  }
+  if (st.paused_at(st.wall_s)) {
+    // User pause: the playhead is frozen but buffering continues; this is
+    // neither playback nor a stall. Skip ahead to the pause end (or
+    // consume all of dt).
+    const double frozen = std::min(dt, st.paused_until_s - st.wall_s);
+    st.wall_s += frozen;
+    advance(st, dt - frozen);
+    return;
+  }
+  if (st.playing) {
+    const double until_close = std::max(0.0, st.close_s - st.wall_s);
+    const double played = std::min({st.buffer_s, dt, until_close});
+    st.buffer_s -= played;
+    st.gt.playback_s += played;
+    st.wall_s += played;
+    const double remaining = dt - played;
+    if (remaining > 1e-9) {
+      if (st.wall_s >= st.close_s - 1e-9) {
+        st.wall_s += remaining;  // player closed: clock moves, no stall
+      } else {
+        // Buffer ran dry mid-interval: stall for the rest.
+        st.playing = false;
+        st.stall_start_s = st.wall_s;
+        st.wall_s += remaining;
+      }
+    }
+  } else {
+    st.wall_s += dt;  // stalled: clock moves, nothing plays
+  }
+}
+
+/// Resume playback after a stall (closes the stall interval). Stalls are
+/// truncated at player close.
+void resume(PlayState& st) {
+  if (st.started && !st.playing) {
+    const double end = std::min(st.wall_s, st.close_s);
+    if (end > st.stall_start_s) {
+      st.gt.stalls.push_back({st.stall_start_s, end});
+    }
+    st.playing = true;
+  }
+}
+
+}  // namespace
+
+PlaybackResult PlayerSimulator::play(const ServiceProfile& svc,
+                                     const Video& video,
+                                     const net::LinkModel& link,
+                                     double watch_duration_s, util::Rng& rng,
+                                     const InteractionModel& interactions) const {
+  DROPPKT_EXPECT(watch_duration_s > 0.0,
+                 "play: watch duration must be positive");
+
+  PlaybackResult result;
+  HttpLog& http = result.http;
+  PlayState st;
+  st.close_s = watch_duration_s;
+
+  auto log_transfer = [&](double start, double ul, double dl, HttpKind kind,
+                          std::size_t quality) -> net::TransferTiming {
+    const net::TransferTiming t = link.transfer(start, ul, dl, rng);
+    http.push_back({.request_s = t.request_sent_s,
+                    .response_start_s = t.response_start_s,
+                    .response_end_s = t.response_end_s,
+                    .ul_bytes = ul,
+                    .dl_bytes = dl,
+                    .kind = kind,
+                    .quality = quality,
+                    .host = {},  // assigned by the connection manager
+                    .rtt_s = t.rtt_s});
+    return t;
+  };
+
+  // --- Startup: manifest, then init segments. -----------------------------
+  double throughput_kbps = 0.0;
+  auto update_throughput = [&throughput_kbps](double dl_bytes,
+                                              const net::TransferTiming& t) {
+    // Per-request rate the way players measure it: bytes over the full
+    // request-to-last-byte window, smoothed with an EWMA.
+    const double window = std::max(1e-3, t.response_end_s - t.request_sent_s);
+    const double measured = dl_bytes * 8.0 / 1000.0 / window;
+    throughput_kbps = throughput_kbps <= 0.0
+                          ? measured
+                          : 0.75 * throughput_kbps + 0.25 * measured;
+  };
+  {
+    const double mani_ul = rng.uniform(700.0, 1400.0);
+    const double mani_dl = rng.uniform(30e3, 120e3);
+    const auto t = log_transfer(st.wall_s, mani_ul, mani_dl,
+                                HttpKind::kManifest, 0);
+    update_throughput(mani_dl, t);
+    st.wall_s = t.response_end_s;
+
+    const int inits = svc.separate_audio ? 2 : 1;
+    for (int i = 0; i < inits; ++i) {
+      const auto ti = log_transfer(st.wall_s, rng.uniform(400.0, 800.0),
+                                   rng.uniform(1500.0, 5000.0),
+                                   HttpKind::kInitSegment, 0);
+      st.wall_s = ti.response_end_s;
+    }
+
+    // UI assets (thumbnails, artwork, ad creative) load alongside startup.
+    // These bytes share the session's hosts but carry no QoE signal.
+    const auto n_assets = static_cast<int>(rng.uniform_int(2, 6));
+    for (int i = 0; i < n_assets; ++i) {
+      log_transfer(st.wall_s + rng.uniform(0.0, 4.0),
+                   rng.uniform(400.0, 900.0),
+                   rng.lognormal(std::log(120e3), 0.9), HttpKind::kAsset, 0);
+    }
+  }
+
+  // --- Main download loop. -------------------------------------------------
+  const auto abr = make_abr(svc.abr);
+  DROPPKT_ENSURE(abr != nullptr, "play: ABR factory returned null");
+
+  // Per-session player heterogeneity invisible on the wire: throughput
+  // estimators differ across player versions/devices (multiplicative bias),
+  // and phones/tabs cap the resolution they request. Both decouple the
+  // observable traffic from the QoE label, as in real deployments.
+  const double abr_bias = rng.lognormal(0.0, 0.45);
+  // Per-session request overhead (cookies, auth tokens, UA headers) and the
+  // player build's range-request sizing both vary across sessions.
+  const double ul_overhead = rng.uniform(150.0, 1400.0);
+  const double range_scale = rng.uniform(0.5, 1.8);
+  std::size_t max_level = svc.ladder.highest();
+  if (rng.bernoulli(0.30)) {
+    const int cap_px = rng.bernoulli(0.45) ? 480 : 720;
+    while (max_level > 0 && svc.ladder.level(max_level).height_px > cap_px) {
+      --max_level;
+    }
+  }
+
+  double media_downloaded_s = 0.0;
+  std::size_t current_quality = svc.ladder.lowest();
+  double next_beacon_s = rng.uniform(1.0, 5.0);
+
+  // User-interaction schedule (Poisson arrivals on the wall clock).
+  double next_pause_s = interactions.pause_rate_per_min > 0.0
+                            ? rng.exponential(interactions.pause_rate_per_min / 60.0)
+                            : 1e18;
+  double next_seek_s = interactions.seek_rate_per_min > 0.0
+                           ? rng.exponential(interactions.seek_rate_per_min / 60.0)
+                           : 1e18;
+  auto maybe_interact = [&]() {
+    while (next_pause_s <= st.wall_s && st.started) {
+      st.paused_until_s = std::max(st.wall_s, st.paused_until_s) +
+                          rng.exponential(1.0 / interactions.pause_mean_s);
+      ++st.gt.pause_count;
+      next_pause_s += rng.exponential(interactions.pause_rate_per_min / 60.0);
+    }
+    while (next_seek_s <= st.wall_s && st.started) {
+      // Forward seek: buffered media past the new playhead is discarded.
+      const double skip = rng.exponential(1.0 / interactions.seek_mean_s);
+      st.buffer_s = std::max(0.0, st.buffer_s - skip);
+      ++st.gt.seek_count;
+      next_seek_s += rng.exponential(interactions.seek_rate_per_min / 60.0);
+    }
+  };
+
+  double next_asset_s = rng.uniform(40.0, 150.0);
+  auto maybe_beacon = [&]() {
+    // Telemetry fires on its own timer, independent of the download loop.
+    while (next_beacon_s <= st.wall_s) {
+      log_transfer(next_beacon_s, rng.uniform(900.0, 2500.0),
+                   rng.uniform(300.0, 900.0), HttpKind::kBeacon, 0);
+      next_beacon_s += svc.beacon_interval_s * rng.uniform(0.85, 1.15);
+    }
+    // Occasional mid-session assets (ad creative, hover thumbnails).
+    while (next_asset_s <= st.wall_s) {
+      const auto burst = static_cast<int>(rng.uniform_int(1, 3));
+      for (int i = 0; i < burst; ++i) {
+        log_transfer(next_asset_s + rng.uniform(0.0, 2.0),
+                     rng.uniform(400.0, 900.0),
+                     rng.lognormal(std::log(200e3), 1.0), HttpKind::kAsset, 0);
+      }
+      next_asset_s += rng.uniform(60.0, 200.0);
+    }
+    maybe_interact();
+  };
+
+  // After a stall, playback resumes as soon as one segment is buffered.
+  const double resume_buffer_s = svc.segment_duration_s;
+
+  while (st.wall_s < watch_duration_s &&
+         media_downloaded_s + svc.segment_duration_s <= video.duration_s) {
+    // Buffer full: idle until there is room for one more segment.
+    if (st.started &&
+        st.buffer_s + svc.segment_duration_s > svc.buffer_capacity_s) {
+      const double drain =
+          st.buffer_s + svc.segment_duration_s - svc.buffer_capacity_s;
+      advance(st, drain);
+      maybe_beacon();
+      continue;
+    }
+
+    AbrContext ctx{.buffer_s = st.buffer_s,
+                   .buffer_capacity_s = svc.buffer_capacity_s,
+                   .throughput_kbps = throughput_kbps * abr_bias,
+                   .current_quality = current_quality,
+                   .startup = !st.started,
+                   .ladder = &svc.ladder};
+    const std::size_t q = std::min(abr->choose(ctx), max_level);
+    current_quality = q;
+
+    // Encoded segment size: nominal bitrate x duration, modulated by the
+    // title's genre factor and per-segment variability.
+    const double size_mult =
+        video.bitrate_factor * rng.lognormal(0.0, video.size_variability);
+    double seg_bytes = svc.segment_bytes(q) * size_mult;
+    seg_bytes = std::max(seg_bytes, 2000.0);
+
+    // Fetch (possibly as multiple range requests). Range sizes vary per
+    // request — players size ranges by buffer level and build heuristics.
+    double fetched = 0.0;
+    while (fetched < seg_bytes - 1.0) {
+      const double chunk =
+          svc.max_request_bytes > 0.0
+              ? svc.max_request_bytes * range_scale * rng.uniform(0.6, 1.4)
+              : seg_bytes;
+      const double this_chunk = std::min(chunk, seg_bytes - fetched);
+      const auto t = log_transfer(
+          st.wall_s, ul_overhead + rng.uniform(350.0, 800.0), this_chunk,
+          HttpKind::kVideoSegment, q);
+      update_throughput(this_chunk, t);
+      advance(st, t.response_end_s - st.wall_s);
+      fetched += this_chunk;
+      maybe_beacon();
+    }
+
+    // Separate audio rendition, if the service uses one.
+    if (svc.separate_audio) {
+      const double audio_bytes =
+          svc.audio_bitrate_kbps * 1000.0 / 8.0 * svc.segment_duration_s *
+          rng.lognormal(0.0, 0.05);
+      const auto t =
+          log_transfer(st.wall_s, ul_overhead + rng.uniform(300.0, 650.0),
+                       audio_bytes, HttpKind::kAudioSegment, q);
+      advance(st, t.response_end_s - st.wall_s);
+      maybe_beacon();
+    }
+
+    // Segment complete: credit the buffer and the ground-truth timeline.
+    st.buffer_s += svc.segment_duration_s;
+    media_downloaded_s += svc.segment_duration_s;
+    const auto whole_seconds =
+        static_cast<std::size_t>(std::lround(svc.segment_duration_s));
+    for (std::size_t i = 0; i < whole_seconds; ++i) {
+      st.gt.played_level_per_s.push_back(q);
+      st.gt.played_height_per_s.push_back(svc.ladder.level(q).height_px);
+    }
+
+    // Startup / stall-recovery transitions.
+    if (!st.started && st.buffer_s >= svc.startup_buffer_s) {
+      st.started = true;
+      st.playing = true;
+      st.gt.startup_delay_s = st.wall_s;
+    } else if (st.started && !st.playing && st.buffer_s >= resume_buffer_s) {
+      resume(st);
+    }
+  }
+
+  // --- Wind-down: user keeps watching from the buffer until close. --------
+  if (!st.started && st.buffer_s > 0.0) {
+    // Very short watch windows can end before startup completed.
+    st.started = true;
+    st.playing = true;
+    st.gt.startup_delay_s = st.wall_s;
+  }
+  if (st.started) {
+    if (!st.playing && st.buffer_s > 0.0) resume(st);
+    if (st.wall_s < watch_duration_s && st.playing) {
+      const double remaining = watch_duration_s - st.wall_s;
+      const double played = std::min(st.buffer_s, remaining);
+      st.buffer_s -= played;
+      st.gt.playback_s += played;
+      st.wall_s += played;
+    }
+  }
+  if (st.started && !st.playing) {
+    // Close any open stall at player close (truncated there).
+    const double end = std::min(st.wall_s, st.close_s);
+    if (end > st.stall_start_s) {
+      st.gt.stalls.push_back({st.stall_start_s, end});
+    }
+    st.playing = true;
+  }
+
+  st.gt.session_end_s = std::max(st.wall_s, watch_duration_s);
+
+  // Played-quality vectors cover downloaded media; truncate to what was
+  // actually played.
+  const auto played =
+      static_cast<std::size_t>(std::floor(st.gt.playback_s + 0.5));
+  if (st.gt.played_level_per_s.size() > played) {
+    st.gt.played_level_per_s.resize(played);
+    st.gt.played_height_per_s.resize(played);
+  }
+
+  std::sort(http.begin(), http.end(),
+            [](const HttpTransaction& a, const HttpTransaction& b) {
+              return a.request_s < b.request_s;
+            });
+  result.ground_truth = std::move(st.gt);
+  return result;
+}
+
+}  // namespace droppkt::has

@@ -1,0 +1,80 @@
+// Event-driven HAS player simulator.
+//
+// Streams one video over a link model, driving the service's ABR algorithm
+// and producing (a) per-second ground-truth QoE exactly as the paper's
+// instrumented browser collects it, and (b) the HTTP transaction log that
+// the measurement substrates (TLS collector, packet generator) consume.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "has/http_transaction.hpp"
+#include "has/service_profile.hpp"
+#include "has/video_catalog.hpp"
+#include "net/link_model.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::has {
+
+/// A contiguous playback stall on the wall clock (startup excluded).
+struct StallInterval {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double length() const { return end_s - start_s; }
+};
+
+/// User-interaction model (paper Section 4.3 lists interactions as future
+/// work; this implements it). Rates are Poisson per minute of wall time;
+/// zero rates disable interactions entirely.
+struct InteractionModel {
+  double pause_rate_per_min = 0.0;  // user pauses playback
+  double pause_mean_s = 20.0;       // mean pause length
+  double seek_rate_per_min = 0.0;   // user skips forward
+  double seek_mean_s = 40.0;        // mean media seconds skipped
+
+  bool enabled() const {
+    return pause_rate_per_min > 0.0 || seek_rate_per_min > 0.0;
+  }
+};
+
+/// Ground truth the paper gathers via injected JavaScript: per-second
+/// playback quality plus stall timing.
+struct GroundTruth {
+  double startup_delay_s = 0.0;  // wall time until first frame
+  double playback_s = 0.0;       // media seconds actually played
+  double session_end_s = 0.0;    // wall time when the player closed
+  std::size_t pause_count = 0;   // user interactions that occurred
+  std::size_t seek_count = 0;
+  std::vector<StallInterval> stalls;
+  /// Ladder level of each played media second, in playback order.
+  std::vector<std::size_t> played_level_per_s;
+  /// Height (px) of each played media second.
+  std::vector<int> played_height_per_s;
+
+  double stall_time_s() const;
+  /// Stall time as a fraction of playback time (paper's rr), in [0, inf).
+  double rebuffer_ratio() const;
+};
+
+/// Everything one simulated session produced.
+struct PlaybackResult {
+  GroundTruth ground_truth;
+  HttpLog http;  // sorted by request time
+};
+
+/// Simulates sessions. Stateless across calls; all randomness comes from
+/// the caller's Rng so sessions are reproducible.
+class PlayerSimulator {
+ public:
+  /// Stream `video` on `svc` over `link`, with the user closing the player
+  /// after `watch_duration_s` of wall-clock time (or at end of content).
+  /// Optional `interactions` add pauses (playhead frozen, buffering
+  /// continues) and forward seeks (buffered media discarded).
+  PlaybackResult play(const ServiceProfile& svc, const Video& video,
+                      const net::LinkModel& link, double watch_duration_s,
+                      util::Rng& rng,
+                      const InteractionModel& interactions = {}) const;
+};
+
+}  // namespace droppkt::has

@@ -1,0 +1,37 @@
+#include "has/quality_ladder.hpp"
+
+#include "util/expect.hpp"
+
+namespace droppkt::has {
+
+QualityLadder::QualityLadder(std::vector<QualityLevel> levels)
+    : levels_(std::move(levels)) {
+  DROPPKT_EXPECT(!levels_.empty(), "QualityLadder: need at least one level");
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    DROPPKT_EXPECT(levels_[i].bitrate_kbps > 0.0,
+                   "QualityLadder: bitrates must be positive");
+    DROPPKT_EXPECT(levels_[i].height_px > 0,
+                   "QualityLadder: heights must be positive");
+    if (i > 0) {
+      DROPPKT_EXPECT(levels_[i].bitrate_kbps > levels_[i - 1].bitrate_kbps,
+                     "QualityLadder: bitrates must be strictly increasing");
+      DROPPKT_EXPECT(levels_[i].height_px >= levels_[i - 1].height_px,
+                     "QualityLadder: heights must be non-decreasing");
+    }
+  }
+}
+
+const QualityLevel& QualityLadder::level(std::size_t i) const {
+  DROPPKT_EXPECT(i < levels_.size(), "QualityLadder::level: index out of range");
+  return levels_[i];
+}
+
+std::size_t QualityLadder::max_sustainable(double kbps) const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].bitrate_kbps <= kbps) best = i;
+  }
+  return best;
+}
+
+}  // namespace droppkt::has

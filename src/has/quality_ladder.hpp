@@ -1,0 +1,39 @@
+// Quality ladders: the discrete encoding levels a HAS service offers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace droppkt::has {
+
+/// One rung of a service's encoding ladder.
+struct QualityLevel {
+  int height_px = 0;          // vertical resolution, e.g. 720
+  double bitrate_kbps = 0.0;  // nominal video bitrate at this level
+  std::string label;          // e.g. "720p"
+};
+
+/// An ascending-bitrate list of quality levels.
+///
+/// Invariants: non-empty; bitrates strictly increasing; heights
+/// non-decreasing.
+class QualityLadder {
+ public:
+  explicit QualityLadder(std::vector<QualityLevel> levels);
+
+  std::size_t size() const { return levels_.size(); }
+  const QualityLevel& level(std::size_t i) const;
+  const std::vector<QualityLevel>& levels() const { return levels_; }
+
+  std::size_t lowest() const { return 0; }
+  std::size_t highest() const { return levels_.size() - 1; }
+
+  /// Highest level whose bitrate is <= `kbps`; lowest level if none fits.
+  std::size_t max_sustainable(double kbps) const;
+
+ private:
+  std::vector<QualityLevel> levels_;
+};
+
+}  // namespace droppkt::has

@@ -1,0 +1,149 @@
+#include "has/service_profile.hpp"
+
+#include "util/expect.hpp"
+
+namespace droppkt::has {
+
+double ServiceProfile::segment_bytes(std::size_t q) const {
+  const double video = ladder.level(q).bitrate_kbps;
+  const double audio = separate_audio ? 0.0 : audio_bitrate_kbps;
+  return (video + audio) * 1000.0 / 8.0 * segment_duration_s;
+}
+
+ServiceProfile svc1_profile() {
+  // Svc1 (paper: 240 s buffer; avoids re-buffering by filling the buffer at
+  // low quality; poor networks -> low video quality). The ladder has no
+  // 360p rung, matching the paper's low<=288p / med=480p / high>=720p
+  // thresholds. Segments are fetched as bounded range requests, so one TLS
+  // connection carries many HTTP transactions (paper: 12.1 on average).
+  ServiceProfile p{
+      .name = "Svc1",
+      .ladder = QualityLadder({{144, 120.0, "144p"},
+                               {240, 320.0, "240p"},
+                               {288, 550.0, "288p"},
+                               {480, 900.0, "480p"},
+                               {720, 2200.0, "720p"},
+                               {1080, 3800.0, "1080p"}}),
+      .abr = AbrKind::kBufferFill,
+      .buffer_capacity_s = 240.0,
+      .startup_buffer_s = 4.0,
+      .segment_duration_s = 5.0,
+      .separate_audio = true,
+      .audio_bitrate_kbps = 96.0,
+      .max_request_bytes = 500.0 * 1024.0,
+      .beacon_interval_s = 15.0,
+      .connections = {.cdn_pool_size = 600,
+                      .cdn_hosts_per_session = 3,
+                      .max_requests_per_connection = 16,
+                      .idle_timeout_s = 16.0,
+                      .parallel_connections = 2,
+                      .handshake_ul_bytes = 700.0,
+                      .handshake_dl_bytes = 3000.0,
+                      .cdn_host_format = "r%d.svc1video.example",
+                      .api_host = "www.svc1video.example",
+                      .beacon_host = "s.svc1video.example"},
+      .low_max_px = 288,
+      .med_max_px = 480};
+  return p;
+}
+
+ServiceProfile svc2_profile() {
+  // Svc2 (paper: switches quality only when the buffer runs low; poor
+  // networks -> re-buffering). Moderate buffer, sticky rate-based ABR,
+  // whole-segment requests on few long-lived connections.
+  ServiceProfile p{
+      .name = "Svc2",
+      .ladder = QualityLadder({{240, 300.0, "240p"},
+                               {360, 700.0, "360p"},
+                               {480, 1200.0, "480p"},
+                               {720, 2200.0, "720p"},
+                               {1080, 4000.0, "1080p"}}),
+      .abr = AbrKind::kStickyRate,
+      .buffer_capacity_s = 60.0,
+      .startup_buffer_s = 8.0,
+      .segment_duration_s = 4.0,
+      .separate_audio = true,
+      .audio_bitrate_kbps = 96.0,
+      .max_request_bytes = 0.0,
+      .beacon_interval_s = 45.0,
+      .connections = {.cdn_pool_size = 240,
+                      .cdn_hosts_per_session = 2,
+                      .max_requests_per_connection = 40,
+                      .idle_timeout_s = 20.0,
+                      .parallel_connections = 2,
+                      .handshake_ul_bytes = 800.0,
+                      .handshake_dl_bytes = 3600.0,
+                      .cdn_host_format = "cdn%d.svc2films.example",
+                      .api_host = "api.svc2films.example",
+                      .beacon_host = "events.svc2films.example"},
+      .low_max_px = 360,
+      .med_max_px = 480};
+  return p;
+}
+
+ServiceProfile svc3_profile() {
+  // Svc3 (paper: only three quality levels observed; degradation mixes
+  // stalls and quality drops, closer to Svc2 than Svc1).
+  ServiceProfile p{
+      .name = "Svc3",
+      .ladder = QualityLadder({{480, 700.0, "480p"},
+                               {720, 1800.0, "720p"},
+                               {1080, 3600.0, "1080p"}}),
+      .abr = AbrKind::kHybrid,
+      .buffer_capacity_s = 90.0,
+      .startup_buffer_s = 6.0,
+      .segment_duration_s = 6.0,
+      .separate_audio = false,
+      .audio_bitrate_kbps = 128.0,
+      .max_request_bytes = 0.0,
+      .beacon_interval_s = 30.0,
+      .connections = {.cdn_pool_size = 120,
+                      .cdn_hosts_per_session = 2,
+                      .max_requests_per_connection = 20,
+                      .idle_timeout_s = 12.0,
+                      .parallel_connections = 1,
+                      .handshake_ul_bytes = 750.0,
+                      .handshake_dl_bytes = 3300.0,
+                      .cdn_host_format = "edge%d.svc3tv.example",
+                      .api_host = "play.svc3tv.example",
+                      .beacon_host = "beacon.svc3tv.example"},
+      // Three ladder levels map 1:1 onto low/medium/high.
+      .low_max_px = 480,
+      .med_max_px = 720};
+  return p;
+}
+
+ServiceProfile svc_live_profile() {
+  // Live edge: the player can hold only a handful of segments, so
+  // downloads pace themselves at real time and stalls hit immediately
+  // when the network dips below the encoding rate.
+  ServiceProfile p = svc1_profile();
+  p.name = "Svc1-Live";
+  // Buffer-occupancy ABR is useless when the cap is a few seconds; live
+  // players pick quality from the measured rate.
+  p.abr = AbrKind::kStickyRate;
+  p.buffer_capacity_s = 12.0;
+  p.startup_buffer_s = 2.0;
+  p.segment_duration_s = 2.0;      // low-latency segments
+  p.max_request_bytes = 0.0;       // one request per segment
+  p.beacon_interval_s = 10.0;      // live players report more often
+  p.connections.cdn_host_format = "live%d.svc1video.example";
+  return p;
+}
+
+std::vector<ServiceProfile> all_services() {
+  std::vector<ServiceProfile> v;
+  v.push_back(svc1_profile());
+  v.push_back(svc2_profile());
+  v.push_back(svc3_profile());
+  return v;
+}
+
+ServiceProfile service_by_name(const std::string& name) {
+  if (name == "Svc1") return svc1_profile();
+  if (name == "Svc2") return svc2_profile();
+  if (name == "Svc3") return svc3_profile();
+  throw ContractViolation("service_by_name: unknown service '" + name + "'");
+}
+
+}  // namespace droppkt::has

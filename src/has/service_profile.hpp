@@ -1,0 +1,76 @@
+// Service profiles: everything that distinguishes Svc1 / Svc2 / Svc3.
+//
+// The paper anonymizes three real services but describes the design
+// differences that matter for inference: buffer capacity (Svc1 uses 240 s),
+// ABR temperament (Svc1 sacrifices quality, Svc2 holds quality and stalls),
+// quality ladders/thresholds (Section 4.1), and on-the-wire transaction
+// behaviour (how many requests share one TLS connection — Svc1 averages
+// 12.1 HTTP transactions per TLS transaction).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "has/abr.hpp"
+#include "has/quality_ladder.hpp"
+
+namespace droppkt::has {
+
+/// Client connection-management policy: how HTTP transactions map onto TLS
+/// connections, and how server hostnames are chosen.
+struct ConnectionPolicy {
+  int cdn_pool_size = 32;              // service-wide CDN hostname pool
+  int cdn_hosts_per_session = 3;       // hosts a given session shards across
+  int max_requests_per_connection = 15;
+  double idle_timeout_s = 12.0;        // proxy/connection idle close
+  int parallel_connections = 2;        // connections kept per host
+  double handshake_ul_bytes = 750.0;   // ClientHello + key exchange
+  double handshake_dl_bytes = 3200.0;  // ServerHello + cert chain
+  std::string cdn_host_format;         // e.g. "cdn%d.svc1video.example"
+  std::string api_host;                // manifest / playback API
+  std::string beacon_host;             // telemetry sink
+};
+
+/// Full description of one streaming service.
+struct ServiceProfile {
+  std::string name;                // "Svc1" | "Svc2" | "Svc3"
+  QualityLadder ladder;
+  AbrKind abr = AbrKind::kHybrid;
+  double buffer_capacity_s = 60.0;
+  double startup_buffer_s = 5.0;   // media seconds before playback starts
+  double segment_duration_s = 5.0;
+  bool separate_audio = false;     // audio fetched as its own requests
+  double audio_bitrate_kbps = 128.0;
+  double max_request_bytes = 0.0;  // >0: segments split into range requests
+  double beacon_interval_s = 30.0; // telemetry period
+  ConnectionPolicy connections;
+
+  // Label thresholds (paper Section 4.1): a played height <= low_max_px is
+  // "low", <= med_max_px is "medium", above is "high".
+  int low_max_px = 360;
+  int med_max_px = 480;
+
+  /// Nominal bytes of one media segment at ladder level `q`.
+  double segment_bytes(std::size_t q) const;
+};
+
+/// The three services of the paper's evaluation.
+ServiceProfile svc1_profile();  // large buffer, quality-sacrificing
+ServiceProfile svc2_profile();  // sticky quality, stall-prone
+ServiceProfile svc3_profile();  // three-level ladder, hybrid behaviour
+
+/// Live-content variant of Svc1 (paper Section 5 future work: "service
+/// types (e.g., live content)"). Live players cannot buffer ahead of the
+/// broadcast edge, so the buffer cap is a few seconds and downloads are
+/// paced at real time — which changes the traffic patterns the estimator
+/// relies on.
+ServiceProfile svc_live_profile();
+
+/// All three, in order.
+std::vector<ServiceProfile> all_services();
+
+/// Lookup by name ("Svc1"...); throws on unknown name.
+ServiceProfile service_by_name(const std::string& name);
+
+}  // namespace droppkt::has

@@ -1,0 +1,60 @@
+#include "has/video_catalog.hpp"
+
+#include "util/expect.hpp"
+
+namespace droppkt::has {
+
+std::string to_string(Genre g) {
+  switch (g) {
+    case Genre::kAnimation: return "animation";
+    case Genre::kSports: return "sports";
+    case Genre::kNews: return "news";
+    case Genre::kDrama: return "drama";
+    case Genre::kDocumentary: return "documentary";
+  }
+  return "unknown";
+}
+
+VideoCatalog VideoCatalog::generate(const std::string& service_name,
+                                    std::size_t count, std::uint64_t seed) {
+  DROPPKT_EXPECT(count > 0, "VideoCatalog: count must be positive");
+  util::Rng rng(seed);
+  VideoCatalog catalog;
+  catalog.videos_.reserve(count);
+  const Genre genres[] = {Genre::kAnimation, Genre::kSports, Genre::kNews,
+                          Genre::kDrama, Genre::kDocumentary};
+  for (std::size_t i = 0; i < count; ++i) {
+    Video v;
+    v.id = service_name + "-video-" + std::to_string(i);
+    v.genre = genres[rng.uniform_int(0, 4)];
+    // Content long enough that sessions end by user stop (paper watches
+    // 10-1200 s of each title).
+    v.duration_s = rng.uniform(1260.0, 7200.0);
+    // Per-title encoding efficiency varies widely in practice: the same
+    // ladder rung can cost 2-3x more bits for complex content (VBR ladders,
+    // per-title encoding). This is what makes byte counts an imperfect
+    // proxy for quality.
+    switch (v.genre) {
+      case Genre::kAnimation: v.bitrate_factor = rng.uniform(0.45, 1.00); break;
+      case Genre::kSports: v.bitrate_factor = rng.uniform(1.00, 1.90); break;
+      case Genre::kNews: v.bitrate_factor = rng.uniform(0.60, 1.20); break;
+      case Genre::kDrama: v.bitrate_factor = rng.uniform(0.70, 1.50); break;
+      case Genre::kDocumentary: v.bitrate_factor = rng.uniform(0.65, 1.35); break;
+    }
+    v.size_variability = rng.uniform(0.15, 0.35);
+    catalog.videos_.push_back(std::move(v));
+  }
+  return catalog;
+}
+
+const Video& VideoCatalog::video(std::size_t i) const {
+  DROPPKT_EXPECT(i < videos_.size(), "VideoCatalog::video: index out of range");
+  return videos_[i];
+}
+
+const Video& VideoCatalog::sample(util::Rng& rng) const {
+  return videos_[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(videos_.size()) - 1))];
+}
+
+}  // namespace droppkt::has

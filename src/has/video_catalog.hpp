@@ -1,0 +1,46 @@
+// Video catalog: the 50-75 videos per service the paper streams.
+//
+// Content genre modulates encoded segment sizes (animation compresses
+// well, sports poorly), which gives sessions realistic size diversity
+// beyond the quality ladder's nominal bitrates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace droppkt::has {
+
+enum class Genre { kAnimation, kSports, kNews, kDrama, kDocumentary };
+
+std::string to_string(Genre g);
+
+/// One title in a service's catalog.
+struct Video {
+  std::string id;
+  Genre genre = Genre::kDrama;
+  double duration_s = 0.0;          // full content length
+  double bitrate_factor = 1.0;      // genre+title multiplier on nominal bitrate
+  double size_variability = 0.15;   // per-segment lognormal sigma
+};
+
+/// A fixed list of videos for one service.
+class VideoCatalog {
+ public:
+  /// Generate a catalog of `count` titles (deterministic per seed).
+  static VideoCatalog generate(const std::string& service_name,
+                               std::size_t count, std::uint64_t seed);
+
+  std::size_t size() const { return videos_.size(); }
+  const Video& video(std::size_t i) const;
+
+  /// Uniformly sample a title.
+  const Video& sample(util::Rng& rng) const;
+
+ private:
+  std::vector<Video> videos_;
+};
+
+}  // namespace droppkt::has

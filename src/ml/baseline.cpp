@@ -1,0 +1,29 @@
+#include "ml/baseline.hpp"
+
+#include "util/expect.hpp"
+
+namespace droppkt::ml {
+
+void MajorityClassifier::fit(const Dataset& train) {
+  DROPPKT_EXPECT(train.size() > 0, "MajorityClassifier: empty training set");
+  majority_ = train.majority_class();
+  const auto counts = train.class_counts();
+  prior_.resize(counts.size());
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    prior_[c] = static_cast<double>(counts[c]) /
+                static_cast<double>(train.size());
+  }
+}
+
+int MajorityClassifier::predict(std::span<const double> /*features*/) const {
+  DROPPKT_EXPECT(!prior_.empty(), "MajorityClassifier: predict before fit");
+  return majority_;
+}
+
+std::vector<double> MajorityClassifier::predict_proba(
+    std::span<const double> /*features*/) const {
+  DROPPKT_EXPECT(!prior_.empty(), "MajorityClassifier: predict before fit");
+  return prior_;
+}
+
+}  // namespace droppkt::ml

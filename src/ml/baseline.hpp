@@ -1,0 +1,21 @@
+// Trivial baselines that any real model must beat.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace droppkt::ml {
+
+/// Always predicts the training set's most frequent class. The floor any
+/// QoE estimator is measured against.
+class MajorityClassifier final : public Classifier {
+ public:
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> features) const override;
+  std::vector<double> predict_proba(std::span<const double> features) const override;
+
+ private:
+  int majority_ = 0;
+  std::vector<double> prior_;
+};
+
+}  // namespace droppkt::ml

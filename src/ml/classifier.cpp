@@ -1,0 +1,24 @@
+#include "ml/classifier.hpp"
+
+namespace droppkt::ml {
+
+std::vector<double> Classifier::predict_proba(
+    std::span<const double> features) const {
+  // Fallback one-hot; concrete models override with real probabilities.
+  std::vector<double> proba;
+  const int cls = predict(features);
+  proba.resize(static_cast<std::size_t>(cls) + 1, 0.0);
+  proba[static_cast<std::size_t>(cls)] = 1.0;
+  return proba;
+}
+
+std::vector<int> Classifier::predict_all(const Dataset& data) const {
+  std::vector<int> preds;
+  preds.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    preds.push_back(predict(data.row(i)));
+  }
+  return preds;
+}
+
+}  // namespace droppkt::ml

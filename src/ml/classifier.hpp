@@ -1,0 +1,35 @@
+// Common interface for all classifiers in droppkt::ml.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace droppkt::ml {
+
+/// Supervised multi-class classifier.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on the given dataset. May be called again to retrain.
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Predict the class of one feature vector (width must match training).
+  virtual int predict(std::span<const double> features) const = 0;
+
+  /// Per-class probabilities; default implementation is a one-hot of
+  /// predict(). Sums to 1.
+  virtual std::vector<double> predict_proba(std::span<const double> features) const;
+
+  /// Predict every row of a dataset.
+  std::vector<int> predict_all(const Dataset& data) const;
+};
+
+/// Factory: cross-validation needs a fresh, identically-configured model
+/// per fold.
+using ClassifierFactory = std::unique_ptr<Classifier> (*)();
+
+}  // namespace droppkt::ml

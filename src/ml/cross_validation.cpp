@@ -1,0 +1,37 @@
+#include "ml/cross_validation.hpp"
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::ml {
+
+CrossValidationResult cross_validate(
+    const Dataset& data,
+    const std::function<std::unique_ptr<Classifier>()>& make_model,
+    std::size_t k, std::uint64_t seed) {
+  DROPPKT_EXPECT(static_cast<bool>(make_model),
+                 "cross_validate: model factory must be callable");
+  util::Rng rng(seed);
+  const auto folds = stratified_folds(data, k, rng);
+
+  CrossValidationResult result(data.num_classes());
+  for (const auto& test_idx : folds) {
+    const auto train_idx = fold_complement(data.size(), test_idx);
+    const Dataset train = data.subset(train_idx);
+    const Dataset test = data.subset(test_idx);
+
+    auto model = make_model();
+    DROPPKT_ENSURE(model != nullptr, "cross_validate: factory returned null");
+    model->fit(train);
+
+    ConfusionMatrix fold_cm(data.num_classes());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      fold_cm.add(test.label(i), model->predict(test.row(i)));
+    }
+    result.fold_accuracy.push_back(fold_cm.accuracy());
+    result.pooled.merge(fold_cm);
+  }
+  return result;
+}
+
+}  // namespace droppkt::ml

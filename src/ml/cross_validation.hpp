@@ -1,0 +1,32 @@
+// Stratified k-fold cross-validation — the paper's evaluation protocol
+// ("we use 5-fold cross validation for evaluating accuracy").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "ml/classifier.hpp"
+#include "ml/metrics.hpp"
+
+namespace droppkt::ml {
+
+struct CrossValidationResult {
+  ConfusionMatrix pooled;             // predictions pooled over all folds
+  std::vector<double> fold_accuracy;  // per-fold accuracy
+
+  explicit CrossValidationResult(int num_classes) : pooled(num_classes) {}
+
+  double accuracy() const { return pooled.accuracy(); }
+  double recall(int cls) const { return pooled.recall(cls); }
+  double precision(int cls) const { return pooled.precision(cls); }
+};
+
+/// Run stratified k-fold CV. `make_model` is invoked once per fold so every
+/// fold trains a fresh, identically-configured classifier.
+CrossValidationResult cross_validate(
+    const Dataset& data,
+    const std::function<std::unique_ptr<Classifier>()>& make_model,
+    std::size_t k = 5, std::uint64_t seed = 1234);
+
+}  // namespace droppkt::ml

@@ -1,0 +1,72 @@
+// Tabular dataset for supervised classification.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace droppkt::ml {
+
+/// Dense feature matrix with integer class labels in [0, num_classes).
+///
+/// Invariants: all rows have the same width as the feature-name list;
+/// labels are within range; num_classes >= 1.
+class Dataset {
+ public:
+  Dataset(std::vector<std::string> feature_names, int num_classes);
+
+  void add_row(std::vector<double> features, int label);
+
+  std::size_t size() const { return labels_.size(); }
+  std::size_t num_features() const { return feature_names_.size(); }
+  int num_classes() const { return num_classes_; }
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+
+  std::span<const double> row(std::size_t i) const;
+  int label(std::size_t i) const;
+  const std::vector<int>& labels() const { return labels_; }
+
+  /// Count of each class in the dataset.
+  std::vector<std::size_t> class_counts() const;
+
+  /// New dataset containing the given rows (indices may repeat: bootstrap).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// New dataset keeping only the named feature columns, in that order.
+  Dataset select_features(const std::vector<std::string>& names) const;
+
+  /// Most frequent class (ties: lowest index).
+  int majority_class() const;
+
+  /// Export as CSV (feature columns + a final "label" column) — for
+  /// analysis in external tools.
+  void write_csv(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+
+  /// Import from `write_csv` output. `num_classes` is inferred as
+  /// max(label)+1 unless given.
+  static Dataset read_csv(std::istream& is, int num_classes = 0);
+  static Dataset read_csv_file(const std::string& path, int num_classes = 0);
+
+ private:
+  std::vector<std::string> feature_names_;
+  int num_classes_;
+  std::vector<double> data_;  // row-major
+  std::vector<int> labels_;
+};
+
+/// Stratified k-fold split: each fold's class mix matches the dataset's.
+/// Returns `k` disjoint index lists covering [0, n).
+std::vector<std::vector<std::size_t>> stratified_folds(const Dataset& data,
+                                                       std::size_t k,
+                                                       util::Rng& rng);
+
+/// Complement of a fold: all indices not in `fold` (training split).
+std::vector<std::size_t> fold_complement(std::size_t n,
+                                         std::span<const std::size_t> fold);
+
+}  // namespace droppkt::ml

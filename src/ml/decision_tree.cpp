@@ -1,0 +1,291 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+#include "util/expect.hpp"
+
+namespace droppkt::ml {
+
+namespace {
+
+double gini(const std::vector<double>& weighted_counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : weighted_counts) {
+    const double p = c / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(DecisionTreeParams params)
+    : params_(std::move(params)) {
+  DROPPKT_EXPECT(params_.max_depth >= 1, "DecisionTree: max_depth must be >= 1");
+  DROPPKT_EXPECT(params_.min_samples_leaf >= 1,
+                 "DecisionTree: min_samples_leaf must be >= 1");
+  for (double w : params_.class_weights) {
+    DROPPKT_EXPECT(w > 0.0, "DecisionTree: class weights must be positive");
+  }
+}
+
+double DecisionTree::class_weight(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  return c < params_.class_weights.size() ? params_.class_weights[c] : 1.0;
+}
+
+void DecisionTree::fit(const Dataset& train) {
+  std::vector<std::size_t> all(train.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  fit_on(train, all);
+}
+
+void DecisionTree::fit_on(const Dataset& train,
+                          std::span<const std::size_t> indices) {
+  DROPPKT_EXPECT(!indices.empty(), "DecisionTree: cannot fit on empty sample");
+  nodes_.clear();
+  num_classes_ = train.num_classes();
+  num_features_ = train.num_features();
+  fit_sample_count_ = indices.size();
+  importance_.assign(num_features_, 0.0);
+  util::Rng rng(params_.seed);
+  std::vector<std::size_t> idx(indices.begin(), indices.end());
+  build(train, idx, 0, rng);
+}
+
+std::int32_t DecisionTree::build(const Dataset& data,
+                                 std::vector<std::size_t>& indices, int depth,
+                                 util::Rng& rng) {
+  // Weighted class distribution at this node.
+  std::vector<double> counts(static_cast<std::size_t>(num_classes_), 0.0);
+  double total_weight = 0.0;
+  for (std::size_t i : indices) {
+    const double w = class_weight(data.label(i));
+    counts[static_cast<std::size_t>(data.label(i))] += w;
+    total_weight += w;
+  }
+  const double node_gini = gini(counts, total_weight);
+
+  auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.feature = -1;
+    leaf.leaf_class = static_cast<std::int32_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    leaf.class_probs.resize(counts.size());
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      leaf.class_probs[c] = counts[c] / total_weight;
+    }
+    nodes_.push_back(std::move(leaf));
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  const bool pure = node_gini <= 1e-12;
+  if (pure || depth >= params_.max_depth ||
+      indices.size() < params_.min_samples_split) {
+    return make_leaf();
+  }
+
+  // Candidate features: all, or a fresh random subset per split.
+  std::vector<std::size_t> features;
+  if (params_.max_features == 0 || params_.max_features >= num_features_) {
+    features.resize(num_features_);
+    std::iota(features.begin(), features.end(), std::size_t{0});
+  } else {
+    const auto perm = rng.permutation(num_features_);
+    features.assign(perm.begin(),
+                    perm.begin() + static_cast<std::ptrdiff_t>(params_.max_features));
+  }
+
+  // Best split search.
+  struct Best {
+    double impurity = 1e18;
+    int feature = -1;
+    double threshold = 0.0;
+  } best;
+
+  std::vector<std::pair<double, int>> sorted;  // (value, label)
+  sorted.reserve(indices.size());
+  std::vector<double> left_counts(static_cast<std::size_t>(num_classes_));
+
+  for (std::size_t f : features) {
+    sorted.clear();
+    for (std::size_t i : indices) {
+      sorted.emplace_back(data.row(i)[f], data.label(i));
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // constant
+
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    double w_left = 0.0;
+    std::size_t n_left = 0;
+    const std::size_t n = sorted.size();
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double w = class_weight(sorted[i].second);
+      left_counts[static_cast<std::size_t>(sorted[i].second)] += w;
+      w_left += w;
+      ++n_left;
+      if (sorted[i].first == sorted[i + 1].first) continue;  // not a boundary
+      const std::size_t n_right = n - n_left;
+      if (n_left < params_.min_samples_leaf || n_right < params_.min_samples_leaf)
+        continue;
+      const double w_right = total_weight - w_left;
+      if (w_right <= 0.0) continue;
+      // Right counts = node counts - left counts.
+      double right_gini_sum = 0.0;
+      double left_gini_sum = 0.0;
+      for (std::size_t c = 0; c < left_counts.size(); ++c) {
+        const double pl = left_counts[c] / w_left;
+        left_gini_sum += pl * pl;
+        const double pr = (counts[c] - left_counts[c]) / w_right;
+        right_gini_sum += pr * pr;
+      }
+      const double weighted =
+          (w_left * (1.0 - left_gini_sum) + w_right * (1.0 - right_gini_sum)) /
+          total_weight;
+      if (weighted < best.impurity) {
+        best.impurity = weighted;
+        best.feature = static_cast<int>(f);
+        // Midpoint, unless rounding collapses it onto the upper value (for
+        // adjacent doubles) — then split exactly at the lower value.
+        double thr = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        if (!(thr >= sorted[i].first && thr < sorted[i + 1].first)) {
+          thr = sorted[i].first;
+        }
+        best.threshold = thr;
+      }
+    }
+  }
+
+  if (best.feature < 0 || best.impurity >= node_gini - 1e-12) {
+    return make_leaf();
+  }
+
+  // Gini importance: impurity decrease weighted by the node's share of the
+  // training sample.
+  importance_[static_cast<std::size_t>(best.feature)] +=
+      (node_gini - best.impurity) * static_cast<double>(indices.size()) /
+      static_cast<double>(fit_sample_count_);
+
+  // Partition indices.
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : indices) {
+    if (data.row(i)[static_cast<std::size_t>(best.feature)] <= best.threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  DROPPKT_ENSURE(!left_idx.empty() && !right_idx.empty(),
+                 "DecisionTree: degenerate split");
+  indices.clear();
+  indices.shrink_to_fit();
+
+  Node node;
+  node.feature = best.feature;
+  node.threshold = best.threshold;
+  nodes_.push_back(std::move(node));
+  const auto me = static_cast<std::int32_t>(nodes_.size() - 1);
+  const std::int32_t l = build(data, left_idx, depth + 1, rng);
+  const std::int32_t r = build(data, right_idx, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(me)].left = l;
+  nodes_[static_cast<std::size_t>(me)].right = r;
+  return me;
+}
+
+const DecisionTree::Node& DecisionTree::descend(
+    std::span<const double> features) const {
+  DROPPKT_EXPECT(!nodes_.empty(), "DecisionTree: predict before fit");
+  DROPPKT_EXPECT(features.size() == num_features_,
+                 "DecisionTree: feature width mismatch");
+  std::size_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& n = nodes_[cur];
+    cur = static_cast<std::size_t>(
+        features[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                     : n.right);
+  }
+  return nodes_[cur];
+}
+
+int DecisionTree::predict(std::span<const double> features) const {
+  return descend(features).leaf_class;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> features) const {
+  return descend(features).class_probs;
+}
+
+void DecisionTree::save(std::ostream& os) const {
+  DROPPKT_EXPECT(!nodes_.empty(), "DecisionTree::save: tree is not fitted");
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "tree " << num_classes_ << ' ' << num_features_ << ' ' << nodes_.size()
+     << '\n';
+  for (const auto& n : nodes_) {
+    os << n.feature << ' ' << n.threshold << ' ' << n.left << ' ' << n.right
+       << ' ' << n.leaf_class;
+    os << ' ' << n.class_probs.size();
+    for (double p : n.class_probs) os << ' ' << p;
+    os << '\n';
+  }
+}
+
+DecisionTree DecisionTree::load(std::istream& is) {
+  std::string tag;
+  DecisionTree tree;
+  std::size_t node_count = 0;
+  is >> tag >> tree.num_classes_ >> tree.num_features_ >> node_count;
+  DROPPKT_EXPECT(is.good() && tag == "tree",
+                 "DecisionTree::load: bad header");
+  DROPPKT_EXPECT(tree.num_classes_ >= 1 && tree.num_features_ >= 1 &&
+                     node_count >= 1,
+                 "DecisionTree::load: implausible dimensions");
+  tree.nodes_.resize(node_count);
+  for (auto& n : tree.nodes_) {
+    std::size_t n_probs = 0;
+    is >> n.feature >> n.threshold >> n.left >> n.right >> n.leaf_class >>
+        n_probs;
+    DROPPKT_EXPECT(is.good(), "DecisionTree::load: truncated node");
+    DROPPKT_EXPECT(n.feature < static_cast<int>(tree.num_features_),
+                   "DecisionTree::load: feature index out of range");
+    n.class_probs.resize(n_probs);
+    for (auto& p : n.class_probs) is >> p;
+    if (n.feature >= 0) {
+      DROPPKT_EXPECT(
+          n.left >= 0 && n.right >= 0 &&
+              n.left < static_cast<std::int32_t>(node_count) &&
+              n.right < static_cast<std::int32_t>(node_count),
+          "DecisionTree::load: child index out of range");
+    }
+  }
+  DROPPKT_EXPECT(!is.fail(), "DecisionTree::load: truncated input");
+  tree.importance_.assign(tree.num_features_, 0.0);
+  tree.fit_sample_count_ = 0;
+  return tree;
+}
+
+int DecisionTree::depth() const {
+  // Iterative depth via parent-less traversal: root is node 0.
+  if (nodes_.empty()) return 0;
+  int max_depth = 0;
+  std::vector<std::pair<std::size_t, int>> stack{{0, 1}};
+  while (!stack.empty()) {
+    auto [i, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& n = nodes_[i];
+    if (n.feature >= 0) {
+      stack.push_back({static_cast<std::size_t>(n.left), d + 1});
+      stack.push_back({static_cast<std::size_t>(n.right), d + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace droppkt::ml

@@ -1,0 +1,77 @@
+// CART decision-tree classifier (Gini impurity).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::ml {
+
+struct DecisionTreeParams {
+  int max_depth = 24;
+  std::size_t min_samples_leaf = 1;
+  std::size_t min_samples_split = 2;
+  /// Features considered per split; 0 means all (plain CART). Random
+  /// forests pass ~sqrt(num_features).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 1;
+  /// Per-class sample weights for impurity and leaf probabilities; empty
+  /// means uniform. Up-weighting a class trades precision for recall on
+  /// it (e.g. an ISP chasing low-QoE sessions).
+  std::vector<double> class_weights;
+};
+
+/// Single CART tree. Supports fitting on a row subset (for bagging) and
+/// reports per-feature impurity decrease for Gini importance.
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeParams params = {});
+
+  void fit(const Dataset& train) override;
+
+  /// Fit on a subset of rows (indices may repeat — bootstrap sample).
+  void fit_on(const Dataset& train, std::span<const std::size_t> indices);
+
+  int predict(std::span<const double> features) const override;
+  std::vector<double> predict_proba(std::span<const double> features) const override;
+
+  /// Total impurity decrease attributed to each feature (unnormalized).
+  const std::vector<double>& impurity_decrease() const { return importance_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  int depth() const;
+
+  /// Serialize the fitted tree (text, line-based). Importances are not
+  /// persisted — a loaded tree predicts but reports no importances.
+  void save(std::ostream& os) const;
+  /// Rebuild a tree from `save` output. Throws on malformed input.
+  static DecisionTree load(std::istream& is);
+
+ private:
+  struct Node {
+    // Internal node: feature >= 0; leaf: feature == -1.
+    int feature = -1;
+    double threshold = 0.0;      // go left if x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t leaf_class = 0;
+    std::vector<double> class_probs;  // leaf only
+  };
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& indices,
+                     int depth, util::Rng& rng);
+  const Node& descend(std::span<const double> features) const;
+  double class_weight(int cls) const;
+
+  DecisionTreeParams params_;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+  int num_classes_ = 0;
+  std::size_t num_features_ = 0;
+  std::size_t fit_sample_count_ = 0;
+};
+
+}  // namespace droppkt::ml

@@ -1,0 +1,70 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace droppkt::ml {
+
+KnnClassifier::KnnClassifier(KnnParams params) : params_(params) {
+  DROPPKT_EXPECT(params_.k >= 1, "KnnClassifier: k must be >= 1");
+}
+
+void KnnClassifier::fit(const Dataset& train) {
+  DROPPKT_EXPECT(train.size() >= 1, "KnnClassifier: empty training set");
+  scaler_.fit(train);
+  points_.clear();
+  points_.reserve(train.size());
+  labels_.clear();
+  labels_.reserve(train.size());
+  num_classes_ = train.num_classes();
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    points_.push_back(scaler_.transform(train.row(i)));
+    labels_.push_back(train.label(i));
+  }
+}
+
+std::vector<std::pair<double, int>> KnnClassifier::neighbours(
+    std::span<const double> features) const {
+  DROPPKT_EXPECT(!points_.empty(), "KnnClassifier: predict before fit");
+  const auto q = scaler_.transform(features);
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    double d2 = 0.0;
+    const auto& p = points_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const double d = p[j] - q[j];
+      d2 += d * d;
+    }
+    dist.emplace_back(d2, labels_[i]);
+  }
+  const std::size_t k = std::min(params_.k, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist.end());
+  dist.resize(k);
+  return dist;
+}
+
+std::vector<double> KnnClassifier::predict_proba(
+    std::span<const double> features) const {
+  const auto nn = neighbours(features);
+  std::vector<double> votes(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& [d2, label] : nn) {
+    votes[static_cast<std::size_t>(label)] += 1.0 / (1.0 + std::sqrt(d2));
+  }
+  double total = 0.0;
+  for (double v : votes) total += v;
+  if (total > 0.0) {
+    for (auto& v : votes) v /= total;
+  }
+  return votes;
+}
+
+int KnnClassifier::predict(std::span<const double> features) const {
+  const auto p = predict_proba(features);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace droppkt::ml

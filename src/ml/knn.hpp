@@ -1,0 +1,36 @@
+// k-nearest-neighbours classifier (one of the paper's comparison models).
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/preprocess.hpp"
+
+namespace droppkt::ml {
+
+struct KnnParams {
+  std::size_t k = 7;
+};
+
+/// Brute-force k-NN on standardized features with majority voting
+/// (distance-weighted to break ties deterministically).
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(KnnParams params = {});
+
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> features) const override;
+  std::vector<double> predict_proba(std::span<const double> features) const override;
+
+ private:
+  std::vector<std::pair<double, int>> neighbours(
+      std::span<const double> features) const;
+
+  KnnParams params_;
+  Standardizer scaler_;
+  std::vector<std::vector<double>> points_;
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+};
+
+}  // namespace droppkt::ml

@@ -1,0 +1,121 @@
+#include "ml/metrics.hpp"
+
+#include "util/expect.hpp"
+#include "util/render.hpp"
+
+namespace droppkt::ml {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<std::size_t>(num_classes) *
+                 static_cast<std::size_t>(num_classes),
+             0) {
+  DROPPKT_EXPECT(num_classes_ >= 1, "ConfusionMatrix: need >= 1 class");
+}
+
+void ConfusionMatrix::add(int actual, int predicted) {
+  DROPPKT_EXPECT(actual >= 0 && actual < num_classes_,
+                 "ConfusionMatrix::add: actual out of range");
+  DROPPKT_EXPECT(predicted >= 0 && predicted < num_classes_,
+                 "ConfusionMatrix::add: predicted out of range");
+  ++cells_[static_cast<std::size_t>(actual) *
+               static_cast<std::size_t>(num_classes_) +
+           static_cast<std::size_t>(predicted)];
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  DROPPKT_EXPECT(other.num_classes_ == num_classes_,
+                 "ConfusionMatrix::merge: class-count mismatch");
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+}
+
+std::size_t ConfusionMatrix::count(int actual, int predicted) const {
+  DROPPKT_EXPECT(actual >= 0 && actual < num_classes_ && predicted >= 0 &&
+                     predicted < num_classes_,
+                 "ConfusionMatrix::count: index out of range");
+  return cells_[static_cast<std::size_t>(actual) *
+                    static_cast<std::size_t>(num_classes_) +
+                static_cast<std::size_t>(predicted)];
+}
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t t = 0;
+  for (auto c : cells_) t += c;
+  return t;
+}
+
+std::size_t ConfusionMatrix::actual_total(int cls) const {
+  std::size_t t = 0;
+  for (int p = 0; p < num_classes_; ++p) t += count(cls, p);
+  return t;
+}
+
+std::size_t ConfusionMatrix::predicted_total(int cls) const {
+  std::size_t t = 0;
+  for (int a = 0; a < num_classes_; ++a) t += count(a, cls);
+  return t;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  std::size_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  const std::size_t denom = predicted_total(cls);
+  if (denom == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  const std::size_t denom = actual_total(cls);
+  if (denom == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_recall() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) sum += recall(c);
+  return sum / num_classes_;
+}
+
+double ConfusionMatrix::macro_precision() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) sum += precision(c);
+  return sum / num_classes_;
+}
+
+std::string ConfusionMatrix::render(
+    const std::vector<std::string>& class_names) const {
+  DROPPKT_EXPECT(class_names.size() == static_cast<std::size_t>(num_classes_),
+                 "ConfusionMatrix::render: one name per class");
+  std::vector<std::string> header{"actual", "#sessions"};
+  for (const auto& n : class_names) header.push_back("-> " + n);
+  util::TextTable table(std::move(header));
+  for (int a = 0; a < num_classes_; ++a) {
+    const std::size_t row_total = actual_total(a);
+    std::vector<std::string> row{class_names[static_cast<std::size_t>(a)],
+                                 std::to_string(row_total)};
+    for (int p = 0; p < num_classes_; ++p) {
+      const double frac =
+          row_total ? static_cast<double>(count(a, p)) /
+                          static_cast<double>(row_total)
+                    : 0.0;
+      row.push_back(util::pct(frac));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace droppkt::ml

@@ -1,0 +1,43 @@
+// Classification metrics: confusion matrix, accuracy, per-class
+// precision/recall — the quantities every table in the paper reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace droppkt::ml {
+
+/// Row = actual class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void add(int actual, int predicted);
+  /// Merge another matrix (e.g. across CV folds).
+  void merge(const ConfusionMatrix& other);
+
+  int num_classes() const { return num_classes_; }
+  std::size_t count(int actual, int predicted) const;
+  std::size_t total() const;
+  std::size_t actual_total(int cls) const;
+  std::size_t predicted_total(int cls) const;
+
+  double accuracy() const;
+  /// Precision for one class: TP / (TP + FP); 0 when undefined.
+  double precision(int cls) const;
+  /// Recall for one class: TP / (TP + FN); 0 when undefined.
+  double recall(int cls) const;
+  double f1(int cls) const;
+  double macro_recall() const;
+  double macro_precision() const;
+
+  /// Row-normalized percentages, rendered as a text table.
+  std::string render(const std::vector<std::string>& class_names) const;
+
+ private:
+  int num_classes_;
+  std::vector<std::size_t> cells_;  // row-major
+};
+
+}  // namespace droppkt::ml

@@ -1,0 +1,146 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::ml {
+
+MlpClassifier::MlpClassifier(MlpParams params) : params_(params) {
+  DROPPKT_EXPECT(params_.hidden_units >= 1, "Mlp: need >= 1 hidden unit");
+  DROPPKT_EXPECT(params_.batch_size >= 1, "Mlp: batch size must be >= 1");
+}
+
+std::vector<double> MlpClassifier::forward(const std::vector<double>& x,
+                                           std::vector<double>* hidden_out) const {
+  std::vector<double> h(params_.hidden_units);
+  for (std::size_t u = 0; u < params_.hidden_units; ++u) {
+    const auto& w = w1_[u];
+    double a = w[in_dim_];  // bias
+    for (std::size_t j = 0; j < in_dim_; ++j) a += w[j] * x[j];
+    h[u] = a > 0.0 ? a : 0.0;  // ReLU
+  }
+  if (hidden_out != nullptr) *hidden_out = h;
+  std::vector<double> z(static_cast<std::size_t>(num_classes_));
+  for (int c = 0; c < num_classes_; ++c) {
+    const auto& w = w2_[static_cast<std::size_t>(c)];
+    double a = w[params_.hidden_units];
+    for (std::size_t u = 0; u < params_.hidden_units; ++u) a += w[u] * h[u];
+    z[static_cast<std::size_t>(c)] = a;
+  }
+  // Softmax.
+  const double mx = *std::max_element(z.begin(), z.end());
+  double total = 0.0;
+  for (auto& v : z) {
+    v = std::exp(v - mx);
+    total += v;
+  }
+  for (auto& v : z) v /= total;
+  return z;
+}
+
+void MlpClassifier::fit(const Dataset& train) {
+  DROPPKT_EXPECT(train.size() >= 2, "Mlp: need >= 2 rows");
+  scaler_.fit(train);
+  num_classes_ = train.num_classes();
+  in_dim_ = train.num_features();
+
+  util::Rng rng(params_.seed);
+  const double init1 = std::sqrt(2.0 / static_cast<double>(in_dim_));
+  const double init2 = std::sqrt(2.0 / static_cast<double>(params_.hidden_units));
+  w1_.assign(params_.hidden_units, std::vector<double>(in_dim_ + 1, 0.0));
+  w2_.assign(static_cast<std::size_t>(num_classes_),
+             std::vector<double>(params_.hidden_units + 1, 0.0));
+  for (auto& row : w1_) {
+    for (std::size_t j = 0; j < in_dim_; ++j) row[j] = rng.normal(0.0, init1);
+  }
+  for (auto& row : w2_) {
+    for (std::size_t u = 0; u < params_.hidden_units; ++u) {
+      row[u] = rng.normal(0.0, init2);
+    }
+  }
+
+  std::vector<std::vector<double>> x;
+  x.reserve(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    x.push_back(scaler_.transform(train.row(i)));
+  }
+
+  auto v1 = w1_;  // momentum buffers, zero-initialized below
+  auto v2 = w2_;
+  for (auto& r : v1) std::fill(r.begin(), r.end(), 0.0);
+  for (auto& r : v2) std::fill(r.begin(), r.end(), 0.0);
+
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    const double lr =
+        params_.learning_rate / (1.0 + 0.05 * static_cast<double>(epoch));
+    const auto order = rng.permutation(train.size());
+    for (std::size_t start = 0; start < order.size();
+         start += params_.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + params_.batch_size);
+      // Gradient accumulators.
+      auto g1 = w1_;
+      auto g2 = w2_;
+      for (auto& r : g1) std::fill(r.begin(), r.end(), 0.0);
+      for (auto& r : g2) std::fill(r.begin(), r.end(), 0.0);
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t i = order[bi];
+        std::vector<double> h;
+        const auto p = forward(x[i], &h);
+        // dL/dz = p - y (softmax + cross-entropy).
+        std::vector<double> dz(p);
+        dz[static_cast<std::size_t>(train.label(i))] -= 1.0;
+        // Output layer gradients + backprop into hidden.
+        std::vector<double> dh(params_.hidden_units, 0.0);
+        for (int c = 0; c < num_classes_; ++c) {
+          const double d = dz[static_cast<std::size_t>(c)];
+          auto& g = g2[static_cast<std::size_t>(c)];
+          const auto& w = w2_[static_cast<std::size_t>(c)];
+          for (std::size_t u = 0; u < params_.hidden_units; ++u) {
+            g[u] += d * h[u];
+            dh[u] += d * w[u];
+          }
+          g[params_.hidden_units] += d;
+        }
+        for (std::size_t u = 0; u < params_.hidden_units; ++u) {
+          if (h[u] <= 0.0) continue;  // ReLU gate
+          auto& g = g1[u];
+          for (std::size_t j = 0; j < in_dim_; ++j) g[j] += dh[u] * x[i][j];
+          g[in_dim_] += dh[u];
+        }
+      }
+
+      const double scale = 1.0 / static_cast<double>(end - start);
+      auto apply = [&](std::vector<std::vector<double>>& w,
+                       std::vector<std::vector<double>>& v,
+                       std::vector<std::vector<double>>& g) {
+        for (std::size_t r = 0; r < w.size(); ++r) {
+          for (std::size_t c = 0; c < w[r].size(); ++c) {
+            const double grad = g[r][c] * scale + params_.l2 * w[r][c];
+            v[r][c] = params_.momentum * v[r][c] - lr * grad;
+            w[r][c] += v[r][c];
+          }
+        }
+      };
+      apply(w1_, v1, g1);
+      apply(w2_, v2, g2);
+    }
+  }
+}
+
+std::vector<double> MlpClassifier::predict_proba(
+    std::span<const double> features) const {
+  DROPPKT_EXPECT(!w1_.empty(), "Mlp: predict before fit");
+  return forward(scaler_.transform(features), nullptr);
+}
+
+int MlpClassifier::predict(std::span<const double> features) const {
+  const auto p = predict_proba(features);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace droppkt::ml

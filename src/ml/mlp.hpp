@@ -1,0 +1,43 @@
+// Multilayer perceptron (comparison model): one ReLU hidden layer,
+// softmax output, mini-batch SGD with momentum on standardized features.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/preprocess.hpp"
+
+namespace droppkt::ml {
+
+struct MlpParams {
+  std::size_t hidden_units = 64;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double l2 = 1e-5;
+  std::size_t epochs = 60;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 23;
+};
+
+class MlpClassifier final : public Classifier {
+ public:
+  explicit MlpClassifier(MlpParams params = {});
+
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> features) const override;
+  std::vector<double> predict_proba(std::span<const double> features) const override;
+
+ private:
+  std::vector<double> forward(const std::vector<double>& x,
+                              std::vector<double>* hidden_out) const;
+
+  MlpParams params_;
+  Standardizer scaler_;
+  // w1: hidden x (in+1), w2: out x (hidden+1); bias folded into last column.
+  std::vector<std::vector<double>> w1_, w2_;
+  std::size_t in_dim_ = 0;
+  int num_classes_ = 0;
+};
+
+}  // namespace droppkt::ml

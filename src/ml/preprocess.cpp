@@ -1,0 +1,51 @@
+#include "ml/preprocess.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace droppkt::ml {
+
+void Standardizer::fit(const Dataset& data) {
+  DROPPKT_EXPECT(data.size() > 0, "Standardizer: cannot fit on empty data");
+  const std::size_t f = data.num_features();
+  mean_.assign(f, 0.0);
+  scale_.assign(f, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < f; ++j) mean_[j] += row[j];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double d = row[j] - mean_[j];
+      scale_[j] += d * d;
+    }
+  }
+  for (auto& s : scale_) {
+    s = std::sqrt(s / static_cast<double>(data.size()));
+    if (s < 1e-12) s = 1.0;  // constant feature: pass through
+  }
+}
+
+std::vector<double> Standardizer::transform(std::span<const double> row) const {
+  DROPPKT_EXPECT(fitted(), "Standardizer: transform before fit");
+  DROPPKT_EXPECT(row.size() == mean_.size(),
+                 "Standardizer: row width mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / scale_[j];
+  }
+  return out;
+}
+
+Dataset Standardizer::transform(const Dataset& data) const {
+  Dataset out(data.feature_names(), data.num_classes());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.add_row(transform(data.row(i)), data.label(i));
+  }
+  return out;
+}
+
+}  // namespace droppkt::ml

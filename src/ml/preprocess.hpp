@@ -1,0 +1,34 @@
+// Feature standardization (zero mean, unit variance) for the distance- and
+// gradient-based models (k-NN, SVM, MLP). Tree models don't need it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace droppkt::ml {
+
+/// Per-feature z-score transform fitted on training data.
+class Standardizer {
+ public:
+  /// Learn mean/sd per feature. Constant features get sd 1 (pass-through).
+  void fit(const Dataset& data);
+
+  bool fitted() const { return !mean_.empty(); }
+
+  /// Transform one row (width must match the fitted data).
+  std::vector<double> transform(std::span<const double> row) const;
+
+  /// Transform a whole dataset (labels preserved).
+  Dataset transform(const Dataset& data) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& scale() const { return scale_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+}  // namespace droppkt::ml

@@ -1,0 +1,185 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::ml {
+
+RandomForest::RandomForest(RandomForestParams params) : params_(params) {
+  DROPPKT_EXPECT(params_.num_trees >= 1, "RandomForest: need >= 1 tree");
+}
+
+void RandomForest::fit(const Dataset& train) {
+  DROPPKT_EXPECT(train.size() >= 2, "RandomForest: need >= 2 training rows");
+  trees_.clear();
+  trees_.reserve(params_.num_trees);
+  feature_names_ = train.feature_names();
+  num_classes_ = train.num_classes();
+
+  const std::size_t mtry =
+      params_.max_features > 0
+          ? params_.max_features
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::floor(std::sqrt(static_cast<double>(
+                           train.num_features())))));
+
+  util::Rng rng(params_.seed);
+  const std::size_t n = train.size();
+
+  // OOB vote accumulation: votes[row][class].
+  std::vector<std::vector<double>> oob_votes(
+      n, std::vector<double>(static_cast<std::size_t>(num_classes_), 0.0));
+  std::vector<bool> ever_oob(n, false);
+
+  for (std::size_t t = 0; t < params_.num_trees; ++t) {
+    // Bootstrap sample with replacement.
+    std::vector<std::size_t> sample(n);
+    std::vector<bool> in_bag(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      sample[i] = j;
+      in_bag[j] = true;
+    }
+    DecisionTreeParams tp;
+    tp.max_depth = params_.max_depth;
+    tp.min_samples_leaf = params_.min_samples_leaf;
+    tp.max_features = mtry;
+    tp.seed = rng();
+    tp.class_weights = params_.class_weights;
+    DecisionTree tree(tp);
+    tree.fit_on(train, sample);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_bag[i]) continue;
+      ever_oob[i] = true;
+      const auto proba = tree.predict_proba(train.row(i));
+      for (std::size_t c = 0; c < proba.size(); ++c) oob_votes[i][c] += proba[c];
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  // OOB error over rows that were out-of-bag at least once.
+  std::size_t counted = 0, wrong = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!ever_oob[i]) continue;
+    ++counted;
+    const auto& v = oob_votes[i];
+    const int pred = static_cast<int>(
+        std::max_element(v.begin(), v.end()) - v.begin());
+    if (pred != train.label(i)) ++wrong;
+  }
+  oob_error_ = counted
+                   ? std::optional<double>(static_cast<double>(wrong) /
+                                           static_cast<double>(counted))
+                   : std::nullopt;
+}
+
+std::vector<double> RandomForest::predict_proba(
+    std::span<const double> features) const {
+  DROPPKT_EXPECT(!trees_.empty(), "RandomForest: predict before fit");
+  std::vector<double> agg(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto p = tree.predict_proba(features);
+    for (std::size_t c = 0; c < p.size(); ++c) agg[c] += p[c];
+  }
+  const double total = static_cast<double>(trees_.size());
+  for (auto& v : agg) v /= total;
+  return agg;
+}
+
+int RandomForest::predict(std::span<const double> features) const {
+  const auto p = predict_proba(features);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+std::vector<double> RandomForest::feature_importances() const {
+  DROPPKT_EXPECT(!trees_.empty(), "RandomForest: importances before fit");
+  std::vector<double> total(feature_names_.size(), 0.0);
+  for (const auto& tree : trees_) {
+    const auto& imp = tree.impurity_decrease();
+    for (std::size_t f = 0; f < imp.size(); ++f) total[f] += imp[f];
+  }
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  if (sum > 0.0) {
+    for (auto& v : total) v /= sum;
+  }
+  return total;
+}
+
+void RandomForest::save(std::ostream& os) const {
+  DROPPKT_EXPECT(!trees_.empty(), "RandomForest::save: forest is not fitted");
+  os << "droppkt-rf v1\n";
+  os << num_classes_ << ' ' << feature_names_.size() << ' ' << trees_.size()
+     << '\n';
+  for (const auto& name : feature_names_) {
+    os << util::csv_escape(name) << '\n';
+  }
+  for (const auto& tree : trees_) tree.save(os);
+}
+
+void RandomForest::save_file(const std::string& path) const {
+  std::ofstream ofs(path);
+  if (!ofs) throw std::runtime_error("RandomForest: cannot open " + path);
+  save(ofs);
+  if (!ofs) throw std::runtime_error("RandomForest: write failed " + path);
+}
+
+RandomForest RandomForest::load(std::istream& is) {
+  std::string header;
+  std::getline(is, header);
+  DROPPKT_EXPECT(header == "droppkt-rf v1",
+                 "RandomForest::load: unrecognized header '" + header + "'");
+  std::size_t n_features = 0, n_trees = 0;
+  RandomForest forest;
+  is >> forest.num_classes_ >> n_features >> n_trees;
+  DROPPKT_EXPECT(is.good() && forest.num_classes_ >= 1 && n_features >= 1 &&
+                     n_trees >= 1,
+                 "RandomForest::load: implausible dimensions");
+  is.ignore(1, '\n');
+  forest.feature_names_.reserve(n_features);
+  for (std::size_t i = 0; i < n_features; ++i) {
+    std::string line;
+    std::getline(is, line);
+    DROPPKT_EXPECT(is.good(), "RandomForest::load: truncated feature names");
+    const auto fields = util::csv_split_line(line);
+    DROPPKT_EXPECT(fields.size() == 1,
+                   "RandomForest::load: malformed feature name line");
+    forest.feature_names_.push_back(fields[0]);
+  }
+  forest.trees_.reserve(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    forest.trees_.push_back(DecisionTree::load(is));
+  }
+  forest.oob_error_ = std::nullopt;
+  return forest;
+}
+
+RandomForest RandomForest::load_file(const std::string& path) {
+  std::ifstream ifs(path);
+  if (!ifs) throw std::runtime_error("RandomForest: cannot open " + path);
+  return load(ifs);
+}
+
+std::vector<std::pair<std::string, double>> RandomForest::ranked_importances()
+    const {
+  const auto imp = feature_importances();
+  std::vector<std::pair<std::string, double>> ranked;
+  ranked.reserve(imp.size());
+  for (std::size_t f = 0; f < imp.size(); ++f) {
+    ranked.emplace_back(feature_names_[f], imp[f]);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return ranked;
+}
+
+}  // namespace droppkt::ml

@@ -1,0 +1,86 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::ml {
+
+LinearSvm::LinearSvm(LinearSvmParams params) : params_(params) {
+  DROPPKT_EXPECT(params_.learning_rate > 0.0, "LinearSvm: lr must be > 0");
+  DROPPKT_EXPECT(params_.epochs >= 1, "LinearSvm: need >= 1 epoch");
+}
+
+void LinearSvm::fit(const Dataset& train) {
+  DROPPKT_EXPECT(train.size() >= 2, "LinearSvm: need >= 2 rows");
+  scaler_.fit(train);
+  num_classes_ = train.num_classes();
+  const std::size_t f = train.num_features();
+  weights_.assign(static_cast<std::size_t>(num_classes_),
+                  std::vector<double>(f + 1, 0.0));
+
+  // Pre-standardize once.
+  std::vector<std::vector<double>> x;
+  x.reserve(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    x.push_back(scaler_.transform(train.row(i)));
+  }
+
+  util::Rng rng(params_.seed);
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    const double lr =
+        params_.learning_rate / (1.0 + 0.1 * static_cast<double>(epoch));
+    const auto order = rng.permutation(train.size());
+    for (std::size_t i : order) {
+      for (int c = 0; c < num_classes_; ++c) {
+        auto& w = weights_[static_cast<std::size_t>(c)];
+        const double y = train.label(i) == c ? 1.0 : -1.0;
+        double margin = w[f];  // bias
+        for (std::size_t j = 0; j < f; ++j) margin += w[j] * x[i][j];
+        // L2 shrink (not applied to bias).
+        for (std::size_t j = 0; j < f; ++j) w[j] *= (1.0 - lr * params_.l2);
+        if (y * margin < 1.0) {
+          for (std::size_t j = 0; j < f; ++j) w[j] += lr * y * x[i][j];
+          w[f] += lr * y;
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> LinearSvm::decision_function(
+    std::span<const double> features) const {
+  DROPPKT_EXPECT(!weights_.empty(), "LinearSvm: predict before fit");
+  const auto x = scaler_.transform(features);
+  std::vector<double> margins(static_cast<std::size_t>(num_classes_));
+  for (int c = 0; c < num_classes_; ++c) {
+    const auto& w = weights_[static_cast<std::size_t>(c)];
+    double m = w[x.size()];
+    for (std::size_t j = 0; j < x.size(); ++j) m += w[j] * x[j];
+    margins[static_cast<std::size_t>(c)] = m;
+  }
+  return margins;
+}
+
+std::vector<double> LinearSvm::predict_proba(
+    std::span<const double> features) const {
+  // Softmax over margins: not calibrated, but orderable and sums to 1.
+  auto m = decision_function(features);
+  const double mx = *std::max_element(m.begin(), m.end());
+  double total = 0.0;
+  for (auto& v : m) {
+    v = std::exp(v - mx);
+    total += v;
+  }
+  for (auto& v : m) v /= total;
+  return m;
+}
+
+int LinearSvm::predict(std::span<const double> features) const {
+  const auto m = decision_function(features);
+  return static_cast<int>(std::max_element(m.begin(), m.end()) - m.begin());
+}
+
+}  // namespace droppkt::ml

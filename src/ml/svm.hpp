@@ -1,0 +1,40 @@
+// Linear SVM (one-vs-rest, hinge loss, SGD) — comparison model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/preprocess.hpp"
+
+namespace droppkt::ml {
+
+// (comparison model used by the models-ablation bench)
+struct LinearSvmParams {
+  double learning_rate = 0.01;
+  double l2 = 1e-4;
+  std::size_t epochs = 60;
+  std::uint64_t seed = 7;
+};
+
+/// One-vs-rest linear SVM trained with stochastic subgradient descent on
+/// standardized features.
+class LinearSvm final : public Classifier {
+ public:
+  explicit LinearSvm(LinearSvmParams params = {});
+
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> features) const override;
+  std::vector<double> predict_proba(std::span<const double> features) const override;
+
+  /// Raw decision margins per class.
+  std::vector<double> decision_function(std::span<const double> features) const;
+
+ private:
+  LinearSvmParams params_;
+  Standardizer scaler_;
+  std::vector<std::vector<double>> weights_;  // per class, + bias at end
+  int num_classes_ = 0;
+};
+
+}  // namespace droppkt::ml

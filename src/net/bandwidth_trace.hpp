@@ -1,0 +1,66 @@
+// Bandwidth traces: piecewise-constant available-bandwidth time series.
+//
+// These stand in for the public trace sets the paper replays (FCC fixed
+// broadband, Riiser et al. 3G, van der Hooft et al. LTE). A trace wraps
+// around when simulation time exceeds its length, matching how trace
+// replay tools loop traces for long sessions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace droppkt::net {
+
+/// One sample: available bandwidth `kbps` from `t_s` until the next sample.
+struct BandwidthSample {
+  double t_s = 0.0;
+  double kbps = 0.0;
+};
+
+/// Environment class a trace was generated for (see TraceGenerator).
+enum class Environment { kBroadband, kThreeG, kLte };
+
+/// Human-readable environment name ("broadband", "3g", "lte").
+std::string to_string(Environment env);
+
+/// Piecewise-constant available bandwidth over time.
+///
+/// Invariants: at least one sample, first sample at t=0, samples strictly
+/// increasing in time, all bandwidths >= 0, duration > last sample time.
+class BandwidthTrace {
+ public:
+  /// Build from samples; validates the invariants above.
+  BandwidthTrace(std::vector<BandwidthSample> samples, double duration_s,
+                 Environment env = Environment::kBroadband);
+
+  /// Convenience: constant-bandwidth trace.
+  static BandwidthTrace constant(double kbps, double duration_s);
+
+  double duration_s() const { return duration_s_; }
+  Environment environment() const { return env_; }
+  const std::vector<BandwidthSample>& samples() const { return samples_; }
+
+  /// Bandwidth at absolute time t (wraps modulo duration). kbps.
+  double bandwidth_at(double t_s) const;
+
+  /// Time-average bandwidth over one full trace period. kbps.
+  double average_kbps() const;
+
+  /// Bytes deliverable at full link rate in [t0, t1] (t1 >= t0).
+  double capacity_bytes(double t0_s, double t1_s) const;
+
+  /// Earliest time at which `bytes` can be delivered starting at `start_s`
+  /// at full link rate. Returns +inf if the trace has zero capacity.
+  double transfer_end_time(double start_s, double bytes) const;
+
+ private:
+  /// Index of the sample active at wrapped time t.
+  std::size_t index_at(double t_wrapped) const;
+
+  std::vector<BandwidthSample> samples_;
+  double duration_s_;
+  Environment env_;
+  double bytes_per_period_;  // cached full-period capacity
+};
+
+}  // namespace droppkt::net

@@ -1,0 +1,75 @@
+#include "net/link_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace droppkt::net {
+
+LinkParams link_params_for(Environment env) {
+  switch (env) {
+    case Environment::kBroadband:
+      return {.base_rtt_ms = 18.0, .rtt_jitter_ms = 5.0, .loss_rate = 0.001,
+              .efficiency = 0.94};
+    case Environment::kThreeG:
+      return {.base_rtt_ms = 130.0, .rtt_jitter_ms = 50.0, .loss_rate = 0.012,
+              .efficiency = 0.85};
+    case Environment::kLte:
+      return {.base_rtt_ms = 45.0, .rtt_jitter_ms = 18.0, .loss_rate = 0.004,
+              .efficiency = 0.90};
+  }
+  return {};
+}
+
+LinkModel::LinkModel(const BandwidthTrace& trace, LinkParams params)
+    : trace_(&trace), params_(params) {
+  DROPPKT_EXPECT(params_.efficiency > 0.0 && params_.efficiency <= 1.0,
+                 "LinkModel: efficiency must be in (0,1]");
+  DROPPKT_EXPECT(params_.loss_rate >= 0.0 && params_.loss_rate < 0.5,
+                 "LinkModel: loss rate must be in [0,0.5)");
+}
+
+LinkModel::LinkModel(const BandwidthTrace& trace)
+    : LinkModel(trace, link_params_for(trace.environment())) {}
+
+double LinkModel::sample_rtt_s(util::Rng& rng) const {
+  const double jitter = rng.lognormal(0.0, 0.4) * params_.rtt_jitter_ms;
+  return (params_.base_rtt_ms + jitter) / 1000.0;
+}
+
+TransferTiming LinkModel::transfer(double start_s, double request_bytes,
+                                   double response_bytes, util::Rng& rng) const {
+  DROPPKT_EXPECT(start_s >= 0.0, "transfer: start must be non-negative");
+  DROPPKT_EXPECT(request_bytes >= 0.0 && response_bytes >= 0.0,
+                 "transfer: byte counts must be non-negative");
+  TransferTiming t;
+  t.request_sent_s = start_s;
+  t.rtt_s = sample_rtt_s(rng);
+
+  // Uplink request is small; model it as one RTT to first response byte.
+  t.response_start_s = start_s + t.rtt_s;
+
+  // Slow-start ramp: short responses pay extra round trips before the
+  // congestion window covers the object. IW10 with MSS 1448 -> ~14.5 KB
+  // per initial round, doubling each round.
+  constexpr double kInitWindowBytes = 10.0 * 1448.0;
+  double ramp_rounds = 0.0;
+  if (response_bytes > kInitWindowBytes) {
+    ramp_rounds = std::min(5.0, std::log2(response_bytes / kInitWindowBytes));
+  }
+  const double ramp_delay = ramp_rounds * t.rtt_s * 0.5;
+
+  // Loss inflates delivered bytes (retransmissions) and efficiency covers
+  // header overhead; both reduce goodput relative to the trace's link rate.
+  const double loss_inflation = 1.0 / (1.0 - params_.loss_rate);
+  const double wire_bytes = response_bytes * loss_inflation / params_.efficiency;
+
+  const double data_start = t.response_start_s + ramp_delay;
+  t.response_end_s = trace_->transfer_end_time(data_start, wire_bytes);
+  DROPPKT_ENSURE(t.response_end_s >= data_start,
+                 "transfer: end time must not precede start");
+  return t;
+}
+
+}  // namespace droppkt::net

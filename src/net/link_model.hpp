@@ -1,0 +1,61 @@
+// Link model: turns a bandwidth trace into request/transfer timing.
+//
+// The player simulator asks "if I request `bytes` at time t, when does the
+// transfer finish?". The model accounts for request latency (RTT), a
+// slow-start ramp for short transfers, protocol efficiency, and random
+// loss (which both inflates transferred bytes via retransmission and is
+// exported to the packet generator).
+#pragma once
+
+#include "net/bandwidth_trace.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::net {
+
+/// Per-environment transport parameters.
+struct LinkParams {
+  double base_rtt_ms = 30.0;     // propagation + queueing baseline
+  double rtt_jitter_ms = 8.0;    // lognormal-ish jitter around the base
+  double loss_rate = 0.002;      // packet loss probability
+  double efficiency = 0.92;      // goodput / link rate (header + pacing waste)
+};
+
+/// Built-in transport parameters for an environment class.
+LinkParams link_params_for(Environment env);
+
+/// Result of simulating one HTTP request/response exchange.
+struct TransferTiming {
+  double request_sent_s = 0.0;    // when the request left the client
+  double response_start_s = 0.0;  // first response byte at the client
+  double response_end_s = 0.0;    // last response byte at the client
+  double rtt_s = 0.0;             // RTT sampled for this exchange
+};
+
+/// Deterministic-per-seed model of one client<->server path over a trace.
+///
+/// The trace is shared (not owned); callers guarantee it outlives the model.
+class LinkModel {
+ public:
+  LinkModel(const BandwidthTrace& trace, LinkParams params);
+
+  /// Convenience: parameters derived from the trace's environment.
+  explicit LinkModel(const BandwidthTrace& trace);
+
+  const BandwidthTrace& trace() const { return *trace_; }
+  const LinkParams& params() const { return params_; }
+
+  /// Sample an RTT for one exchange (seconds).
+  double sample_rtt_s(util::Rng& rng) const;
+
+  /// Simulate a request of `request_bytes` uplink at `start_s` answered by
+  /// `response_bytes` downlink. Models request RTT, TCP-like slow start for
+  /// small responses, loss-driven retransmission inflation and efficiency.
+  TransferTiming transfer(double start_s, double request_bytes,
+                          double response_bytes, util::Rng& rng) const;
+
+ private:
+  const BandwidthTrace* trace_;
+  LinkParams params_;
+};
+
+}  // namespace droppkt::net

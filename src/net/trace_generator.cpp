@@ -1,0 +1,139 @@
+#include "net/trace_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace droppkt::net {
+
+const EnvironmentModel& environment_model(Environment env) {
+  // Levels chosen so the pooled average-bandwidth CDF spans roughly
+  // 10^2..10^5 kbps, as in the paper's Figure 3a: 3G traces populate the
+  // low end (hundreds of kbps), broadband the middle, LTE the high tail.
+  static const EnvironmentModel kBroadband{
+      /*level_log_mean=*/std::log(11000.0), /*level_log_sd=*/0.8,
+      /*min_kbps=*/200.0, /*max_kbps=*/120000.0,
+      /*degraded_factor=*/0.35, /*outage_prob=*/0.02,
+      /*mean_dwell_s=*/45.0, /*noise_sd_frac=*/0.08, /*ar_coeff=*/0.85,
+      // DSL sub-population: the FCC corpus mixes cable/fiber with slower
+      // DSL lines in the 1.5-4 Mbps band.
+      /*mode2_prob=*/0.45, /*mode2_log_mean=*/std::log(2200.0),
+      /*mode2_log_sd=*/0.50};
+  static const EnvironmentModel kThreeG{
+      /*level_log_mean=*/std::log(1600.0), /*level_log_sd=*/0.65,
+      /*min_kbps=*/0.0, /*max_kbps=*/8000.0,
+      /*degraded_factor=*/0.25, /*outage_prob=*/0.09,
+      /*mean_dwell_s=*/15.0, /*noise_sd_frac=*/0.30, /*ar_coeff=*/0.7};
+  static const EnvironmentModel kLte{
+      /*level_log_mean=*/std::log(12000.0), /*level_log_sd=*/0.85,
+      /*min_kbps=*/100.0, /*max_kbps=*/110000.0,
+      /*degraded_factor=*/0.2, /*outage_prob=*/0.06,
+      /*mean_dwell_s=*/10.0, /*noise_sd_frac=*/0.25, /*ar_coeff=*/0.75};
+  switch (env) {
+    case Environment::kBroadband: return kBroadband;
+    case Environment::kThreeG: return kThreeG;
+    case Environment::kLte: return kLte;
+  }
+  return kBroadband;
+}
+
+TraceGenerator::TraceGenerator(std::uint64_t seed) : rng_(seed) {}
+
+BandwidthTrace TraceGenerator::generate(Environment env, double duration_s) {
+  DROPPKT_EXPECT(duration_s >= 1.0, "TraceGenerator: duration must be >= 1 s");
+  const EnvironmentModel& m = environment_model(env);
+
+  const bool second_mode = m.mode2_prob > 0.0 && rng_.bernoulli(m.mode2_prob);
+  const double base_level = std::clamp(
+      second_mode ? rng_.lognormal(m.mode2_log_mean, m.mode2_log_sd)
+                  : rng_.lognormal(m.level_log_mean, m.level_log_sd),
+      m.min_kbps, m.max_kbps);
+
+  enum class Regime { kGood, kDegraded, kOutage };
+  Regime regime = Regime::kGood;
+  double regime_until = rng_.exponential(1.0 / m.mean_dwell_s);
+  double ar_state = 0.0;  // multiplicative noise in log space
+
+  std::vector<BandwidthSample> samples;
+  const auto n = static_cast<std::size_t>(std::ceil(duration_s));
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    if (t >= regime_until) {
+      // Regime switch: outage with probability outage_prob, else the good
+      // and degraded regimes alternate-ish via a fair pick.
+      const double u = rng_.uniform01();
+      if (u < m.outage_prob) {
+        regime = Regime::kOutage;
+        // Outages are short relative to the dwell time.
+        regime_until = t + std::max(1.0, rng_.exponential(1.0 / (m.mean_dwell_s * 0.15)));
+      } else {
+        regime = rng_.bernoulli(0.65) ? Regime::kGood : Regime::kDegraded;
+        regime_until = t + std::max(1.0, rng_.exponential(1.0 / m.mean_dwell_s));
+      }
+    }
+    ar_state = m.ar_coeff * ar_state + rng_.normal(0.0, m.noise_sd_frac);
+    double level = base_level * std::exp(ar_state);
+    switch (regime) {
+      case Regime::kGood: break;
+      case Regime::kDegraded: level *= m.degraded_factor; break;
+      case Regime::kOutage: level *= 0.01; break;
+    }
+    level = std::clamp(level, m.min_kbps, m.max_kbps);
+    samples.push_back({t, level});
+  }
+  return BandwidthTrace(std::move(samples), static_cast<double>(n), env);
+}
+
+TracePool::TracePool(std::size_t count, std::uint64_t seed) {
+  DROPPKT_EXPECT(count > 0, "TracePool: count must be positive");
+  TraceGenerator gen(seed);
+  util::Rng rng(seed ^ 0x7f4a7c15ULL);
+  traces_.reserve(count);
+  // Environment mix mirroring the paper's corpus: fixed broadband, 3G, LTE.
+  const std::vector<double> weights{0.40, 0.30, 0.30};
+  const Environment envs[] = {Environment::kBroadband, Environment::kThreeG,
+                              Environment::kLte};
+  for (std::size_t i = 0; i < count; ++i) {
+    const Environment env = envs[rng.weighted_index(weights)];
+    // Trace period: long enough that wrap-around is rare within a session.
+    const double dur = rng.uniform(300.0, 900.0);
+    traces_.push_back(gen.generate(env, dur));
+  }
+}
+
+const BandwidthTrace& TracePool::trace(std::size_t i) const {
+  DROPPKT_EXPECT(i < traces_.size(), "TracePool::trace: index out of range");
+  return traces_[i];
+}
+
+const BandwidthTrace& TracePool::sample(util::Rng& rng) const {
+  return traces_[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(traces_.size()) - 1))];
+}
+
+double TracePool::sample_session_duration(util::Rng& rng) const {
+  // Figure 3b histogram shape: bins in minutes with weights tuned to the
+  // paper's plot (short sessions dominate, long tail to 20 min).
+  struct Bin {
+    double lo_s, hi_s, weight;
+  };
+  static const Bin kBins[] = {
+      {15.0, 60.0, 0.28}, {60.0, 120.0, 0.24}, {120.0, 300.0, 0.28},
+      {300.0, 1200.0, 0.20}};
+  std::vector<double> w;
+  for (const auto& b : kBins) w.push_back(b.weight);
+  const Bin& bin = kBins[rng.weighted_index(w)];
+  // Log-uniform within the bin so long bins are not dominated by their top.
+  return std::exp(rng.uniform(std::log(bin.lo_s), std::log(bin.hi_s)));
+}
+
+std::vector<double> TracePool::average_bandwidths() const {
+  std::vector<double> avgs;
+  avgs.reserve(traces_.size());
+  for (const auto& t : traces_) avgs.push_back(t.average_kbps());
+  return avgs;
+}
+
+}  // namespace droppkt::net

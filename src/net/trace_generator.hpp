@@ -1,0 +1,77 @@
+// Synthetic bandwidth-trace generation.
+//
+// Substitutes for the public trace datasets the paper replays (FCC fixed
+// broadband [2], Riiser et al. 3G [27], van der Hooft et al. LTE [32]).
+// Each environment is modelled as a Markov-modulated process: a small set
+// of regimes (good / degraded / outage) with exponential dwell times, and
+// AR(1) noise around the regime level at 1 Hz. The per-trace base level is
+// drawn log-normally so the pool's average-bandwidth CDF spans the
+// 10^2..10^5 kbps range shown in the paper's Figure 3a.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/bandwidth_trace.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::net {
+
+/// Tunables for one environment's Markov-modulated generator.
+struct EnvironmentModel {
+  double level_log_mean;    // ln(kbps) of the per-trace base level
+  double level_log_sd;      // spread of the base level across traces
+  double min_kbps;          // clamp for generated samples
+  double max_kbps;
+  double degraded_factor;   // regime level multiplier when degraded
+  double outage_prob;       // probability a regime switch lands in outage
+  double mean_dwell_s;      // mean regime dwell time
+  double noise_sd_frac;     // AR(1) innovation stddev as fraction of level
+  double ar_coeff;          // AR(1) coefficient in [0,1)
+  // Optional second population of access links (e.g. DSL within the fixed
+  // broadband corpus). Probability 0 disables it.
+  double mode2_prob = 0.0;
+  double mode2_log_mean = 0.0;
+  double mode2_log_sd = 0.0;
+};
+
+/// Built-in model for an environment class.
+const EnvironmentModel& environment_model(Environment env);
+
+/// Generates bandwidth traces for the three environment classes.
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(std::uint64_t seed);
+
+  /// One trace of the given environment and length (1 Hz samples).
+  BandwidthTrace generate(Environment env, double duration_s);
+
+ private:
+  util::Rng rng_;
+};
+
+/// A fixed, seeded pool of traces representing the paper's replay corpus,
+/// plus the session-duration distribution of Figure 3b (10..1200 s).
+class TracePool {
+ public:
+  /// Generate `count` traces with the paper's environment mix.
+  TracePool(std::size_t count, std::uint64_t seed);
+
+  std::size_t size() const { return traces_.size(); }
+  const BandwidthTrace& trace(std::size_t i) const;
+
+  /// Uniformly sample a trace for a session.
+  const BandwidthTrace& sample(util::Rng& rng) const;
+
+  /// Sample an intended session duration (seconds) following the paper's
+  /// histogram bins {0-1, 1-2, 2-5, 5-20 min}, bounded to [10, 1200] s.
+  double sample_session_duration(util::Rng& rng) const;
+
+  /// Average bandwidth of every trace in the pool (for the Fig. 3a CDF).
+  std::vector<double> average_bandwidths() const;
+
+ private:
+  std::vector<BandwidthTrace> traces_;
+};
+
+}  // namespace droppkt::net

@@ -1,0 +1,204 @@
+#include "trace/connection_manager.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace droppkt::trace {
+
+namespace {
+std::string format_host(const std::string& fmt, int index) {
+  // fmt contains a single %d placeholder.
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), fmt.c_str(), index);
+  return std::string(buf);
+}
+}  // namespace
+
+ConnectionManager::ConnectionManager(const has::ConnectionPolicy& policy,
+                                     util::Rng& rng)
+    : policy_(policy) {
+  DROPPKT_EXPECT(policy_.cdn_hosts_per_session >= 1,
+                 "ConnectionManager: need at least one CDN host per session");
+  DROPPKT_EXPECT(policy_.cdn_pool_size >= policy_.cdn_hosts_per_session,
+                 "ConnectionManager: pool smaller than per-session host count");
+  DROPPKT_EXPECT(!policy_.cdn_host_format.empty(),
+                 "ConnectionManager: cdn_host_format must be set");
+  // Pick distinct shard indices from the service-wide pool. A new session
+  // picking a (mostly) fresh server set is the second insight behind the
+  // paper's session-identification heuristic.
+  std::set<int> chosen;
+  while (static_cast<int>(chosen.size()) < policy_.cdn_hosts_per_session) {
+    chosen.insert(static_cast<int>(
+        rng.uniform_int(0, policy_.cdn_pool_size - 1)));
+  }
+  for (int idx : chosen) {
+    cdn_hosts_.push_back(format_host(policy_.cdn_host_format, idx));
+  }
+}
+
+TlsLog ConnectionManager::collect(has::HttpLog& http, util::Rng& rng) const {
+  // Live connection state per host.
+  struct Conn {
+    std::string host;
+    double open_s = 0.0;
+    double last_activity_s = 0.0;
+    double ul = 0.0;
+    double dl = 0.0;
+    std::size_t n_http = 0;
+    std::int32_t id = -1;  // stable identifier exposed to the packet layer
+  };
+  std::map<std::string, std::vector<Conn>> open;  // host -> live connections
+  std::int32_t next_conn_id = 0;
+  TlsLog out;
+
+  // Browser preconnect: TLS connections to the session's CDN shards open
+  // as soon as the page loads, before any media request. They are reused
+  // by the first requests to each host (or time out unused) and give the
+  // session start its characteristic burst of fresh-server transactions.
+  if (!http.empty()) {
+    const double t0 = http.front().request_s;
+    for (const auto& host : cdn_hosts_) {
+      const double open_s = t0 + rng.uniform(0.05, 0.8);
+      open[host].push_back(Conn{.host = host,
+                                .open_s = open_s,
+                                .last_activity_s = open_s,
+                                .id = next_conn_id++});
+    }
+  }
+
+  auto finalize = [&](Conn&& c, double close_s) {
+    out.push_back({.start_s = c.open_s,
+                   .end_s = close_s,
+                   .ul_bytes = c.ul + policy_.handshake_ul_bytes,
+                   .dl_bytes = c.dl + policy_.handshake_dl_bytes,
+                   .sni = c.host,
+                   .http_count = c.n_http});
+  };
+
+  // Per-session HPACK efficiency (client builds differ in how much header
+  // state they let the dynamic table absorb).
+  const double hpack_factor = rng.uniform(0.10, 0.35);
+
+  // The media host a request goes to: sticky primary shard with occasional
+  // failover to another of the session's shards.
+  std::size_t primary = 0;
+  if (cdn_hosts_.size() > 1) {
+    primary = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cdn_hosts_.size()) - 1));
+  }
+
+  for (auto& txn : http) {
+    // 1. Host assignment by request kind.
+    switch (txn.kind) {
+      case has::HttpKind::kManifest:
+        txn.host = policy_.api_host;
+        break;
+      case has::HttpKind::kBeacon:
+        txn.host = policy_.beacon_host;
+        break;
+      case has::HttpKind::kAsset:
+        // Assets split between the API host and the session's CDN shards.
+        if (rng.bernoulli(0.5)) {
+          txn.host = policy_.api_host;
+          break;
+        }
+        [[fallthrough]];
+      case has::HttpKind::kInitSegment:
+      case has::HttpKind::kVideoSegment:
+      case has::HttpKind::kAudioSegment: {
+        if (cdn_hosts_.size() > 1 && rng.bernoulli(0.04)) {
+          // Occasional shard switch (CDN load balancing).
+          primary = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(cdn_hosts_.size()) - 1));
+        }
+        txn.host = cdn_hosts_[primary];
+        break;
+      }
+    }
+
+    // 2. Connection selection: reuse a live connection on that host if it
+    // is within the idle timeout and under the request cap.
+    auto& conns = open[txn.host];
+    // Expire idle connections first.
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (txn.request_s - it->last_activity_s > policy_.idle_timeout_s) {
+        const double close_s = it->last_activity_s + policy_.idle_timeout_s;
+        finalize(std::move(*it), close_s);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    Conn* chosen = nullptr;
+    for (auto& c : conns) {
+      // A connection can only take the request if it is idle at that
+      // moment — overlapping exchanges force additional connections,
+      // which is what produces the burst of TLS transactions at session
+      // start that the session-identification heuristic relies on.
+      const bool idle_now = c.last_activity_s <= txn.request_s;
+      if (idle_now && c.n_http < static_cast<std::size_t>(
+                                     policy_.max_requests_per_connection)) {
+        // Most-recently-used reuse keeps the pool small, as browsers do.
+        if (chosen == nullptr || c.last_activity_s > chosen->last_activity_s) {
+          chosen = &c;
+        }
+      }
+    }
+    if (chosen == nullptr) {
+      conns.push_back(Conn{.host = txn.host,
+                           .open_s = txn.request_s,
+                           .last_activity_s = txn.request_s,
+                           .id = next_conn_id++});
+      chosen = &conns.back();
+    }
+
+    // 3. Account the exchange on the connection. Repeated requests on a
+    // connection are HPACK-compressed: after the first exchange, most
+    // header bytes collapse into the dynamic table, so uplink volume
+    // tracks connection count far more than request count.
+    txn.connection_id = chosen->id;
+    if (chosen->n_http > 0) {
+      txn.ul_bytes *= hpack_factor;
+    }
+    chosen->ul += txn.ul_bytes;
+    chosen->dl += txn.dl_bytes;
+    chosen->n_http += 1;
+    chosen->last_activity_s = std::max(chosen->last_activity_s, txn.response_end_s);
+
+    if (chosen->n_http >=
+        static_cast<std::size_t>(policy_.max_requests_per_connection)) {
+      // Request cap reached: connection closes right after the response.
+      Conn done = std::move(*chosen);
+      conns.erase(conns.begin() + (chosen - conns.data()));
+      const double close_s = done.last_activity_s + 0.05;
+      finalize(std::move(done), close_s);
+    }
+  }
+
+  // 4. Player closed: remaining connections linger until the idle timeout
+  // (the paper's overlapping-transaction effect for back-to-back sessions).
+  for (auto& [host, conns] : open) {
+    for (auto& c : conns) {
+      const double close_s = c.last_activity_s + policy_.idle_timeout_s;
+      finalize(std::move(c), close_s);
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const TlsTransaction& a, const TlsTransaction& b) {
+              return a.start_s < b.start_s;
+            });
+  return out;
+}
+
+double total_bytes(const TlsLog& log) {
+  double total = 0.0;
+  for (const auto& t : log) total += t.ul_bytes + t.dl_bytes;
+  return total;
+}
+
+}  // namespace droppkt::trace

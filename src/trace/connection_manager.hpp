@@ -1,0 +1,40 @@
+// Client connection management: maps HTTP transactions onto TLS
+// connections according to a service's ConnectionPolicy.
+//
+// This is the layer that makes TLS transaction data "coarse": many HTTP
+// exchanges share one connection, so the proxy's per-connection record
+// hides the individual segment requests (paper Section 2.2, Figure 2).
+#pragma once
+
+#include "has/http_transaction.hpp"
+#include "has/service_profile.hpp"
+#include "trace/records.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::trace {
+
+/// Groups a session's HTTP log onto TLS connections.
+///
+/// Construction picks the session's server set (CDN shards, API host,
+/// beacon host); `collect` assigns a host to every HTTP transaction
+/// (mutating its `host` field) and returns the proxy-visible TLS log.
+class ConnectionManager {
+ public:
+  ConnectionManager(const has::ConnectionPolicy& policy, util::Rng& rng);
+
+  /// The CDN hostnames this session shards across.
+  const std::vector<std::string>& session_hosts() const { return cdn_hosts_; }
+
+  /// Assign hosts and build the TLS log. `http` must be sorted by
+  /// request time (the player guarantees this).
+  TlsLog collect(has::HttpLog& http, util::Rng& rng) const;
+
+ private:
+  has::ConnectionPolicy policy_;
+  std::vector<std::string> cdn_hosts_;
+};
+
+/// Total bytes (up + down) in a TLS log — sanity/consistency helper.
+double total_bytes(const TlsLog& log);
+
+}  // namespace droppkt::trace

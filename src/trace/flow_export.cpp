@@ -1,0 +1,104 @@
+#include "trace/flow_export.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace droppkt::trace {
+
+std::string server_ip_for_host(const std::string& host) {
+  const auto h = std::hash<std::string>{}(host);
+  return "203.0." + std::to_string((h >> 8) & 0xff) + "." +
+         std::to_string(h & 0xff);
+}
+
+FlowExporter::FlowExporter(FlowExportConfig config) : config_(config) {
+  DROPPKT_EXPECT(config_.active_timeout_s > 0.0,
+                 "FlowExporter: active timeout must be positive");
+  DROPPKT_EXPECT(config_.inactive_timeout_s > 0.0,
+                 "FlowExporter: inactive timeout must be positive");
+}
+
+FlowLog FlowExporter::export_flows(
+    const PacketLog& packets,
+    const std::vector<std::pair<std::uint32_t, std::string>>& ip_of_flow) const {
+  std::map<std::uint32_t, std::string> ip_map(ip_of_flow.begin(),
+                                              ip_of_flow.end());
+  struct Open {
+    FlowRecord rec;
+  };
+  std::map<std::uint32_t, Open> open;
+  FlowLog out;
+
+  auto flush = [&out](Open&& o) { out.push_back(std::move(o.rec)); };
+
+  double prev_ts = -1e18;
+  for (const auto& p : packets) {
+    DROPPKT_EXPECT(p.ts_s >= prev_ts, "FlowExporter: packets must be sorted");
+    prev_ts = p.ts_s;
+
+    auto it = open.find(p.flow_id);
+    if (it != open.end()) {
+      // Timeout-driven record cuts.
+      const bool inactive =
+          p.ts_s - it->second.rec.last_s > config_.inactive_timeout_s;
+      const bool active_expired =
+          p.ts_s - it->second.rec.first_s > config_.active_timeout_s;
+      if (inactive || active_expired) {
+        flush(std::move(it->second));
+        open.erase(it);
+        it = open.end();
+      }
+    }
+    if (it == open.end()) {
+      Open o;
+      o.rec.first_s = p.ts_s;
+      o.rec.last_s = p.ts_s;
+      o.rec.flow_id = p.flow_id;
+      auto ip_it = ip_map.find(p.flow_id);
+      o.rec.server_ip =
+          ip_it != ip_map.end() ? ip_it->second : std::string("0.0.0.0");
+      it = open.emplace(p.flow_id, std::move(o)).first;
+    }
+
+    FlowRecord& rec = it->second.rec;
+    rec.last_s = p.ts_s;
+    if (p.dir == Direction::kUplink) {
+      rec.ul_bytes += p.size_bytes;
+      rec.ul_packets += 1;
+    } else {
+      rec.dl_bytes += p.size_bytes;
+      rec.dl_packets += 1;
+    }
+  }
+  for (auto& [id, o] : open) flush(std::move(o));
+
+  std::sort(out.begin(), out.end(), [](const FlowRecord& a, const FlowRecord& b) {
+    return a.first_s < b.first_s;
+  });
+  return out;
+}
+
+FlowLog identify_video_flows(const FlowLog& flows, const DnsLog& dns,
+                             const std::string& domain_suffix) {
+  DROPPKT_EXPECT(!domain_suffix.empty(),
+                 "identify_video_flows: domain suffix must be non-empty");
+  std::set<std::string> video_ips;
+  for (const auto& r : dns) {
+    if (r.name.size() >= domain_suffix.size() &&
+        r.name.compare(r.name.size() - domain_suffix.size(),
+                       domain_suffix.size(), domain_suffix) == 0) {
+      video_ips.insert(r.ip);
+    }
+  }
+  FlowLog out;
+  for (const auto& f : flows) {
+    if (video_ips.count(f.server_ip)) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace droppkt::trace

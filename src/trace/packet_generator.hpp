@@ -1,0 +1,41 @@
+// Packet trace generation: the fine-grained substrate the paper compares
+// against (tcpdump-style captures feeding the ML16 baseline [12]).
+//
+// Each HTTP exchange is expanded into uplink request packets, MSS-sized
+// downlink data packets paced across the measured transfer window, client
+// ACKs, and loss-driven retransmissions. The result is what a capture at
+// the client's access link would record.
+#pragma once
+
+#include "has/http_transaction.hpp"
+#include "net/link_model.hpp"
+#include "trace/records.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::trace {
+
+struct PacketGenOptions {
+  std::uint32_t mss_bytes = 1448;      // TCP payload per data packet
+  std::uint32_t header_bytes = 52;     // IP+TCP headers (with timestamps)
+  int ack_every = 2;                   // delayed ACK: one ACK per N data pkts
+};
+
+/// Expands HTTP transaction logs into packet logs.
+class PacketTraceGenerator {
+ public:
+  PacketTraceGenerator(net::LinkParams params, PacketGenOptions opts = {});
+
+  /// Generate the packet view of a session's HTTP log. Deterministic for a
+  /// given Rng state. Packets are returned sorted by timestamp.
+  PacketLog generate(const has::HttpLog& http, util::Rng& rng) const;
+
+  /// Number of packets `generate` would emit, without materializing them
+  /// (loss ignored; used for overhead accounting).
+  std::size_t estimate_packet_count(const has::HttpLog& http) const;
+
+ private:
+  net::LinkParams params_;
+  PacketGenOptions opts_;
+};
+
+}  // namespace droppkt::trace

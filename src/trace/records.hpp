@@ -1,0 +1,47 @@
+// Measurement-plane record types.
+//
+// TlsTransaction is the paper's unit of coarse-grained data: what a
+// transparent proxy (Squid-style) exports per TLS connection — start/end
+// time, uplink/downlink byte counts, and the SNI hostname. PacketRecord is
+// the fine-grained comparison substrate used by the ML16 baseline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace droppkt::trace {
+
+/// One TLS connection as reported by a transparent proxy.
+struct TlsTransaction {
+  double start_s = 0.0;   // connection open (ClientHello)
+  double end_s = 0.0;     // connection teardown / timeout at the proxy
+  double ul_bytes = 0.0;  // client -> server, including handshake
+  double dl_bytes = 0.0;  // server -> client, including handshake
+  std::string sni;        // Server Name Indication from the ClientHello
+  std::size_t http_count = 0;  // HTTP exchanges carried (diagnostic only;
+                               // a real proxy cannot see this)
+
+  double duration_s() const { return end_s - start_s; }
+};
+
+/// Packet direction relative to the client.
+enum class Direction : std::uint8_t { kUplink, kDownlink };
+
+/// One packet as a capture tool would record it.
+struct PacketRecord {
+  double ts_s = 0.0;       // capture timestamp
+  Direction dir = Direction::kDownlink;
+  std::uint32_t size_bytes = 0;   // on-the-wire size
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t flow_id = 0;      // connection identifier
+  bool retransmission = false;
+  bool is_syn = false;
+  bool is_fin = false;
+};
+
+using TlsLog = std::vector<TlsTransaction>;
+using PacketLog = std::vector<PacketRecord>;
+
+}  // namespace droppkt::trace

@@ -1,0 +1,29 @@
+// A fully-simulated session: ground truth + both measurement views' inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "has/player.hpp"
+#include "net/bandwidth_trace.hpp"
+#include "trace/records.hpp"
+
+namespace droppkt::trace {
+
+/// One session of the evaluation dataset.
+struct SessionRecord {
+  std::string service;           // "Svc1" | "Svc2" | "Svc3"
+  std::string video_id;
+  net::Environment environment = net::Environment::kBroadband;
+  double trace_avg_kbps = 0.0;   // average bandwidth of the replayed trace
+  double watch_duration_s = 0.0; // intended watch time
+  std::uint64_t seed = 0;        // per-session seed (regenerates packets)
+  has::GroundTruth ground_truth;
+  has::HttpLog http;             // fine-grained application view
+  TlsLog tls;                    // coarse-grained proxy view
+};
+
+using SessionDataset = std::vector<SessionRecord>;
+
+}  // namespace droppkt::trace

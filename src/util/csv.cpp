@@ -1,0 +1,141 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace droppkt::util {
+
+CsvTable::CsvTable(std::vector<std::string> header) : header_(std::move(header)) {
+  DROPPKT_EXPECT(!header_.empty(), "CsvTable: header must be non-empty");
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  DROPPKT_EXPECT(row.size() == header_.size(),
+                 "CsvTable::add_row: row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<std::string>& CsvTable::row(std::size_t i) const {
+  DROPPKT_EXPECT(i < rows_.size(), "CsvTable::row: index out of range");
+  return rows_[i];
+}
+
+std::size_t CsvTable::col(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw ContractViolation("CsvTable::col: no column named '" + name + "'");
+}
+
+const std::string& CsvTable::at(std::size_t r, std::size_t c) const {
+  DROPPKT_EXPECT(r < rows_.size() && c < header_.size(),
+                 "CsvTable::at: index out of range");
+  return rows_[r][c];
+}
+
+double CsvTable::at_double(std::size_t r, std::size_t c) const {
+  const std::string& s = at(r, c);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  DROPPKT_EXPECT(ec == std::errc() && ptr == s.data() + s.size(),
+                 "CsvTable::at_double: cell is not a number: " + s);
+  return value;
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> csv_split_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+void CsvTable::write(std::ostream& os) const {
+  auto write_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  write_row(header_);
+  for (const auto& r : rows_) write_row(r);
+}
+
+void CsvTable::write_file(const std::string& path) const {
+  std::ofstream ofs(path);
+  if (!ofs) throw std::runtime_error("CsvTable: cannot open for write: " + path);
+  write(ofs);
+  if (!ofs) throw std::runtime_error("CsvTable: write failed: " + path);
+}
+
+CsvTable CsvTable::read(std::istream& is) {
+  std::string line;
+  CsvTable table;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    auto fields = csv_split_line(line);
+    if (!have_header) {
+      table.header_ = std::move(fields);
+      have_header = true;
+    } else {
+      table.add_row(std::move(fields));
+    }
+  }
+  DROPPKT_EXPECT(have_header, "CsvTable::read: input had no header row");
+  return table;
+}
+
+CsvTable CsvTable::read_file(const std::string& path) {
+  std::ifstream ifs(path);
+  if (!ifs) throw std::runtime_error("CsvTable: cannot open for read: " + path);
+  return read(ifs);
+}
+
+std::string format_double(double v) {
+  std::ostringstream oss;
+  oss.precision(6);
+  oss << v;
+  return oss.str();
+}
+
+}  // namespace droppkt::util

@@ -1,0 +1,61 @@
+// Minimal CSV reading/writing for datasets and experiment outputs.
+//
+// Only what the repo needs: RFC-4180-style quoting for fields containing
+// commas/quotes/newlines, header row handling, and string<->double helpers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace droppkt::util {
+
+/// In-memory CSV table: a header plus uniform-width rows of strings.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Append a row; its width must equal the header width.
+  void add_row(std::vector<std::string> row);
+
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Column index of a named header; throws if absent.
+  std::size_t col(const std::string& name) const;
+
+  /// Cell accessors.
+  const std::string& at(std::size_t row, std::size_t col) const;
+  double at_double(std::size_t row, std::size_t col) const;
+
+  /// Serialize to an output stream with CRLF-free line endings.
+  void write(std::ostream& os) const;
+
+  /// Write to a file path; throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+  /// Parse from a stream. First row is treated as the header.
+  static CsvTable read(std::istream& is);
+
+  /// Read from a file path; throws std::runtime_error on I/O failure.
+  static CsvTable read_file(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a single CSV field if needed.
+std::string csv_escape(const std::string& field);
+
+/// Split one CSV line honoring quotes. Exposed for testing.
+std::vector<std::string> csv_split_line(const std::string& line);
+
+/// Format a double compactly (up to 6 significant digits, no trailing zeros).
+std::string format_double(double v);
+
+}  // namespace droppkt::util

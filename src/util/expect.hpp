@@ -1,0 +1,47 @@
+// Lightweight precondition / invariant checking for droppkt.
+//
+// The library is used both from experiment harnesses (where a violated
+// precondition is a programming error and should terminate loudly) and from
+// tests (which exercise error paths). We therefore throw a dedicated
+// exception type rather than calling std::abort, so tests can assert on it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace droppkt {
+
+/// Thrown when a documented precondition or internal invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::string full = std::string(kind) + " failed: " + expr + " at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw ContractViolation(full);
+}
+}  // namespace detail
+
+}  // namespace droppkt
+
+/// Check a caller-facing precondition. Throws ContractViolation on failure.
+#define DROPPKT_EXPECT(cond, msg)                                               \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::droppkt::detail::contract_fail("precondition", #cond, __FILE__,         \
+                                       __LINE__, (msg));                        \
+  } while (false)
+
+/// Check an internal invariant. Throws ContractViolation on failure.
+#define DROPPKT_ENSURE(cond, msg)                                               \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::droppkt::detail::contract_fail("invariant", #cond, __FILE__, __LINE__,  \
+                                       (msg));                                  \
+  } while (false)

@@ -1,0 +1,153 @@
+#include "util/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace droppkt::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  DROPPKT_EXPECT(!header_.empty(), "TextTable: header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  DROPPKT_EXPECT(row.size() == header_.size(),
+                 "TextTable::add_row: row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? " | " : "| ");
+      out << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit(header_);
+  out << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& entries,
+                      int width, const std::string& unit) {
+  DROPPKT_EXPECT(width > 0, "bar_chart: width must be positive");
+  double max_v = 0.0;
+  std::size_t max_label = 0;
+  for (const auto& [label, v] : entries) {
+    DROPPKT_EXPECT(v >= 0.0, "bar_chart: values must be non-negative");
+    max_v = std::max(max_v, v);
+    max_label = std::max(max_label, label.size());
+  }
+  std::ostringstream out;
+  for (const auto& [label, v] : entries) {
+    const int bar =
+        max_v > 0.0 ? static_cast<int>(std::lround(v / max_v * width)) : 0;
+    out << "  " << label << std::string(max_label - label.size(), ' ') << " | "
+        << std::string(static_cast<std::size_t>(bar), '#') << ' '
+        << format_fixed_or_general(v) << unit << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+std::string trim_zeros(std::string s) {
+  if (s.find('.') == std::string::npos) return s;
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+}  // namespace
+
+std::string fixed(double v, int decimals) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(decimals);
+  oss << v;
+  return oss.str();
+}
+
+std::string pct(double fraction, int decimals) {
+  return fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string cdf_chart(const std::vector<double>& values,
+                      const std::vector<double>& at_fractions,
+                      const std::string& x_label) {
+  std::ostringstream out;
+  out << "  CDF of " << x_label << " (n=" << values.size() << ")\n";
+  for (double f : at_fractions) {
+    DROPPKT_EXPECT(f >= 0.0 && f <= 1.0, "cdf_chart: fractions must be in [0,1]");
+    const double x = percentile(values, f * 100.0);
+    const int bar = static_cast<int>(std::lround(f * 40));
+    out << "  p" << fixed(f * 100.0, 0) << (f * 100.0 < 10 ? "  " : f * 100.0 < 100 ? " " : "")
+        << " | " << std::string(static_cast<std::size_t>(bar), '#')
+        << std::string(static_cast<std::size_t>(40 - bar), ' ') << " | "
+        << trim_zeros(fixed(x, 1)) << '\n';
+  }
+  return out.str();
+}
+
+std::string histogram(const std::vector<double>& values,
+                      const std::vector<double>& edges,
+                      const std::vector<std::string>& bin_labels,
+                      const std::string& title) {
+  DROPPKT_EXPECT(edges.size() >= 2, "histogram: need at least two edges");
+  DROPPKT_EXPECT(bin_labels.size() == edges.size() - 1,
+                 "histogram: one label per bin");
+  std::vector<std::size_t> counts(bin_labels.size(), 0);
+  for (double v : values) {
+    for (std::size_t b = 0; b + 1 < edges.size(); ++b) {
+      const bool last = (b + 2 == edges.size());
+      if (v >= edges[b] && (v < edges[b + 1] || (last && v <= edges[b + 1]))) {
+        ++counts[b];
+        break;
+      }
+    }
+  }
+  const double n = values.empty() ? 1.0 : static_cast<double>(values.size());
+  std::vector<std::pair<std::string, double>> entries;
+  entries.reserve(bin_labels.size());
+  for (std::size_t b = 0; b < bin_labels.size(); ++b) {
+    entries.emplace_back(bin_labels[b], 100.0 * static_cast<double>(counts[b]) / n);
+  }
+  return "  " + title + " (% of sessions)\n" + bar_chart(entries, 40, "%");
+}
+
+std::string box_plot(
+    const std::vector<std::pair<std::string, std::vector<double>>>& groups,
+    const std::string& value_label) {
+  TextTable t({"group", "n", "min", "q25", "median", "q75", "max"});
+  for (const auto& [name, vals] : groups) {
+    t.add_row({name, std::to_string(vals.size()), trim_zeros(fixed(percentile(vals, 0), 2)),
+               trim_zeros(fixed(percentile(vals, 25), 2)),
+               trim_zeros(fixed(percentile(vals, 50), 2)),
+               trim_zeros(fixed(percentile(vals, 75), 2)),
+               trim_zeros(fixed(percentile(vals, 100), 2))});
+  }
+  return "  " + value_label + "\n" + t.render();
+}
+
+std::string format_fixed_or_general(double v) {
+  if (std::abs(v) >= 1000.0 || v == std::floor(v)) return trim_zeros(fixed(v, 0));
+  return trim_zeros(fixed(v, 2));
+}
+
+}  // namespace droppkt::util

@@ -1,0 +1,58 @@
+// ASCII rendering of experiment outputs: aligned tables, bar charts, CDFs
+// and box plots. The bench binaries regenerate the paper's tables/figures
+// as text, so "plotting" here means producing readable terminal output.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace droppkt::util {
+
+/// A padded, pipe-separated text table with a header rule.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with each column padded to its widest cell.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Horizontal bar chart: one labelled bar per entry, scaled to `width` chars.
+/// Values must be non-negative.
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& entries,
+                      int width = 40, const std::string& unit = "");
+
+/// Render an empirical CDF as rows of (x, F(x)) sampled at the given
+/// fractions (e.g. deciles), with a bar visualization.
+std::string cdf_chart(const std::vector<double>& values,
+                      const std::vector<double>& at_fractions,
+                      const std::string& x_label);
+
+/// Histogram over explicit bin edges; renders percentage per bin.
+std::string histogram(const std::vector<double>& values,
+                      const std::vector<double>& edges,
+                      const std::vector<std::string>& bin_labels,
+                      const std::string& title);
+
+/// Box-plot summary line (min, q25, median, q75, max, n) per group.
+std::string box_plot(const std::vector<std::pair<std::string, std::vector<double>>>& groups,
+                     const std::string& value_label);
+
+/// Format a fraction as a percent string like "72%".
+std::string pct(double fraction, int decimals = 0);
+
+/// Format "12.3" style fixed-point.
+std::string fixed(double v, int decimals);
+
+/// Compact numeric formatting for chart annotations: integers and large
+/// values rounded, small values with two decimals.
+std::string format_fixed_or_general(double v);
+
+}  // namespace droppkt::util

@@ -1,0 +1,74 @@
+// Deterministic random number generation.
+//
+// Everything in droppkt that draws randomness takes an explicit Rng&, so a
+// whole experiment (trace pool, catalog, player, ML model) is reproducible
+// from one seed. The engine is xoshiro256**, seeded via SplitMix64 — fast,
+// high quality, and independent of libstdc++'s unspecified distributions
+// (we implement our own so results are bit-identical across platforms).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace droppkt::util {
+
+/// Deterministic xoshiro256** engine with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a single 64-bit seed (SplitMix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Raw 64 random bits.
+  result_type operator()() { return next(); }
+
+  /// Derive an independent child generator (for parallel substreams).
+  Rng fork();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with given mean and standard deviation (sd >= 0).
+  double normal(double mean, double sd);
+
+  /// Exponential with given rate lambda > 0.
+  double exponential(double lambda);
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial with success probability p in [0,1].
+  bool bernoulli(double p);
+
+  /// Sample an index according to non-negative weights (at least one > 0).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t next();
+
+  std::uint64_t state_[4]{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace droppkt::util

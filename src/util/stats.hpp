@@ -1,0 +1,62 @@
+// Summary statistics used throughout feature extraction and reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace droppkt::util {
+
+/// Five-number-style summary of a sample. Computed once, queried many times.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  // population standard deviation
+};
+
+/// Compute a Summary over a sample. An empty sample yields an all-zero
+/// Summary with count == 0 (features over empty transaction lists are 0).
+Summary summarize(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100]. Empty input yields 0.
+double percentile(std::span<const double> values, double p);
+
+/// Median (50th percentile).
+double median(std::span<const double> values);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> values);
+
+/// Population standard deviation; 0 for fewer than 2 values.
+double stddev(std::span<const double> values);
+
+/// Pearson correlation of two equal-length samples; 0 when undefined.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Empirical CDF evaluated at sorted sample points.
+/// Returns pairs (value, fraction <= value) with values sorted ascending.
+std::vector<std::pair<double, double>> empirical_cdf(std::span<const double> values);
+
+/// Streaming mean/variance accumulator (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace droppkt::util

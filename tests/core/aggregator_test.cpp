@@ -1,0 +1,105 @@
+#include "core/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+namespace {
+
+TEST(WilsonInterval, ZeroTrialsIsVacuous) {
+  const auto ci = wilson_interval(0, 0);
+  EXPECT_EQ(ci.low, 0.0);
+  EXPECT_EQ(ci.high, 1.0);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  for (std::size_t k : {0u, 3u, 10u, 20u}) {
+    const auto ci = wilson_interval(k, 20);
+    const double p = k / 20.0;
+    EXPECT_LE(ci.low, p + 1e-12);
+    EXPECT_GE(ci.high, p - 1e-12);
+    EXPECT_GE(ci.low, 0.0);
+    EXPECT_LE(ci.high, 1.0);
+  }
+}
+
+TEST(WilsonInterval, NarrowsWithSamples) {
+  const auto small = wilson_interval(5, 10);
+  const auto large = wilson_interval(500, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(WilsonInterval, KnownValue) {
+  // 8/10 at z=1.96: Wilson interval ~ (0.49, 0.94).
+  const auto ci = wilson_interval(8, 10);
+  EXPECT_NEAR(ci.low, 0.49, 0.02);
+  EXPECT_NEAR(ci.high, 0.94, 0.02);
+}
+
+TEST(WilsonInterval, Validates) {
+  EXPECT_THROW(wilson_interval(5, 3), droppkt::ContractViolation);
+  EXPECT_THROW(wilson_interval(1, 2, 0.0), droppkt::ContractViolation);
+}
+
+TEST(LocationAggregator, CountsPerLocation) {
+  LocationAggregator agg;
+  agg.record("cell-1", 0);
+  agg.record("cell-1", 2);
+  agg.record("cell-2", 1);
+  EXPECT_EQ(agg.total_sessions(), 3u);
+  const auto& locs = agg.locations();
+  EXPECT_EQ(locs.at("cell-1").sessions, 2u);
+  EXPECT_EQ(locs.at("cell-1").low_qoe, 1u);
+  EXPECT_EQ(locs.at("cell-2").low_qoe, 0u);
+  EXPECT_NEAR(locs.at("cell-1").rate(), 0.5, 1e-12);
+}
+
+TEST(LocationAggregator, FlagsOnlyCredciblyDegraded) {
+  AggregatorConfig cfg;
+  cfg.alert_rate = 0.5;
+  cfg.min_sessions = 10;
+  LocationAggregator agg(cfg);
+  // "bad": 18/20 low -> lower bound well above 0.5.
+  for (int i = 0; i < 20; ++i) agg.record("bad", i < 18 ? 0 : 2);
+  // "noisy": 6/10 low -> above 0.5 in rate but not credibly.
+  for (int i = 0; i < 10; ++i) agg.record("noisy", i < 6 ? 0 : 2);
+  // "good": 1/20 low.
+  for (int i = 0; i < 20; ++i) agg.record("good", i < 1 ? 0 : 2);
+  // "small": 3/3 low but under min_sessions.
+  for (int i = 0; i < 3; ++i) agg.record("small", 0);
+
+  const auto flagged = agg.flagged();
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0].location, "bad");
+}
+
+TEST(LocationAggregator, FlaggedSortedWorstFirst) {
+  AggregatorConfig cfg;
+  cfg.alert_rate = 0.2;
+  cfg.min_sessions = 10;
+  LocationAggregator agg(cfg);
+  for (int i = 0; i < 40; ++i) agg.record("worse", i < 36 ? 0 : 2);
+  for (int i = 0; i < 40; ++i) agg.record("badish", i < 24 ? 0 : 2);
+  const auto flagged = agg.flagged();
+  ASSERT_EQ(flagged.size(), 2u);
+  EXPECT_EQ(flagged[0].location, "worse");
+}
+
+TEST(LocationAggregator, IntervalForUnseenLocation) {
+  const LocationAggregator agg;
+  const auto ci = agg.interval("nowhere");
+  EXPECT_EQ(ci.low, 0.0);
+  EXPECT_EQ(ci.high, 1.0);
+}
+
+TEST(LocationAggregator, Validates) {
+  AggregatorConfig bad;
+  bad.alert_rate = 0.0;
+  EXPECT_THROW(LocationAggregator{bad}, droppkt::ContractViolation);
+  LocationAggregator agg;
+  EXPECT_THROW(agg.record("", 0), droppkt::ContractViolation);
+}
+
+}  // namespace
+}  // namespace droppkt::core

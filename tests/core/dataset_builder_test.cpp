@@ -1,0 +1,151 @@
+#include "core/dataset_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+namespace {
+
+DatasetConfig small(std::size_t n = 60, std::uint64_t seed = 1) {
+  DatasetConfig cfg;
+  cfg.num_sessions = n;
+  cfg.seed = seed;
+  cfg.trace_pool_size = 40;
+  cfg.catalog_size = 20;
+  return cfg;
+}
+
+TEST(PaperSessionCount, MatchesPaper) {
+  // With no scale override these are the paper's Section 4.1 counts.
+  ::unsetenv("DROPPKT_SESSIONS_SCALE");
+  EXPECT_EQ(paper_session_count("Svc1"), 2111u);
+  EXPECT_EQ(paper_session_count("Svc2"), 2216u);
+  EXPECT_EQ(paper_session_count("Svc3"), 1440u);
+  EXPECT_THROW(paper_session_count("SvcX"), droppkt::ContractViolation);
+}
+
+TEST(PaperSessionCount, ScaleEnvHonored) {
+  ::setenv("DROPPKT_SESSIONS_SCALE", "0.1", 1);
+  EXPECT_EQ(paper_session_count("Svc1"), 211u);
+  ::setenv("DROPPKT_SESSIONS_SCALE", "boom", 1);
+  EXPECT_EQ(paper_session_count("Svc1"), 2111u);  // invalid -> full scale
+  ::unsetenv("DROPPKT_SESSIONS_SCALE");
+}
+
+TEST(BuildDataset, ProducesRequestedSessions) {
+  const auto ds = build_dataset(has::svc1_profile(), small());
+  EXPECT_EQ(ds.size(), 60u);
+}
+
+TEST(BuildDataset, Deterministic) {
+  const auto a = build_dataset(has::svc2_profile(), small(30, 5));
+  const auto b = build_dataset(has::svc2_profile(), small(30, 5));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].record.video_id, b[i].record.video_id);
+    EXPECT_EQ(a[i].record.tls.size(), b[i].record.tls.size());
+    EXPECT_EQ(a[i].labels.combined, b[i].labels.combined);
+  }
+}
+
+TEST(BuildDataset, SeedChangesData) {
+  const auto a = build_dataset(has::svc1_profile(), small(30, 1));
+  const auto b = build_dataset(has::svc1_profile(), small(30, 2));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].record.tls.size() != b[i].record.tls.size()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BuildDataset, RecordsWellFormed) {
+  const auto ds = build_dataset(has::svc3_profile(), small(40, 3));
+  for (const auto& s : ds) {
+    EXPECT_EQ(s.record.service, "Svc3");
+    EXPECT_FALSE(s.record.video_id.empty());
+    EXPECT_GT(s.record.trace_avg_kbps, 0.0);
+    EXPECT_GE(s.record.watch_duration_s, 10.0);
+    EXPECT_LE(s.record.watch_duration_s, 1200.0);
+    EXPECT_FALSE(s.record.tls.empty());
+    EXPECT_FALSE(s.record.http.empty());
+    EXPECT_GE(s.labels.combined, 0);
+    EXPECT_LE(s.labels.combined, 2);
+    EXPECT_EQ(s.labels.combined,
+              std::min(s.labels.rebuffering, s.labels.video_quality));
+  }
+}
+
+TEST(BuildDataset, LabelsConsistentWithGroundTruth) {
+  const auto ds = build_dataset(has::svc1_profile(), small(40, 4));
+  const auto svc = has::svc1_profile();
+  for (const auto& s : ds) {
+    const auto recomputed = compute_labels(s.record.ground_truth, svc);
+    EXPECT_EQ(recomputed.combined, s.labels.combined);
+    EXPECT_EQ(recomputed.rebuffering, s.labels.rebuffering);
+    EXPECT_EQ(recomputed.video_quality, s.labels.video_quality);
+  }
+}
+
+TEST(BuildDataset, ProducesLabelDiversity) {
+  const auto ds = build_dataset(has::svc1_profile(), small(150, 6));
+  std::set<int> classes;
+  for (const auto& s : ds) classes.insert(s.labels.combined);
+  EXPECT_EQ(classes.size(), 3u);  // all three classes appear
+}
+
+TEST(BuildDataset, UsesMultipleVideosAndEnvironments) {
+  const auto ds = build_dataset(has::svc2_profile(), small(80, 7));
+  std::set<std::string> videos;
+  std::set<int> envs;
+  for (const auto& s : ds) {
+    videos.insert(s.record.video_id);
+    envs.insert(static_cast<int>(s.record.environment));
+  }
+  EXPECT_GT(videos.size(), 5u);
+  EXPECT_EQ(envs.size(), 3u);
+}
+
+TEST(BuildDataset, TlsTimesSessionRelative) {
+  const auto ds = build_dataset(has::svc1_profile(), small(20, 8));
+  for (const auto& s : ds) {
+    double min_start = 1e18;
+    for (const auto& t : s.record.tls) min_start = std::min(min_start, t.start_s);
+    EXPECT_LT(min_start, 5.0);  // sessions start near t=0
+  }
+}
+
+TEST(BuildBackToBack, StreamWellFormed) {
+  const auto stream = build_back_to_back(has::svc1_profile(), 5, 1);
+  EXPECT_EQ(stream.num_sessions, 5u);
+  ASSERT_EQ(stream.merged.size(), stream.truth_new.size());
+  std::size_t news = 0;
+  for (bool b : stream.truth_new) news += b;
+  EXPECT_EQ(news, 5u);  // exactly one "new" per session
+  for (std::size_t i = 1; i < stream.merged.size(); ++i) {
+    EXPECT_GE(stream.merged[i].start_s, stream.merged[i - 1].start_s);
+  }
+}
+
+TEST(BuildBackToBack, SessionsActuallyConsecutive) {
+  const auto stream = build_back_to_back(has::svc2_profile(), 3, 2);
+  // New-session markers appear at strictly increasing times.
+  double prev = -1.0;
+  for (std::size_t i = 0; i < stream.merged.size(); ++i) {
+    if (stream.truth_new[i]) {
+      EXPECT_GT(stream.merged[i].start_s, prev);
+      prev = stream.merged[i].start_s;
+    }
+  }
+}
+
+TEST(BuildBackToBack, RejectsZeroSessions) {
+  EXPECT_THROW(build_back_to_back(has::svc1_profile(), 0, 1),
+               droppkt::ContractViolation);
+}
+
+}  // namespace
+}  // namespace droppkt::core

@@ -1,0 +1,132 @@
+#include "core/emimic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dataset_builder.hpp"
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+namespace {
+
+has::HttpTransaction media(double req, double end, double bytes) {
+  return {.request_s = req, .response_start_s = req + 0.02,
+          .response_end_s = end, .ul_bytes = 500.0, .dl_bytes = bytes,
+          .kind = has::HttpKind::kVideoSegment, .quality = 0, .host = "h",
+          .rtt_s = 0.02, .connection_id = 0};
+}
+
+/// n segments of `bytes`, arriving every `period_s`, each downloading
+/// `dl_time` seconds.
+has::HttpLog periodic_segments(std::size_t n, double period_s, double bytes,
+                               double dl_time = 0.5) {
+  has::HttpLog log;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * period_s;
+    log.push_back(media(t, t + dl_time, bytes));
+  }
+  return log;
+}
+
+TEST(Emimic, EmptyLogSafe) {
+  const auto est = emimic_estimate({}, 5.0);
+  EXPECT_EQ(est.segments_detected, 0u);
+  EXPECT_EQ(est.rebuffer_ratio, 0.0);
+}
+
+TEST(Emimic, DetectsSegmentsAboveThreshold) {
+  auto log = periodic_segments(10, 5.0, 500e3);
+  // A beacon-sized exchange must not count.
+  log.push_back(media(51.0, 51.1, 800.0));
+  std::sort(log.begin(), log.end(), [](const auto& a, const auto& b) {
+    return a.request_s < b.request_s;
+  });
+  const auto est = emimic_estimate(log, 5.0);
+  EXPECT_EQ(est.segments_detected, 10u);
+}
+
+TEST(Emimic, MergesRangeRequests) {
+  // One 1.5 MB segment fetched as three back-to-back 500 KB ranges.
+  has::HttpLog log;
+  log.push_back(media(0.0, 0.4, 500e3));
+  log.push_back(media(0.45, 0.9, 500e3));
+  log.push_back(media(0.95, 1.4, 500e3));
+  // A separate segment after an idle gap.
+  log.push_back(media(5.0, 5.4, 500e3));
+  const auto est = emimic_estimate(log, 5.0);
+  EXPECT_EQ(est.segments_detected, 2u);
+}
+
+TEST(Emimic, SmoothSessionHasNoRebuffering) {
+  // Segments arrive every 5 s and carry 5 s of media: exactly real time,
+  // no deficit after startup.
+  const auto est = emimic_estimate(periodic_segments(40, 5.0, 1e6), 5.0);
+  EXPECT_NEAR(est.rebuffer_ratio, 0.0, 1e-9);
+  EXPECT_GT(est.startup_delay_s, 0.0);
+}
+
+TEST(Emimic, SlowArrivalsProduceStalls) {
+  // Segments carry 5 s of media but arrive every 8 s: a 3 s deficit per
+  // segment after startup.
+  const auto est = emimic_estimate(periodic_segments(20, 8.0, 1e6), 5.0);
+  EXPECT_GT(est.rebuffer_ratio, 0.2);
+}
+
+TEST(Emimic, FasterThanRealTimeNoStalls) {
+  const auto est = emimic_estimate(periodic_segments(20, 2.0, 1e6), 5.0);
+  EXPECT_NEAR(est.rebuffer_ratio, 0.0, 1e-9);
+}
+
+TEST(Emimic, BitrateEstimate) {
+  // 1 MB per 5 s segment -> 1600 kbps.
+  const auto est = emimic_estimate(periodic_segments(20, 5.0, 1e6), 5.0);
+  EXPECT_NEAR(est.avg_bitrate_kbps, 1600.0, 1.0);
+}
+
+TEST(Emimic, LabelsFromEstimate) {
+  const auto svc = has::svc1_profile();
+  EmimicEstimate est;
+  est.rebuffer_ratio = 0.0;
+  est.avg_bitrate_kbps = 2200.0;  // nearest rung: 720p
+  auto labels = est.to_labels(svc);
+  EXPECT_EQ(labels.rebuffering, 2);
+  EXPECT_EQ(labels.video_quality, 2);
+  EXPECT_EQ(labels.combined, 2);
+
+  est.avg_bitrate_kbps = 130.0;  // 144p
+  est.rebuffer_ratio = 0.1;
+  labels = est.to_labels(svc);
+  EXPECT_EQ(labels.video_quality, 0);
+  EXPECT_EQ(labels.rebuffering, 0);
+  EXPECT_EQ(labels.combined, 0);
+}
+
+TEST(Emimic, ValidatesInputs) {
+  EXPECT_THROW(emimic_estimate({}, 0.0), droppkt::ContractViolation);
+  EmimicConfig bad;
+  bad.startup_segments = 0.0;
+  EXPECT_THROW(emimic_estimate({}, 5.0, bad), droppkt::ContractViolation);
+  has::HttpLog unsorted{media(5.0, 5.5, 1e6), media(1.0, 1.5, 1e6)};
+  EXPECT_THROW(emimic_estimate(unsorted, 5.0), droppkt::ContractViolation);
+}
+
+TEST(Emimic, BeatsChanceOnSimulatedSessions) {
+  // End-to-end: analytic reconstruction against ground truth on the
+  // muxed-audio service (Svc3), whose traffic best fits eMIMIC's
+  // assumptions.
+  DatasetConfig cfg;
+  cfg.num_sessions = 200;
+  cfg.seed = 3;
+  const auto svc = has::svc3_profile();
+  const auto ds = build_dataset(svc, cfg);
+  std::size_t correct = 0;
+  for (const auto& s : ds) {
+    const auto est = emimic_estimate(s.record.http, svc.segment_duration_s);
+    correct += est.to_labels(svc).combined == s.labels.combined;
+  }
+  EXPECT_GT(static_cast<double>(correct) / ds.size(), 0.45);
+}
+
+}  // namespace
+}  // namespace droppkt::core

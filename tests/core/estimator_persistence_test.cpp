@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/estimator.hpp"
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+namespace {
+
+LabeledDataset small_dataset(std::size_t n = 120, std::uint64_t seed = 1) {
+  DatasetConfig cfg;
+  cfg.num_sessions = n;
+  cfg.seed = seed;
+  cfg.trace_pool_size = 40;
+  cfg.catalog_size = 20;
+  return build_dataset(has::svc1_profile(), cfg);
+}
+
+TEST(EstimatorPersistence, RoundTripPredictionsIdentical) {
+  const auto train = small_dataset(150, 1);
+  const auto test = small_dataset(40, 2);
+  QoeEstimator est;
+  est.train(train);
+
+  const std::string path = ::testing::TempDir() + "/droppkt_est.model";
+  est.save_file(path);
+  const QoeEstimator back = QoeEstimator::load_file(path);
+  EXPECT_TRUE(back.trained());
+  for (const auto& s : test) {
+    EXPECT_EQ(back.predict(s.record.tls), est.predict(s.record.tls));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EstimatorPersistence, ConfigSurvives) {
+  EstimatorConfig cfg;
+  cfg.target = QoeTarget::kRebuffering;
+  cfg.features.interval_ends_s = {20.0, 90.0, 400.0};
+  QoeEstimator est(cfg);
+  est.train(small_dataset(100, 3));
+
+  const std::string path = ::testing::TempDir() + "/droppkt_est2.model";
+  est.save_file(path);
+  const QoeEstimator back = QoeEstimator::load_file(path);
+  EXPECT_EQ(back.config().target, QoeTarget::kRebuffering);
+  ASSERT_EQ(back.config().features.interval_ends_s.size(), 3u);
+  EXPECT_EQ(back.config().features.interval_ends_s[1], 90.0);
+  EXPECT_EQ(back.class_name(0), "high");  // rebuffering classes
+  std::remove(path.c_str());
+}
+
+TEST(EstimatorPersistence, LoadedModelClassifiesAccurately) {
+  const auto train = small_dataset(200, 4);
+  const auto test = small_dataset(80, 5);
+  QoeEstimator est;
+  est.train(train);
+  const std::string path = ::testing::TempDir() + "/droppkt_est3.model";
+  est.save_file(path);
+  const QoeEstimator back = QoeEstimator::load_file(path);
+
+  std::size_t correct = 0;
+  for (const auto& s : test) {
+    correct += back.predict(s.record.tls) == s.labels.combined;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.6);
+  std::remove(path.c_str());
+}
+
+TEST(EstimatorPersistence, UntrainedSaveThrows) {
+  const QoeEstimator est;
+  EXPECT_THROW(est.save_file(::testing::TempDir() + "/nope.model"),
+               droppkt::ContractViolation);
+}
+
+TEST(EstimatorPersistence, MissingFileThrows) {
+  EXPECT_THROW(QoeEstimator::load_file("/no/such/estimator.model"),
+               std::runtime_error);
+}
+
+TEST(EstimatorPersistence, GarbageFileThrows) {
+  const std::string path = ::testing::TempDir() + "/droppkt_garbage.model";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("definitely not a model\n1 2 3\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(QoeEstimator::load_file(path), droppkt::ContractViolation);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace droppkt::core

@@ -1,0 +1,123 @@
+#include "core/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+namespace {
+
+LabeledDataset small_dataset(std::size_t n = 150, std::uint64_t seed = 1) {
+  DatasetConfig cfg;
+  cfg.num_sessions = n;
+  cfg.seed = seed;
+  cfg.trace_pool_size = 40;
+  cfg.catalog_size = 20;
+  return build_dataset(has::svc1_profile(), cfg);
+}
+
+TEST(QoeEstimator, UntrainedPredictThrows) {
+  QoeEstimator est;
+  EXPECT_FALSE(est.trained());
+  EXPECT_THROW(est.predict({}), droppkt::ContractViolation);
+  EXPECT_THROW(est.feature_importances(), droppkt::ContractViolation);
+}
+
+TEST(QoeEstimator, EmptyTrainingThrows) {
+  QoeEstimator est;
+  EXPECT_THROW(est.train({}), droppkt::ContractViolation);
+  EXPECT_THROW(est.train_raw({}), droppkt::ContractViolation);
+}
+
+TEST(QoeEstimator, TrainsAndGeneralizes) {
+  const auto train = small_dataset(200, 1);
+  const auto test = small_dataset(80, 2);
+  QoeEstimator est;
+  est.train(train);
+  EXPECT_TRUE(est.trained());
+  std::size_t correct = 0;
+  for (const auto& s : test) {
+    correct += est.predict(s.record.tls) == s.labels.combined;
+  }
+  // Well above the ~40% majority-class rate.
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.6);
+}
+
+TEST(QoeEstimator, TargetsSelectable) {
+  const auto train = small_dataset(120, 3);
+  EstimatorConfig cfg;
+  cfg.target = QoeTarget::kRebuffering;
+  QoeEstimator est(cfg);
+  est.train(train);
+  std::size_t correct = 0;
+  for (const auto& s : train) {
+    correct += est.predict(s.record.tls) == s.labels.rebuffering;
+  }
+  EXPECT_GT(static_cast<double>(correct) / train.size(), 0.8);
+}
+
+TEST(QoeEstimator, ClassNamesFollowTarget) {
+  EstimatorConfig cfg;
+  cfg.target = QoeTarget::kRebuffering;
+  const QoeEstimator est(cfg);
+  EXPECT_EQ(est.class_name(0), "high");
+  EXPECT_EQ(est.class_name(2), "zero");
+  const QoeEstimator combined;
+  EXPECT_EQ(combined.class_name(0), "low");
+  EXPECT_THROW(combined.class_name(3), droppkt::ContractViolation);
+}
+
+TEST(QoeEstimator, ProbaIsDistribution) {
+  const auto train = small_dataset(120, 4);
+  QoeEstimator est;
+  est.train(train);
+  const auto proba = est.predict_proba(train.front().record.tls);
+  ASSERT_EQ(proba.size(), 3u);
+  double sum = 0.0;
+  for (double p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(QoeEstimator, ImportancesCoverAllFeaturesSorted) {
+  const auto train = small_dataset(120, 5);
+  QoeEstimator est;
+  est.train(train);
+  const auto imp = est.feature_importances();
+  EXPECT_EQ(imp.size(), 38u);
+  for (std::size_t i = 1; i < imp.size(); ++i) {
+    EXPECT_GE(imp[i - 1].second, imp[i].second);
+  }
+}
+
+TEST(QoeEstimator, TrainRawWithCustomLabels) {
+  const auto ds = small_dataset(100, 6);
+  std::vector<std::pair<trace::TlsLog, int>> labelled;
+  for (const auto& s : ds) {
+    labelled.emplace_back(s.record.tls, s.labels.combined);
+  }
+  QoeEstimator est;
+  est.train_raw(labelled);
+  EXPECT_TRUE(est.trained());
+}
+
+TEST(QoeEstimator, CustomIntervalsWork) {
+  EstimatorConfig cfg;
+  cfg.features.interval_ends_s = {15.0, 45.0, 90.0};
+  QoeEstimator est(cfg);
+  est.train(small_dataset(100, 7));
+  EXPECT_EQ(est.feature_importances().size(), 4u + 18u + 6u);
+}
+
+TEST(QoeEstimator, DeterministicGivenSeeds) {
+  const auto train = small_dataset(100, 8);
+  const auto test = small_dataset(30, 9);
+  QoeEstimator a, b;
+  a.train(train);
+  b.train(train);
+  for (const auto& s : test) {
+    EXPECT_EQ(a.predict(s.record.tls), b.predict(s.record.tls));
+  }
+}
+
+}  // namespace
+}  // namespace droppkt::core

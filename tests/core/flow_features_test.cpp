@@ -1,0 +1,154 @@
+#include "core/flow_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+namespace {
+
+LabeledDataset small_dataset(std::size_t n = 40, std::uint64_t seed = 1) {
+  DatasetConfig cfg;
+  cfg.num_sessions = n;
+  cfg.seed = seed;
+  cfg.trace_pool_size = 30;
+  cfg.catalog_size = 15;
+  return build_dataset(has::svc1_profile(), cfg);
+}
+
+TEST(FlowFeatures, NamesMirrorTlsFeatures) {
+  const auto names = flow_feature_names();
+  ASSERT_EQ(names.size(), 38u);
+  EXPECT_EQ(names[0], "FLOW_SDR_DL");
+  for (const auto& n : names) EXPECT_EQ(n.rfind("FLOW_", 0), 0u);
+}
+
+TEST(FlowFeatures, EmptyLogAllZero) {
+  const auto f = extract_flow_features({});
+  EXPECT_EQ(f.size(), 38u);
+  for (double v : f) EXPECT_EQ(v, 0.0);
+}
+
+TEST(FlowFeatures, MatchesEquivalentTlsExtraction) {
+  trace::FlowLog flows;
+  trace::FlowRecord r;
+  r.first_s = 0.0;
+  r.last_s = 10.0;
+  r.ul_bytes = 500.0;
+  r.dl_bytes = 1e6;
+  r.server_ip = "203.0.1.1";
+  flows.push_back(r);
+
+  trace::TlsLog tls{{.start_s = 0.0, .end_s = 10.0, .ul_bytes = 500.0,
+                     .dl_bytes = 1e6, .sni = "whatever", .http_count = 0}};
+  const auto ff = extract_flow_features(flows);
+  const auto tf = extract_tls_features(tls);
+  ASSERT_EQ(ff.size(), tf.size());
+  for (std::size_t i = 0; i < ff.size(); ++i) EXPECT_EQ(ff[i], tf[i]);
+}
+
+TEST(FlowsForSession, DeterministicAndNonEmpty) {
+  const auto ds = small_dataset(5);
+  for (const auto& s : ds) {
+    const auto a = flows_for_session(s.record);
+    const auto b = flows_for_session(s.record);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].dl_bytes, b[i].dl_bytes);
+      EXPECT_EQ(a[i].first_s, b[i].first_s);
+    }
+  }
+}
+
+TEST(FlowsForSession, FinerTimeoutMoreRecords) {
+  const auto ds = small_dataset(8, 2);
+  std::size_t coarse_n = 0, fine_n = 0;
+  for (const auto& s : ds) {
+    coarse_n += flows_for_session(
+                    s.record, {.active_timeout_s = 600.0,
+                               .inactive_timeout_s = 60.0})
+                    .size();
+    fine_n += flows_for_session(s.record, {.active_timeout_s = 10.0,
+                                           .inactive_timeout_s = 10.0})
+                  .size();
+  }
+  EXPECT_GT(fine_n, coarse_n);
+}
+
+TEST(FlowsForSession, BytesMatchPacketView) {
+  const auto ds = small_dataset(3, 3);
+  for (const auto& s : ds) {
+    const auto flows = flows_for_session(s.record);
+    double flow_dl = 0.0;
+    for (const auto& f : flows) flow_dl += f.dl_bytes;
+    // Downlink payload in the HTTP log is a lower bound (flow bytes
+    // include headers and retransmissions).
+    double http_dl = 0.0;
+    for (const auto& t : s.record.http) http_dl += t.dl_bytes;
+    EXPECT_GT(flow_dl, http_dl);
+    EXPECT_LT(flow_dl, http_dl * 1.2);
+  }
+}
+
+TEST(DnsForSession, OneLookupPerHostBeforeFirstUse) {
+  const auto ds = small_dataset(3, 4);
+  for (const auto& s : ds) {
+    const auto dns = dns_for_session(s.record);
+    ASSERT_FALSE(dns.empty());
+    std::set<std::string> names;
+    for (const auto& r : dns) {
+      EXPECT_TRUE(names.insert(r.name).second) << "duplicate lookup";
+      EXPECT_EQ(r.ip, trace::server_ip_for_host(r.name));
+    }
+    // Every host in the HTTP log got resolved.
+    for (const auto& t : s.record.http) {
+      EXPECT_TRUE(names.count(t.host)) << t.host;
+    }
+  }
+}
+
+TEST(DnsIdentification, RecoversVideoFlowsEndToEnd) {
+  const auto ds = small_dataset(4, 5);
+  for (const auto& s : ds) {
+    const auto flows = flows_for_session(s.record);
+    const auto dns = dns_for_session(s.record);
+    const auto video =
+        trace::identify_video_flows(flows, dns, "svc1video.example");
+    // All of this session's flows are video-service flows.
+    EXPECT_EQ(video.size(), flows.size());
+    // A foreign suffix matches nothing.
+    EXPECT_TRUE(
+        trace::identify_video_flows(flows, dns, "othersvc.example").empty());
+  }
+}
+
+TEST(MakeFlowDataset, ShapeAndDeterminism) {
+  const auto ds = small_dataset(20, 6);
+  const auto a = make_flow_dataset(ds, QoeTarget::kCombined);
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_EQ(a.num_features(), 38u);
+  const auto b = make_flow_dataset(ds, QoeTarget::kCombined);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto ra = a.row(i);
+    const auto rb = b.row(i);
+    for (std::size_t j = 0; j < ra.size(); ++j) EXPECT_EQ(ra[j], rb[j]);
+    EXPECT_EQ(a.label(i), ds[i].labels.combined);
+  }
+}
+
+TEST(MakeFlowDataset, AllFinite) {
+  const auto ds = small_dataset(15, 7);
+  const auto data = make_flow_dataset(
+      ds, QoeTarget::kCombined, {.active_timeout_s = 15.0,
+                                 .inactive_timeout_s = 8.0});
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (double v : data.row(i)) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+}  // namespace
+}  // namespace droppkt::core

@@ -1,0 +1,172 @@
+#include "core/ml16_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace droppkt::core {
+namespace {
+
+trace::PacketRecord pkt(double ts, trace::Direction dir, std::uint32_t payload,
+                        std::uint32_t flow = 0, bool retx = false) {
+  return {.ts_s = ts, .dir = dir,
+          .size_bytes = payload + 52, .payload_bytes = payload,
+          .flow_id = flow, .retransmission = retx,
+          .is_syn = false, .is_fin = false};
+}
+
+std::size_t idx(const std::string& name) {
+  const auto names = ml16_feature_names();
+  const auto it = std::find(names.begin(), names.end(), name);
+  EXPECT_NE(it, names.end()) << name;
+  return static_cast<std::size_t>(it - names.begin());
+}
+
+/// A canonical 2-chunk trace: request -> 100 KB response, idle, request ->
+/// 200 KB response on the same flow.
+trace::PacketLog two_chunks() {
+  trace::PacketLog log;
+  log.push_back(pkt(0.0, trace::Direction::kUplink, 400));
+  for (int i = 0; i < 70; ++i) {
+    log.push_back(pkt(0.1 + i * 0.01, trace::Direction::kDownlink, 1448));
+  }
+  log.push_back(pkt(5.0, trace::Direction::kUplink, 400));
+  for (int i = 0; i < 140; ++i) {
+    log.push_back(pkt(5.1 + i * 0.01, trace::Direction::kDownlink, 1448));
+  }
+  return log;
+}
+
+TEST(Ml16Features, EmptyLogAllZero) {
+  const auto f = extract_ml16_features({});
+  EXPECT_EQ(f.size(), ml16_feature_names().size());
+  for (double v : f) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Ml16Features, DetectsChunksFromRequestStructure) {
+  const auto f = extract_ml16_features(two_chunks());
+  EXPECT_EQ(f[idx("NUM_CHUNKS")], 2.0);
+  EXPECT_NEAR(f[idx("CHUNK_SIZE_MIN")], 70.0 * 1448.0, 1.0);
+  EXPECT_NEAR(f[idx("CHUNK_SIZE_MAX")], 140.0 * 1448.0, 1.0);
+  EXPECT_NEAR(f[idx("CHUNK_IAT_MED")], 5.0, 1e-6);
+}
+
+TEST(Ml16Features, MinChunkBytesFiltersBeacons) {
+  trace::PacketLog log = two_chunks();
+  // A tiny exchange (beacon) on another flow.
+  log.push_back(pkt(2.0, trace::Direction::kUplink, 300, 9));
+  log.push_back(pkt(2.1, trace::Direction::kDownlink, 500, 9));
+  std::sort(log.begin(), log.end(),
+            [](const auto& a, const auto& b) { return a.ts_s < b.ts_s; });
+  const auto f = extract_ml16_features(log);
+  EXPECT_EQ(f[idx("NUM_CHUNKS")], 2.0);  // beacon ignored (< min_chunk_bytes)
+}
+
+TEST(Ml16Features, PerFlowChunking) {
+  // Interleaved requests on two flows must not truncate each other.
+  trace::PacketLog log;
+  log.push_back(pkt(0.0, trace::Direction::kUplink, 400, 1));
+  log.push_back(pkt(0.05, trace::Direction::kUplink, 400, 2));
+  for (int i = 0; i < 50; ++i) {
+    log.push_back(pkt(0.1 + i * 0.01, trace::Direction::kDownlink, 1448, 1));
+    log.push_back(pkt(0.105 + i * 0.01, trace::Direction::kDownlink, 1448, 2));
+  }
+  std::sort(log.begin(), log.end(),
+            [](const auto& a, const auto& b) { return a.ts_s < b.ts_s; });
+  const auto f = extract_ml16_features(log);
+  EXPECT_EQ(f[idx("NUM_CHUNKS")], 2.0);
+  EXPECT_NEAR(f[idx("CHUNK_SIZE_MIN")], 50.0 * 1448.0, 1.0);
+}
+
+TEST(Ml16Features, RetransmissionRate) {
+  trace::PacketLog log = two_chunks();
+  // Mark some retransmissions.
+  int marked = 0;
+  for (auto& p : log) {
+    if (p.dir == trace::Direction::kDownlink && marked < 21) {
+      p.retransmission = true;
+      ++marked;
+    }
+  }
+  const auto f = extract_ml16_features(log);
+  EXPECT_NEAR(f[idx("RETX_RATE")], 21.0 / 210.0, 1e-9);
+  EXPECT_GT(f[idx("LOSS_RATE")], 0.0);
+  EXPECT_LT(f[idx("LOSS_RATE")], f[idx("RETX_RATE")] + 1e-12);
+}
+
+TEST(Ml16Features, RttFromRequestResponseDelay) {
+  trace::PacketLog log;
+  log.push_back(pkt(0.0, trace::Direction::kUplink, 400));
+  log.push_back(pkt(0.08, trace::Direction::kDownlink, 1448));  // 80 ms
+  for (int i = 1; i < 20; ++i) {
+    log.push_back(pkt(0.08 + i * 0.001, trace::Direction::kDownlink, 1448));
+  }
+  const auto f = extract_ml16_features(log);
+  EXPECT_NEAR(f[idx("RTT_AVG_MS")], 80.0, 1e-6);
+  EXPECT_EQ(f[idx("RTT_STD_MS")], 0.0);  // single sample
+}
+
+TEST(Ml16Features, VolumeAndRates) {
+  const auto log = two_chunks();
+  const auto f = extract_ml16_features(log);
+  const double expected_dl = 210.0 * 1500.0;  // payload + headers
+  EXPECT_NEAR(f[idx("TOTAL_DL_BYTES")], expected_dl, 1.0);
+  EXPECT_GT(f[idx("TOTAL_UL_BYTES")], 0.0);
+  EXPECT_GT(f[idx("SES_DUR")], 6.0);
+  EXPECT_NEAR(f[idx("SDR_DL_KBPS")],
+              expected_dl * 8.0 / 1000.0 / f[idx("SES_DUR")], 1e-6);
+  EXPECT_GT(f[idx("PKTS_PER_SEC")], 0.0);
+}
+
+TEST(Ml16Features, D2uUsesPayloadNotAcks) {
+  const auto log = two_chunks();
+  const auto f = extract_ml16_features(log);
+  // 210 * 1500 downlink bytes over 800 uplink payload bytes.
+  EXPECT_NEAR(f[idx("D2U_RATIO")], 210.0 * 1500.0 / 800.0, 1.0);
+}
+
+TEST(Ml16Features, ChunkD2u) {
+  const auto f = extract_ml16_features(two_chunks());
+  // Chunks carry 70*1448/400 and 140*1448/400.
+  EXPECT_NEAR(f[idx("CHUNK_D2U_MED")],
+              (70.0 * 1448.0 / 400.0 + 140.0 * 1448.0 / 400.0) / 2.0, 1.0);
+  EXPECT_NEAR(f[idx("CHUNK_D2U_MAX")], 140.0 * 1448.0 / 400.0, 1.0);
+}
+
+TEST(Ml16Features, CumulativeWindows) {
+  const auto f = extract_ml16_features(two_chunks());
+  // Everything happens within ~6.5 s, so all windows see all bytes.
+  EXPECT_NEAR(f[idx("CUM_DL_30S")], f[idx("TOTAL_DL_BYTES")], 1.0);
+  EXPECT_EQ(f[idx("CUM_DL_30S")], f[idx("CUM_DL_480S")]);
+  EXPECT_GT(f[idx("CUM_UL_30S")], 0.0);
+}
+
+TEST(Ml16Features, FlowAggregates) {
+  const auto f = extract_ml16_features(two_chunks());
+  EXPECT_EQ(f[idx("NUM_FLOWS")], 1.0);
+  EXPECT_NEAR(f[idx("FLOW_DL_MAX")], f[idx("TOTAL_DL_BYTES")], 1.0);
+  EXPECT_GT(f[idx("FLOW_DUR_MED")], 6.0);
+}
+
+TEST(Ml16Features, AllFinite) {
+  util::Rng rng(1);
+  trace::PacketLog log;
+  double t = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    t += rng.uniform(0.0, 0.05);
+    const bool up = rng.bernoulli(0.3);
+    log.push_back(pkt(t, up ? trace::Direction::kUplink
+                            : trace::Direction::kDownlink,
+                      up ? (rng.bernoulli(0.5) ? 0u : 400u) : 1448u,
+                      static_cast<std::uint32_t>(rng.uniform_int(0, 4)),
+                      rng.bernoulli(0.01)));
+  }
+  const auto f = extract_ml16_features(log);
+  for (double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace droppkt::core

@@ -1,0 +1,134 @@
+#include "core/qoe_labels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+namespace {
+
+has::GroundTruth gt_with(std::vector<int> heights, double playback,
+                         double stall) {
+  has::GroundTruth gt;
+  gt.playback_s = playback;
+  if (stall > 0.0) gt.stalls.push_back({10.0, 10.0 + stall});
+  gt.played_height_per_s = std::move(heights);
+  for (std::size_t i = 0; i < gt.played_height_per_s.size(); ++i) {
+    gt.played_level_per_s.push_back(0);
+  }
+  return gt;
+}
+
+TEST(RebufferingClass, PaperThresholds) {
+  EXPECT_EQ(rebuffering_class(0.0), 2);       // zero
+  EXPECT_EQ(rebuffering_class(0.001), 1);     // mild
+  EXPECT_EQ(rebuffering_class(0.02), 1);      // boundary: mild includes 2%
+  EXPECT_EQ(rebuffering_class(0.0201), 0);    // high
+  EXPECT_EQ(rebuffering_class(1.5), 0);
+}
+
+TEST(RebufferingClass, RejectsNegative) {
+  EXPECT_THROW(rebuffering_class(-0.1), droppkt::ContractViolation);
+}
+
+TEST(QualityClass, Svc1Thresholds) {
+  const auto svc = has::svc1_profile();
+  EXPECT_EQ(quality_class(144, svc), 0);
+  EXPECT_EQ(quality_class(288, svc), 0);   // low <= 288p
+  EXPECT_EQ(quality_class(480, svc), 1);   // medium = 480p
+  EXPECT_EQ(quality_class(720, svc), 2);
+  EXPECT_EQ(quality_class(1080, svc), 2);
+}
+
+TEST(QualityClass, Svc2Thresholds) {
+  const auto svc = has::svc2_profile();
+  EXPECT_EQ(quality_class(360, svc), 0);   // paper: 360p or lower is low
+  EXPECT_EQ(quality_class(480, svc), 1);
+  EXPECT_EQ(quality_class(720, svc), 2);
+}
+
+TEST(VideoQualityLabel, MajorityWins) {
+  const auto svc = has::svc1_profile();
+  // 3 seconds at 1080p, 2 at 144p -> majority high.
+  const auto gt = gt_with({1080, 1080, 1080, 144, 144}, 5.0, 0.0);
+  EXPECT_EQ(video_quality_label(gt, svc), 2);
+}
+
+TEST(VideoQualityLabel, TieSelectsLowerCategory) {
+  const auto svc = has::svc1_profile();
+  // 2 low + 2 high: the paper breaks ties toward the lower class.
+  const auto gt = gt_with({144, 144, 1080, 1080}, 4.0, 0.0);
+  EXPECT_EQ(video_quality_label(gt, svc), 0);
+  // 2 medium + 2 high -> medium.
+  const auto gt2 = gt_with({480, 480, 1080, 1080}, 4.0, 0.0);
+  EXPECT_EQ(video_quality_label(gt2, svc), 1);
+}
+
+TEST(VideoQualityLabel, NothingPlayedIsLow) {
+  const auto svc = has::svc1_profile();
+  const auto gt = gt_with({}, 0.0, 0.0);
+  EXPECT_EQ(video_quality_label(gt, svc), 0);
+}
+
+TEST(ComputeLabels, CombinedIsMinimum) {
+  const auto svc = has::svc1_profile();
+  // High quality but heavy stalls -> combined low (paper's example inverted).
+  auto gt = gt_with(std::vector<int>(100, 1080), 100.0, 10.0);
+  auto labels = compute_labels(gt, svc);
+  EXPECT_EQ(labels.video_quality, 2);
+  EXPECT_EQ(labels.rebuffering, 0);
+  EXPECT_EQ(labels.combined, 0);
+
+  // Zero re-buffering but low quality -> combined low (paper's example).
+  gt = gt_with(std::vector<int>(100, 144), 100.0, 0.0);
+  labels = compute_labels(gt, svc);
+  EXPECT_EQ(labels.rebuffering, 2);
+  EXPECT_EQ(labels.video_quality, 0);
+  EXPECT_EQ(labels.combined, 0);
+}
+
+TEST(ComputeLabels, PerfectSessionIsHigh) {
+  const auto svc = has::svc2_profile();
+  const auto gt = gt_with(std::vector<int>(60, 1080), 60.0, 0.0);
+  const auto labels = compute_labels(gt, svc);
+  EXPECT_EQ(labels.combined, 2);
+  EXPECT_EQ(labels.rebuffer_ratio, 0.0);
+}
+
+TEST(ComputeLabels, MildStallCapsAtMedium) {
+  const auto svc = has::svc2_profile();
+  // 1 s stall over 100 s playback = 1% -> mild -> combined at most medium.
+  const auto gt = gt_with(std::vector<int>(100, 1080), 100.0, 1.0);
+  const auto labels = compute_labels(gt, svc);
+  EXPECT_EQ(labels.rebuffering, 1);
+  EXPECT_EQ(labels.combined, 1);
+}
+
+TEST(QoeLabels, LabelForSelectsTarget) {
+  QoeLabels labels;
+  labels.rebuffering = 0;
+  labels.video_quality = 1;
+  labels.combined = 2;  // artificial, to check routing only
+  EXPECT_EQ(labels.label_for(QoeTarget::kRebuffering), 0);
+  EXPECT_EQ(labels.label_for(QoeTarget::kVideoQuality), 1);
+  EXPECT_EQ(labels.label_for(QoeTarget::kCombined), 2);
+}
+
+TEST(ClassNames, ThreePerTargetWorstFirst) {
+  for (auto t : {QoeTarget::kRebuffering, QoeTarget::kVideoQuality,
+                 QoeTarget::kCombined}) {
+    EXPECT_EQ(class_names(t).size(), 3u);
+  }
+  EXPECT_EQ(class_names(QoeTarget::kRebuffering)[0], "high");
+  EXPECT_EQ(class_names(QoeTarget::kCombined)[0], "low");
+  EXPECT_EQ(class_names(QoeTarget::kCombined)[2], "high");
+}
+
+TEST(ToString, TargetsNamed) {
+  EXPECT_EQ(to_string(QoeTarget::kRebuffering), "re-buffering");
+  EXPECT_EQ(to_string(QoeTarget::kVideoQuality), "video quality");
+  EXPECT_EQ(to_string(QoeTarget::kCombined), "combined QoE");
+}
+
+}  // namespace
+}  // namespace droppkt::core

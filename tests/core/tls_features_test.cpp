@@ -1,0 +1,231 @@
+#include "core/tls_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::core {
+namespace {
+
+trace::TlsTransaction txn(double start, double end, double ul, double dl,
+                          const std::string& sni = "cdn.example") {
+  return {.start_s = start, .end_s = end, .ul_bytes = ul, .dl_bytes = dl,
+          .sni = sni, .http_count = 1};
+}
+
+std::size_t idx(const std::string& name, const TlsFeatureConfig& cfg = {}) {
+  const auto names = tls_feature_names(cfg);
+  const auto it = std::find(names.begin(), names.end(), name);
+  EXPECT_NE(it, names.end()) << name;
+  return static_cast<std::size_t>(it - names.begin());
+}
+
+TEST(TlsFeatureNames, PaperCountIs38) {
+  EXPECT_EQ(tls_feature_names().size(), 38u);
+  EXPECT_EQ(session_level_feature_names().size(), 4u);
+  EXPECT_EQ(transaction_stat_feature_names().size(), 18u);
+  EXPECT_EQ(temporal_feature_names({}).size(), 16u);
+}
+
+TEST(TlsFeatureNames, MatchTable1) {
+  const auto names = tls_feature_names();
+  for (const char* expected :
+       {"SDR_DL", "SDR_UL", "SES_DUR", "TRANS_PER_SEC", "DL_SIZE_MIN",
+        "DL_SIZE_MED", "DL_SIZE_MAX", "UL_SIZE_MED", "DUR_MAX", "TDR_MED",
+        "D2U_MED", "IAT_MIN", "CUM_DL_30s", "CUM_UL_1200s"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(TlsFeatureNames, CustomIntervalsChangeTemporalNames) {
+  TlsFeatureConfig cfg;
+  cfg.interval_ends_s = {10.0, 20.0};
+  const auto names = tls_feature_names(cfg);
+  EXPECT_EQ(names.size(), 4u + 18u + 4u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "CUM_DL_10s"), names.end());
+}
+
+TEST(TlsFeatures, EmptyLogAllZero) {
+  const auto f = extract_tls_features({});
+  EXPECT_EQ(f.size(), 38u);
+  for (double v : f) EXPECT_EQ(v, 0.0);
+}
+
+TEST(TlsFeatures, SessionLevelValues) {
+  // Two transactions, 10 s apart, total 100 s span.
+  const trace::TlsLog log{txn(0.0, 50.0, 1000.0, 1e6),
+                          txn(10.0, 100.0, 3000.0, 3e6)};
+  const auto f = extract_tls_features(log);
+  EXPECT_NEAR(f[idx("SES_DUR")], 100.0, 1e-9);
+  EXPECT_NEAR(f[idx("SDR_DL")], 4e6 * 8.0 / 1000.0 / 100.0, 1e-9);
+  EXPECT_NEAR(f[idx("SDR_UL")], 4000.0 * 8.0 / 1000.0 / 100.0, 1e-9);
+  EXPECT_NEAR(f[idx("TRANS_PER_SEC")], 0.02, 1e-9);
+}
+
+TEST(TlsFeatures, TransactionStats) {
+  const trace::TlsLog log{txn(0.0, 10.0, 1000.0, 1e6),
+                          txn(5.0, 10.0, 2000.0, 4e6),
+                          txn(20.0, 30.0, 1000.0, 2e6)};
+  const auto f = extract_tls_features(log);
+  EXPECT_EQ(f[idx("DL_SIZE_MIN")], 1e6);
+  EXPECT_EQ(f[idx("DL_SIZE_MED")], 2e6);
+  EXPECT_EQ(f[idx("DL_SIZE_MAX")], 4e6);
+  EXPECT_EQ(f[idx("UL_SIZE_MAX")], 2000.0);
+  EXPECT_EQ(f[idx("DUR_MIN")], 5.0);
+  EXPECT_EQ(f[idx("DUR_MAX")], 10.0);
+  // TDR of the second transaction: 4 MB over 5 s = 6400 kbps (max).
+  EXPECT_NEAR(f[idx("TDR_MAX")], 4e6 * 8.0 / 1000.0 / 5.0, 1e-6);
+  // D2U: 1000, 2000, 2000.
+  EXPECT_NEAR(f[idx("D2U_MED")], 2000.0, 1e-9);
+  // IAT from sorted starts {0,5,20}: {5,15}.
+  EXPECT_EQ(f[idx("IAT_MIN")], 5.0);
+  EXPECT_EQ(f[idx("IAT_MAX")], 15.0);
+  EXPECT_EQ(f[idx("IAT_MED")], 10.0);
+}
+
+TEST(TlsFeatures, SingleTransactionHasZeroIat) {
+  const trace::TlsLog log{txn(0.0, 10.0, 100.0, 1000.0)};
+  const auto f = extract_tls_features(log);
+  EXPECT_EQ(f[idx("IAT_MIN")], 0.0);
+  EXPECT_EQ(f[idx("IAT_MAX")], 0.0);
+}
+
+TEST(TlsFeatures, ZeroUplinkD2uIsZeroNotInf) {
+  trace::TlsLog log{txn(0.0, 1.0, 0.0, 1000.0)};
+  const auto f = extract_tls_features(log);
+  EXPECT_EQ(f[idx("D2U_MED")], 0.0);
+}
+
+TEST(TlsFeatures, CumulativeFullOverlap) {
+  // One transaction entirely inside the first interval.
+  const trace::TlsLog log{txn(0.0, 10.0, 500.0, 2e6)};
+  const auto f = extract_tls_features(log);
+  EXPECT_NEAR(f[idx("CUM_DL_30s")], 2e6, 1e-6);
+  EXPECT_NEAR(f[idx("CUM_UL_30s")], 500.0, 1e-9);
+  EXPECT_NEAR(f[idx("CUM_DL_1200s")], 2e6, 1e-6);
+}
+
+TEST(TlsFeatures, CumulativePartialOverlapProportional) {
+  // Transaction spans 0..60 s; exactly half overlaps the 30 s window.
+  const trace::TlsLog log{txn(0.0, 60.0, 1000.0, 6e6)};
+  const auto f = extract_tls_features(log);
+  EXPECT_NEAR(f[idx("CUM_DL_30s")], 3e6, 1e-6);
+  EXPECT_NEAR(f[idx("CUM_DL_60s")], 6e6, 1e-6);
+}
+
+TEST(TlsFeatures, CumulativeMonotoneInWindow) {
+  util::Rng rng(1);
+  trace::TlsLog log;
+  double t = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    const double dur = rng.uniform(1.0, 40.0);
+    log.push_back(txn(t, t + dur, rng.uniform(100.0, 5000.0),
+                      rng.uniform(1e4, 1e7)));
+    t += rng.uniform(0.5, 30.0);
+  }
+  const auto f = extract_tls_features(log);
+  const auto names = tls_feature_names();
+  double prev = -1.0;
+  for (const auto& name : names) {
+    if (name.rfind("CUM_DL_", 0) == 0) {
+      const double v = f[idx(name)];
+      EXPECT_GE(v, prev);
+      prev = v;
+    }
+  }
+}
+
+TEST(TlsFeatures, TimeShiftOnlyAffectsNothingWhenRelative) {
+  // Shifting all transactions by a constant changes nothing because
+  // features are computed relative to the first start.
+  trace::TlsLog base{txn(0.0, 10.0, 100.0, 1e5), txn(3.0, 20.0, 300.0, 3e5)};
+  trace::TlsLog shifted = base;
+  for (auto& t : shifted) {
+    t.start_s += 500.0;
+    t.end_s += 500.0;
+  }
+  const auto fa = extract_tls_features(base);
+  const auto fb = extract_tls_features(shifted);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_NEAR(fa[i], fb[i], 1e-6) << tls_feature_names()[i];
+  }
+}
+
+TEST(TlsFeatures, OrderInvariant) {
+  trace::TlsLog log{txn(5.0, 30.0, 100.0, 1e5), txn(0.0, 10.0, 300.0, 3e5),
+                    txn(2.0, 50.0, 200.0, 2e5)};
+  auto reversed = log;
+  std::reverse(reversed.begin(), reversed.end());
+  const auto fa = extract_tls_features(log);
+  const auto fb = extract_tls_features(reversed);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    // Summation order may differ, so compare up to rounding.
+    EXPECT_NEAR(fa[i], fb[i], std::abs(fa[i]) * 1e-12 + 1e-12);
+  }
+}
+
+TEST(TlsFeatures, RejectsMalformedTransaction) {
+  const trace::TlsLog log{txn(10.0, 5.0, 100.0, 100.0)};
+  EXPECT_THROW(extract_tls_features(log), droppkt::ContractViolation);
+}
+
+TEST(TlsFeatures, RejectsBadIntervalConfig) {
+  TlsFeatureConfig cfg;
+  cfg.interval_ends_s = {-5.0};
+  EXPECT_THROW(extract_tls_features({txn(0, 1, 1, 1)}, cfg),
+               droppkt::ContractViolation);
+}
+
+// Property: features are finite and byte-scaling scales volume features.
+class TlsFeatureProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TlsFeatureProperty, FiniteAndScaleCovariant) {
+  util::Rng rng(GetParam());
+  trace::TlsLog log;
+  double t = 0.0;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 40));
+  for (std::size_t i = 0; i < n; ++i) {
+    log.push_back(txn(t, t + rng.uniform(0.5, 60.0), rng.uniform(1.0, 5e3),
+                      rng.uniform(1.0, 1e7)));
+    t += rng.uniform(0.1, 20.0);
+  }
+  const auto f = extract_tls_features(log);
+  for (double v : f) ASSERT_TRUE(std::isfinite(v));
+
+  // Doubling all byte counts doubles every byte-denominated feature.
+  trace::TlsLog doubled = log;
+  for (auto& x : doubled) {
+    x.ul_bytes *= 2.0;
+    x.dl_bytes *= 2.0;
+  }
+  const auto f2 = extract_tls_features(doubled);
+  const auto names = tls_feature_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& name = names[i];
+    const bool byte_scaled =
+        name.rfind("SDR_", 0) == 0 || name.rfind("CUM_", 0) == 0 ||
+        name.rfind("DL_SIZE", 0) == 0 || name.rfind("UL_SIZE", 0) == 0 ||
+        name.rfind("TDR", 0) == 0;
+    if (byte_scaled) {
+      EXPECT_NEAR(f2[i], 2.0 * f[i], std::abs(f[i]) * 1e-9 + 1e-9) << name;
+    }
+    const bool scale_invariant =
+        name == "SES_DUR" || name == "TRANS_PER_SEC" ||
+        name.rfind("DUR_", 0) == 0 || name.rfind("IAT_", 0) == 0 ||
+        name.rfind("D2U_", 0) == 0;
+    if (scale_invariant) {
+      EXPECT_NEAR(f2[i], f[i], std::abs(f[i]) * 1e-9 + 1e-9) << name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TlsFeatureProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace droppkt::core

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tls_features.hpp"
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+namespace {
+
+trace::TlsTransaction txn(double start, double end, double ul, double dl) {
+  return {.start_s = start, .end_s = end, .ul_bytes = ul, .dl_bytes = dl,
+          .sni = "h", .http_count = 1};
+}
+
+TEST(TruncateTlsLog, EmptyStaysEmpty) {
+  EXPECT_TRUE(truncate_tls_log({}, 60.0).empty());
+}
+
+TEST(TruncateTlsLog, DropsLateTransactions) {
+  const trace::TlsLog log{txn(0.0, 5.0, 10, 100), txn(100.0, 110.0, 10, 100)};
+  const auto out = truncate_tls_log(log, 50.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].end_s, 5.0);
+}
+
+TEST(TruncateTlsLog, KeepsCompletedTransactionsIntact) {
+  const trace::TlsLog log{txn(0.0, 20.0, 10, 100)};
+  const auto out = truncate_tls_log(log, 30.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dl_bytes, 100.0);
+  EXPECT_EQ(out[0].end_s, 20.0);
+}
+
+TEST(TruncateTlsLog, ClipsOpenTransactionsProportionally) {
+  const trace::TlsLog log{txn(0.0, 100.0, 40, 1000)};
+  const auto out = truncate_tls_log(log, 25.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].end_s, 25.0);
+  EXPECT_NEAR(out[0].dl_bytes, 250.0, 1e-9);
+  EXPECT_NEAR(out[0].ul_bytes, 10.0, 1e-9);
+}
+
+TEST(TruncateTlsLog, HorizonRelativeToFirstStart) {
+  // Log starting at t=500: the horizon counts from there.
+  const trace::TlsLog log{txn(500.0, 510.0, 10, 100),
+                          txn(560.0, 570.0, 10, 100)};
+  const auto out = truncate_tls_log(log, 30.0);
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(TruncateTlsLog, FullHorizonIsIdentity) {
+  const trace::TlsLog log{txn(0.0, 5.0, 10, 100), txn(2.0, 30.0, 20, 200)};
+  const auto out = truncate_tls_log(log, 1e6);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].dl_bytes, 200.0);
+}
+
+TEST(TruncateTlsLog, MonotoneInHorizon) {
+  trace::TlsLog log;
+  for (int i = 0; i < 20; ++i) {
+    log.push_back(txn(i * 10.0, i * 10.0 + 15.0, 10, 1000));
+  }
+  double prev_bytes = 0.0;
+  std::size_t prev_n = 0;
+  for (double h : {10.0, 40.0, 80.0, 160.0, 400.0}) {
+    const auto out = truncate_tls_log(log, h);
+    double bytes = 0.0;
+    for (const auto& t : out) bytes += t.dl_bytes;
+    EXPECT_GE(out.size(), prev_n);
+    EXPECT_GE(bytes, prev_bytes);
+    prev_n = out.size();
+    prev_bytes = bytes;
+  }
+}
+
+TEST(TruncateTlsLog, TruncatedViewStillFeaturizable) {
+  trace::TlsLog log{txn(0.0, 120.0, 50, 5000), txn(10.0, 20.0, 10, 100)};
+  const auto out = truncate_tls_log(log, 30.0);
+  const auto f = extract_tls_features(out);
+  EXPECT_EQ(f.size(), 38u);
+  for (double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(TruncateTlsLog, RejectsNonPositiveHorizon) {
+  EXPECT_THROW(truncate_tls_log({}, 0.0), droppkt::ContractViolation);
+}
+
+}  // namespace
+}  // namespace droppkt::core

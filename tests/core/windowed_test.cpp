@@ -1,0 +1,132 @@
+#include "core/windowed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+namespace {
+
+LabeledDataset small_dataset(std::size_t n = 20, std::uint64_t seed = 1) {
+  DatasetConfig cfg;
+  cfg.num_sessions = n;
+  cfg.seed = seed;
+  cfg.trace_pool_size = 30;
+  cfg.catalog_size = 15;
+  return build_dataset(has::svc2_profile(), cfg);
+}
+
+trace::PacketRecord pkt(double ts, trace::Direction dir, std::uint32_t size,
+                        bool retx = false) {
+  return {.ts_s = ts, .dir = dir, .size_bytes = size,
+          .payload_bytes = size > 52 ? size - 52 : 0, .flow_id = 1,
+          .retransmission = retx, .is_syn = false, .is_fin = false};
+}
+
+TEST(WindowFeatures, EmptySliceMostlyZero) {
+  const auto f = extract_window_features({}, 0.0, 10.0);
+  ASSERT_EQ(f.size(), window_feature_names().size());
+  EXPECT_EQ(f[0], 0.0);                       // DL bytes
+  EXPECT_EQ(f[4], 0.0);                       // throughput
+  EXPECT_EQ(f[8], 10.0);                      // max gap = whole window
+}
+
+TEST(WindowFeatures, CountsAndRates) {
+  std::vector<trace::PacketRecord> slice{
+      pkt(0.5, trace::Direction::kUplink, 452),
+      pkt(1.0, trace::Direction::kDownlink, 1500),
+      pkt(1.5, trace::Direction::kDownlink, 1500, true),
+  };
+  const auto f = extract_window_features(slice, 0.0, 10.0);
+  EXPECT_EQ(f[0], 3000.0);                     // DL bytes
+  EXPECT_EQ(f[1], 452.0);                      // UL bytes
+  EXPECT_EQ(f[2], 2.0);                        // DL pkts
+  EXPECT_EQ(f[3], 1.0);                        // UL pkts
+  EXPECT_NEAR(f[4], 3000.0 * 8 / 1000.0 / 10, 1e-9);
+  EXPECT_EQ(f[5], 0.5);                        // retx rate
+  EXPECT_EQ(f[9], 1.0);                        // requests
+  EXPECT_NEAR(f[8], 8.5, 1e-9);                // gap from 1.5 to window end
+}
+
+TEST(WindowFeatures, ActiveFraction) {
+  std::vector<trace::PacketRecord> slice{
+      pkt(0.1, trace::Direction::kDownlink, 1000),
+      pkt(3.1, trace::Direction::kDownlink, 1000),
+  };
+  const auto f = extract_window_features(slice, 0.0, 10.0);
+  EXPECT_NEAR(f[6], 0.2, 1e-9);  // 2 of 10 seconds active
+}
+
+TEST(WindowsForSession, CoversWholeSession) {
+  const auto ds = small_dataset(5);
+  WindowedConfig cfg;
+  for (const auto& s : ds) {
+    const auto windows = windows_for_session(s, cfg);
+    const auto expected = static_cast<std::size_t>(
+        std::ceil(s.record.ground_truth.session_end_s / cfg.window_s));
+    EXPECT_EQ(windows.features.size(), expected);
+    EXPECT_EQ(windows.stalled.size(), expected);
+  }
+}
+
+TEST(WindowsForSession, StallLabelsMatchGroundTruth) {
+  const auto ds = small_dataset(30, 2);
+  WindowedConfig cfg;
+  for (const auto& s : ds) {
+    const auto windows = windows_for_session(s, cfg);
+    std::size_t stalled = 0;
+    for (int w : windows.stalled) stalled += w;
+    if (s.record.ground_truth.stall_time_s() == 0.0) {
+      EXPECT_EQ(stalled, 0u);
+    } else if (s.record.ground_truth.stall_time_s() > 2.0 * cfg.window_s) {
+      EXPECT_GT(stalled, 0u);
+    }
+  }
+}
+
+TEST(WindowsForSession, Deterministic) {
+  const auto ds = small_dataset(3, 3);
+  const auto a = windows_for_session(ds[0]);
+  const auto b = windows_for_session(ds[0]);
+  ASSERT_EQ(a.features.size(), b.features.size());
+  for (std::size_t w = 0; w < a.features.size(); ++w) {
+    EXPECT_EQ(a.features[w], b.features[w]);
+    EXPECT_EQ(a.stalled[w], b.stalled[w]);
+  }
+}
+
+TEST(MakeWindowDataset, PoolsAllWindows) {
+  const auto ds = small_dataset(6, 4);
+  const auto data = make_window_dataset(ds);
+  std::size_t expected = 0;
+  for (const auto& s : ds) {
+    expected += windows_for_session(s).features.size();
+  }
+  EXPECT_EQ(data.size(), expected);
+  EXPECT_EQ(data.num_classes(), 2);
+}
+
+TEST(SessionFromWindows, Categorization) {
+  const std::vector<int> none{0, 0, 0, 0, 0};
+  EXPECT_EQ(session_rebuffering_from_windows(none), 2);  // zero
+  const std::vector<int> one_of_twenty{1, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                                       0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(session_rebuffering_from_windows(one_of_twenty), 1);  // mild
+  const std::vector<int> heavy{1, 1, 1, 0, 0};
+  EXPECT_EQ(session_rebuffering_from_windows(heavy), 0);  // high
+  EXPECT_EQ(session_rebuffering_from_windows({}), 2);
+}
+
+TEST(WindowedConfig, Validation) {
+  const auto ds = small_dataset(1, 5);
+  WindowedConfig bad;
+  bad.window_s = 0.0;
+  EXPECT_THROW(windows_for_session(ds[0], bad), droppkt::ContractViolation);
+  EXPECT_THROW(extract_window_features({}, 0.0, 0.0),
+               droppkt::ContractViolation);
+}
+
+}  // namespace
+}  // namespace droppkt::core

@@ -1,0 +1,228 @@
+#include "has/abr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::has {
+namespace {
+
+QualityLadder ladder() {
+  return QualityLadder({{144, 200.0, "144p"},
+                        {360, 800.0, "360p"},
+                        {480, 1500.0, "480p"},
+                        {720, 3000.0, "720p"},
+                        {1080, 6000.0, "1080p"}});
+}
+
+AbrContext ctx(double buffer_s, double tput, std::size_t cur, bool startup,
+               const QualityLadder& l, double capacity = 120.0) {
+  return {.buffer_s = buffer_s,
+          .buffer_capacity_s = capacity,
+          .throughput_kbps = tput,
+          .current_quality = cur,
+          .startup = startup,
+          .ladder = &l};
+}
+
+// ---- BufferFillAbr -------------------------------------------------------
+
+TEST(BufferFillAbr, StartupPicksLowest) {
+  const auto l = ladder();
+  BufferFillAbr abr(5.0, 40.0, 1.0);
+  EXPECT_EQ(abr.choose(ctx(0.0, 50000.0, 0, true, l)), 0u);
+}
+
+TEST(BufferFillAbr, LowBufferPicksLowest) {
+  const auto l = ladder();
+  BufferFillAbr abr(5.0, 40.0, 1.0);
+  EXPECT_EQ(abr.choose(ctx(3.0, 50000.0, 3, false, l)), 0u);
+}
+
+TEST(BufferFillAbr, FullBufferPicksRateCappedMax) {
+  const auto l = ladder();
+  BufferFillAbr abr(5.0, 40.0, 1.0);
+  EXPECT_EQ(abr.choose(ctx(100.0, 50000.0, 0, false, l)), l.highest());
+  // Rate cap: 2000 kbps affords only 480p.
+  EXPECT_EQ(abr.choose(ctx(100.0, 2000.0, 0, false, l)), 2u);
+}
+
+TEST(BufferFillAbr, QualityMonotoneInBuffer) {
+  const auto l = ladder();
+  BufferFillAbr abr(5.0, 40.0, 2.0);
+  std::size_t prev = 0;
+  for (double b = 0.0; b <= 60.0; b += 2.0) {
+    const auto q = abr.choose(ctx(b, 1e9, 0, false, l));
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+  EXPECT_EQ(prev, l.highest());
+}
+
+TEST(BufferFillAbr, ValidatesParameters) {
+  EXPECT_THROW(BufferFillAbr(10.0, 5.0, 1.0), droppkt::ContractViolation);
+  EXPECT_THROW(BufferFillAbr(0.0, 5.0, 1.0), droppkt::ContractViolation);
+  EXPECT_THROW(BufferFillAbr(1.0, 5.0, 0.0), droppkt::ContractViolation);
+}
+
+// ---- StickyRateAbr -------------------------------------------------------
+
+TEST(StickyRateAbr, StartupMatchesRate) {
+  const auto l = ladder();
+  StickyRateAbr abr(1.0, 1.2, 5.0);
+  EXPECT_EQ(abr.choose(ctx(0.0, 3200.0, 0, true, l)), 3u);  // 720p
+  EXPECT_EQ(abr.choose(ctx(0.0, 100.0, 0, true, l)), 0u);
+}
+
+TEST(StickyRateAbr, HoldsQualityWithHealthyBuffer) {
+  const auto l = ladder();
+  StickyRateAbr abr(1.0, 1.2, 5.0);
+  // Throughput collapsed but buffer is fine: hold.
+  EXPECT_EQ(abr.choose(ctx(30.0, 300.0, 3, false, l)), 3u);
+}
+
+TEST(StickyRateAbr, UpswitchNeedsHysteresisHeadroom) {
+  const auto l = ladder();
+  StickyRateAbr abr(1.0, 1.2, 5.0);
+  // Next level (480p) costs 1500; need 1.2x = 1800.
+  EXPECT_EQ(abr.choose(ctx(30.0, 1700.0, 1, false, l)), 1u);
+  EXPECT_EQ(abr.choose(ctx(30.0, 1900.0, 1, false, l)), 2u);
+}
+
+TEST(StickyRateAbr, PanicStepsDownOneLevel) {
+  const auto l = ladder();
+  StickyRateAbr abr(1.0, 1.2, 5.0);
+  // Buffer below panic, rate only affords 144p: step down one, not all.
+  EXPECT_EQ(abr.choose(ctx(2.0, 300.0, 3, false, l)), 2u);
+  // At panic but rate affordable: hold.
+  EXPECT_EQ(abr.choose(ctx(2.0, 10000.0, 3, false, l)), 3u);
+}
+
+TEST(StickyRateAbr, ValidatesParameters) {
+  EXPECT_THROW(StickyRateAbr(0.0, 1.2, 5.0), droppkt::ContractViolation);
+  EXPECT_THROW(StickyRateAbr(1.0, 0.9, 5.0), droppkt::ContractViolation);
+  EXPECT_THROW(StickyRateAbr(1.0, 1.2, -1.0), droppkt::ContractViolation);
+}
+
+// ---- HybridAbr -----------------------------------------------------------
+
+TEST(HybridAbr, StartupOneBelowRateTarget) {
+  const auto l = ladder();
+  HybridAbr abr(1.0, 10.0, 30.0);
+  EXPECT_EQ(abr.choose(ctx(0.0, 3500.0, 0, true, l)), 2u);  // target 720p - 1
+  EXPECT_EQ(abr.choose(ctx(0.0, 100.0, 0, true, l)), 0u);
+}
+
+TEST(HybridAbr, DrainingStepsDown) {
+  const auto l = ladder();
+  HybridAbr abr(1.0, 10.0, 30.0);
+  EXPECT_EQ(abr.choose(ctx(5.0, 400.0, 3, false, l)), 2u);
+}
+
+TEST(HybridAbr, ComfortableJumpsToRateTarget) {
+  const auto l = ladder();
+  HybridAbr abr(1.0, 10.0, 30.0);
+  EXPECT_EQ(abr.choose(ctx(50.0, 7000.0, 0, false, l)), l.highest());
+}
+
+TEST(HybridAbr, MidBufferStepsTowardTarget) {
+  const auto l = ladder();
+  HybridAbr abr(1.0, 10.0, 30.0);
+  // Target above current: one step up.
+  EXPECT_EQ(abr.choose(ctx(20.0, 7000.0, 1, false, l)), 2u);
+  // Target below current: drop to target.
+  EXPECT_EQ(abr.choose(ctx(20.0, 900.0, 3, false, l)), 1u);
+}
+
+TEST(HybridAbr, ValidatesParameters) {
+  EXPECT_THROW(HybridAbr(1.0, 30.0, 10.0), droppkt::ContractViolation);
+  EXPECT_THROW(HybridAbr(0.0, 10.0, 30.0), droppkt::ContractViolation);
+}
+
+// ---- MpcAbr ----------------------------------------------------------------
+
+TEST(MpcAbr, FatLinkHealthyBufferPicksTop) {
+  const auto l = ladder();
+  MpcAbr abr(4.0);
+  EXPECT_EQ(abr.choose(ctx(40.0, 50000.0, 2, false, l)), l.highest());
+}
+
+TEST(MpcAbr, ThinLinkPicksLow) {
+  const auto l = ladder();
+  MpcAbr abr(4.0);
+  // 300 kbps cannot sustain anything above the bottom rung; with an empty
+  // buffer MPC's stall penalty dominates.
+  EXPECT_LE(abr.choose(ctx(1.0, 300.0, 3, false, l)), 1u);
+}
+
+TEST(MpcAbr, LargerBufferAffordsHigherQuality) {
+  const auto l = ladder();
+  MpcAbr abr(4.0);
+  // At a rate between rungs, buffer headroom lets MPC risk a higher level.
+  const auto starved = abr.choose(ctx(2.0, 1800.0, 2, false, l));
+  const auto comfy = abr.choose(ctx(60.0, 1800.0, 2, false, l));
+  EXPECT_GE(comfy, starved);
+}
+
+TEST(MpcAbr, SwitchPenaltyStabilizes) {
+  const auto l = ladder();
+  // A huge switching penalty pins the decision to the current level.
+  MpcAbr sticky(4.0, 5, 3000.0, 1e6, 0.8);
+  EXPECT_EQ(sticky.choose(ctx(30.0, 50000.0, 1, false, l)), 1u);
+}
+
+TEST(MpcAbr, ValidatesParameters) {
+  EXPECT_THROW(MpcAbr(0.0), droppkt::ContractViolation);
+  EXPECT_THROW(MpcAbr(4.0, 0), droppkt::ContractViolation);
+  EXPECT_THROW(MpcAbr(4.0, 5, 3000.0, 1.0, 0.0), droppkt::ContractViolation);
+}
+
+// ---- Common --------------------------------------------------------------
+
+TEST(AbrFactory, ProducesAllKinds) {
+  EXPECT_NE(make_abr(AbrKind::kBufferFill), nullptr);
+  EXPECT_NE(make_abr(AbrKind::kStickyRate), nullptr);
+  EXPECT_NE(make_abr(AbrKind::kHybrid), nullptr);
+  EXPECT_NE(make_abr(AbrKind::kMpc), nullptr);
+}
+
+TEST(AbrContext, ValidationCatchesMissingLadder) {
+  BufferFillAbr abr(5.0, 40.0, 1.0);
+  AbrContext bad{.buffer_s = 0.0,
+                 .buffer_capacity_s = 100.0,
+                 .throughput_kbps = 0.0,
+                 .current_quality = 0,
+                 .startup = false,
+                 .ladder = nullptr};
+  EXPECT_THROW(abr.choose(bad), droppkt::ContractViolation);
+}
+
+// Property: every ABR always returns a valid ladder index, whatever the
+// context.
+class AbrProperty
+    : public ::testing::TestWithParam<std::tuple<AbrKind, std::uint64_t>> {};
+
+TEST_P(AbrProperty, AlwaysReturnsValidLevel) {
+  const auto l = ladder();
+  auto abr = make_abr(std::get<0>(GetParam()));
+  util::Rng rng(std::get<1>(GetParam()));
+  for (int i = 0; i < 500; ++i) {
+    const auto q = abr->choose(ctx(rng.uniform(0.0, 240.0),
+                                   rng.uniform(0.0, 1e5),
+                                   static_cast<std::size_t>(rng.uniform_int(0, 4)),
+                                   rng.bernoulli(0.2), l,
+                                   rng.uniform(30.0, 240.0)));
+    ASSERT_LE(q, l.highest());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, AbrProperty,
+    ::testing::Combine(::testing::Values(AbrKind::kBufferFill,
+                                         AbrKind::kStickyRate,
+                                         AbrKind::kHybrid, AbrKind::kMpc),
+                       ::testing::Range<std::uint64_t>(0, 5)));
+
+}  // namespace
+}  // namespace droppkt::has

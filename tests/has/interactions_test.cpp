@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "has/player.hpp"
+#include "net/trace_generator.hpp"
+#include "util/expect.hpp"
+
+namespace droppkt::has {
+namespace {
+
+Video test_video() {
+  return {.id = "v", .genre = Genre::kDrama, .duration_s = 7200.0,
+          .bitrate_factor = 1.0, .size_variability = 0.1};
+}
+
+PlaybackResult run(const InteractionModel& interactions, double kbps,
+                   double watch, std::uint64_t seed) {
+  const auto trace = net::BandwidthTrace::constant(kbps, 600.0);
+  const net::LinkModel link(trace,
+                            net::link_params_for(net::Environment::kBroadband));
+  util::Rng rng(seed);
+  return PlayerSimulator{}.play(svc1_profile(), test_video(), link, watch, rng,
+                                interactions);
+}
+
+TEST(InteractionModel, DisabledByDefault) {
+  const InteractionModel m;
+  EXPECT_FALSE(m.enabled());
+  const InteractionModel p{.pause_rate_per_min = 1.0};
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(Interactions, NoModelNoEvents) {
+  const auto r = run({}, 8000.0, 200.0, 1);
+  EXPECT_EQ(r.ground_truth.pause_count, 0u);
+  EXPECT_EQ(r.ground_truth.seek_count, 0u);
+}
+
+TEST(Interactions, PausesOccurAtConfiguredRate) {
+  const InteractionModel m{.pause_rate_per_min = 2.0, .pause_mean_s = 5.0};
+  double pauses = 0.0, minutes = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto r = run(m, 8000.0, 300.0, seed);
+    pauses += static_cast<double>(r.ground_truth.pause_count);
+    minutes += r.ground_truth.session_end_s / 60.0;
+  }
+  EXPECT_NEAR(pauses / minutes, 2.0, 1.0);
+}
+
+TEST(Interactions, PausesReducePlaybackShare) {
+  const InteractionModel heavy{.pause_rate_per_min = 3.0, .pause_mean_s = 30.0};
+  const auto clean = run({}, 8000.0, 300.0, 7);
+  const auto paused = run(heavy, 8000.0, 300.0, 7);
+  ASSERT_GT(paused.ground_truth.pause_count, 0u);
+  EXPECT_LT(paused.ground_truth.playback_s, clean.ground_truth.playback_s);
+}
+
+TEST(Interactions, PausesAreNotStalls) {
+  const InteractionModel m{.pause_rate_per_min = 3.0, .pause_mean_s = 30.0};
+  // A fast link: any "downtime" must be pauses, not stalls.
+  const auto r = run(m, 50000.0, 300.0, 8);
+  ASSERT_GT(r.ground_truth.pause_count, 0u);
+  EXPECT_EQ(r.ground_truth.stall_time_s(), 0.0);
+  EXPECT_EQ(r.ground_truth.rebuffer_ratio(), 0.0);
+}
+
+TEST(Interactions, SeeksDiscardBufferAndCanStall) {
+  const InteractionModel m{.seek_rate_per_min = 4.0, .seek_mean_s = 120.0};
+  // A moderate link: frequent long seeks drain the buffer.
+  double stall_with_seeks = 0.0, stall_clean = 0.0;
+  std::size_t seeks = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto a = run(m, 2500.0, 240.0, seed);
+    const auto b = run({}, 2500.0, 240.0, seed);
+    stall_with_seeks += a.ground_truth.stall_time_s();
+    stall_clean += b.ground_truth.stall_time_s();
+    seeks += a.ground_truth.seek_count;
+  }
+  EXPECT_GT(seeks, 0u);
+  EXPECT_GE(stall_with_seeks, stall_clean);
+}
+
+TEST(Interactions, SessionInvariantsStillHold) {
+  const InteractionModel m{.pause_rate_per_min = 1.5,
+                           .pause_mean_s = 20.0,
+                           .seek_rate_per_min = 1.0,
+                           .seek_mean_s = 60.0};
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    util::Rng pick(seed);
+    const double kbps = pick.uniform(300.0, 20000.0);
+    const double watch = pick.uniform(30.0, 400.0);
+    const auto r = run(m, kbps, watch, seed);
+    const auto& gt = r.ground_truth;
+    EXPECT_GE(gt.playback_s, 0.0);
+    EXPECT_LE(gt.playback_s, watch + 1e-6);
+    EXPECT_GE(gt.session_end_s, watch);
+    for (const auto& s : gt.stalls) EXPECT_LT(s.start_s, s.end_s);
+  }
+}
+
+TEST(Interactions, Deterministic) {
+  const InteractionModel m{.pause_rate_per_min = 1.0,
+                           .seek_rate_per_min = 1.0};
+  const auto a = run(m, 4000.0, 200.0, 42);
+  const auto b = run(m, 4000.0, 200.0, 42);
+  EXPECT_EQ(a.ground_truth.pause_count, b.ground_truth.pause_count);
+  EXPECT_EQ(a.ground_truth.seek_count, b.ground_truth.seek_count);
+  EXPECT_EQ(a.ground_truth.playback_s, b.ground_truth.playback_s);
+  EXPECT_EQ(a.http.size(), b.http.size());
+}
+
+}  // namespace
+}  // namespace droppkt::has

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "core/dataset_builder.hpp"
+#include "has/service_profile.hpp"
+
+namespace droppkt::has {
+namespace {
+
+TEST(LiveProfile, SmallBufferAndShortSegments) {
+  const auto live = svc_live_profile();
+  const auto vod = svc1_profile();
+  EXPECT_LT(live.buffer_capacity_s, 20.0);
+  EXPECT_LT(live.buffer_capacity_s, vod.buffer_capacity_s / 10.0);
+  EXPECT_LT(live.segment_duration_s, vod.segment_duration_s);
+  EXPECT_EQ(live.name, "Svc1-Live");
+}
+
+TEST(LiveProfile, KeepsSvc1LadderAndThresholds) {
+  const auto live = svc_live_profile();
+  const auto vod = svc1_profile();
+  EXPECT_EQ(live.ladder.size(), vod.ladder.size());
+  EXPECT_EQ(live.low_max_px, vod.low_max_px);
+  EXPECT_EQ(live.med_max_px, vod.med_max_px);
+}
+
+TEST(LiveProfile, DistinctHostNamespace) {
+  const auto live = svc_live_profile();
+  EXPECT_NE(live.connections.cdn_host_format,
+            svc1_profile().connections.cdn_host_format);
+}
+
+TEST(LiveProfile, LiveSessionsStallMoreThanVod) {
+  core::DatasetConfig cfg;
+  cfg.num_sessions = 200;
+  cfg.seed = 5;
+  cfg.trace_pool_size = 60;
+  const auto live_ds = core::build_dataset(svc_live_profile(), cfg);
+  const auto vod_ds = core::build_dataset(svc1_profile(), cfg);
+  auto high_rebuf = [](const core::LabeledDataset& ds) {
+    std::size_t n = 0;
+    for (const auto& s : ds) n += s.labels.rebuffering == 0;
+    return static_cast<double>(n) / ds.size();
+  };
+  EXPECT_GT(high_rebuf(live_ds), high_rebuf(vod_ds));
+}
+
+TEST(LiveProfile, TrafficIsRealTimePaced) {
+  // A live player's buffer cap means downloads cannot run far ahead of
+  // real time: total downlink over a long session on a fat link is
+  // bounded by the top encoding rate, while VOD races ahead.
+  core::DatasetConfig cfg;
+  cfg.num_sessions = 60;
+  cfg.seed = 6;
+  const auto live_ds = core::build_dataset(svc_live_profile(), cfg);
+  const auto live = svc_live_profile();
+  const double top_kbps =
+      live.ladder.level(live.ladder.highest()).bitrate_kbps +
+      live.audio_bitrate_kbps;
+  for (const auto& s : live_ds) {
+    double dl = 0.0;
+    for (const auto& t : s.record.http) dl += t.dl_bytes;
+    const double avg_kbps = dl * 8.0 / 1000.0 / s.record.watch_duration_s;
+    // Encoded-rate ceiling with headroom for per-title variance and assets.
+    EXPECT_LT(avg_kbps, top_kbps * 2.5);
+  }
+}
+
+}  // namespace
+}  // namespace droppkt::has

@@ -1,0 +1,216 @@
+#include "has/player.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/trace_generator.hpp"
+#include "util/expect.hpp"
+
+namespace droppkt::has {
+namespace {
+
+Video test_video(double factor = 1.0) {
+  return {.id = "v0",
+          .genre = Genre::kDrama,
+          .duration_s = 3600.0,
+          .bitrate_factor = factor,
+          .size_variability = 0.1};
+}
+
+PlaybackResult run(const ServiceProfile& svc, double kbps, double watch_s,
+                   std::uint64_t seed = 1) {
+  const auto trace = net::BandwidthTrace::constant(kbps, 600.0);
+  const net::LinkModel link(trace, net::link_params_for(net::Environment::kBroadband));
+  util::Rng rng(seed);
+  const PlayerSimulator player;
+  return player.play(svc, test_video(), link, watch_s, rng);
+}
+
+TEST(GroundTruth, RebufferRatioDefinition) {
+  GroundTruth gt;
+  gt.playback_s = 100.0;
+  gt.stalls = {{10.0, 12.0}, {50.0, 53.0}};
+  EXPECT_NEAR(gt.stall_time_s(), 5.0, 1e-12);
+  EXPECT_NEAR(gt.rebuffer_ratio(), 0.05, 1e-12);
+}
+
+TEST(GroundTruth, ZeroPlaybackHasZeroRatio) {
+  GroundTruth gt;
+  gt.stalls = {{0.0, 5.0}};
+  EXPECT_EQ(gt.rebuffer_ratio(), 0.0);
+}
+
+TEST(Player, GoodNetworkNoStalls) {
+  const auto r = run(svc1_profile(), 50000.0, 120.0);
+  EXPECT_EQ(r.ground_truth.stalls.size(), 0u);
+  EXPECT_GT(r.ground_truth.playback_s, 100.0);
+  EXPECT_LT(r.ground_truth.startup_delay_s, 5.0);
+}
+
+TEST(Player, GoodNetworkReachesHighQuality) {
+  const auto svc = svc1_profile();
+  // Generous deterministic-ish check across seeds: a 50 Mbps link should
+  // reach the upper ladder within a 3-minute session (unless the device cap
+  // randomly applies, so check across seeds).
+  int reached_high = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto r = run(svc, 50000.0, 180.0, seed);
+    const auto& h = r.ground_truth.played_height_per_s;
+    ASSERT_FALSE(h.empty());
+    if (*std::max_element(h.begin(), h.end()) >= 720) ++reached_high;
+  }
+  EXPECT_GE(reached_high, 5);
+}
+
+TEST(Player, StarvedNetworkStalls) {
+  // 150 kbps cannot sustain even the lowest rung + audio.
+  const auto r = run(svc2_profile(), 150.0, 120.0);
+  EXPECT_GT(r.ground_truth.stall_time_s(), 1.0);
+}
+
+TEST(Player, StarvedNetworkStaysLowQuality) {
+  const auto r = run(svc1_profile(), 400.0, 180.0);
+  const auto& h = r.ground_truth.played_height_per_s;
+  ASSERT_FALSE(h.empty());
+  // Majority of played seconds at the low rungs.
+  int low = 0;
+  for (int px : h) low += (px <= 288);
+  EXPECT_GT(low * 2, static_cast<int>(h.size()));
+}
+
+TEST(Player, PlaybackNeverExceedsWatchDuration) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto r = run(svc3_profile(), 3000.0, 90.0, seed);
+    EXPECT_LE(r.ground_truth.playback_s, 90.0 + 1e-6);
+    EXPECT_GE(r.ground_truth.session_end_s, 90.0);
+  }
+}
+
+TEST(Player, StallsAreDisjointAndOrdered) {
+  const auto r = run(svc2_profile(), 500.0, 300.0, 3);
+  const auto& stalls = r.ground_truth.stalls;
+  for (std::size_t i = 0; i < stalls.size(); ++i) {
+    EXPECT_LT(stalls[i].start_s, stalls[i].end_s);
+    if (i > 0) EXPECT_GE(stalls[i].start_s, stalls[i - 1].end_s - 1e-9);
+  }
+}
+
+TEST(Player, StallsExcludeStartup) {
+  const auto r = run(svc2_profile(), 800.0, 200.0, 4);
+  for (const auto& s : r.ground_truth.stalls) {
+    EXPECT_GE(s.start_s, r.ground_truth.startup_delay_s - 1e-9);
+  }
+}
+
+TEST(Player, HttpLogSortedAndWellFormed) {
+  const auto r = run(svc1_profile(), 4000.0, 120.0, 5);
+  ASSERT_GT(r.http.size(), 10u);
+  for (std::size_t i = 0; i < r.http.size(); ++i) {
+    const auto& t = r.http[i];
+    EXPECT_LE(t.request_s, t.response_start_s);
+    EXPECT_LE(t.response_start_s, t.response_end_s + 1e-9);
+    EXPECT_GE(t.ul_bytes, 0.0);
+    EXPECT_GE(t.dl_bytes, 0.0);
+    if (i > 0) EXPECT_GE(t.request_s, r.http[i - 1].request_s);
+  }
+}
+
+TEST(Player, HttpLogContainsAllKinds) {
+  const auto r = run(svc1_profile(), 4000.0, 200.0, 6);
+  bool has[5] = {false, false, false, false, false};
+  for (const auto& t : r.http) has[static_cast<int>(t.kind)] = true;
+  EXPECT_TRUE(has[static_cast<int>(HttpKind::kManifest)]);
+  EXPECT_TRUE(has[static_cast<int>(HttpKind::kInitSegment)]);
+  EXPECT_TRUE(has[static_cast<int>(HttpKind::kVideoSegment)]);
+  EXPECT_TRUE(has[static_cast<int>(HttpKind::kAudioSegment)]);
+  EXPECT_TRUE(has[static_cast<int>(HttpKind::kBeacon)]);
+}
+
+TEST(Player, MuxedServiceHasNoAudioRequests) {
+  const auto r = run(svc3_profile(), 4000.0, 120.0, 7);
+  for (const auto& t : r.http) {
+    EXPECT_NE(t.kind, HttpKind::kAudioSegment);
+  }
+}
+
+TEST(Player, RangeRequestsBoundedByConfiguredCap) {
+  const auto svc = svc1_profile();
+  const auto r = run(svc, 20000.0, 120.0, 8);
+  for (const auto& t : r.http) {
+    if (t.kind == HttpKind::kVideoSegment) {
+      // Range scale is at most 1.8 * 1.4 of the configured cap.
+      EXPECT_LE(t.dl_bytes, svc.max_request_bytes * 1.8 * 1.4 + 1.0);
+    }
+  }
+}
+
+TEST(Player, PlayedQualityVectorsConsistent) {
+  const auto r = run(svc2_profile(), 3000.0, 100.0, 9);
+  const auto& gt = r.ground_truth;
+  EXPECT_EQ(gt.played_level_per_s.size(), gt.played_height_per_s.size());
+  EXPECT_LE(static_cast<double>(gt.played_level_per_s.size()),
+            gt.playback_s + 1.0);
+}
+
+TEST(Player, Deterministic) {
+  const auto a = run(svc2_profile(), 2500.0, 150.0, 42);
+  const auto b = run(svc2_profile(), 2500.0, 150.0, 42);
+  EXPECT_EQ(a.http.size(), b.http.size());
+  EXPECT_EQ(a.ground_truth.playback_s, b.ground_truth.playback_s);
+  EXPECT_EQ(a.ground_truth.stall_time_s(), b.ground_truth.stall_time_s());
+}
+
+TEST(Player, RejectsNonPositiveWatch) {
+  const auto trace = net::BandwidthTrace::constant(1000.0, 60.0);
+  const net::LinkModel link(trace);
+  util::Rng rng(1);
+  const PlayerSimulator player;
+  EXPECT_THROW(player.play(svc1_profile(), test_video(), link, 0.0, rng),
+               droppkt::ContractViolation);
+}
+
+TEST(Player, VeryShortWatchStillProducesASession) {
+  const auto r = run(svc1_profile(), 5000.0, 10.0, 10);
+  EXPECT_GT(r.http.size(), 0u);
+  EXPECT_GE(r.ground_truth.session_end_s, 10.0);
+}
+
+// Property: across services, seeds and rates, core invariants hold.
+class PlayerProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(PlayerProperty, SessionInvariants) {
+  const auto services = all_services();
+  const auto& svc = services[std::get<0>(GetParam())];
+  util::Rng seed_rng(std::get<1>(GetParam()));
+  const double kbps = seed_rng.uniform(200.0, 30000.0);
+  const double watch = seed_rng.uniform(15.0, 400.0);
+  const auto r = run(svc, kbps, watch, seed_rng());
+
+  const auto& gt = r.ground_truth;
+  EXPECT_GE(gt.playback_s, 0.0);
+  EXPECT_LE(gt.playback_s, watch + 1e-6);
+  EXPECT_GE(gt.startup_delay_s, 0.0);
+  EXPECT_GE(gt.session_end_s, watch);
+  EXPECT_GE(gt.rebuffer_ratio(), 0.0);
+  for (const auto& s : gt.stalls) EXPECT_LT(s.start_s, s.end_s);
+  for (std::size_t lvl : gt.played_level_per_s) {
+    EXPECT_LT(lvl, svc.ladder.size());
+  }
+  // Total downloaded bytes are positive whenever anything played.
+  if (gt.playback_s > 0) {
+    double dl = 0.0;
+    for (const auto& t : r.http) dl += t.dl_bytes;
+    EXPECT_GT(dl, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ServicesAndSeeds, PlayerProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Range<std::uint64_t>(0, 8)));
+
+}  // namespace
+}  // namespace droppkt::has

@@ -1,0 +1,68 @@
+#include "has/quality_ladder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace droppkt::has {
+namespace {
+
+QualityLadder make_ladder() {
+  return QualityLadder({{240, 300.0, "240p"},
+                        {480, 1000.0, "480p"},
+                        {720, 2500.0, "720p"}});
+}
+
+TEST(QualityLadder, BasicAccessors) {
+  const auto l = make_ladder();
+  EXPECT_EQ(l.size(), 3u);
+  EXPECT_EQ(l.lowest(), 0u);
+  EXPECT_EQ(l.highest(), 2u);
+  EXPECT_EQ(l.level(1).height_px, 480);
+  EXPECT_EQ(l.level(1).label, "480p");
+}
+
+TEST(QualityLadder, LevelOutOfRangeThrows) {
+  const auto l = make_ladder();
+  EXPECT_THROW(l.level(3), droppkt::ContractViolation);
+}
+
+TEST(QualityLadder, MaxSustainablePicksHighestAffordable) {
+  const auto l = make_ladder();
+  EXPECT_EQ(l.max_sustainable(5000.0), 2u);
+  EXPECT_EQ(l.max_sustainable(2500.0), 2u);   // boundary inclusive
+  EXPECT_EQ(l.max_sustainable(2499.0), 1u);
+  EXPECT_EQ(l.max_sustainable(999.0), 0u);
+  EXPECT_EQ(l.max_sustainable(0.0), 0u);      // floor at lowest
+}
+
+TEST(QualityLadder, RejectsEmpty) {
+  EXPECT_THROW(QualityLadder({}), droppkt::ContractViolation);
+}
+
+TEST(QualityLadder, RejectsNonIncreasingBitrate) {
+  EXPECT_THROW(QualityLadder({{240, 300.0, "a"}, {480, 300.0, "b"}}),
+               droppkt::ContractViolation);
+  EXPECT_THROW(QualityLadder({{240, 300.0, "a"}, {480, 200.0, "b"}}),
+               droppkt::ContractViolation);
+}
+
+TEST(QualityLadder, RejectsDecreasingHeights) {
+  EXPECT_THROW(QualityLadder({{480, 300.0, "a"}, {240, 500.0, "b"}}),
+               droppkt::ContractViolation);
+}
+
+TEST(QualityLadder, RejectsNonPositiveValues) {
+  EXPECT_THROW(QualityLadder({{0, 300.0, "a"}}), droppkt::ContractViolation);
+  EXPECT_THROW(QualityLadder({{240, 0.0, "a"}}), droppkt::ContractViolation);
+}
+
+TEST(QualityLadder, SingleLevelLadder) {
+  const QualityLadder l({{480, 900.0, "480p"}});
+  EXPECT_EQ(l.lowest(), l.highest());
+  EXPECT_EQ(l.max_sustainable(100.0), 0u);
+  EXPECT_EQ(l.max_sustainable(10000.0), 0u);
+}
+
+}  // namespace
+}  // namespace droppkt::has

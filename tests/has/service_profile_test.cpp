@@ -1,0 +1,124 @@
+#include "has/service_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace droppkt::has {
+namespace {
+
+TEST(ServiceProfiles, ThreeServicesWithPaperNames) {
+  const auto all = all_services();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "Svc1");
+  EXPECT_EQ(all[1].name, "Svc2");
+  EXPECT_EQ(all[2].name, "Svc3");
+}
+
+TEST(ServiceProfiles, LookupByName) {
+  EXPECT_EQ(service_by_name("Svc2").name, "Svc2");
+  EXPECT_THROW(service_by_name("Svc9"), droppkt::ContractViolation);
+}
+
+TEST(ServiceProfiles, Svc1MatchesPaperDescription) {
+  const auto p = svc1_profile();
+  // Paper: Svc1 uses a 240 s buffer.
+  EXPECT_EQ(p.buffer_capacity_s, 240.0);
+  // Paper: quality thresholds low<=288p, med=480p.
+  EXPECT_EQ(p.low_max_px, 288);
+  EXPECT_EQ(p.med_max_px, 480);
+  // Quality-sacrificing ABR.
+  EXPECT_EQ(p.abr, AbrKind::kBufferFill);
+  // Range requests -> many HTTP transactions per TLS connection.
+  EXPECT_GT(p.max_request_bytes, 0.0);
+}
+
+TEST(ServiceProfiles, Svc2MatchesPaperDescription) {
+  const auto p = svc2_profile();
+  EXPECT_LT(p.buffer_capacity_s, svc1_profile().buffer_capacity_s);
+  EXPECT_EQ(p.low_max_px, 360);  // paper: 360p or lower is low
+  EXPECT_EQ(p.med_max_px, 480);
+  EXPECT_EQ(p.abr, AbrKind::kStickyRate);
+}
+
+TEST(ServiceProfiles, Svc3HasExactlyThreeLevels) {
+  const auto p = svc3_profile();
+  EXPECT_EQ(p.ladder.size(), 3u);
+  // Levels map 1:1 onto low/medium/high.
+  EXPECT_EQ(p.ladder.level(0).height_px, p.low_max_px);
+  EXPECT_EQ(p.ladder.level(1).height_px, p.med_max_px);
+  EXPECT_GT(p.ladder.level(2).height_px, p.med_max_px);
+}
+
+TEST(ServiceProfiles, Svc1LadderSkips360p) {
+  // The paper's Svc1 thresholds only make sense without a 360p rung.
+  const auto p = svc1_profile();
+  for (const auto& level : p.ladder.levels()) {
+    EXPECT_NE(level.height_px, 360);
+  }
+}
+
+TEST(ServiceProfiles, ConnectionPoliciesWellFormed) {
+  for (const auto& p : all_services()) {
+    const auto& c = p.connections;
+    EXPECT_GE(c.cdn_hosts_per_session, 1);
+    EXPECT_GE(c.cdn_pool_size, c.cdn_hosts_per_session);
+    EXPECT_GT(c.max_requests_per_connection, 0);
+    EXPECT_GT(c.idle_timeout_s, 0.0);
+    EXPECT_NE(c.cdn_host_format.find("%d"), std::string::npos);
+    EXPECT_FALSE(c.api_host.empty());
+    EXPECT_FALSE(c.beacon_host.empty());
+    // Hosts must be service-distinct for session identification to work.
+    EXPECT_NE(c.api_host, c.beacon_host);
+  }
+}
+
+TEST(ServiceProfiles, SegmentBytesScalesWithQuality) {
+  for (const auto& p : all_services()) {
+    double prev = 0.0;
+    for (std::size_t q = 0; q < p.ladder.size(); ++q) {
+      const double bytes = p.segment_bytes(q);
+      EXPECT_GT(bytes, prev);
+      prev = bytes;
+    }
+  }
+}
+
+TEST(ServiceProfiles, SegmentBytesIncludesMuxedAudioOnlyWhenNotSeparate) {
+  const auto svc3 = svc3_profile();  // muxed audio
+  ASSERT_FALSE(svc3.separate_audio);
+  const double with_audio = svc3.segment_bytes(0);
+  const double video_only =
+      svc3.ladder.level(0).bitrate_kbps * 1000.0 / 8.0 * svc3.segment_duration_s;
+  EXPECT_GT(with_audio, video_only);
+
+  const auto svc1 = svc1_profile();  // separate audio
+  ASSERT_TRUE(svc1.separate_audio);
+  const double v1 =
+      svc1.ladder.level(0).bitrate_kbps * 1000.0 / 8.0 * svc1.segment_duration_s;
+  EXPECT_NEAR(svc1.segment_bytes(0), v1, 1.0);
+}
+
+TEST(ServiceProfiles, StartupBufferBelowCapacity) {
+  for (const auto& p : all_services()) {
+    EXPECT_LT(p.startup_buffer_s, p.buffer_capacity_s);
+    EXPECT_GT(p.startup_buffer_s, 0.0);
+    EXPECT_GT(p.segment_duration_s, 0.0);
+  }
+}
+
+TEST(ServiceProfiles, DistinctHostnameNamespaces) {
+  const auto all = all_services();
+  // No service shares hostnames with another (video traffic identification
+  // by SNI must be unambiguous).
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i].connections.api_host, all[j].connections.api_host);
+      EXPECT_NE(all[i].connections.cdn_host_format,
+                all[j].connections.cdn_host_format);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace droppkt::has

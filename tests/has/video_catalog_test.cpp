@@ -1,0 +1,95 @@
+#include "has/video_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace droppkt::has {
+namespace {
+
+TEST(VideoCatalog, GeneratesRequestedCount) {
+  const auto c = VideoCatalog::generate("Svc1", 60, 1);
+  EXPECT_EQ(c.size(), 60u);
+}
+
+TEST(VideoCatalog, Deterministic) {
+  const auto a = VideoCatalog::generate("Svc1", 30, 7);
+  const auto b = VideoCatalog::generate("Svc1", 30, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.video(i).id, b.video(i).id);
+    EXPECT_EQ(a.video(i).bitrate_factor, b.video(i).bitrate_factor);
+    EXPECT_EQ(a.video(i).duration_s, b.video(i).duration_s);
+  }
+}
+
+TEST(VideoCatalog, UniqueIdsWithServicePrefix) {
+  const auto c = VideoCatalog::generate("SvcX", 50, 2);
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const auto& v = c.video(i);
+    EXPECT_EQ(v.id.find("SvcX-video-"), 0u);
+    ids.insert(v.id);
+  }
+  EXPECT_EQ(ids.size(), 50u);
+}
+
+TEST(VideoCatalog, AttributesInRange) {
+  const auto c = VideoCatalog::generate("Svc2", 75, 3);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const auto& v = c.video(i);
+    EXPECT_GE(v.duration_s, 1260.0);  // long enough for 10-1200 s watches
+    EXPECT_GT(v.bitrate_factor, 0.3);
+    EXPECT_LT(v.bitrate_factor, 2.0);
+    EXPECT_GT(v.size_variability, 0.0);
+    EXPECT_LT(v.size_variability, 0.5);
+  }
+}
+
+TEST(VideoCatalog, GenreDiversity) {
+  const auto c = VideoCatalog::generate("Svc3", 75, 4);
+  std::set<Genre> genres;
+  for (std::size_t i = 0; i < c.size(); ++i) genres.insert(c.video(i).genre);
+  EXPECT_GE(genres.size(), 4u);
+}
+
+TEST(VideoCatalog, SportsCostMoreBitsThanAnimation) {
+  const auto c = VideoCatalog::generate("Svc1", 75, 5);
+  double sports_min = 10.0, animation_max = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const auto& v = c.video(i);
+    if (v.genre == Genre::kSports) sports_min = std::min(sports_min, v.bitrate_factor);
+    if (v.genre == Genre::kAnimation)
+      animation_max = std::max(animation_max, v.bitrate_factor);
+  }
+  EXPECT_GT(sports_min, animation_max * 0.99);
+}
+
+TEST(VideoCatalog, SampleReturnsMembers) {
+  const auto c = VideoCatalog::generate("Svc1", 10, 6);
+  util::Rng rng(1);
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(c.sample(rng).id);
+  EXPECT_GT(seen.size(), 5u);  // sampling covers the catalog
+}
+
+TEST(VideoCatalog, RejectsEmpty) {
+  EXPECT_THROW(VideoCatalog::generate("S", 0, 1), droppkt::ContractViolation);
+}
+
+TEST(VideoCatalog, OutOfRangeVideoThrows) {
+  const auto c = VideoCatalog::generate("S", 3, 1);
+  EXPECT_THROW(c.video(3), droppkt::ContractViolation);
+}
+
+TEST(GenreToString, AllNamed) {
+  EXPECT_EQ(to_string(Genre::kAnimation), "animation");
+  EXPECT_EQ(to_string(Genre::kSports), "sports");
+  EXPECT_EQ(to_string(Genre::kNews), "news");
+  EXPECT_EQ(to_string(Genre::kDrama), "drama");
+  EXPECT_EQ(to_string(Genre::kDocumentary), "documentary");
+}
+
+}  // namespace
+}  // namespace droppkt::has

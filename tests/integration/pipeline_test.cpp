@@ -1,0 +1,129 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+namespace {
+
+LabeledDataset dataset(const has::ServiceProfile& svc, std::size_t n,
+                       std::uint64_t seed) {
+  DatasetConfig cfg;
+  cfg.num_sessions = n;
+  cfg.seed = seed;
+  cfg.trace_pool_size = 60;
+  cfg.catalog_size = 20;
+  return build_dataset(svc, cfg);
+}
+
+TEST(Pipeline, FeatureSetNamesNested) {
+  const auto sl = feature_set_names(FeatureSet::kSessionLevel);
+  const auto ts = feature_set_names(FeatureSet::kSessionPlusTransaction);
+  const auto full = feature_set_names(FeatureSet::kFull);
+  EXPECT_EQ(sl.size(), 4u);
+  EXPECT_EQ(ts.size(), 22u);
+  EXPECT_EQ(full.size(), 38u);
+  // Nesting: every smaller set is a prefix family of the larger.
+  for (const auto& n : sl) {
+    EXPECT_NE(std::find(ts.begin(), ts.end(), n), ts.end());
+  }
+  for (const auto& n : ts) {
+    EXPECT_NE(std::find(full.begin(), full.end(), n), full.end());
+  }
+}
+
+TEST(Pipeline, FeatureSetToString) {
+  EXPECT_EQ(to_string(FeatureSet::kSessionLevel), "Only Session-level (SL)");
+  EXPECT_NE(to_string(FeatureSet::kFull).find("Temporal"), std::string::npos);
+}
+
+TEST(Pipeline, MakeTlsDatasetShapes) {
+  const auto ds = dataset(has::svc1_profile(), 50, 1);
+  const auto full = make_tls_dataset(ds, QoeTarget::kCombined);
+  EXPECT_EQ(full.size(), 50u);
+  EXPECT_EQ(full.num_features(), 38u);
+  EXPECT_EQ(full.num_classes(), 3);
+  const auto sl = make_tls_dataset(ds, QoeTarget::kCombined, {},
+                                   FeatureSet::kSessionLevel);
+  EXPECT_EQ(sl.num_features(), 4u);
+}
+
+TEST(Pipeline, MakeTlsDatasetLabelsFollowTarget) {
+  const auto ds = dataset(has::svc2_profile(), 50, 2);
+  const auto rb = make_tls_dataset(ds, QoeTarget::kRebuffering);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(rb.label(i), ds[i].labels.rebuffering);
+  }
+}
+
+TEST(Pipeline, MakeMl16DatasetShapes) {
+  const auto ds = dataset(has::svc1_profile(), 30, 3);
+  const auto pkt = make_ml16_dataset(ds, QoeTarget::kCombined);
+  EXPECT_EQ(pkt.size(), 30u);
+  EXPECT_EQ(pkt.num_features(), ml16_feature_names().size());
+}
+
+TEST(Pipeline, Ml16DatasetDeterministic) {
+  const auto ds = dataset(has::svc1_profile(), 20, 4);
+  const auto a = make_ml16_dataset(ds, QoeTarget::kCombined);
+  const auto b = make_ml16_dataset(ds, QoeTarget::kCombined);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto ra = a.row(i);
+    const auto rb = b.row(i);
+    for (std::size_t j = 0; j < ra.size(); ++j) EXPECT_EQ(ra[j], rb[j]);
+  }
+}
+
+TEST(Pipeline, EmptyDatasetRejected) {
+  EXPECT_THROW(make_tls_dataset({}, QoeTarget::kCombined),
+               droppkt::ContractViolation);
+  EXPECT_THROW(make_ml16_dataset({}, QoeTarget::kCombined),
+               droppkt::ContractViolation);
+}
+
+TEST(Pipeline, ScoresFromExtractsLowClass) {
+  ml::CrossValidationResult cv(3);
+  cv.pooled.add(0, 0);
+  cv.pooled.add(0, 1);
+  cv.pooled.add(1, 0);
+  cv.pooled.add(2, 2);
+  const auto s = scores_from(cv);
+  EXPECT_NEAR(s.accuracy, 0.5, 1e-12);
+  EXPECT_NEAR(s.recall_low, 0.5, 1e-12);
+  EXPECT_NEAR(s.precision_low, 0.5, 1e-12);
+}
+
+TEST(Pipeline, EvaluateTlsBeatsMajorityBaseline) {
+  const auto ds = dataset(has::svc1_profile(), 250, 5);
+  const auto cv = evaluate_tls(ds, QoeTarget::kCombined);
+  // Majority-class share:
+  const auto data = make_tls_dataset(ds, QoeTarget::kCombined);
+  const auto counts = data.class_counts();
+  const double majority =
+      static_cast<double>(*std::max_element(counts.begin(), counts.end())) /
+      static_cast<double>(data.size());
+  EXPECT_GT(cv.accuracy(), majority + 0.1);
+}
+
+TEST(Pipeline, MoreFeaturesHelp) {
+  // The paper's Table 3 trend: SL < SL+TS <= full, within tolerance.
+  const auto ds = dataset(has::svc1_profile(), 300, 6);
+  const auto sl = evaluate_tls(ds, QoeTarget::kCombined,
+                               FeatureSet::kSessionLevel);
+  const auto full = evaluate_tls(ds, QoeTarget::kCombined, FeatureSet::kFull);
+  EXPECT_GT(full.accuracy() + 0.02, sl.accuracy());
+}
+
+TEST(Pipeline, ForestFactoryProducesIndependentModels) {
+  const auto f = forest_factory(1, 5);
+  auto a = f();
+  auto b = f();
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a, nullptr);
+}
+
+}  // namespace
+}  // namespace droppkt::core

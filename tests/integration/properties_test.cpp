@@ -1,0 +1,105 @@
+// Cross-module property tests: invariants that must hold across the whole
+// simulation -> measurement -> feature stack for arbitrary seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/flow_features.hpp"
+#include "core/session_id.hpp"
+#include "core/tls_features.hpp"
+#include "core/windowed.hpp"
+#include "util/expect.hpp"
+
+namespace droppkt::core {
+namespace {
+
+class CrossModuleProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  LabeledDataset dataset() const {
+    DatasetConfig cfg;
+    cfg.num_sessions = 12;
+    cfg.seed = GetParam();
+    cfg.trace_pool_size = 25;
+    cfg.catalog_size = 10;
+    return build_dataset(has::svc1_profile(), cfg);
+  }
+};
+
+TEST_P(CrossModuleProperty, TlsBytesCoverHttpBytesPlusHandshakes) {
+  for (const auto& s : dataset()) {
+    double http_bytes = 0.0;
+    for (const auto& t : s.record.http) http_bytes += t.ul_bytes + t.dl_bytes;
+    double tls_bytes = 0.0;
+    for (const auto& t : s.record.tls) tls_bytes += t.ul_bytes + t.dl_bytes;
+    // TLS view = HTTP payloads + one handshake per connection.
+    EXPECT_GT(tls_bytes, http_bytes);
+    EXPECT_LT(tls_bytes, http_bytes * 2.0 + 1e6);
+  }
+}
+
+TEST_P(CrossModuleProperty, SplitSessionsPreservesTransactions) {
+  const auto stream = build_back_to_back(has::svc1_profile(), 4, GetParam());
+  const auto sessions = split_sessions(stream.merged);
+  std::size_t total = 0;
+  for (const auto& s : sessions) total += s.size();
+  EXPECT_EQ(total, stream.merged.size());
+  // Sessions are contiguous, ordered partitions of the merged log.
+  std::size_t idx = 0;
+  for (const auto& s : sessions) {
+    for (const auto& t : s) {
+      EXPECT_EQ(t.start_s, stream.merged[idx].start_s);
+      ++idx;
+    }
+  }
+}
+
+TEST_P(CrossModuleProperty, FlowViewConservesPacketBytes) {
+  for (const auto& s : dataset()) {
+    // Flow records over different export configs must all conserve bytes.
+    const auto coarse = flows_for_session(
+        s.record, {.active_timeout_s = 600.0, .inactive_timeout_s = 120.0});
+    const auto fine = flows_for_session(
+        s.record, {.active_timeout_s = 5.0, .inactive_timeout_s = 5.0});
+    auto total = [](const trace::FlowLog& flows) {
+      double b = 0.0;
+      for (const auto& f : flows) b += f.ul_bytes + f.dl_bytes;
+      return b;
+    };
+    EXPECT_NEAR(total(coarse), total(fine), 1.0);
+    EXPECT_GE(fine.size(), coarse.size());
+  }
+}
+
+TEST_P(CrossModuleProperty, WindowStallLabelsTrackGroundTruthTotals) {
+  for (const auto& s : dataset()) {
+    WindowedConfig cfg;
+    cfg.stall_fraction_threshold = 0.01;
+    const auto windows = windows_for_session(s, cfg);
+    double labelled = 0.0;
+    for (int w : windows.stalled) labelled += w * cfg.window_s;
+    const double truth = s.record.ground_truth.stall_time_s();
+    // Windowed labelling over-counts by at most one window per stall and
+    // never misses more than the sub-threshold slivers.
+    EXPECT_GE(labelled + 1.0,
+              truth - cfg.window_s * (s.record.ground_truth.stalls.size() + 1));
+    if (truth == 0.0) EXPECT_EQ(labelled, 0.0);
+  }
+}
+
+TEST_P(CrossModuleProperty, TruncationConvergesToFullFeatures) {
+  for (const auto& s : dataset()) {
+    const auto full = extract_tls_features(s.record.tls);
+    const auto truncated =
+        extract_tls_features(truncate_tls_log(s.record.tls, 1e7));
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_NEAR(full[i], truncated[i], std::abs(full[i]) * 1e-9 + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossModuleProperty,
+                         ::testing::Range<std::uint64_t>(100, 106));
+
+}  // namespace
+}  // namespace droppkt::core

@@ -1,0 +1,84 @@
+#include "ml/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace droppkt::ml {
+namespace {
+
+TEST(MajorityClassifier, PredictsMostFrequent) {
+  Dataset d({"x"}, 3);
+  d.add_row({0.0}, 1);
+  d.add_row({1.0}, 1);
+  d.add_row({2.0}, 2);
+  MajorityClassifier m;
+  m.fit(d);
+  const std::vector<double> any{42.0};
+  EXPECT_EQ(m.predict(any), 1);
+  const auto p = m.predict_proba(any);
+  EXPECT_NEAR(p[1], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p[2], 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(p[0], 0.0);
+}
+
+TEST(MajorityClassifier, PredictBeforeFitThrows) {
+  MajorityClassifier m;
+  const std::vector<double> x{1.0};
+  EXPECT_THROW(m.predict(x), droppkt::ContractViolation);
+}
+
+TEST(MajorityClassifier, EmptyFitThrows) {
+  Dataset d({"x"}, 2);
+  MajorityClassifier m;
+  EXPECT_THROW(m.fit(d), droppkt::ContractViolation);
+}
+
+// ---- Dataset CSV round-trip (lives here to keep dataset_test focused). ----
+
+TEST(DatasetCsv, RoundTripExact) {
+  Dataset d({"a", "b"}, 3);
+  d.add_row({1.5, 54898470.25}, 0);
+  d.add_row({-3.25e-7, 0.0}, 2);
+  std::stringstream ss;
+  d.write_csv(ss);
+  const Dataset back = Dataset::read_csv(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.num_classes(), 3);
+  EXPECT_EQ(back.feature_names(), d.feature_names());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(back.label(i), d.label(i));
+    for (std::size_t j = 0; j < d.num_features(); ++j) {
+      EXPECT_EQ(back.row(i)[j], d.row(i)[j]);
+    }
+  }
+}
+
+TEST(DatasetCsv, ExplicitNumClasses) {
+  Dataset d({"a"}, 5);
+  d.add_row({1.0}, 0);
+  std::stringstream ss;
+  d.write_csv(ss);
+  const Dataset back = Dataset::read_csv(ss, 5);
+  EXPECT_EQ(back.num_classes(), 5);
+}
+
+TEST(DatasetCsv, RejectsMissingLabelColumn) {
+  std::stringstream ss("a,b\n1,2\n");
+  EXPECT_THROW(Dataset::read_csv(ss), droppkt::ContractViolation);
+}
+
+TEST(DatasetCsv, FileRoundTrip) {
+  Dataset d({"f"}, 2);
+  d.add_row({7.0}, 1);
+  const std::string path = ::testing::TempDir() + "/droppkt_ds.csv";
+  d.write_csv_file(path);
+  const Dataset back = Dataset::read_csv_file(path);
+  EXPECT_EQ(back.label(0), 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace droppkt::ml

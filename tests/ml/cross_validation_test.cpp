@@ -1,0 +1,100 @@
+#include "ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ml/random_forest.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::ml {
+namespace {
+
+Dataset blobs(std::size_t n, std::uint64_t seed, double spread) {
+  Dataset d({"x", "y"}, 2);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng.uniform_int(0, 1));
+    d.add_row({label * 2.0 + rng.normal(0.0, spread),
+               -label * 2.0 + rng.normal(0.0, spread)},
+              label);
+  }
+  return d;
+}
+
+std::function<std::unique_ptr<Classifier>()> small_forest() {
+  return [] {
+    RandomForestParams p;
+    p.num_trees = 15;
+    p.seed = 3;
+    return std::make_unique<RandomForest>(p);
+  };
+}
+
+TEST(CrossValidate, PooledTotalsEqualDatasetSize) {
+  const auto d = blobs(100, 1, 0.5);
+  const auto cv = cross_validate(d, small_forest(), 5, 7);
+  EXPECT_EQ(cv.pooled.total(), 100u);
+  EXPECT_EQ(cv.fold_accuracy.size(), 5u);
+}
+
+TEST(CrossValidate, EasyProblemHighAccuracy) {
+  const auto d = blobs(300, 2, 0.3);
+  const auto cv = cross_validate(d, small_forest(), 5, 7);
+  EXPECT_GT(cv.accuracy(), 0.95);
+  EXPECT_GT(cv.recall(0), 0.9);
+  EXPECT_GT(cv.precision(1), 0.9);
+}
+
+TEST(CrossValidate, HardProblemNearChance) {
+  const auto d = blobs(300, 3, 50.0);  // classes drowned in noise
+  const auto cv = cross_validate(d, small_forest(), 5, 7);
+  EXPECT_LT(cv.accuracy(), 0.68);
+  EXPECT_GT(cv.accuracy(), 0.32);
+}
+
+TEST(CrossValidate, DeterministicGivenSeed) {
+  const auto d = blobs(120, 4, 0.8);
+  const auto a = cross_validate(d, small_forest(), 5, 11);
+  const auto b = cross_validate(d, small_forest(), 5, 11);
+  EXPECT_EQ(a.accuracy(), b.accuracy());
+  EXPECT_EQ(a.fold_accuracy, b.fold_accuracy);
+}
+
+TEST(CrossValidate, SeedChangesFolds) {
+  const auto d = blobs(120, 5, 1.2);
+  const auto a = cross_validate(d, small_forest(), 5, 1);
+  const auto b = cross_validate(d, small_forest(), 5, 2);
+  // Accuracy on a noisy problem almost surely differs across fold splits.
+  EXPECT_NE(a.fold_accuracy, b.fold_accuracy);
+}
+
+TEST(CrossValidate, FoldAccuracyConsistentWithPooled) {
+  const auto d = blobs(200, 6, 0.5);
+  const auto cv = cross_validate(d, small_forest(), 4, 7);
+  double mean_fold = 0.0;
+  for (double a : cv.fold_accuracy) mean_fold += a;
+  mean_fold /= cv.fold_accuracy.size();
+  EXPECT_NEAR(mean_fold, cv.accuracy(), 0.02);
+}
+
+TEST(CrossValidate, RejectsNullFactory) {
+  const auto d = blobs(50, 7, 0.5);
+  EXPECT_THROW(
+      cross_validate(d, std::function<std::unique_ptr<Classifier>()>{}, 5, 1),
+      droppkt::ContractViolation);
+}
+
+TEST(CrossValidationResult, ScoresDelegateToPooled) {
+  CrossValidationResult r(2);
+  r.pooled.add(0, 0);
+  r.pooled.add(0, 1);
+  r.pooled.add(1, 1);
+  EXPECT_NEAR(r.accuracy(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.recall(0), 0.5, 1e-12);
+  EXPECT_NEAR(r.precision(0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace droppkt::ml

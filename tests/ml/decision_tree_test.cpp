@@ -1,0 +1,224 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::ml {
+namespace {
+
+/// Linearly separable 2-class data on one feature.
+Dataset separable(std::size_t n = 50) {
+  Dataset d({"x", "noise"}, 2);
+  util::Rng rng(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    d.add_row({x, rng.uniform(0.0, 1.0)}, x < 0.5 ? 0 : 1);
+  }
+  return d;
+}
+
+/// XOR-style data needing depth >= 2.
+Dataset xor_data(std::size_t n = 200) {
+  Dataset d({"a", "b"}, 2);
+  util::Rng rng(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    d.add_row({a, b}, (a < 0.5) != (b < 0.5) ? 1 : 0);
+  }
+  return d;
+}
+
+TEST(DecisionTree, FitsSeparableDataPerfectly) {
+  const auto d = separable();
+  DecisionTree tree;
+  tree.fit(d);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(tree.predict(d.row(i)), d.label(i));
+  }
+}
+
+TEST(DecisionTree, SolvesXor) {
+  const auto d = xor_data();
+  DecisionTree tree;
+  tree.fit(d);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    correct += tree.predict(d.row(i)) == d.label(i);
+  }
+  EXPECT_GT(static_cast<double>(correct) / d.size(), 0.97);
+  EXPECT_GE(tree.depth(), 2);
+}
+
+TEST(DecisionTree, DepthOneIsAStump) {
+  const auto d = xor_data();
+  DecisionTreeParams p;
+  p.max_depth = 1;
+  DecisionTree tree(p);
+  tree.fit(d);
+  EXPECT_LE(tree.depth(), 2);  // root + leaves
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeafImmediately) {
+  Dataset d({"x"}, 2);
+  for (int i = 0; i < 10; ++i) d.add_row({static_cast<double>(i)}, 0);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(d.row(0)), 0);
+}
+
+TEST(DecisionTree, ConstantFeaturesYieldMajorityLeaf) {
+  Dataset d({"x"}, 2);
+  for (int i = 0; i < 7; ++i) d.add_row({1.0}, 0);
+  for (int i = 0; i < 3; ++i) d.add_row({1.0}, 1);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(d.row(0)), 0);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  const auto d = separable(40);
+  DecisionTreeParams p;
+  p.min_samples_leaf = 10;
+  DecisionTree tree(p);
+  tree.fit(d);
+  // With min 10 per leaf on 40 rows, at most 4 leaves -> at most 7 nodes.
+  EXPECT_LE(tree.node_count(), 7u);
+}
+
+TEST(DecisionTree, PredictProbaSumsToOne) {
+  const auto d = xor_data(100);
+  DecisionTree tree;
+  tree.fit(d);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto proba = tree.predict_proba(d.row(i));
+    double sum = 0.0;
+    for (double p : proba) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DecisionTree, ImportanceConcentratesOnInformativeFeature) {
+  const auto d = separable(200);
+  DecisionTree tree;
+  tree.fit(d);
+  const auto& imp = tree.impurity_decrease();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[0], 10.0 * imp[1]);  // "x" vastly more important than noise
+}
+
+TEST(DecisionTree, FitOnSubsetIgnoresOtherRows) {
+  Dataset d({"x"}, 2);
+  d.add_row({0.0}, 0);
+  d.add_row({1.0}, 1);
+  d.add_row({2.0}, 0);  // excluded
+  const std::vector<std::size_t> idx{0, 1};
+  DecisionTree tree;
+  tree.fit_on(d, idx);
+  // 2.0 falls on the side of the split containing 1.0.
+  EXPECT_EQ(tree.predict(d.row(2)), 1);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTree tree;
+  const std::vector<double> x{1.0};
+  EXPECT_THROW(tree.predict(x), droppkt::ContractViolation);
+}
+
+TEST(DecisionTree, FeatureWidthMismatchThrows) {
+  const auto d = separable();
+  DecisionTree tree;
+  tree.fit(d);
+  const std::vector<double> narrow{1.0};
+  EXPECT_THROW(tree.predict(narrow), droppkt::ContractViolation);
+}
+
+TEST(DecisionTree, EmptyFitThrows) {
+  const auto d = separable();
+  DecisionTree tree;
+  EXPECT_THROW(tree.fit_on(d, {}), droppkt::ContractViolation);
+}
+
+TEST(DecisionTree, ValidatesParams) {
+  DecisionTreeParams p;
+  p.max_depth = 0;
+  EXPECT_THROW(DecisionTree{p}, droppkt::ContractViolation);
+  p = {};
+  p.min_samples_leaf = 0;
+  EXPECT_THROW(DecisionTree{p}, droppkt::ContractViolation);
+}
+
+TEST(DecisionTree, DeterministicGivenSeed) {
+  const auto d = xor_data(100);
+  DecisionTreeParams p;
+  p.max_features = 1;
+  p.seed = 77;
+  DecisionTree a(p), b(p);
+  a.fit(d);
+  b.fit(d);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(a.predict(d.row(i)), b.predict(d.row(i)));
+  }
+}
+
+TEST(DecisionTree, DuplicateFeatureValuesHandled) {
+  // Ties on the split feature: boundaries only between distinct values.
+  Dataset d({"x"}, 2);
+  for (int i = 0; i < 10; ++i) d.add_row({1.0}, 0);
+  for (int i = 0; i < 10; ++i) d.add_row({2.0}, 1);
+  DecisionTree tree;
+  tree.fit(d);
+  const std::vector<double> lo{1.0}, hi{2.0};
+  EXPECT_EQ(tree.predict(lo), 0);
+  EXPECT_EQ(tree.predict(hi), 1);
+}
+
+TEST(DecisionTree, AdjacentDoubleValuesDoNotCrash) {
+  // Regression test: midpoint of adjacent doubles can equal the upper
+  // value; the split must still produce two non-empty children.
+  Dataset d({"x"}, 2);
+  const double a = 1.0;
+  const double b = std::nextafter(a, 2.0);
+  for (int i = 0; i < 5; ++i) d.add_row({a}, 0);
+  for (int i = 0; i < 5; ++i) d.add_row({b}, 1);
+  DecisionTree tree;
+  EXPECT_NO_THROW(tree.fit(d));
+  const std::vector<double> xa{a}, xb{b};
+  EXPECT_EQ(tree.predict(xa), 0);
+  EXPECT_EQ(tree.predict(xb), 1);
+}
+
+// Property: training accuracy is always >= majority-class share.
+class TreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeProperty, BeatsOrMatchesMajority) {
+  util::Rng rng(GetParam());
+  Dataset d({"a", "b", "c"}, 3);
+  for (int i = 0; i < 100; ++i) {
+    d.add_row({rng.normal(), rng.normal(), rng.normal()},
+              static_cast<int>(rng.uniform_int(0, 2)));
+  }
+  DecisionTree tree;
+  tree.fit(d);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    correct += tree.predict(d.row(i)) == d.label(i);
+  }
+  const auto counts = d.class_counts();
+  const std::size_t majority =
+      *std::max_element(counts.begin(), counts.end());
+  EXPECT_GE(correct, majority);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace droppkt::ml

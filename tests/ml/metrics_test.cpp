@@ -1,0 +1,103 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace droppkt::ml {
+namespace {
+
+ConfusionMatrix make_cm() {
+  ConfusionMatrix cm(3);
+  // actual 0: 8 correct, 2 as class 1.
+  for (int i = 0; i < 8; ++i) cm.add(0, 0);
+  for (int i = 0; i < 2; ++i) cm.add(0, 1);
+  // actual 1: 5 correct, 5 as class 2.
+  for (int i = 0; i < 5; ++i) cm.add(1, 1);
+  for (int i = 0; i < 5; ++i) cm.add(1, 2);
+  // actual 2: 10 correct.
+  for (int i = 0; i < 10; ++i) cm.add(2, 2);
+  return cm;
+}
+
+TEST(ConfusionMatrix, CountsAndTotals) {
+  const auto cm = make_cm();
+  EXPECT_EQ(cm.count(0, 0), 8u);
+  EXPECT_EQ(cm.count(1, 2), 5u);
+  EXPECT_EQ(cm.total(), 30u);
+  EXPECT_EQ(cm.actual_total(0), 10u);
+  EXPECT_EQ(cm.predicted_total(2), 15u);
+}
+
+TEST(ConfusionMatrix, Accuracy) {
+  const auto cm = make_cm();
+  EXPECT_NEAR(cm.accuracy(), 23.0 / 30.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, PrecisionRecall) {
+  const auto cm = make_cm();
+  EXPECT_NEAR(cm.recall(0), 0.8, 1e-12);
+  EXPECT_NEAR(cm.precision(0), 1.0, 1e-12);   // nothing else predicted 0
+  EXPECT_NEAR(cm.recall(1), 0.5, 1e-12);
+  EXPECT_NEAR(cm.precision(1), 5.0 / 7.0, 1e-12);
+  EXPECT_NEAR(cm.precision(2), 10.0 / 15.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, F1) {
+  const auto cm = make_cm();
+  const double p = cm.precision(1), r = cm.recall(1);
+  EXPECT_NEAR(cm.f1(1), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(ConfusionMatrix, MacroAverages) {
+  const auto cm = make_cm();
+  EXPECT_NEAR(cm.macro_recall(), (0.8 + 0.5 + 1.0) / 3.0, 1e-12);
+  EXPECT_NEAR(cm.macro_precision(), (1.0 + 5.0 / 7.0 + 10.0 / 15.0) / 3.0,
+              1e-12);
+}
+
+TEST(ConfusionMatrix, EmptyMatrixSafeDefaults) {
+  ConfusionMatrix cm(2);
+  EXPECT_EQ(cm.accuracy(), 0.0);
+  EXPECT_EQ(cm.precision(0), 0.0);
+  EXPECT_EQ(cm.recall(1), 0.0);
+  EXPECT_EQ(cm.f1(0), 0.0);
+}
+
+TEST(ConfusionMatrix, MergeAddsCells) {
+  auto a = make_cm();
+  const auto b = make_cm();
+  a.merge(b);
+  EXPECT_EQ(a.total(), 60u);
+  EXPECT_EQ(a.count(1, 2), 10u);
+  EXPECT_NEAR(a.accuracy(), 23.0 / 30.0, 1e-12);  // unchanged ratio
+}
+
+TEST(ConfusionMatrix, MergeRejectsMismatch) {
+  ConfusionMatrix a(2), b(3);
+  EXPECT_THROW(a.merge(b), droppkt::ContractViolation);
+}
+
+TEST(ConfusionMatrix, ValidatesIndices) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), droppkt::ContractViolation);
+  EXPECT_THROW(cm.add(0, -1), droppkt::ContractViolation);
+  EXPECT_THROW(cm.count(0, 5), droppkt::ContractViolation);
+  EXPECT_THROW(ConfusionMatrix(0), droppkt::ContractViolation);
+}
+
+TEST(ConfusionMatrix, RenderShowsRowPercentages) {
+  const auto cm = make_cm();
+  const auto out = cm.render({"low", "med", "high"});
+  EXPECT_NE(out.find("low"), std::string::npos);
+  EXPECT_NE(out.find("80%"), std::string::npos);   // recall of low
+  EXPECT_NE(out.find("100%"), std::string::npos);  // high row
+}
+
+TEST(ConfusionMatrix, RenderValidatesNameCount) {
+  const auto cm = make_cm();
+  EXPECT_THROW(cm.render({"a"}), droppkt::ContractViolation);
+}
+
+}  // namespace
+}  // namespace droppkt::ml

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "ml/random_forest.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::ml {
+namespace {
+
+Dataset make_problem(std::size_t n, std::uint64_t seed) {
+  Dataset d({"x0", "x1", "weird,name \"q\""}, 3);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(rng.uniform_int(0, 2));
+    d.add_row({label + rng.normal(0.0, 0.4), -label + rng.normal(0.0, 0.4),
+               rng.normal()},
+              label);
+  }
+  return d;
+}
+
+TEST(TreeSerialization, RoundTripPredictionsIdentical) {
+  const auto d = make_problem(200, 1);
+  DecisionTree tree;
+  tree.fit(d);
+  std::stringstream ss;
+  tree.save(ss);
+  const DecisionTree back = DecisionTree::load(ss);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(back.predict(d.row(i)), tree.predict(d.row(i)));
+    EXPECT_EQ(back.predict_proba(d.row(i)), tree.predict_proba(d.row(i)));
+  }
+  EXPECT_EQ(back.node_count(), tree.node_count());
+}
+
+TEST(TreeSerialization, UnfittedSaveThrows) {
+  DecisionTree tree;
+  std::stringstream ss;
+  EXPECT_THROW(tree.save(ss), droppkt::ContractViolation);
+}
+
+TEST(TreeSerialization, MalformedInputThrows) {
+  std::stringstream bad("nottree 3 2 1\n");
+  EXPECT_THROW(DecisionTree::load(bad), droppkt::ContractViolation);
+  std::stringstream truncated("tree 3 2 5\n0 1.5 1 2 0 0\n");
+  EXPECT_THROW(DecisionTree::load(truncated), droppkt::ContractViolation);
+}
+
+TEST(ForestSerialization, RoundTripStream) {
+  const auto d = make_problem(250, 2);
+  RandomForestParams p;
+  p.num_trees = 25;
+  p.seed = 9;
+  RandomForest rf(p);
+  rf.fit(d);
+
+  std::stringstream ss;
+  rf.save(ss);
+  const RandomForest back = RandomForest::load(ss);
+  EXPECT_EQ(back.num_trees(), rf.num_trees());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(back.predict(d.row(i)), rf.predict(d.row(i)));
+    const auto pa = rf.predict_proba(d.row(i));
+    const auto pb = back.predict_proba(d.row(i));
+    for (std::size_t c = 0; c < pa.size(); ++c) {
+      EXPECT_DOUBLE_EQ(pa[c], pb[c]);
+    }
+  }
+}
+
+TEST(ForestSerialization, FeatureNamesSurviveEscaping) {
+  const auto d = make_problem(100, 3);
+  RandomForest rf({.num_trees = 5, .max_depth = 8, .min_samples_leaf = 1,
+                   .max_features = 0, .seed = 2});
+  rf.fit(d);
+  std::stringstream ss;
+  rf.save(ss);
+  const RandomForest back = RandomForest::load(ss);
+  EXPECT_EQ(back.ranked_importances().size(), 3u);
+  // The commas/quotes in the third feature name round-trip intact.
+  bool found = false;
+  for (const auto& [name, imp] : back.ranked_importances()) {
+    if (name == "weird,name \"q\"") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ForestSerialization, RoundTripFile) {
+  const auto d = make_problem(120, 4);
+  RandomForest rf({.num_trees = 8, .max_depth = 10, .min_samples_leaf = 1,
+                   .max_features = 0, .seed = 3});
+  rf.fit(d);
+  const std::string path = ::testing::TempDir() + "/droppkt_rf_test.model";
+  rf.save_file(path);
+  const RandomForest back = RandomForest::load_file(path);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(back.predict(d.row(i)), rf.predict(d.row(i)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ForestSerialization, LoadedForestHasNoOob) {
+  const auto d = make_problem(120, 5);
+  RandomForest rf;
+  rf.fit(d);
+  std::stringstream ss;
+  rf.save(ss);
+  const RandomForest back = RandomForest::load(ss);
+  EXPECT_TRUE(rf.oob_error().has_value());
+  EXPECT_FALSE(back.oob_error().has_value());
+}
+
+TEST(ForestSerialization, BadHeaderThrows) {
+  std::stringstream bad("droppkt-rf v99\n3 2 1\n");
+  EXPECT_THROW(RandomForest::load(bad), droppkt::ContractViolation);
+}
+
+TEST(ForestSerialization, MissingFileThrows) {
+  EXPECT_THROW(RandomForest::load_file("/no/such/model"), std::runtime_error);
+}
+
+TEST(ForestSerialization, UnfittedSaveThrows) {
+  RandomForest rf;
+  std::stringstream ss;
+  EXPECT_THROW(rf.save(ss), droppkt::ContractViolation);
+}
+
+}  // namespace
+}  // namespace droppkt::ml

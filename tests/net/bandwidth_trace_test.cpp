@@ -1,0 +1,126 @@
+#include "net/bandwidth_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::net {
+namespace {
+
+TEST(BandwidthTrace, ConstantTraceBasics) {
+  const auto t = BandwidthTrace::constant(1000.0, 10.0);
+  EXPECT_EQ(t.duration_s(), 10.0);
+  EXPECT_EQ(t.bandwidth_at(0.0), 1000.0);
+  EXPECT_EQ(t.bandwidth_at(9.9), 1000.0);
+  EXPECT_NEAR(t.average_kbps(), 1000.0, 1e-9);
+}
+
+TEST(BandwidthTrace, WrapsAround) {
+  const auto t = BandwidthTrace({{0.0, 100.0}, {5.0, 200.0}}, 10.0);
+  EXPECT_EQ(t.bandwidth_at(2.0), 100.0);
+  EXPECT_EQ(t.bandwidth_at(7.0), 200.0);
+  EXPECT_EQ(t.bandwidth_at(12.0), 100.0);  // wrapped
+  EXPECT_EQ(t.bandwidth_at(17.0), 200.0);
+}
+
+TEST(BandwidthTrace, AverageWeightsByTime) {
+  // 100 kbps for 5 s, 300 kbps for 15 s -> (100*5 + 300*15)/20 = 250.
+  const auto t = BandwidthTrace({{0.0, 100.0}, {5.0, 300.0}}, 20.0);
+  EXPECT_NEAR(t.average_kbps(), 250.0, 1e-9);
+}
+
+TEST(BandwidthTrace, ValidatesInvariants) {
+  EXPECT_THROW(BandwidthTrace({}, 10.0), droppkt::ContractViolation);
+  EXPECT_THROW(BandwidthTrace({{1.0, 100.0}}, 10.0), droppkt::ContractViolation);
+  EXPECT_THROW(BandwidthTrace({{0.0, -5.0}}, 10.0), droppkt::ContractViolation);
+  EXPECT_THROW(BandwidthTrace({{0.0, 1.0}, {0.0, 2.0}}, 10.0),
+               droppkt::ContractViolation);
+  EXPECT_THROW(BandwidthTrace({{0.0, 1.0}, {5.0, 2.0}}, 5.0),
+               droppkt::ContractViolation);
+}
+
+TEST(BandwidthTrace, CapacityBytesConstant) {
+  const auto t = BandwidthTrace::constant(800.0, 10.0);  // 100 KB/s
+  EXPECT_NEAR(t.capacity_bytes(0.0, 1.0), 100e3, 1.0);
+  EXPECT_NEAR(t.capacity_bytes(3.0, 7.0), 400e3, 1.0);
+}
+
+TEST(BandwidthTrace, CapacityBytesAcrossWrap) {
+  const auto t = BandwidthTrace({{0.0, 800.0}, {5.0, 1600.0}}, 10.0);
+  // One full period: 5s at 100 KB/s + 5s at 200 KB/s = 1.5 MB.
+  EXPECT_NEAR(t.capacity_bytes(0.0, 10.0), 1.5e6, 1.0);
+  EXPECT_NEAR(t.capacity_bytes(0.0, 20.0), 3.0e6, 1.0);
+  // From 7s to 12s: 3s at 200 + 2s at 100 = 800 KB.
+  EXPECT_NEAR(t.capacity_bytes(7.0, 12.0), 800e3, 1.0);
+}
+
+TEST(BandwidthTrace, CapacityRejectsBadRange) {
+  const auto t = BandwidthTrace::constant(100.0, 10.0);
+  EXPECT_THROW(t.capacity_bytes(5.0, 4.0), droppkt::ContractViolation);
+  EXPECT_THROW(t.capacity_bytes(-1.0, 4.0), droppkt::ContractViolation);
+}
+
+TEST(BandwidthTrace, TransferEndTimeConstantRate) {
+  const auto t = BandwidthTrace::constant(800.0, 10.0);  // 100 KB/s
+  EXPECT_NEAR(t.transfer_end_time(2.0, 300e3), 5.0, 1e-6);
+}
+
+TEST(BandwidthTrace, TransferEndTimeZeroBytes) {
+  const auto t = BandwidthTrace::constant(800.0, 10.0);
+  EXPECT_EQ(t.transfer_end_time(3.0, 0.0), 3.0);
+}
+
+TEST(BandwidthTrace, TransferEndTimeSpansZeroSegment) {
+  // 1s of capacity, then 4s outage, repeating.
+  const auto t = BandwidthTrace({{0.0, 800.0}, {1.0, 0.0}}, 5.0);
+  // 150 KB: 100 KB in first second, stall 4 s, 50 KB in 0.5 s of next period.
+  EXPECT_NEAR(t.transfer_end_time(0.0, 150e3), 5.5, 1e-6);
+}
+
+TEST(BandwidthTrace, TransferEndTimeMultiPeriod) {
+  const auto t = BandwidthTrace::constant(800.0, 10.0);  // 1 MB per period
+  EXPECT_NEAR(t.transfer_end_time(0.0, 2.5e6), 25.0, 1e-6);
+}
+
+TEST(BandwidthTrace, TransferZeroCapacityIsInfinite) {
+  const auto t = BandwidthTrace::constant(0.0, 10.0);
+  EXPECT_TRUE(std::isinf(t.transfer_end_time(0.0, 100.0)));
+}
+
+TEST(ToString, Environments) {
+  EXPECT_EQ(to_string(Environment::kBroadband), "broadband");
+  EXPECT_EQ(to_string(Environment::kThreeG), "3g");
+  EXPECT_EQ(to_string(Environment::kLte), "lte");
+}
+
+// Property: transfer_end_time is consistent with capacity_bytes.
+class TransferCapacityProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TransferCapacityProperty, InverseRelationship) {
+  util::Rng rng(GetParam());
+  std::vector<BandwidthSample> samples;
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    samples.push_back({t, rng.uniform(50.0, 5000.0)});
+    t += rng.uniform(0.5, 3.0);
+  }
+  const BandwidthTrace trace(std::move(samples), t + 1.0);
+  for (int i = 0; i < 20; ++i) {
+    const double start = rng.uniform(0.0, 30.0);
+    const double bytes = rng.uniform(1e3, 5e6);
+    const double end = trace.transfer_end_time(start, bytes);
+    ASSERT_GE(end, start);
+    // The capacity accumulated by `end` matches the bytes requested.
+    EXPECT_NEAR(trace.capacity_bytes(start, end), bytes, bytes * 1e-6 + 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransferCapacityProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace droppkt::net

@@ -1,0 +1,141 @@
+#include "net/link_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace droppkt::net {
+namespace {
+
+TEST(LinkParams, PerEnvironmentOrdering) {
+  const auto bb = link_params_for(Environment::kBroadband);
+  const auto tg = link_params_for(Environment::kThreeG);
+  const auto lte = link_params_for(Environment::kLte);
+  EXPECT_LT(bb.base_rtt_ms, lte.base_rtt_ms);
+  EXPECT_LT(lte.base_rtt_ms, tg.base_rtt_ms);
+  EXPECT_LT(bb.loss_rate, tg.loss_rate);
+}
+
+TEST(LinkModel, ValidatesParams) {
+  const auto trace = BandwidthTrace::constant(1000.0, 10.0);
+  LinkParams bad;
+  bad.efficiency = 0.0;
+  EXPECT_THROW(LinkModel(trace, bad), droppkt::ContractViolation);
+  bad = {};
+  bad.loss_rate = 0.7;
+  EXPECT_THROW(LinkModel(trace, bad), droppkt::ContractViolation);
+}
+
+TEST(LinkModel, RttSamplesPositiveAndNearBase) {
+  const auto trace = BandwidthTrace::constant(1000.0, 10.0);
+  LinkParams p;
+  p.base_rtt_ms = 50.0;
+  p.rtt_jitter_ms = 10.0;
+  const LinkModel link(trace, p);
+  util::Rng rng(1);
+  util::OnlineStats stats;
+  for (int i = 0; i < 5000; ++i) stats.add(link.sample_rtt_s(rng));
+  EXPECT_GT(stats.min(), 0.05);  // never below the base
+  EXPECT_NEAR(stats.mean(), 0.061, 0.01);
+}
+
+TEST(LinkModel, TransferOrdering) {
+  const auto trace = BandwidthTrace::constant(8000.0, 100.0);
+  const LinkModel link(trace);
+  util::Rng rng(2);
+  const auto t = link.transfer(5.0, 800.0, 500e3, rng);
+  EXPECT_EQ(t.request_sent_s, 5.0);
+  EXPECT_GT(t.response_start_s, t.request_sent_s);
+  EXPECT_GT(t.response_end_s, t.response_start_s);
+  EXPECT_GT(t.rtt_s, 0.0);
+}
+
+TEST(LinkModel, LargerTransfersTakeLonger) {
+  const auto trace = BandwidthTrace::constant(4000.0, 100.0);
+  const LinkModel link(trace);
+  util::Rng rng(3);
+  const auto small = link.transfer(0.0, 500.0, 100e3, rng);
+  const auto large = link.transfer(0.0, 500.0, 10e6, rng);
+  EXPECT_LT(small.response_end_s - small.request_sent_s,
+            large.response_end_s - large.request_sent_s);
+}
+
+TEST(LinkModel, GoodputBelowLinkRate) {
+  // Loss + efficiency overheads mean effective rate < trace rate.
+  const auto trace = BandwidthTrace::constant(8000.0, 1000.0);  // 1 MB/s
+  LinkParams p;
+  p.base_rtt_ms = 10.0;
+  p.rtt_jitter_ms = 1.0;
+  p.loss_rate = 0.01;
+  p.efficiency = 0.9;
+  const LinkModel link(trace, p);
+  util::Rng rng(4);
+  const double bytes = 10e6;
+  const auto t = link.transfer(0.0, 500.0, bytes, rng);
+  const double rate = bytes / (t.response_end_s - t.request_sent_s);
+  EXPECT_LT(rate, 1e6);
+  EXPECT_GT(rate, 0.7e6);
+}
+
+TEST(LinkModel, SlowStartPenalizesSmallTransfersProportionallyMore) {
+  const auto trace = BandwidthTrace::constant(80000.0, 1000.0);  // 10 MB/s
+  LinkParams p;
+  p.base_rtt_ms = 100.0;
+  p.rtt_jitter_ms = 0.1;
+  p.loss_rate = 0.0001;
+  p.efficiency = 0.95;
+  const LinkModel link(trace, p);
+  util::Rng rng(5);
+  const auto small = link.transfer(0.0, 500.0, 50e3, rng);
+  const auto large = link.transfer(0.0, 500.0, 5e6, rng);
+  const double small_rate = 50e3 / (small.response_end_s - small.request_sent_s);
+  const double large_rate = 5e6 / (large.response_end_s - large.request_sent_s);
+  EXPECT_LT(small_rate, large_rate);
+}
+
+TEST(LinkModel, RejectsNegativeInputs) {
+  const auto trace = BandwidthTrace::constant(1000.0, 10.0);
+  const LinkModel link(trace);
+  util::Rng rng(6);
+  EXPECT_THROW(link.transfer(-1.0, 100.0, 100.0, rng),
+               droppkt::ContractViolation);
+  EXPECT_THROW(link.transfer(0.0, -1.0, 100.0, rng),
+               droppkt::ContractViolation);
+  EXPECT_THROW(link.transfer(0.0, 100.0, -1.0, rng),
+               droppkt::ContractViolation);
+}
+
+TEST(LinkModel, EnvironmentConstructorUsesTraceEnvironment) {
+  const BandwidthTrace trace({{0.0, 500.0}}, 10.0, Environment::kThreeG);
+  const LinkModel link(trace);
+  EXPECT_EQ(link.params().base_rtt_ms,
+            link_params_for(Environment::kThreeG).base_rtt_ms);
+}
+
+// Property: transfers complete in finite time on any positive-rate trace
+// and end after they start.
+class TransferProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransferProperty, FiniteAndOrdered) {
+  util::Rng rng(GetParam());
+  const auto trace = BandwidthTrace::constant(rng.uniform(100.0, 50000.0), 60.0);
+  const LinkModel link(trace, link_params_for(Environment::kLte));
+  for (int i = 0; i < 50; ++i) {
+    const auto t = link.transfer(rng.uniform(0.0, 100.0),
+                                 rng.uniform(0.0, 2000.0),
+                                 rng.uniform(0.0, 5e6), rng);
+    ASSERT_TRUE(std::isfinite(t.response_end_s));
+    ASSERT_LE(t.request_sent_s, t.response_start_s);
+    ASSERT_LE(t.response_start_s, t.response_end_s + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransferProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace droppkt::net

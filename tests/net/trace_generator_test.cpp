@@ -1,0 +1,163 @@
+#include "net/trace_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace droppkt::net {
+namespace {
+
+TEST(TraceGenerator, Deterministic) {
+  TraceGenerator a(42), b(42);
+  const auto ta = a.generate(Environment::kLte, 120.0);
+  const auto tb = b.generate(Environment::kLte, 120.0);
+  ASSERT_EQ(ta.samples().size(), tb.samples().size());
+  for (std::size_t i = 0; i < ta.samples().size(); ++i) {
+    EXPECT_EQ(ta.samples()[i].kbps, tb.samples()[i].kbps);
+  }
+}
+
+TEST(TraceGenerator, RespectsDurationAndSampling) {
+  TraceGenerator gen(1);
+  const auto t = gen.generate(Environment::kBroadband, 300.0);
+  EXPECT_EQ(t.duration_s(), 300.0);
+  EXPECT_EQ(t.samples().size(), 300u);
+  EXPECT_EQ(t.environment(), Environment::kBroadband);
+}
+
+TEST(TraceGenerator, SamplesWithinModelClamps) {
+  TraceGenerator gen(2);
+  for (auto env : {Environment::kBroadband, Environment::kThreeG,
+                   Environment::kLte}) {
+    const auto& m = environment_model(env);
+    const auto t = gen.generate(env, 200.0);
+    for (const auto& s : t.samples()) {
+      ASSERT_GE(s.kbps, m.min_kbps);
+      ASSERT_LE(s.kbps, m.max_kbps);
+    }
+  }
+}
+
+TEST(TraceGenerator, RejectsTinyDuration) {
+  TraceGenerator gen(3);
+  EXPECT_THROW(gen.generate(Environment::kLte, 0.5),
+               droppkt::ContractViolation);
+}
+
+TEST(TraceGenerator, EnvironmentsHaveDistinctScales) {
+  TraceGenerator gen(4);
+  util::OnlineStats bb, tg;
+  for (int i = 0; i < 40; ++i) {
+    bb.add(gen.generate(Environment::kBroadband, 120.0).average_kbps());
+    tg.add(gen.generate(Environment::kThreeG, 120.0).average_kbps());
+  }
+  // Broadband averages well above 3G averages.
+  EXPECT_GT(bb.mean(), 2.0 * tg.mean());
+}
+
+TEST(TraceGenerator, TracesVary) {
+  TraceGenerator gen(5);
+  const auto a = gen.generate(Environment::kLte, 60.0);
+  const auto b = gen.generate(Environment::kLte, 60.0);
+  EXPECT_NE(a.average_kbps(), b.average_kbps());
+}
+
+TEST(TracePool, DeterministicAndSized) {
+  const TracePool p1(50, 9), p2(50, 9);
+  EXPECT_EQ(p1.size(), 50u);
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1.trace(i).average_kbps(), p2.trace(i).average_kbps());
+  }
+}
+
+TEST(TracePool, RejectsEmptyAndOutOfRange) {
+  EXPECT_THROW(TracePool(0, 1), droppkt::ContractViolation);
+  const TracePool p(3, 1);
+  EXPECT_THROW(p.trace(3), droppkt::ContractViolation);
+}
+
+TEST(TracePool, ContainsAllEnvironments) {
+  const TracePool pool(200, 10);
+  bool has_env[3] = {false, false, false};
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    has_env[static_cast<int>(pool.trace(i).environment())] = true;
+  }
+  EXPECT_TRUE(has_env[0]);
+  EXPECT_TRUE(has_env[1]);
+  EXPECT_TRUE(has_env[2]);
+}
+
+TEST(TracePool, AverageBandwidthSpansPaperRange) {
+  // Figure 3a: the CDF spans roughly 10^2 .. 10^5 kbps.
+  const TracePool pool(400, 11);
+  const auto avgs = pool.average_bandwidths();
+  ASSERT_EQ(avgs.size(), 400u);
+  EXPECT_LT(util::percentile(avgs, 5), 1200.0);
+  EXPECT_GT(util::percentile(avgs, 95), 10000.0);
+  EXPECT_LT(*std::max_element(avgs.begin(), avgs.end()), 1.2e5);
+}
+
+TEST(TracePool, SessionDurationsWithinPaperBounds) {
+  const TracePool pool(10, 12);
+  util::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double d = pool.sample_session_duration(rng);
+    ASSERT_GE(d, 10.0);
+    ASSERT_LE(d, 1200.0);
+  }
+}
+
+TEST(TracePool, SessionDurationHistogramShape) {
+  // Figure 3b: every bin populated, short sessions common.
+  const TracePool pool(10, 13);
+  util::Rng rng(2);
+  int bins[4] = {0, 0, 0, 0};
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double d = pool.sample_session_duration(rng);
+    if (d < 60) ++bins[0];
+    else if (d < 120) ++bins[1];
+    else if (d < 300) ++bins[2];
+    else ++bins[3];
+  }
+  for (int b : bins) EXPECT_GT(b, n / 10);
+  EXPECT_GT(bins[0] + bins[1], bins[3]);  // short dominates long tail
+}
+
+TEST(TracePool, SampleReturnsPoolMembers) {
+  const TracePool pool(5, 14);
+  util::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto& t = pool.sample(rng);
+    bool found = false;
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      if (&pool.trace(j) == &t) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+// Property: generated traces never produce zero total capacity (players
+// must always be able to make progress eventually).
+class TraceCapacityProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Environment>> {};
+
+TEST_P(TraceCapacityProperty, PositiveAverage) {
+  TraceGenerator gen(std::get<0>(GetParam()));
+  const auto t = gen.generate(std::get<1>(GetParam()), 120.0);
+  EXPECT_GT(t.average_kbps(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndEnvs, TraceCapacityProperty,
+    ::testing::Combine(::testing::Range<std::uint64_t>(0, 8),
+                       ::testing::Values(Environment::kBroadband,
+                                         Environment::kThreeG,
+                                         Environment::kLte)));
+
+}  // namespace
+}  // namespace droppkt::net

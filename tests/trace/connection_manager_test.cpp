@@ -1,0 +1,278 @@
+#include "trace/connection_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "has/player.hpp"
+#include "net/trace_generator.hpp"
+#include "util/expect.hpp"
+
+namespace droppkt::trace {
+namespace {
+
+has::PlaybackResult simulate(const has::ServiceProfile& svc,
+                             std::uint64_t seed = 1, double kbps = 5000.0,
+                             double watch = 120.0) {
+  const auto trace = net::BandwidthTrace::constant(kbps, 600.0);
+  const net::LinkModel link(trace);
+  util::Rng rng(seed);
+  return has::PlayerSimulator{}.play(
+      svc,
+      {.id = "v", .genre = has::Genre::kDrama, .duration_s = 3600.0,
+       .bitrate_factor = 1.0, .size_variability = 0.1},
+      link, watch, rng);
+}
+
+TEST(ConnectionManager, PicksRequestedNumberOfHosts) {
+  const auto svc = has::svc1_profile();
+  util::Rng rng(1);
+  const ConnectionManager cm(svc.connections, rng);
+  EXPECT_EQ(cm.session_hosts().size(),
+            static_cast<std::size_t>(svc.connections.cdn_hosts_per_session));
+  std::set<std::string> distinct(cm.session_hosts().begin(),
+                                 cm.session_hosts().end());
+  EXPECT_EQ(distinct.size(), cm.session_hosts().size());
+}
+
+TEST(ConnectionManager, HostsFollowFormat) {
+  const auto svc = has::svc2_profile();
+  util::Rng rng(2);
+  const ConnectionManager cm(svc.connections, rng);
+  for (const auto& h : cm.session_hosts()) {
+    EXPECT_NE(h.find("svc2films.example"), std::string::npos);
+    EXPECT_EQ(h.find("cdn"), 0u);
+  }
+}
+
+TEST(ConnectionManager, AssignsEveryTransactionAHost) {
+  const auto svc = has::svc1_profile();
+  auto playback = simulate(svc);
+  util::Rng rng(3);
+  const ConnectionManager cm(svc.connections, rng);
+  cm.collect(playback.http, rng);
+  for (const auto& t : playback.http) {
+    EXPECT_FALSE(t.host.empty());
+    EXPECT_GE(t.connection_id, 0);
+  }
+}
+
+TEST(ConnectionManager, KindHostMapping) {
+  const auto svc = has::svc1_profile();
+  auto playback = simulate(svc);
+  util::Rng rng(4);
+  const ConnectionManager cm(svc.connections, rng);
+  cm.collect(playback.http, rng);
+  for (const auto& t : playback.http) {
+    switch (t.kind) {
+      case has::HttpKind::kManifest:
+        EXPECT_EQ(t.host, svc.connections.api_host);
+        break;
+      case has::HttpKind::kBeacon:
+        EXPECT_EQ(t.host, svc.connections.beacon_host);
+        break;
+      case has::HttpKind::kVideoSegment:
+      case has::HttpKind::kAudioSegment:
+      case has::HttpKind::kInitSegment:
+        EXPECT_NE(t.host.find("svc1video"), std::string::npos);
+        EXPECT_NE(t.host, svc.connections.api_host);
+        EXPECT_NE(t.host, svc.connections.beacon_host);
+        break;
+      case has::HttpKind::kAsset:
+        break;  // assets may go to api or CDN
+    }
+  }
+}
+
+TEST(ConnectionManager, TlsLogSortedAndWellFormed) {
+  const auto svc = has::svc1_profile();
+  auto playback = simulate(svc);
+  util::Rng rng(5);
+  const ConnectionManager cm(svc.connections, rng);
+  const TlsLog log = cm.collect(playback.http, rng);
+  ASSERT_GT(log.size(), 2u);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_LT(log[i].start_s, log[i].end_s);
+    EXPECT_GT(log[i].ul_bytes, 0.0);
+    EXPECT_GT(log[i].dl_bytes, 0.0);
+    EXPECT_FALSE(log[i].sni.empty());
+    if (i > 0) EXPECT_GE(log[i].start_s, log[i - 1].start_s);
+  }
+}
+
+TEST(ConnectionManager, ConservesBytesPlusHandshakes) {
+  const auto svc = has::svc2_profile();
+  auto playback = simulate(svc);
+  util::Rng rng(6);
+  const ConnectionManager cm(svc.connections, rng);
+  const TlsLog log = cm.collect(playback.http, rng);
+  double http_bytes = 0.0;
+  for (const auto& t : playback.http) http_bytes += t.ul_bytes + t.dl_bytes;
+  const double handshake_bytes =
+      static_cast<double>(log.size()) *
+      (svc.connections.handshake_ul_bytes + svc.connections.handshake_dl_bytes);
+  EXPECT_NEAR(total_bytes(log), http_bytes + handshake_bytes, 1.0);
+}
+
+TEST(ConnectionManager, HttpCountsSumToLogSize) {
+  const auto svc = has::svc1_profile();
+  auto playback = simulate(svc);
+  util::Rng rng(7);
+  const ConnectionManager cm(svc.connections, rng);
+  const TlsLog log = cm.collect(playback.http, rng);
+  std::size_t total_http = 0;
+  for (const auto& t : log) total_http += t.http_count;
+  EXPECT_EQ(total_http, playback.http.size());
+}
+
+TEST(ConnectionManager, RespectsMaxRequestsPerConnection) {
+  const auto svc = has::svc1_profile();
+  auto playback = simulate(svc, 8, 20000.0, 300.0);
+  util::Rng rng(8);
+  const ConnectionManager cm(svc.connections, rng);
+  const TlsLog log = cm.collect(playback.http, rng);
+  for (const auto& t : log) {
+    EXPECT_LE(t.http_count, static_cast<std::size_t>(
+                                svc.connections.max_requests_per_connection));
+  }
+}
+
+TEST(ConnectionManager, AggregatesManyHttpPerConnection) {
+  // The defining property of coarse TLS data (paper: 12.1 HTTP per TLS
+  // transaction for Svc1).
+  const auto svc = has::svc1_profile();
+  auto playback = simulate(svc, 9, 10000.0, 300.0);
+  util::Rng rng(9);
+  const ConnectionManager cm(svc.connections, rng);
+  const TlsLog log = cm.collect(playback.http, rng);
+  const double ratio =
+      static_cast<double>(playback.http.size()) / static_cast<double>(log.size());
+  EXPECT_GT(ratio, 4.0);
+}
+
+TEST(ConnectionManager, ConnectionsLingerPastLastActivity) {
+  // Connections close only after the idle timeout — the paper's overlap
+  // effect for back-to-back sessions.
+  const auto svc = has::svc3_profile();
+  auto playback = simulate(svc, 10, 5000.0, 60.0);
+  util::Rng rng(10);
+  const ConnectionManager cm(svc.connections, rng);
+  const TlsLog log = cm.collect(playback.http, rng);
+  double last_http_end = 0.0;
+  for (const auto& t : playback.http) {
+    last_http_end = std::max(last_http_end, t.response_end_s);
+  }
+  double last_tls_end = 0.0;
+  for (const auto& t : log) last_tls_end = std::max(last_tls_end, t.end_s);
+  EXPECT_GE(last_tls_end, last_http_end + svc.connections.idle_timeout_s - 1e-6);
+}
+
+TEST(ConnectionManager, PreconnectsCdnHostsAtSessionStart) {
+  const auto svc = has::svc1_profile();
+  auto playback = simulate(svc, 11);
+  util::Rng rng(11);
+  const ConnectionManager cm(svc.connections, rng);
+  const TlsLog log = cm.collect(playback.http, rng);
+  const double t0 = playback.http.front().request_s;
+  // At least cdn_hosts_per_session connections open within the first second.
+  int early = 0;
+  for (const auto& t : log) {
+    if (t.start_s - t0 <= 1.0) ++early;
+  }
+  EXPECT_GE(early, svc.connections.cdn_hosts_per_session);
+}
+
+TEST(ConnectionManager, OverlappingRequestsUseSeparateConnections) {
+  has::ConnectionPolicy policy = has::svc1_profile().connections;
+  has::HttpLog http;
+  // Two overlapping exchanges to the same (CDN) host.
+  for (int i = 0; i < 2; ++i) {
+    http.push_back({.request_s = 1.0,
+                    .response_start_s = 1.1,
+                    .response_end_s = 5.0,
+                    .ul_bytes = 100.0,
+                    .dl_bytes = 1000.0,
+                    .kind = has::HttpKind::kVideoSegment,
+                    .quality = 0,
+                    .host = {},
+                    .rtt_s = 0.05,
+                    .connection_id = -1});
+  }
+  util::Rng rng(12);
+  const ConnectionManager cm(policy, rng);
+  cm.collect(http, rng);
+  EXPECT_NE(http[0].connection_id, http[1].connection_id);
+}
+
+TEST(ConnectionManager, HpackCompressesRepeatRequests) {
+  has::ConnectionPolicy policy = has::svc2_profile().connections;
+  has::HttpLog http;
+  // Three strictly sequential manifest requests -> same API-host connection.
+  for (int i = 0; i < 3; ++i) {
+    http.push_back({.request_s = i * 2.0,
+                    .response_start_s = i * 2.0 + 0.1,
+                    .response_end_s = i * 2.0 + 0.5,
+                    .ul_bytes = 1000.0,
+                    .dl_bytes = 5000.0,
+                    .kind = has::HttpKind::kManifest,
+                    .quality = 0,
+                    .host = {},
+                    .rtt_s = 0.05,
+                    .connection_id = -1});
+  }
+  util::Rng rng(20);
+  const ConnectionManager cm(policy, rng);
+  cm.collect(http, rng);
+  ASSERT_EQ(http[0].connection_id, http[1].connection_id);
+  // First request carries full headers; later ones are HPACK-compressed.
+  EXPECT_EQ(http[0].ul_bytes, 1000.0);
+  EXPECT_LT(http[1].ul_bytes, 500.0);
+  EXPECT_LT(http[2].ul_bytes, 500.0);
+}
+
+TEST(ConnectionManager, HpackDoesNotCompressAcrossConnections) {
+  has::ConnectionPolicy policy = has::svc2_profile().connections;
+  has::HttpLog http;
+  // Two requests separated by more than the idle timeout: two connections.
+  for (int i = 0; i < 2; ++i) {
+    http.push_back({.request_s = i * (policy.idle_timeout_s + 10.0),
+                    .response_start_s = i * (policy.idle_timeout_s + 10.0) + 0.1,
+                    .response_end_s = i * (policy.idle_timeout_s + 10.0) + 0.5,
+                    .ul_bytes = 1000.0,
+                    .dl_bytes = 5000.0,
+                    .kind = has::HttpKind::kManifest,
+                    .quality = 0,
+                    .host = {},
+                    .rtt_s = 0.05,
+                    .connection_id = -1});
+  }
+  util::Rng rng(21);
+  const ConnectionManager cm(policy, rng);
+  cm.collect(http, rng);
+  EXPECT_NE(http[0].connection_id, http[1].connection_id);
+  EXPECT_EQ(http[0].ul_bytes, 1000.0);
+  EXPECT_EQ(http[1].ul_bytes, 1000.0);  // fresh connection: full headers
+}
+
+TEST(ConnectionManager, ValidatesPolicy) {
+  has::ConnectionPolicy bad = has::svc1_profile().connections;
+  bad.cdn_hosts_per_session = 0;
+  util::Rng rng(13);
+  EXPECT_THROW(ConnectionManager(bad, rng), droppkt::ContractViolation);
+  bad = has::svc1_profile().connections;
+  bad.cdn_pool_size = 1;
+  bad.cdn_hosts_per_session = 2;
+  EXPECT_THROW(ConnectionManager(bad, rng), droppkt::ContractViolation);
+}
+
+TEST(ConnectionManager, EmptyLogYieldsOnlyPreconnects) {
+  const auto svc = has::svc3_profile();
+  has::HttpLog empty;
+  util::Rng rng(14);
+  const ConnectionManager cm(svc.connections, rng);
+  const TlsLog log = cm.collect(empty, rng);
+  EXPECT_TRUE(log.empty());  // preconnects only fire for non-empty sessions
+}
+
+}  // namespace
+}  // namespace droppkt::trace

@@ -1,0 +1,153 @@
+#include "trace/flow_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace droppkt::trace {
+namespace {
+
+PacketRecord pkt(double ts, Direction dir, std::uint32_t size,
+                 std::uint32_t flow = 1) {
+  return {.ts_s = ts, .dir = dir, .size_bytes = size,
+          .payload_bytes = size > 52 ? size - 52 : 0, .flow_id = flow,
+          .retransmission = false, .is_syn = false, .is_fin = false};
+}
+
+const std::vector<std::pair<std::uint32_t, std::string>> kIpMap{
+    {1u, "203.0.1.1"}, {2u, "203.0.2.2"}};
+
+TEST(FlowExporter, EmptyPacketsNoFlows) {
+  const FlowExporter ex;
+  EXPECT_TRUE(ex.export_flows({}, kIpMap).empty());
+}
+
+TEST(FlowExporter, SingleFlowAggregates) {
+  const FlowExporter ex;
+  PacketLog packets{pkt(0.0, Direction::kUplink, 100),
+                    pkt(0.5, Direction::kDownlink, 1500),
+                    pkt(1.0, Direction::kDownlink, 1500)};
+  const auto flows = ex.export_flows(packets, kIpMap);
+  ASSERT_EQ(flows.size(), 1u);
+  const auto& f = flows[0];
+  EXPECT_EQ(f.flow_id, 1u);
+  EXPECT_EQ(f.server_ip, "203.0.1.1");
+  EXPECT_EQ(f.ul_bytes, 100.0);
+  EXPECT_EQ(f.dl_bytes, 3000.0);
+  EXPECT_EQ(f.ul_packets, 1u);
+  EXPECT_EQ(f.dl_packets, 2u);
+  EXPECT_EQ(f.first_s, 0.0);
+  EXPECT_EQ(f.last_s, 1.0);
+}
+
+TEST(FlowExporter, SeparatesFlowIds) {
+  const FlowExporter ex;
+  PacketLog packets{pkt(0.0, Direction::kDownlink, 1000, 1),
+                    pkt(0.1, Direction::kDownlink, 2000, 2)};
+  const auto flows = ex.export_flows(packets, kIpMap);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_NE(flows[0].flow_id, flows[1].flow_id);
+}
+
+TEST(FlowExporter, InactiveTimeoutCutsRecords) {
+  FlowExportConfig cfg;
+  cfg.inactive_timeout_s = 5.0;
+  cfg.active_timeout_s = 1000.0;
+  const FlowExporter ex(cfg);
+  PacketLog packets{pkt(0.0, Direction::kDownlink, 1000),
+                    pkt(1.0, Direction::kDownlink, 1000),
+                    pkt(20.0, Direction::kDownlink, 1000)};  // idle 19 s
+  const auto flows = ex.export_flows(packets, kIpMap);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].dl_packets, 2u);
+  EXPECT_EQ(flows[1].dl_packets, 1u);
+}
+
+TEST(FlowExporter, ActiveTimeoutProducesPeriodicSummaries) {
+  FlowExportConfig cfg;
+  cfg.active_timeout_s = 10.0;
+  cfg.inactive_timeout_s = 1000.0;
+  const FlowExporter ex(cfg);
+  PacketLog packets;
+  for (int i = 0; i < 35; ++i) {
+    packets.push_back(pkt(static_cast<double>(i), Direction::kDownlink, 1000));
+  }
+  const auto flows = ex.export_flows(packets, kIpMap);
+  // 35 s of continuous traffic with 10 s cuts -> at least 3 records.
+  EXPECT_GE(flows.size(), 3u);
+  double total = 0.0;
+  for (const auto& f : flows) {
+    total += f.dl_bytes;
+    EXPECT_LE(f.duration_s(), cfg.active_timeout_s + 1e-9);
+  }
+  EXPECT_EQ(total, 35000.0);  // bytes conserved across cuts
+}
+
+TEST(FlowExporter, UnknownFlowGetsPlaceholderIp) {
+  const FlowExporter ex;
+  PacketLog packets{pkt(0.0, Direction::kDownlink, 1000, 77)};
+  const auto flows = ex.export_flows(packets, kIpMap);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].server_ip, "0.0.0.0");
+}
+
+TEST(FlowExporter, SortedOutput) {
+  FlowExportConfig cfg;
+  cfg.inactive_timeout_s = 2.0;
+  const FlowExporter ex(cfg);
+  PacketLog packets;
+  for (int i = 0; i < 20; ++i) {
+    packets.push_back(pkt(i * 3.0, Direction::kDownlink, 500,
+                          static_cast<std::uint32_t>(1 + i % 2)));
+  }
+  const auto flows = ex.export_flows(packets, kIpMap);
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    EXPECT_GE(flows[i].first_s, flows[i - 1].first_s);
+  }
+}
+
+TEST(FlowExporter, RejectsUnsortedPackets) {
+  const FlowExporter ex;
+  PacketLog packets{pkt(5.0, Direction::kDownlink, 100),
+                    pkt(1.0, Direction::kDownlink, 100)};
+  EXPECT_THROW(ex.export_flows(packets, kIpMap), droppkt::ContractViolation);
+}
+
+TEST(FlowExporter, ValidatesConfig) {
+  FlowExportConfig bad;
+  bad.active_timeout_s = 0.0;
+  EXPECT_THROW(FlowExporter{bad}, droppkt::ContractViolation);
+}
+
+TEST(ServerIp, DeterministicAndDistinct) {
+  EXPECT_EQ(server_ip_for_host("a.example"), server_ip_for_host("a.example"));
+  EXPECT_NE(server_ip_for_host("a.example"), server_ip_for_host("b.example"));
+  EXPECT_EQ(server_ip_for_host("x").rfind("203.0.", 0), 0u);
+}
+
+TEST(IdentifyVideoFlows, FiltersByDnsSuffix) {
+  FlowLog flows;
+  FlowRecord video;
+  video.server_ip = server_ip_for_host("cdn1.video.example");
+  FlowRecord other;
+  other.server_ip = server_ip_for_host("mail.elsewhere.example");
+  flows.push_back(video);
+  flows.push_back(other);
+
+  DnsLog dns{{1.0, "cdn1.video.example", server_ip_for_host("cdn1.video.example")},
+             {2.0, "mail.elsewhere.example",
+              server_ip_for_host("mail.elsewhere.example")}};
+
+  const auto identified = identify_video_flows(flows, dns, "video.example");
+  ASSERT_EQ(identified.size(), 1u);
+  EXPECT_EQ(identified[0].server_ip, video.server_ip);
+}
+
+TEST(IdentifyVideoFlows, NoDnsNoFlows) {
+  FlowLog flows(1);
+  EXPECT_TRUE(identify_video_flows(flows, {}, "video.example").empty());
+  EXPECT_THROW(identify_video_flows(flows, {}, ""), droppkt::ContractViolation);
+}
+
+}  // namespace
+}  // namespace droppkt::trace

@@ -1,0 +1,202 @@
+#include "trace/packet_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/expect.hpp"
+
+namespace droppkt::trace {
+namespace {
+
+has::HttpTransaction txn(double req, double end, double ul, double dl,
+                         std::int32_t conn = 0) {
+  return {.request_s = req,
+          .response_start_s = req + 0.05,
+          .response_end_s = end,
+          .ul_bytes = ul,
+          .dl_bytes = dl,
+          .kind = has::HttpKind::kVideoSegment,
+          .quality = 0,
+          .host = "cdn.example",
+          .rtt_s = 0.05,
+          .connection_id = conn};
+}
+
+net::LinkParams no_loss() {
+  net::LinkParams p;
+  p.loss_rate = 0.0;
+  return p;
+}
+
+TEST(PacketGenerator, EmptyLogYieldsNoPackets) {
+  const PacketTraceGenerator gen(no_loss());
+  util::Rng rng(1);
+  EXPECT_TRUE(gen.generate({}, rng).empty());
+}
+
+TEST(PacketGenerator, PacketCountMatchesPayload) {
+  const PacketTraceGenerator gen(no_loss());
+  util::Rng rng(2);
+  // 10 * 1448 bytes -> exactly 10 downlink data packets.
+  const auto log = gen.generate({txn(0.0, 1.0, 500.0, 14480.0)}, rng);
+  std::size_t dl = 0, ul = 0;
+  for (const auto& p : log) {
+    if (p.dir == Direction::kDownlink) ++dl;
+    else ++ul;
+  }
+  EXPECT_EQ(dl, 10u);
+  EXPECT_GT(ul, 0u);  // request + ACKs
+}
+
+TEST(PacketGenerator, BytesConserved) {
+  const PacketTraceGenerator gen(no_loss());
+  util::Rng rng(3);
+  const double dl_bytes = 100e3;
+  const auto log = gen.generate({txn(0.0, 2.0, 900.0, dl_bytes)}, rng);
+  double dl_payload = 0.0, ul_payload = 0.0;
+  for (const auto& p : log) {
+    if (p.dir == Direction::kDownlink) dl_payload += p.payload_bytes;
+    else ul_payload += p.payload_bytes;
+  }
+  EXPECT_NEAR(dl_payload, dl_bytes, 1.0);
+  EXPECT_NEAR(ul_payload, 900.0, 1.0);
+}
+
+TEST(PacketGenerator, SortedByTimestamp) {
+  const PacketTraceGenerator gen(no_loss());
+  util::Rng rng(4);
+  const auto log = gen.generate(
+      {txn(0.0, 1.0, 500.0, 50e3), txn(0.5, 2.0, 500.0, 80e3, 1)}, rng);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_GE(log[i].ts_s, log[i - 1].ts_s);
+  }
+}
+
+TEST(PacketGenerator, TimestampsWithinTransactionWindow) {
+  const PacketTraceGenerator gen(no_loss());
+  util::Rng rng(5);
+  const auto log = gen.generate({txn(1.0, 3.0, 500.0, 50e3)}, rng);
+  for (const auto& p : log) {
+    EXPECT_GE(p.ts_s, 1.0 - 1e-9);
+    EXPECT_LE(p.ts_s, 3.0 + 0.01);
+  }
+}
+
+TEST(PacketGenerator, NoLossMeansNoRetransmissions) {
+  const PacketTraceGenerator gen(no_loss());
+  util::Rng rng(6);
+  const auto log = gen.generate({txn(0.0, 1.0, 500.0, 1e6)}, rng);
+  for (const auto& p : log) EXPECT_FALSE(p.retransmission);
+}
+
+TEST(PacketGenerator, LossProducesProportionalRetransmissions) {
+  net::LinkParams p = no_loss();
+  p.loss_rate = 0.05;
+  const PacketTraceGenerator gen(p);
+  util::Rng rng(7);
+  const auto log = gen.generate({txn(0.0, 10.0, 500.0, 10e6)}, rng);
+  std::size_t retx = 0, data = 0;
+  for (const auto& pk : log) {
+    if (pk.dir != Direction::kDownlink) continue;
+    if (pk.retransmission) ++retx;
+    else ++data;
+  }
+  EXPECT_NEAR(static_cast<double>(retx) / static_cast<double>(data), 0.05,
+              0.01);
+}
+
+TEST(PacketGenerator, RetransmissionsArriveLater) {
+  net::LinkParams p = no_loss();
+  p.loss_rate = 0.3;
+  const PacketTraceGenerator gen(p);
+  util::Rng rng(8);
+  const auto log = gen.generate({txn(0.0, 1.0, 500.0, 100e3)}, rng);
+  // Every retransmission timestamp exceeds the original window start.
+  for (const auto& pk : log) {
+    if (pk.retransmission) EXPECT_GT(pk.ts_s, 0.05);
+  }
+}
+
+TEST(PacketGenerator, FlowIdFollowsConnectionId) {
+  const PacketTraceGenerator gen(no_loss());
+  util::Rng rng(9);
+  const auto log = gen.generate(
+      {txn(0.0, 1.0, 500.0, 10e3, 3), txn(1.5, 2.0, 500.0, 10e3, 7)}, rng);
+  std::set<std::uint32_t> flows;
+  for (const auto& p : log) flows.insert(p.flow_id);
+  EXPECT_EQ(flows, (std::set<std::uint32_t>{3u, 7u}));
+}
+
+TEST(PacketGenerator, UnknownConnectionFallsBackToHostHash) {
+  const PacketTraceGenerator gen(no_loss());
+  util::Rng rng(10);
+  auto t = txn(0.0, 1.0, 500.0, 10e3);
+  t.connection_id = -1;
+  const auto log = gen.generate({t}, rng);
+  ASSERT_FALSE(log.empty());
+  EXPECT_GE(log.front().flow_id, 0x10000u);
+}
+
+TEST(PacketGenerator, MssRespected) {
+  PacketGenOptions opts;
+  opts.mss_bytes = 1000;
+  const PacketTraceGenerator gen(no_loss(), opts);
+  util::Rng rng(11);
+  const auto log = gen.generate({txn(0.0, 1.0, 500.0, 5500.0)}, rng);
+  std::size_t dl = 0;
+  for (const auto& p : log) {
+    EXPECT_LE(p.payload_bytes, 1000u);
+    if (p.dir == Direction::kDownlink) ++dl;
+  }
+  EXPECT_EQ(dl, 6u);  // ceil(5500/1000)
+}
+
+TEST(PacketGenerator, AckPacing) {
+  PacketGenOptions opts;
+  opts.ack_every = 2;
+  const PacketTraceGenerator gen(no_loss(), opts);
+  util::Rng rng(12);
+  const auto log = gen.generate({txn(0.0, 1.0, 100.0, 14480.0)}, rng);
+  std::size_t acks = 0;
+  for (const auto& p : log) {
+    if (p.dir == Direction::kUplink && p.payload_bytes == 0) ++acks;
+  }
+  EXPECT_EQ(acks, 5u);  // 10 data packets / 2
+}
+
+TEST(PacketGenerator, EstimateMatchesGeneratedCountWithoutLoss) {
+  const PacketTraceGenerator gen(no_loss());
+  util::Rng rng(13);
+  const has::HttpLog http{txn(0.0, 1.0, 2000.0, 333e3),
+                          txn(2.0, 3.0, 700.0, 50e3, 1)};
+  const auto estimated = gen.estimate_packet_count(http);
+  const auto actual = gen.generate(http, rng).size();
+  // The estimate over-approximates ACK boundaries slightly.
+  EXPECT_NEAR(static_cast<double>(estimated), static_cast<double>(actual),
+              4.0);
+}
+
+TEST(PacketGenerator, PacketsPerSessionDwarfTlsTransactions) {
+  // The paper's core overhead claim: ~1400 packets per TLS transaction.
+  const PacketTraceGenerator gen(no_loss());
+  util::Rng rng(14);
+  // One 5 MB transaction (one TLS connection's worth of video).
+  const auto log = gen.generate({txn(0.0, 10.0, 1000.0, 5e6)}, rng);
+  EXPECT_GT(log.size(), 1000u);
+}
+
+TEST(PacketGenerator, ValidatesOptions) {
+  PacketGenOptions bad;
+  bad.mss_bytes = 0;
+  EXPECT_THROW(PacketTraceGenerator(no_loss(), bad),
+               droppkt::ContractViolation);
+  bad = {};
+  bad.ack_every = 0;
+  EXPECT_THROW(PacketTraceGenerator(no_loss(), bad),
+               droppkt::ContractViolation);
+}
+
+}  // namespace
+}  // namespace droppkt::trace

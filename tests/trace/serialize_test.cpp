@@ -1,0 +1,73 @@
+#include "trace/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace droppkt::trace {
+namespace {
+
+TlsLog sample_log() {
+  return {{.start_s = 0.5, .end_s = 10.25, .ul_bytes = 1200.0,
+           .dl_bytes = 5e6, .sni = "cdn1.example", .http_count = 12},
+          {.start_s = 2.0, .end_s = 4.0, .ul_bytes = 800.0,
+           .dl_bytes = 600.0, .sni = "beacon.example", .http_count = 1}};
+}
+
+TEST(TlsSerialize, RoundTripStream) {
+  const TlsLog log = sample_log();
+  std::stringstream ss;
+  write_tls_csv(log, ss);
+  const TlsLog back = read_tls_csv(ss);
+  ASSERT_EQ(back.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].start_s, log[i].start_s);
+    EXPECT_DOUBLE_EQ(back[i].end_s, log[i].end_s);
+    EXPECT_DOUBLE_EQ(back[i].ul_bytes, log[i].ul_bytes);
+    EXPECT_DOUBLE_EQ(back[i].dl_bytes, log[i].dl_bytes);
+    EXPECT_EQ(back[i].sni, log[i].sni);
+  }
+}
+
+TEST(TlsSerialize, HeaderNamesStable) {
+  std::stringstream ss;
+  write_tls_csv({}, ss);
+  EXPECT_EQ(ss.str(), "start_s,end_s,ul_bytes,dl_bytes,sni\n");
+}
+
+TEST(TlsSerialize, RoundTripFile) {
+  const std::string path = ::testing::TempDir() + "/droppkt_tls_test.csv";
+  write_tls_csv_file(sample_log(), path);
+  const TlsLog back = read_tls_csv_file(path);
+  EXPECT_EQ(back.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TlsSerialize, RejectsEndBeforeStart) {
+  std::stringstream ss("start_s,end_s,ul_bytes,dl_bytes,sni\n5,2,1,1,x\n");
+  EXPECT_THROW(read_tls_csv(ss), droppkt::ContractViolation);
+}
+
+TEST(TlsSerialize, ColumnOrderIndependent) {
+  std::stringstream ss("sni,dl_bytes,ul_bytes,end_s,start_s\nhost,100,10,9,1\n");
+  const TlsLog log = read_tls_csv(ss);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].sni, "host");
+  EXPECT_EQ(log[0].start_s, 1.0);
+  EXPECT_EQ(log[0].dl_bytes, 100.0);
+}
+
+TEST(TlsSerialize, MissingColumnThrows) {
+  std::stringstream ss("start_s,end_s\n1,2\n");
+  EXPECT_THROW(read_tls_csv(ss), droppkt::ContractViolation);
+}
+
+TEST(TlsSerialize, MissingFileThrows) {
+  EXPECT_THROW(read_tls_csv_file("/no/such/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace droppkt::trace

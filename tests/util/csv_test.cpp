@@ -1,0 +1,123 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace droppkt::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvSplit, SimpleFields) {
+  const auto f = csv_split_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvSplit, EmptyFields) {
+  const auto f = csv_split_line("a,,c,");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(CsvSplit, QuotedCommaAndQuote) {
+  const auto f = csv_split_line("\"a,b\",\"say \"\"hi\"\"\"");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "say \"hi\"");
+}
+
+TEST(CsvSplit, StripsCarriageReturn) {
+  const auto f = csv_split_line("a,b\r");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(CsvTable, RoundTripThroughStream) {
+  CsvTable table({"name", "value"});
+  table.add_row({"alpha", "1.5"});
+  table.add_row({"with,comma", "2"});
+  std::stringstream ss;
+  table.write(ss);
+  const CsvTable back = CsvTable::read(ss);
+  ASSERT_EQ(back.num_rows(), 2u);
+  ASSERT_EQ(back.num_cols(), 2u);
+  EXPECT_EQ(back.at(0, 0), "alpha");
+  EXPECT_EQ(back.at(1, 0), "with,comma");
+  EXPECT_EQ(back.at_double(0, 1), 1.5);
+}
+
+TEST(CsvTable, ColLookup) {
+  CsvTable table({"a", "b", "c"});
+  EXPECT_EQ(table.col("b"), 1u);
+  EXPECT_THROW(table.col("nope"), ContractViolation);
+}
+
+TEST(CsvTable, RowWidthEnforced) {
+  CsvTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), ContractViolation);
+}
+
+TEST(CsvTable, AtDoubleRejectsNonNumeric) {
+  CsvTable table({"x"});
+  table.add_row({"abc"});
+  EXPECT_THROW(table.at_double(0, 0), ContractViolation);
+}
+
+TEST(CsvTable, OutOfRangeAccess) {
+  CsvTable table({"x"});
+  table.add_row({"1"});
+  EXPECT_THROW(table.at(1, 0), ContractViolation);
+  EXPECT_THROW(table.at(0, 1), ContractViolation);
+  EXPECT_THROW(table.row(5), ContractViolation);
+}
+
+TEST(CsvTable, ReadRequiresHeader) {
+  std::stringstream empty;
+  EXPECT_THROW(CsvTable::read(empty), ContractViolation);
+}
+
+TEST(CsvTable, SkipsBlankLines) {
+  std::stringstream ss("a,b\n\n1,2\n\n");
+  const auto table = CsvTable::read(ss);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(CsvTable, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/droppkt_csv_test.csv";
+  CsvTable table({"k", "v"});
+  table.add_row({"key", "42"});
+  table.write_file(path);
+  const auto back = CsvTable::read_file(path);
+  EXPECT_EQ(back.at_double(0, 1), 42.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTable, MissingFileThrows) {
+  EXPECT_THROW(CsvTable::read_file("/nonexistent/definitely/not.csv"),
+               std::runtime_error);
+}
+
+TEST(FormatDouble, Compact) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(42), "42");
+  EXPECT_EQ(format_double(0), "0");
+}
+
+}  // namespace
+}  // namespace droppkt::util

@@ -1,0 +1,113 @@
+#include "util/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace droppkt::util {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Three content lines + rule.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, EnforcesWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only"}), ContractViolation);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"x", "y"});
+  t.add_row({"aaaa", "1"});
+  t.add_row({"b", "2"});
+  const std::string out = t.render();
+  // Every line should have the same length (padded columns).
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const auto end = out.find('\n', start);
+    const auto len = end - start;
+    if (prev != std::string::npos) EXPECT_EQ(len, prev);
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(BarChart, ScalesToMax) {
+  const auto out = bar_chart({{"a", 10.0}, {"b", 5.0}}, 10);
+  // 'a' gets 10 hashes, 'b' gets 5.
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_EQ(out.find("###########"), std::string::npos);
+}
+
+TEST(BarChart, AllZeroProducesNoBars) {
+  const auto out = bar_chart({{"a", 0.0}}, 10);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(BarChart, RejectsNegative) {
+  EXPECT_THROW(bar_chart({{"a", -1.0}}, 10), ContractViolation);
+}
+
+TEST(Pct, Formats) {
+  EXPECT_EQ(pct(0.72), "72%");
+  EXPECT_EQ(pct(0.725, 1), "72.5%");
+  EXPECT_EQ(pct(0.0), "0%");
+  EXPECT_EQ(pct(1.0), "100%");
+}
+
+TEST(Fixed, Formats) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(CdfChart, ContainsPercentilesAndCounts) {
+  const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto out = cdf_chart(v, {0.1, 0.5, 0.9}, "latency");
+  EXPECT_NE(out.find("latency"), std::string::npos);
+  EXPECT_NE(out.find("n=10"), std::string::npos);
+  EXPECT_NE(out.find("p50"), std::string::npos);
+}
+
+TEST(CdfChart, RejectsBadFraction) {
+  EXPECT_THROW(cdf_chart({1.0}, {1.5}, "x"), ContractViolation);
+}
+
+TEST(Histogram, CountsBins) {
+  const std::vector<double> v{0.5, 1.5, 1.6, 2.5};
+  const auto out =
+      histogram(v, {0, 1, 2, 3}, {"0-1", "1-2", "2-3"}, "values");
+  EXPECT_NE(out.find("values"), std::string::npos);
+  EXPECT_NE(out.find("50"), std::string::npos);  // middle bin 50%
+}
+
+TEST(Histogram, LastBinInclusive) {
+  const std::vector<double> v{3.0};
+  const auto out = histogram(v, {0, 1, 2, 3}, {"a", "b", "c"}, "t");
+  EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+TEST(Histogram, ValidatesShape) {
+  EXPECT_THROW(histogram({}, {0}, {}, "t"), ContractViolation);
+  EXPECT_THROW(histogram({}, {0, 1}, {"a", "b"}, "t"), ContractViolation);
+}
+
+TEST(BoxPlot, ReportsQuartiles) {
+  const auto out = box_plot({{"grp", {1, 2, 3, 4, 5}}}, "metric");
+  EXPECT_NE(out.find("grp"), std::string::npos);
+  EXPECT_NE(out.find("metric"), std::string::npos);
+  EXPECT_NE(out.find("3"), std::string::npos);  // median
+}
+
+}  // namespace
+}  // namespace droppkt::util

@@ -1,0 +1,240 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace droppkt::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng a(7);
+  const auto x1 = a();
+  const auto x2 = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), x1);
+  EXPECT_EQ(a(), x2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.5);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), ContractViolation);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    ASSERT_GE(v, -10);
+    ASSERT_LE(v, -5);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(10);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeSd) {
+  Rng rng(10);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(11);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(12);
+  std::vector<double> v;
+  for (int i = 0; i < 50000; ++i) v.push_back(rng.lognormal(std::log(100.0), 0.5));
+  EXPECT_NEAR(median(v), 100.0, 3.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRejectsOutOfRange) {
+  Rng rng(13);
+  EXPECT_THROW(rng.bernoulli(1.5), ContractViolation);
+  EXPECT_THROW(rng.bernoulli(-0.1), ContractViolation);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(14);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(15);
+  EXPECT_THROW(rng.weighted_index({}), ContractViolation);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), ContractViolation);
+  EXPECT_THROW(rng.weighted_index({1.0, -1.0}), ContractViolation);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(16);
+  const auto p = rng.permutation(50);
+  ASSERT_EQ(p.size(), 50u);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, PermutationEmpty) {
+  Rng rng(16);
+  EXPECT_TRUE(rng.permutation(0).empty());
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng rng(17);
+  // Over many draws, the first element should not always be 0.
+  int first_is_zero = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (rng.permutation(10)[0] == 0) ++first_is_zero;
+  }
+  EXPECT_LT(first_is_zero, 30);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(18);
+  Rng child = parent.fork();
+  // Child stream differs from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(19), b(19);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ca(), cb());
+}
+
+// Property sweep: all distributions stay in range across seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, DistributionsWellFormed) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(rng.exponential(1.0), 0.0);
+    EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 2, 42, 1337, 99999,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace droppkt::util

@@ -1,0 +1,179 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::util {
+namespace {
+
+TEST(Summarize, EmptyIsAllZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> v{3.5};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 3.5);
+  EXPECT_EQ(s.max, 3.5);
+  EXPECT_EQ(s.mean, 3.5);
+  EXPECT_EQ(s.median, 3.5);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, KnownValues) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Summarize, UnsortedInput) {
+  const std::vector<double> v{5, 1, 4, 2, 3};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.max, 5.0);
+}
+
+TEST(Percentile, EndpointsAndMidpoints) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EXPECT_EQ(percentile(v, 0), 10.0);
+  EXPECT_EQ(percentile(v, 100), 40.0);
+  EXPECT_EQ(percentile(v, 50), 25.0);  // linear interpolation
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v{0, 10};
+  EXPECT_NEAR(percentile(v, 25), 2.5, 1e-12);
+  EXPECT_NEAR(percentile(v, 75), 7.5, 1e-12);
+}
+
+TEST(Percentile, EmptyIsZero) { EXPECT_EQ(percentile({}, 50), 0.0); }
+
+TEST(Percentile, RejectsOutOfRangeP) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -1), ContractViolation);
+  EXPECT_THROW(percentile(v, 101), ContractViolation);
+}
+
+TEST(Percentile, MonotoneInP) {
+  Rng rng(1);
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(rng.normal());
+  double prev = percentile(v, 0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double cur = percentile(v, p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(MeanStddev, Basics) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.0, 1e-12);
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_EQ(stddev(one), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{5, 5, 5};
+  EXPECT_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, RejectsLengthMismatch) {
+  const std::vector<double> x{1, 2};
+  const std::vector<double> y{1};
+  EXPECT_THROW(pearson(x, y), ContractViolation);
+}
+
+TEST(EmpiricalCdf, SortedAndNormalized) {
+  const std::vector<double> v{3, 1, 2};
+  const auto cdf = empirical_cdf(v);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_EQ(cdf[0].first, 1.0);
+  EXPECT_NEAR(cdf[0].second, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(cdf[2].first, 3.0);
+  EXPECT_EQ(cdf[2].second, 1.0);
+}
+
+TEST(EmpiricalCdf, Empty) { EXPECT_TRUE(empirical_cdf({}).empty()); }
+
+TEST(OnlineStats, MatchesBatch) {
+  Rng rng(2);
+  std::vector<double> v;
+  OnlineStats os;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    v.push_back(x);
+    os.add(x);
+  }
+  EXPECT_NEAR(os.mean(), mean(v), 1e-9);
+  EXPECT_NEAR(os.stddev(), stddev(v), 1e-9);
+  const auto s = summarize(v);
+  EXPECT_EQ(os.min(), s.min);
+  EXPECT_EQ(os.max(), s.max);
+  EXPECT_EQ(os.count(), 1000u);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats os;
+  EXPECT_EQ(os.mean(), 0.0);
+  EXPECT_EQ(os.stddev(), 0.0);
+  EXPECT_EQ(os.min(), 0.0);
+  EXPECT_EQ(os.max(), 0.0);
+}
+
+// Property: summary invariants hold across random samples.
+class SummaryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SummaryProperty, Invariants) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 200));
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng.normal(0, 100));
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, n);
+  EXPECT_LE(s.min, s.median);
+  EXPECT_LE(s.median, s.max);
+  EXPECT_LE(s.min, s.mean);
+  EXPECT_LE(s.mean, s.max);
+  EXPECT_GE(s.stddev, 0.0);
+  EXPECT_LE(s.stddev, (s.max - s.min) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummaryProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace droppkt::util

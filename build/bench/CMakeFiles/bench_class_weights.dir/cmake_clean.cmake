@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_class_weights.dir/bench_class_weights.cpp.o"
+  "CMakeFiles/bench_class_weights.dir/bench_class_weights.cpp.o.d"
+  "bench_class_weights"
+  "bench_class_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_class_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

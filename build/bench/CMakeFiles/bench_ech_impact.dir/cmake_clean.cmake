@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ech_impact.dir/bench_ech_impact.cpp.o"
+  "CMakeFiles/bench_ech_impact.dir/bench_ech_impact.cpp.o.d"
+  "bench_ech_impact"
+  "bench_ech_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ech_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emimic.dir/bench_emimic.cpp.o"
+  "CMakeFiles/bench_emimic.dir/bench_emimic.cpp.o.d"
+  "bench_emimic"
+  "bench_emimic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emimic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_transactions.dir/bench_fig2_transactions.cpp.o"
+  "CMakeFiles/bench_fig2_transactions.dir/bench_fig2_transactions.cpp.o.d"
+  "bench_fig2_transactions"
+  "bench_fig2_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_matched.dir/bench_fig7_matched.cpp.o"
+  "CMakeFiles/bench_fig7_matched.dir/bench_fig7_matched.cpp.o.d"
+  "bench_fig7_matched"
+  "bench_fig7_matched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_matched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

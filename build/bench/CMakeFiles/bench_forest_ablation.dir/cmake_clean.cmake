@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forest_ablation.dir/bench_forest_ablation.cpp.o"
+  "CMakeFiles/bench_forest_ablation.dir/bench_forest_ablation.cpp.o.d"
+  "bench_forest_ablation"
+  "bench_forest_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forest_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

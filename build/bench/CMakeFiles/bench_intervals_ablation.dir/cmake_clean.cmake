@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intervals_ablation.dir/bench_intervals_ablation.cpp.o"
+  "CMakeFiles/bench_intervals_ablation.dir/bench_intervals_ablation.cpp.o.d"
+  "bench_intervals_ablation"
+  "bench_intervals_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intervals_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_live_content.dir/bench_live_content.cpp.o"
+  "CMakeFiles/bench_live_content.dir/bench_live_content.cpp.o.d"
+  "bench_live_content"
+  "bench_live_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_live_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

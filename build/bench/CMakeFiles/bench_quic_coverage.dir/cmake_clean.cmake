@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quic_coverage.dir/bench_quic_coverage.cpp.o"
+  "CMakeFiles/bench_quic_coverage.dir/bench_quic_coverage.cpp.o.d"
+  "bench_quic_coverage"
+  "bench_quic_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quic_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

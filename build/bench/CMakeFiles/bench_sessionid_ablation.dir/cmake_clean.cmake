@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sessionid_ablation.dir/bench_sessionid_ablation.cpp.o"
+  "CMakeFiles/bench_sessionid_ablation.dir/bench_sessionid_ablation.cpp.o.d"
+  "bench_sessionid_ablation"
+  "bench_sessionid_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sessionid_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

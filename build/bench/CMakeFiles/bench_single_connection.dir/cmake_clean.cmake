@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_single_connection.dir/bench_single_connection.cpp.o"
+  "CMakeFiles/bench_single_connection.dir/bench_single_connection.cpp.o.d"
+  "bench_single_connection"
+  "bench_single_connection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_single_connection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stats_ablation.dir/bench_stats_ablation.cpp.o"
+  "CMakeFiles/bench_stats_ablation.dir/bench_stats_ablation.cpp.o.d"
+  "bench_stats_ablation"
+  "bench_stats_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stats_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_sessionid.dir/bench_table5_sessionid.cpp.o"
+  "CMakeFiles/bench_table5_sessionid.dir/bench_table5_sessionid.cpp.o.d"
+  "bench_table5_sessionid"
+  "bench_table5_sessionid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_sessionid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_windowed.cpp" "bench/CMakeFiles/bench_windowed.dir/bench_windowed.cpp.o" "gcc" "bench/CMakeFiles/bench_windowed.dir/bench_windowed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/droppkt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/droppkt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/has/CMakeFiles/droppkt_has.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/droppkt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/droppkt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droppkt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

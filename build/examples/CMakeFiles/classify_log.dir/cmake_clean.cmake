@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_log.dir/classify_log.cpp.o"
+  "CMakeFiles/classify_log.dir/classify_log.cpp.o.d"
+  "classify_log"
+  "classify_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

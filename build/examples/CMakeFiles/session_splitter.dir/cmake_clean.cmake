@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_splitter.dir/session_splitter.cpp.o"
+  "CMakeFiles/session_splitter.dir/session_splitter.cpp.o.d"
+  "session_splitter"
+  "session_splitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_splitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregator.cpp" "src/core/CMakeFiles/droppkt_core.dir/aggregator.cpp.o" "gcc" "src/core/CMakeFiles/droppkt_core.dir/aggregator.cpp.o.d"
+  "/root/repo/src/core/dataset_builder.cpp" "src/core/CMakeFiles/droppkt_core.dir/dataset_builder.cpp.o" "gcc" "src/core/CMakeFiles/droppkt_core.dir/dataset_builder.cpp.o.d"
+  "/root/repo/src/core/emimic.cpp" "src/core/CMakeFiles/droppkt_core.dir/emimic.cpp.o" "gcc" "src/core/CMakeFiles/droppkt_core.dir/emimic.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/droppkt_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/droppkt_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/flow_features.cpp" "src/core/CMakeFiles/droppkt_core.dir/flow_features.cpp.o" "gcc" "src/core/CMakeFiles/droppkt_core.dir/flow_features.cpp.o.d"
+  "/root/repo/src/core/ml16_features.cpp" "src/core/CMakeFiles/droppkt_core.dir/ml16_features.cpp.o" "gcc" "src/core/CMakeFiles/droppkt_core.dir/ml16_features.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/droppkt_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/droppkt_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/droppkt_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/droppkt_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/qoe_labels.cpp" "src/core/CMakeFiles/droppkt_core.dir/qoe_labels.cpp.o" "gcc" "src/core/CMakeFiles/droppkt_core.dir/qoe_labels.cpp.o.d"
+  "/root/repo/src/core/session_id.cpp" "src/core/CMakeFiles/droppkt_core.dir/session_id.cpp.o" "gcc" "src/core/CMakeFiles/droppkt_core.dir/session_id.cpp.o.d"
+  "/root/repo/src/core/tls_features.cpp" "src/core/CMakeFiles/droppkt_core.dir/tls_features.cpp.o" "gcc" "src/core/CMakeFiles/droppkt_core.dir/tls_features.cpp.o.d"
+  "/root/repo/src/core/windowed.cpp" "src/core/CMakeFiles/droppkt_core.dir/windowed.cpp.o" "gcc" "src/core/CMakeFiles/droppkt_core.dir/windowed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/droppkt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/has/CMakeFiles/droppkt_has.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/droppkt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/droppkt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droppkt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droppkt_core.dir/aggregator.cpp.o"
+  "CMakeFiles/droppkt_core.dir/aggregator.cpp.o.d"
+  "CMakeFiles/droppkt_core.dir/dataset_builder.cpp.o"
+  "CMakeFiles/droppkt_core.dir/dataset_builder.cpp.o.d"
+  "CMakeFiles/droppkt_core.dir/emimic.cpp.o"
+  "CMakeFiles/droppkt_core.dir/emimic.cpp.o.d"
+  "CMakeFiles/droppkt_core.dir/estimator.cpp.o"
+  "CMakeFiles/droppkt_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/droppkt_core.dir/flow_features.cpp.o"
+  "CMakeFiles/droppkt_core.dir/flow_features.cpp.o.d"
+  "CMakeFiles/droppkt_core.dir/ml16_features.cpp.o"
+  "CMakeFiles/droppkt_core.dir/ml16_features.cpp.o.d"
+  "CMakeFiles/droppkt_core.dir/monitor.cpp.o"
+  "CMakeFiles/droppkt_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/droppkt_core.dir/pipeline.cpp.o"
+  "CMakeFiles/droppkt_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/droppkt_core.dir/qoe_labels.cpp.o"
+  "CMakeFiles/droppkt_core.dir/qoe_labels.cpp.o.d"
+  "CMakeFiles/droppkt_core.dir/session_id.cpp.o"
+  "CMakeFiles/droppkt_core.dir/session_id.cpp.o.d"
+  "CMakeFiles/droppkt_core.dir/tls_features.cpp.o"
+  "CMakeFiles/droppkt_core.dir/tls_features.cpp.o.d"
+  "CMakeFiles/droppkt_core.dir/windowed.cpp.o"
+  "CMakeFiles/droppkt_core.dir/windowed.cpp.o.d"
+  "libdroppkt_core.a"
+  "libdroppkt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droppkt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/has/abr.cpp" "src/has/CMakeFiles/droppkt_has.dir/abr.cpp.o" "gcc" "src/has/CMakeFiles/droppkt_has.dir/abr.cpp.o.d"
+  "/root/repo/src/has/http_transaction.cpp" "src/has/CMakeFiles/droppkt_has.dir/http_transaction.cpp.o" "gcc" "src/has/CMakeFiles/droppkt_has.dir/http_transaction.cpp.o.d"
+  "/root/repo/src/has/player.cpp" "src/has/CMakeFiles/droppkt_has.dir/player.cpp.o" "gcc" "src/has/CMakeFiles/droppkt_has.dir/player.cpp.o.d"
+  "/root/repo/src/has/quality_ladder.cpp" "src/has/CMakeFiles/droppkt_has.dir/quality_ladder.cpp.o" "gcc" "src/has/CMakeFiles/droppkt_has.dir/quality_ladder.cpp.o.d"
+  "/root/repo/src/has/service_profile.cpp" "src/has/CMakeFiles/droppkt_has.dir/service_profile.cpp.o" "gcc" "src/has/CMakeFiles/droppkt_has.dir/service_profile.cpp.o.d"
+  "/root/repo/src/has/video_catalog.cpp" "src/has/CMakeFiles/droppkt_has.dir/video_catalog.cpp.o" "gcc" "src/has/CMakeFiles/droppkt_has.dir/video_catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/droppkt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droppkt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

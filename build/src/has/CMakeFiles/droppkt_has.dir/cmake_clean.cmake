@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droppkt_has.dir/abr.cpp.o"
+  "CMakeFiles/droppkt_has.dir/abr.cpp.o.d"
+  "CMakeFiles/droppkt_has.dir/http_transaction.cpp.o"
+  "CMakeFiles/droppkt_has.dir/http_transaction.cpp.o.d"
+  "CMakeFiles/droppkt_has.dir/player.cpp.o"
+  "CMakeFiles/droppkt_has.dir/player.cpp.o.d"
+  "CMakeFiles/droppkt_has.dir/quality_ladder.cpp.o"
+  "CMakeFiles/droppkt_has.dir/quality_ladder.cpp.o.d"
+  "CMakeFiles/droppkt_has.dir/service_profile.cpp.o"
+  "CMakeFiles/droppkt_has.dir/service_profile.cpp.o.d"
+  "CMakeFiles/droppkt_has.dir/video_catalog.cpp.o"
+  "CMakeFiles/droppkt_has.dir/video_catalog.cpp.o.d"
+  "libdroppkt_has.a"
+  "libdroppkt_has.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droppkt_has.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

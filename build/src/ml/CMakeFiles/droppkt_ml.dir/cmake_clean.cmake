@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droppkt_ml.dir/baseline.cpp.o"
+  "CMakeFiles/droppkt_ml.dir/baseline.cpp.o.d"
+  "CMakeFiles/droppkt_ml.dir/classifier.cpp.o"
+  "CMakeFiles/droppkt_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/droppkt_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/droppkt_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/droppkt_ml.dir/dataset.cpp.o"
+  "CMakeFiles/droppkt_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/droppkt_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/droppkt_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/droppkt_ml.dir/gbt.cpp.o"
+  "CMakeFiles/droppkt_ml.dir/gbt.cpp.o.d"
+  "CMakeFiles/droppkt_ml.dir/knn.cpp.o"
+  "CMakeFiles/droppkt_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/droppkt_ml.dir/metrics.cpp.o"
+  "CMakeFiles/droppkt_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/droppkt_ml.dir/mlp.cpp.o"
+  "CMakeFiles/droppkt_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/droppkt_ml.dir/preprocess.cpp.o"
+  "CMakeFiles/droppkt_ml.dir/preprocess.cpp.o.d"
+  "CMakeFiles/droppkt_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/droppkt_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/droppkt_ml.dir/svm.cpp.o"
+  "CMakeFiles/droppkt_ml.dir/svm.cpp.o.d"
+  "libdroppkt_ml.a"
+  "libdroppkt_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droppkt_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

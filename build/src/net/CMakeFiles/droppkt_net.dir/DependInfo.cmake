@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bandwidth_trace.cpp" "src/net/CMakeFiles/droppkt_net.dir/bandwidth_trace.cpp.o" "gcc" "src/net/CMakeFiles/droppkt_net.dir/bandwidth_trace.cpp.o.d"
+  "/root/repo/src/net/link_model.cpp" "src/net/CMakeFiles/droppkt_net.dir/link_model.cpp.o" "gcc" "src/net/CMakeFiles/droppkt_net.dir/link_model.cpp.o.d"
+  "/root/repo/src/net/trace_generator.cpp" "src/net/CMakeFiles/droppkt_net.dir/trace_generator.cpp.o" "gcc" "src/net/CMakeFiles/droppkt_net.dir/trace_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/droppkt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

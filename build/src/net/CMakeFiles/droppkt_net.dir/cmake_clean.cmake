@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droppkt_net.dir/bandwidth_trace.cpp.o"
+  "CMakeFiles/droppkt_net.dir/bandwidth_trace.cpp.o.d"
+  "CMakeFiles/droppkt_net.dir/link_model.cpp.o"
+  "CMakeFiles/droppkt_net.dir/link_model.cpp.o.d"
+  "CMakeFiles/droppkt_net.dir/trace_generator.cpp.o"
+  "CMakeFiles/droppkt_net.dir/trace_generator.cpp.o.d"
+  "libdroppkt_net.a"
+  "libdroppkt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droppkt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

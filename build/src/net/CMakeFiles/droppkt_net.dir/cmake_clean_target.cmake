@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdroppkt_net.a"
+)

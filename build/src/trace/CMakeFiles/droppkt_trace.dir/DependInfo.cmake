@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/connection_manager.cpp" "src/trace/CMakeFiles/droppkt_trace.dir/connection_manager.cpp.o" "gcc" "src/trace/CMakeFiles/droppkt_trace.dir/connection_manager.cpp.o.d"
+  "/root/repo/src/trace/flow_export.cpp" "src/trace/CMakeFiles/droppkt_trace.dir/flow_export.cpp.o" "gcc" "src/trace/CMakeFiles/droppkt_trace.dir/flow_export.cpp.o.d"
+  "/root/repo/src/trace/packet_generator.cpp" "src/trace/CMakeFiles/droppkt_trace.dir/packet_generator.cpp.o" "gcc" "src/trace/CMakeFiles/droppkt_trace.dir/packet_generator.cpp.o.d"
+  "/root/repo/src/trace/serialize.cpp" "src/trace/CMakeFiles/droppkt_trace.dir/serialize.cpp.o" "gcc" "src/trace/CMakeFiles/droppkt_trace.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/has/CMakeFiles/droppkt_has.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/droppkt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droppkt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

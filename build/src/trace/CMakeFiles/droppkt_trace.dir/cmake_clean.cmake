@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droppkt_trace.dir/connection_manager.cpp.o"
+  "CMakeFiles/droppkt_trace.dir/connection_manager.cpp.o.d"
+  "CMakeFiles/droppkt_trace.dir/flow_export.cpp.o"
+  "CMakeFiles/droppkt_trace.dir/flow_export.cpp.o.d"
+  "CMakeFiles/droppkt_trace.dir/packet_generator.cpp.o"
+  "CMakeFiles/droppkt_trace.dir/packet_generator.cpp.o.d"
+  "CMakeFiles/droppkt_trace.dir/serialize.cpp.o"
+  "CMakeFiles/droppkt_trace.dir/serialize.cpp.o.d"
+  "libdroppkt_trace.a"
+  "libdroppkt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droppkt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

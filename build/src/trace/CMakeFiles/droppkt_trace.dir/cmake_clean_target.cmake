@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdroppkt_trace.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droppkt_util.dir/csv.cpp.o"
+  "CMakeFiles/droppkt_util.dir/csv.cpp.o.d"
+  "CMakeFiles/droppkt_util.dir/render.cpp.o"
+  "CMakeFiles/droppkt_util.dir/render.cpp.o.d"
+  "CMakeFiles/droppkt_util.dir/rng.cpp.o"
+  "CMakeFiles/droppkt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/droppkt_util.dir/stats.cpp.o"
+  "CMakeFiles/droppkt_util.dir/stats.cpp.o.d"
+  "libdroppkt_util.a"
+  "libdroppkt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droppkt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/aggregator_test.cpp" "tests/CMakeFiles/test_core.dir/core/aggregator_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/aggregator_test.cpp.o.d"
+  "/root/repo/tests/core/dataset_builder_test.cpp" "tests/CMakeFiles/test_core.dir/core/dataset_builder_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dataset_builder_test.cpp.o.d"
+  "/root/repo/tests/core/emimic_test.cpp" "tests/CMakeFiles/test_core.dir/core/emimic_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/emimic_test.cpp.o.d"
+  "/root/repo/tests/core/estimator_persistence_test.cpp" "tests/CMakeFiles/test_core.dir/core/estimator_persistence_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/estimator_persistence_test.cpp.o.d"
+  "/root/repo/tests/core/estimator_test.cpp" "tests/CMakeFiles/test_core.dir/core/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/estimator_test.cpp.o.d"
+  "/root/repo/tests/core/flow_features_test.cpp" "tests/CMakeFiles/test_core.dir/core/flow_features_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/flow_features_test.cpp.o.d"
+  "/root/repo/tests/core/ml16_features_test.cpp" "tests/CMakeFiles/test_core.dir/core/ml16_features_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/ml16_features_test.cpp.o.d"
+  "/root/repo/tests/core/monitor_test.cpp" "tests/CMakeFiles/test_core.dir/core/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/monitor_test.cpp.o.d"
+  "/root/repo/tests/core/qoe_labels_test.cpp" "tests/CMakeFiles/test_core.dir/core/qoe_labels_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/qoe_labels_test.cpp.o.d"
+  "/root/repo/tests/core/session_id_test.cpp" "tests/CMakeFiles/test_core.dir/core/session_id_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/session_id_test.cpp.o.d"
+  "/root/repo/tests/core/tls_features_test.cpp" "tests/CMakeFiles/test_core.dir/core/tls_features_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tls_features_test.cpp.o.d"
+  "/root/repo/tests/core/truncate_test.cpp" "tests/CMakeFiles/test_core.dir/core/truncate_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/truncate_test.cpp.o.d"
+  "/root/repo/tests/core/windowed_test.cpp" "tests/CMakeFiles/test_core.dir/core/windowed_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/windowed_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/droppkt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/droppkt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/has/CMakeFiles/droppkt_has.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/droppkt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/droppkt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droppkt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/aggregator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/aggregator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/dataset_builder_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dataset_builder_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/emimic_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/emimic_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/estimator_persistence_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/estimator_persistence_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/estimator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/estimator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/flow_features_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/flow_features_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ml16_features_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ml16_features_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/monitor_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/monitor_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/qoe_labels_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/qoe_labels_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/session_id_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/session_id_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/tls_features_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/tls_features_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/truncate_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/truncate_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/windowed_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/windowed_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

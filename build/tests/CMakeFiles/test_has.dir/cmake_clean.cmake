@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_has.dir/has/abr_test.cpp.o"
+  "CMakeFiles/test_has.dir/has/abr_test.cpp.o.d"
+  "CMakeFiles/test_has.dir/has/interactions_test.cpp.o"
+  "CMakeFiles/test_has.dir/has/interactions_test.cpp.o.d"
+  "CMakeFiles/test_has.dir/has/live_profile_test.cpp.o"
+  "CMakeFiles/test_has.dir/has/live_profile_test.cpp.o.d"
+  "CMakeFiles/test_has.dir/has/player_test.cpp.o"
+  "CMakeFiles/test_has.dir/has/player_test.cpp.o.d"
+  "CMakeFiles/test_has.dir/has/quality_ladder_test.cpp.o"
+  "CMakeFiles/test_has.dir/has/quality_ladder_test.cpp.o.d"
+  "CMakeFiles/test_has.dir/has/service_profile_test.cpp.o"
+  "CMakeFiles/test_has.dir/has/service_profile_test.cpp.o.d"
+  "CMakeFiles/test_has.dir/has/video_catalog_test.cpp.o"
+  "CMakeFiles/test_has.dir/has/video_catalog_test.cpp.o.d"
+  "test_has"
+  "test_has.pdb"
+  "test_has[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_has.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

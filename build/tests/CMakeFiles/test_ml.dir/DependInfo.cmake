@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/baseline_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/baseline_test.cpp.o.d"
+  "/root/repo/tests/ml/class_weights_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/class_weights_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/class_weights_test.cpp.o.d"
+  "/root/repo/tests/ml/cross_validation_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/cross_validation_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/cross_validation_test.cpp.o.d"
+  "/root/repo/tests/ml/dataset_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/dataset_test.cpp.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/decision_tree_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/decision_tree_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/metrics_test.cpp.o.d"
+  "/root/repo/tests/ml/models_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/models_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/models_test.cpp.o.d"
+  "/root/repo/tests/ml/random_forest_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/random_forest_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/random_forest_test.cpp.o.d"
+  "/root/repo/tests/ml/serialization_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/serialization_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/serialization_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/droppkt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/droppkt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/has/CMakeFiles/droppkt_has.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/droppkt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/droppkt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droppkt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

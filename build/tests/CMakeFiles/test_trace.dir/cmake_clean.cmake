@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/connection_manager_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/connection_manager_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/flow_export_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/flow_export_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/packet_generator_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/packet_generator_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/serialize_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/serialize_test.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

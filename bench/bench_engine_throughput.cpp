@@ -1,0 +1,136 @@
+// Shard-scaling throughput of the ingest engine over a synthetic
+// many-client proxy feed.
+//
+// Not a paper figure: this measures the deployment-scale subsystem the
+// paper's "cheap enough to run at ISP scale" pitch implies. The same feed
+// is replayed through IngestEngine at 1/2/4/8 shards; records/sec and
+// speedup vs 1 shard are printed and written to BENCH_engine.json.
+//
+// Feed size defaults to ~480k records from 20k clients so the bench
+// finishes quickly; scale up with e.g.
+//   DROPPKT_ENGINE_CLIENTS=1000000 ./bench_engine_throughput
+// for the full million-client run. Speedup requires physical cores:
+// expect ~flat numbers on a 1-core container.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/dataset_builder.hpp"
+#include "engine/engine.hpp"
+#include "engine/feed.hpp"
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const auto parsed = std::strtoull(v, nullptr, 10);
+  if (parsed == 0) {
+    std::fprintf(stderr, "[bench] ignoring %s='%s' (not a positive integer)\n",
+                 name, v);
+    return fallback;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+struct Run {
+  std::size_t shards = 0;
+  double seconds = 0.0;
+  double records_per_s = 0.0;
+  double speedup = 1.0;
+  std::uint64_t sessions = 0;
+  std::size_t high_water = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace droppkt;
+  bench::print_header("Ingest engine shard scaling",
+                      "deployment subsystem (no paper figure); Section 6 "
+                      "motivates ISP-scale operation");
+
+  core::DatasetConfig cfg;
+  cfg.num_sessions = 300;
+  cfg.seed = bench::kBenchSeed;
+  core::QoeEstimator estimator;
+  estimator.train(core::build_dataset(has::svc1_profile(), cfg));
+
+  engine::SynthFeedConfig feed_cfg;
+  feed_cfg.num_clients = env_size("DROPPKT_ENGINE_CLIENTS", 20000);
+  feed_cfg.seed = bench::kBenchSeed;
+  const auto t_gen = std::chrono::steady_clock::now();
+  const engine::Feed feed = engine::synthetic_feed(feed_cfg);
+  const double gen_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_gen)
+          .count();
+  std::printf("synthetic feed: %zu records, %zu clients (generated in %.1f s)\n\n",
+              feed.size(), feed_cfg.num_clients, gen_s);
+
+  std::vector<Run> runs;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    engine::EngineConfig ecfg;
+    ecfg.num_shards = shards;
+    ecfg.queue_capacity = 8192;
+    std::atomic<std::uint64_t> sessions{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    engine::IngestEngine eng(
+        estimator,
+        [&](const core::MonitoredSession&) {
+          sessions.fetch_add(1, std::memory_order_relaxed);
+        },
+        ecfg);
+    for (const auto& r : feed) eng.ingest(r.client, r.txn);
+    eng.finish();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const auto snap = eng.stats();
+    Run run;
+    run.shards = shards;
+    run.seconds = secs;
+    run.records_per_s = static_cast<double>(feed.size()) / secs;
+    run.sessions = snap.sessions_reported;
+    run.high_water = snap.max_queue_high_water;
+    run.p50_us = snap.latency_p50_us;
+    run.p99_us = snap.latency_p99_us;
+    runs.push_back(run);
+  }
+  for (auto& r : runs) r.speedup = r.records_per_s / runs.front().records_per_s;
+
+  std::printf("shards   records/s   speedup   sessions   queue-hw   "
+              "p50 us    p99 us\n");
+  for (const auto& r : runs) {
+    std::printf("%6zu  %10.0f   %6.2fx  %9llu  %9zu  %8.1f  %8.1f\n",
+                r.shards, r.records_per_s, r.speedup,
+                static_cast<unsigned long long>(r.sessions), r.high_water,
+                r.p50_us, r.p99_us);
+  }
+  std::printf("\n(sessions must be identical across rows: sharding is a pure\n"
+              "parallelization of the same monitor pipeline)\n");
+
+  std::ofstream json("BENCH_engine.json");
+  json << "{\n  \"bench\": \"engine_throughput\",\n";
+  json << "  \"records\": " << feed.size() << ",\n";
+  json << "  \"clients\": " << feed_cfg.num_clients << ",\n";
+  json << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    json << "    {\"shards\": " << r.shards << ", \"seconds\": " << r.seconds
+         << ", \"records_per_s\": " << r.records_per_s
+         << ", \"speedup\": " << r.speedup
+         << ", \"sessions\": " << r.sessions
+         << ", \"latency_p50_us\": " << r.p50_us
+         << ", \"latency_p99_us\": " << r.p99_us << "}"
+         << (i + 1 < runs.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote BENCH_engine.json\n");
+  return 0;
+}

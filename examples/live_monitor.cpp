@@ -2,6 +2,9 @@
 // watch back-to-back videos; the proxy exports TLS records in global
 // time order; the monitor demultiplexes, splits sessions online and
 // classifies each one as it completes.
+//
+// This is the single-threaded reference loop; engine_monitor.cpp runs the
+// same workflow through the sharded multi-threaded IngestEngine.
 #include <algorithm>
 #include <cstdio>
 #include <vector>

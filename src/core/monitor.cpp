@@ -67,6 +67,18 @@ void StreamingMonitor::observe(const std::string& client,
   }
 }
 
+void StreamingMonitor::advance_time(double now_s) {
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    ClientState& state = it->second;
+    if (now_s - state.last_start_s > config_.client_idle_timeout_s) {
+      if (!state.pending.empty()) emit(it->first, state);
+      it = clients_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void StreamingMonitor::finish() {
   for (auto& [client, state] : clients_) {
     if (!state.pending.empty()) emit(client, state);

@@ -7,8 +7,8 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <string>
+#include <unordered_map>
 
 #include "core/estimator.hpp"
 #include "core/session_id.hpp"
@@ -51,6 +51,14 @@ class StreamingMonitor {
   /// reported through the callback before this call returns.
   void observe(const std::string& client, const trace::TlsTransaction& txn);
 
+  /// Advance the monitor's notion of "now" to `now_s` (feed time) without
+  /// feeding a record: clients idle longer than the timeout have their
+  /// pending session emitted and their state evicted. Lets a driver (e.g.
+  /// the sharded ingest engine's low-watermark broadcast) fire idle-client
+  /// eviction on monitors whose own clients have gone quiet. `now_s` must
+  /// not exceed the start time of any record observed later.
+  void advance_time(double now_s);
+
   /// Flush all in-progress sessions (end of the monitoring window).
   void finish();
 
@@ -68,7 +76,8 @@ class StreamingMonitor {
   const QoeEstimator* estimator_;
   Callback on_session_;
   MonitorConfig config_;
-  std::map<std::string, ClientState> clients_;
+  // unordered: client lookup is on the per-record hot path, needs no order.
+  std::unordered_map<std::string, ClientState> clients_;
   std::size_t sessions_reported_ = 0;
 };
 

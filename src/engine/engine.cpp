@@ -1,0 +1,168 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace droppkt::engine {
+
+namespace {
+
+/// FNV-1a with a SplitMix64 finalizer. std::hash<std::string> is not
+/// specified to mix well (libstdc++'s is fine, but shard balance should
+/// not depend on the standard library); this gives a stable, well-mixed
+/// client -> shard assignment on every platform.
+std::uint64_t client_hash(const std::string& client) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : client) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
+                           SessionSink sink, EngineConfig config)
+    : estimator_(&estimator), sink_(std::move(sink)), config_(config) {
+  DROPPKT_EXPECT(estimator.trained(), "IngestEngine: estimator must be trained");
+  DROPPKT_EXPECT(static_cast<bool>(sink_), "IngestEngine: sink must be callable");
+  DROPPKT_EXPECT(config_.watermark_interval_s > 0.0,
+                 "IngestEngine: watermark interval must be positive");
+  std::size_t n = config_.num_shards;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>(config_.queue_capacity,
+                                         config_.backpressure);
+    Shard* sh = shard.get();
+    // The callback runs on the shard's worker thread; the sink mutex
+    // serializes cross-shard emission.
+    sh->monitor = std::make_unique<core::StreamingMonitor>(
+        *estimator_,
+        [this, sh](const core::MonitoredSession& s) {
+          sh->counters.sessions.fetch_add(1, std::memory_order_relaxed);
+          const std::lock_guard<std::mutex> lock(sink_mutex_);
+          sink_(s);
+        },
+        config_.monitor);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    Shard* sh = shard.get();
+    sh->worker = std::thread([this, sh] { worker_loop(*sh); });
+  }
+}
+
+IngestEngine::~IngestEngine() { finish(); }
+
+std::size_t IngestEngine::shard_of(const std::string& client) const {
+  return client_hash(client) % shards_.size();
+}
+
+void IngestEngine::ingest(const std::string& client,
+                          const trace::TlsTransaction& txn) {
+  DROPPKT_EXPECT(!finished_, "IngestEngine: ingest after finish");
+  DROPPKT_EXPECT(!client.empty(), "IngestEngine: client must be non-empty");
+
+  // Low-watermark broadcast: the global feed has reached txn.start_s, so
+  // every shard — including ones whose clients have gone quiet — may evict
+  // clients idle past the timeout. Each shard's mailbox is FIFO, so the
+  // watermark is processed after every record enqueued before it.
+  if (!saw_record_ ||
+      txn.start_s - last_watermark_s_ >= config_.watermark_interval_s) {
+    last_watermark_s_ = txn.start_s;
+    saw_record_ = true;
+    for (auto& shard : shards_) {
+      Msg wm;
+      wm.kind = Msg::Kind::kWatermark;
+      wm.txn.start_s = txn.start_s;
+      shard->queue.push(std::move(wm));
+    }
+  }
+
+  Shard& sh = *shards_[shard_of(client)];
+  Msg m;
+  m.kind = Msg::Kind::kRecord;
+  m.client = client;
+  m.txn = txn;
+  m.enqueue_tp = std::chrono::steady_clock::now();
+  sh.counters.enqueued.fetch_add(1, std::memory_order_relaxed);
+  sh.queue.push(std::move(m));
+}
+
+void IngestEngine::worker_loop(Shard& shard) {
+  Msg m;
+  while (shard.queue.pop_wait(m)) {
+    if (m.kind == Msg::Kind::kRecord) {
+      shard.monitor->observe(m.client, m.txn);
+      shard.counters.records.fetch_add(1, std::memory_order_relaxed);
+      const auto done = std::chrono::steady_clock::now();
+      shard.counters.latency.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(done -
+                                                               m.enqueue_tp)
+              .count()));
+    } else {
+      shard.monitor->advance_time(m.txn.start_s);
+      shard.counters.watermarks.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  shard.monitor->finish();
+}
+
+void IngestEngine::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+EngineStatsSnapshot IngestEngine::stats() const {
+  EngineStatsSnapshot snap;
+  LatencyHistogram::Counts merged{};
+  snap.shards.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& sh = *shards_[i];
+    ShardStatsSnapshot s;
+    s.shard = i;
+    s.enqueued = sh.counters.enqueued.load(std::memory_order_relaxed);
+    s.records = sh.counters.records.load(std::memory_order_relaxed);
+    s.watermarks = sh.counters.watermarks.load(std::memory_order_relaxed);
+    s.sessions = sh.counters.sessions.load(std::memory_order_relaxed);
+    s.dropped = sh.queue.dropped();
+    s.queue_depth = sh.queue.size();
+    s.queue_high_water = sh.queue.high_water();
+    snap.records_ingested += s.enqueued;
+    snap.records_processed += s.records;
+    snap.records_dropped += s.dropped;
+    snap.sessions_reported += s.sessions;
+    snap.max_queue_high_water = std::max(snap.max_queue_high_water,
+                                         s.queue_high_water);
+    sh.counters.latency.add_to(merged);
+    snap.shards.push_back(s);
+  }
+  snap.latency_p50_us = histogram_quantile_ns(merged, 0.50) / 1000.0;
+  snap.latency_p99_us = histogram_quantile_ns(merged, 0.99) / 1000.0;
+  return snap;
+}
+
+std::uint64_t IngestEngine::sessions_reported() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->counters.sessions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace droppkt::engine

@@ -1,0 +1,128 @@
+// IngestEngine: the deployment-scale layer between a proxy's TLS
+// transaction feed and the paper's per-client QoE pipeline.
+//
+// A transparent proxy exports one globally time-ordered stream of
+// (client, TlsTransaction) records for an entire vantage point — far more
+// than one core's StreamingMonitor can drain at ISP scale. The engine
+// hashes each client to one of N shards; every shard runs its own
+// StreamingMonitor on a dedicated worker thread, fed through a bounded
+// lock-free SPSC mailbox (util::SpscQueue), so session delimitation and
+// classification parallelize with zero cross-shard locking on the hot
+// path. Because a client's records all hash to the same shard, per-client
+// ordering — the only ordering the monitor needs — is preserved.
+//
+// Quiet shards still evict idle clients: the ingest thread periodically
+// broadcasts a low-watermark timestamp (the feed time reached by the
+// global stream) to every shard, which forwards it to
+// StreamingMonitor::advance_time(). Completed sessions from all shards
+// fan into one sink, serialized by a mutex (sessions complete ~10^2-10^4x
+// less often than records arrive, so the lock is off the hot path).
+//
+// Determinism: for a fixed feed and config, an N-shard run reports exactly
+// the same session set (per-client boundaries and predicted classes) as a
+// 1-shard run or a plain single-threaded StreamingMonitor, because each
+// client's record-and-watermark subsequence is identical regardless of N.
+// Only the emission *order* across clients varies.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/monitor.hpp"
+#include "engine/engine_stats.hpp"
+#include "trace/records.hpp"
+#include "util/spsc_queue.hpp"
+
+namespace droppkt::engine {
+
+struct EngineConfig {
+  /// Number of shard workers; 0 means hardware_concurrency (min 1).
+  std::size_t num_shards = 0;
+  /// Per-shard mailbox capacity (rounded up to a power of two).
+  std::size_t queue_capacity = 4096;
+  /// What a full mailbox does to the ingest thread: stall it (kBlock) or
+  /// shed the shard's oldest backlog (kDropOldest, counted per shard).
+  util::BackpressurePolicy backpressure = util::BackpressurePolicy::kBlock;
+  /// Per-shard monitor configuration (session delimitation, idle timeout).
+  core::MonitorConfig monitor;
+  /// Feed-time interval between low-watermark broadcasts. Must be positive;
+  /// values well below the idle timeout keep quiet-shard eviction timely.
+  double watermark_interval_s = 15.0;
+};
+
+/// Sharded multi-threaded ingest over a proxy's TLS transaction feed.
+///
+/// ingest() must be called from one thread at a time (the proxy feed is a
+/// single ordered stream); records must arrive in global start-time order.
+/// The estimator is borrowed, must outlive the engine, and must be safe
+/// for concurrent predict() calls (it is: prediction is read-only). The
+/// sink is invoked from worker threads, one call at a time.
+class IngestEngine {
+ public:
+  using SessionSink = std::function<void(const core::MonitoredSession&)>;
+
+  IngestEngine(const core::QoeEstimator& estimator, SessionSink sink,
+               EngineConfig config = {});
+  ~IngestEngine();
+
+  IngestEngine(const IngestEngine&) = delete;
+  IngestEngine& operator=(const IngestEngine&) = delete;
+
+  /// Route one proxy record to its client's shard. Applies the configured
+  /// backpressure policy if that shard's mailbox is full.
+  void ingest(const std::string& client, const trace::TlsTransaction& txn);
+
+  /// Close all mailboxes, drain them, flush every shard's monitor and join
+  /// the workers. Idempotent; called by the destructor if needed. After
+  /// finish(), ingest() must not be called again.
+  void finish();
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Which shard a client's records are routed to.
+  std::size_t shard_of(const std::string& client) const;
+
+  /// Point-in-time statistics; safe to call while ingesting.
+  EngineStatsSnapshot stats() const;
+
+  /// Total sessions reported across all shards so far.
+  std::uint64_t sessions_reported() const;
+
+ private:
+  struct Msg {
+    enum class Kind : std::uint8_t { kRecord, kWatermark };
+    Kind kind = Kind::kRecord;
+    std::string client;             // empty for watermarks
+    trace::TlsTransaction txn;      // for watermarks only start_s is used
+    std::chrono::steady_clock::time_point enqueue_tp{};
+  };
+
+  struct Shard {
+    Shard(std::size_t cap, util::BackpressurePolicy policy)
+        : queue(cap, policy) {}
+    util::SpscQueue<Msg> queue;
+    ShardCounters counters;
+    std::unique_ptr<core::StreamingMonitor> monitor;
+    std::thread worker;
+  };
+
+  void worker_loop(Shard& shard);
+
+  const core::QoeEstimator* estimator_;
+  SessionSink sink_;
+  std::mutex sink_mutex_;
+  EngineConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  double last_watermark_s_ = 0.0;
+  bool saw_record_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace droppkt::engine

@@ -1,0 +1,80 @@
+// Observability for the ingest engine: per-shard counters and a lock-free
+// latency histogram, all snapshotable while the engine is running.
+//
+// Counters are plain atomics written by exactly one thread each (the
+// ingest thread for enqueue-side counts, the shard worker for
+// processing-side counts), so snapshots need no locks and cost nothing on
+// the hot path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace droppkt::engine {
+
+/// Log2-bucketed histogram of nanosecond latencies. record() is wait-free;
+/// counts() can be read concurrently (each bucket individually coherent,
+/// which is all a percentile estimate needs).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  using Counts = std::array<std::uint64_t, kBuckets>;
+
+  void record(std::uint64_t ns);
+
+  /// Current bucket counts.
+  Counts counts() const;
+
+  /// Accumulate this histogram's counts into `into` (for cross-shard merge).
+  void add_to(Counts& into) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Quantile estimate (q in [0,1]) over merged bucket counts, in
+/// nanoseconds: the geometric midpoint of the bucket holding the q-th
+/// sample. 0 when the histogram is empty.
+double histogram_quantile_ns(const LatencyHistogram::Counts& counts, double q);
+
+/// Live counters owned by one shard. Single-writer per field.
+struct ShardCounters {
+  std::atomic<std::uint64_t> enqueued{0};    // ingest thread
+  std::atomic<std::uint64_t> records{0};     // shard worker
+  std::atomic<std::uint64_t> watermarks{0};  // shard worker
+  std::atomic<std::uint64_t> sessions{0};    // shard worker
+  LatencyHistogram latency;                  // observe-to-classify, ns
+};
+
+/// Point-in-time copy of one shard's counters.
+struct ShardStatsSnapshot {
+  std::size_t shard = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t records = 0;
+  std::uint64_t watermarks = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t dropped = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_high_water = 0;
+};
+
+/// Aggregate view across all shards.
+struct EngineStatsSnapshot {
+  std::vector<ShardStatsSnapshot> shards;
+  std::uint64_t records_ingested = 0;   // accepted by ingest()
+  std::uint64_t records_processed = 0;  // observed by shard monitors
+  std::uint64_t records_dropped = 0;    // shed by kDropOldest backpressure
+  std::uint64_t sessions_reported = 0;
+  std::size_t max_queue_high_water = 0;
+  double latency_p50_us = 0.0;  // observe-to-classify latency percentiles
+  double latency_p99_us = 0.0;
+
+  /// Multi-line human-readable table.
+  std::string to_string() const;
+};
+
+}  // namespace droppkt::engine

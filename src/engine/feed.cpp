@@ -1,0 +1,90 @@
+#include "engine/feed.hpp"
+
+#include <algorithm>
+
+#include "core/dataset_builder.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::engine {
+
+void sort_feed(Feed& feed) {
+  std::stable_sort(feed.begin(), feed.end(),
+                   [](const FeedRecord& a, const FeedRecord& b) {
+                     return a.txn.start_s < b.txn.start_s;
+                   });
+}
+
+Feed simulated_feed(const has::ServiceProfile& svc, std::size_t num_clients,
+                    std::size_t sessions_per_client, std::uint64_t seed,
+                    std::size_t* true_sessions) {
+  Feed feed;
+  std::size_t truth = 0;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    const auto stream = core::build_back_to_back(
+        svc, sessions_per_client, seed + 7919 * c);
+    truth += stream.num_sessions;
+    const std::string client = "client-" + std::to_string(c);
+    // Stagger subscribers so the interleaving is non-trivial but
+    // deterministic.
+    const double offset = 37.0 * static_cast<double>(c);
+    for (const auto& t : stream.merged) {
+      FeedRecord r;
+      r.client = client;
+      r.txn = t;
+      r.txn.start_s += offset;
+      r.txn.end_s += offset;
+      feed.push_back(std::move(r));
+    }
+  }
+  sort_feed(feed);
+  if (true_sessions != nullptr) *true_sessions = truth;
+  return feed;
+}
+
+Feed synthetic_feed(const SynthFeedConfig& config) {
+  util::Rng rng(config.seed);
+  Feed feed;
+  feed.reserve(config.num_clients * config.sessions_per_client *
+               config.txns_per_session);
+  // A shared CDN pool; each session draws a mostly-fresh subset, which is
+  // what the burst+fresh-server delimiter keys on.
+  constexpr int kPoolSize = 48;
+  for (std::size_t c = 0; c < config.num_clients; ++c) {
+    const std::string client = "sub-" + std::to_string(c);
+    double t = rng.uniform(0.0, config.horizon_s);
+    for (std::size_t s = 0; s < config.sessions_per_client; ++s) {
+      const int pool_base = static_cast<int>(rng.uniform_int(0, kPoolSize - 1));
+      for (std::size_t k = 0; k < config.txns_per_session; ++k) {
+        FeedRecord r;
+        r.client = client;
+        // Session open: a burst of connections within ~1 s to fresh
+        // servers; afterwards, chunk fetches every few seconds reusing a
+        // small server set.
+        if (k < 4) {
+          r.txn.start_s = t + rng.uniform(0.0, 1.0);
+          r.txn.sni = "cdn" + std::to_string((pool_base + static_cast<int>(k)) %
+                                             kPoolSize) +
+                      ".example";
+        } else {
+          r.txn.start_s = t + 1.0 + 2.5 * static_cast<double>(k - 4) +
+                          rng.uniform(0.0, 1.5);
+          r.txn.sni = "cdn" +
+                      std::to_string((pool_base + static_cast<int>(k) % 3) %
+                                     kPoolSize) +
+                      ".example";
+        }
+        r.txn.end_s = r.txn.start_s + rng.uniform(2.0, 12.0);
+        r.txn.ul_bytes = rng.lognormal(6.0, 0.8);
+        r.txn.dl_bytes = rng.lognormal(13.5, 1.2);
+        r.txn.http_count = static_cast<std::size_t>(rng.uniform_int(1, 9));
+        feed.push_back(std::move(r));
+      }
+      t += 1.0 + 2.5 * static_cast<double>(config.txns_per_session) +
+           config.session_gap_s;
+    }
+  }
+  sort_feed(feed);
+  return feed;
+}
+
+}  // namespace droppkt::engine

@@ -1,0 +1,57 @@
+// Proxy-feed construction helpers for the ingest engine's bench, tests
+// and examples: one globally time-ordered stream of (client, transaction)
+// records, as a transparent proxy would export it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "has/service_profile.hpp"
+#include "trace/records.hpp"
+
+namespace droppkt::engine {
+
+/// One element of the interleaved proxy feed.
+struct FeedRecord {
+  std::string client;
+  trace::TlsTransaction txn;
+};
+
+using Feed = std::vector<FeedRecord>;
+
+/// Stable sort by transaction start time (the proxy's export order).
+void sort_feed(Feed& feed);
+
+/// Simulation-backed feed: `num_clients` subscribers each stream
+/// `sessions_per_client` back-to-back videos of `svc`, with staggered
+/// start offsets, merged into proxy export order. Faithful to the paper's
+/// traffic model but costs a full player simulation per session — use for
+/// correctness tests and examples. Returns the feed and the true session
+/// count via `true_sessions` (may be null).
+Feed simulated_feed(const has::ServiceProfile& svc, std::size_t num_clients,
+                    std::size_t sessions_per_client, std::uint64_t seed,
+                    std::size_t* true_sessions = nullptr);
+
+/// Configuration for the cheap synthetic feed used by the throughput bench.
+struct SynthFeedConfig {
+  std::size_t num_clients = 10000;
+  std::size_t sessions_per_client = 2;
+  std::size_t txns_per_session = 12;
+  /// Gap between a client's sessions; exceed the monitor idle timeout to
+  /// exercise both delimitation paths.
+  double session_gap_s = 240.0;
+  /// Clients start uniformly within this horizon.
+  double horizon_s = 3600.0;
+  std::uint64_t seed = 20201204;
+};
+
+/// Statistically plausible feed without running the player simulator:
+/// bursty session opens against fresh server pools, lognormal transaction
+/// sizes, chunked mid-session fetches. Orders of magnitude cheaper to
+/// generate than simulated_feed(), which is what a million-client
+/// throughput bench needs.
+Feed synthetic_feed(const SynthFeedConfig& config);
+
+}  // namespace droppkt::engine

@@ -98,6 +98,38 @@ TEST(StreamingMonitor, ClientsAreIndependent) {
   EXPECT_EQ(mon.open_clients(), 0u);
 }
 
+TEST(StreamingMonitor, AdvanceTimeEvictsIdleClients) {
+  std::vector<MonitoredSession> out;
+  MonitorConfig cfg;
+  cfg.client_idle_timeout_s = 60.0;
+  cfg.min_transactions = 2;
+  StreamingMonitor mon(trained_estimator(),
+                       [&](const MonitoredSession& s) { out.push_back(s); },
+                       cfg);
+  for (int i = 0; i < 4; ++i) mon.observe("idle", txn(i * 10.0, "a"));
+  mon.observe("fresh", txn(80.0, "b"));
+  EXPECT_TRUE(out.empty());
+
+  mon.advance_time(85.0);  // idle's last start is 30 -> not yet timed out
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(mon.open_clients(), 2u);
+
+  mon.advance_time(95.0);  // 95 - 30 > 60: idle is evicted, fresh is not
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].client, "idle");
+  EXPECT_EQ(out[0].transactions.size(), 4u);
+  EXPECT_EQ(mon.open_clients(), 1u);
+
+  // A record arriving after eviction opens a brand-new session.
+  mon.observe("idle", txn(100.0, "a"));
+  mon.observe("idle", txn(101.0, "a"));
+  mon.finish();
+  // idle's new 2-txn session is reported; fresh's single txn is noise.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].client, "idle");
+  EXPECT_EQ(out[1].transactions.size(), 2u);
+}
+
 TEST(StreamingMonitor, TinySessionsDropped) {
   std::vector<MonitoredSession> out;
   MonitorConfig cfg;

@@ -69,5 +69,47 @@ TEST(TlsSerialize, MissingFileThrows) {
   EXPECT_THROW(read_tls_csv_file("/no/such/file.csv"), std::runtime_error);
 }
 
+TEST(TlsSerialize, EmptyInputThrows) {
+  std::stringstream ss("");
+  EXPECT_THROW(read_tls_csv(ss), droppkt::ContractViolation);
+}
+
+TEST(TlsSerialize, BlankLinesOnlyThrows) {
+  std::stringstream ss("\n\n\n");
+  EXPECT_THROW(read_tls_csv(ss), droppkt::ContractViolation);
+}
+
+TEST(TlsSerialize, HeaderOnlyYieldsEmptyLog) {
+  std::stringstream ss("start_s,end_s,ul_bytes,dl_bytes,sni\n");
+  EXPECT_TRUE(read_tls_csv(ss).empty());
+}
+
+TEST(TlsSerialize, MalformedRowWidthThrows) {
+  // Row has fewer fields than the header.
+  std::stringstream ss("start_s,end_s,ul_bytes,dl_bytes,sni\n1,2,3\n");
+  EXPECT_THROW(read_tls_csv(ss), droppkt::ContractViolation);
+}
+
+TEST(TlsSerialize, NonNumericCellThrows) {
+  std::stringstream ss(
+      "start_s,end_s,ul_bytes,dl_bytes,sni\noops,2,1,1,host\n");
+  EXPECT_THROW(read_tls_csv(ss), droppkt::ContractViolation);
+}
+
+TEST(TlsSerialize, WrongHeaderNamesThrow) {
+  std::stringstream ss("begin,finish,up,down,host\n1,2,3,4,x\n");
+  EXPECT_THROW(read_tls_csv(ss), droppkt::ContractViolation);
+}
+
+TEST(TlsSerialize, QuotedSniWithCommaRoundTrips) {
+  TlsLog log = sample_log();
+  log[0].sni = "weird,host\"quoted\"";
+  std::stringstream ss;
+  write_tls_csv(log, ss);
+  const TlsLog back = read_tls_csv(ss);
+  ASSERT_EQ(back.size(), log.size());
+  EXPECT_EQ(back[0].sni, log[0].sni);
+}
+
 }  // namespace
 }  // namespace droppkt::trace

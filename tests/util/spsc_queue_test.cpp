@@ -1,0 +1,151 @@
+#include "util/spsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace droppkt::util {
+namespace {
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscQueue<int>(65).capacity(), 128u);
+  EXPECT_THROW(SpscQueue<int>(1), droppkt::ContractViolation);
+}
+
+TEST(SpscQueue, FifoSingleThread) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) q.push(i);
+  EXPECT_EQ(q.size(), 8u);
+  int v = -1;
+  EXPECT_FALSE(q.try_push(v));  // full
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(q.try_pop(out));  // empty
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, WrapsAroundManyTimes) {
+  SpscQueue<std::size_t> q(4);
+  std::size_t next_out = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    q.push(i);
+    if (i % 2 == 1) {  // drain two for every two pushed, staying half-full
+      for (int k = 0; k < 2; ++k) {
+        std::size_t out = 0;
+        ASSERT_TRUE(q.try_pop(out));
+        EXPECT_EQ(out, next_out++);
+      }
+    }
+  }
+  EXPECT_EQ(q.high_water(), 2u);
+  EXPECT_EQ(q.dropped(), 0u);
+}
+
+TEST(SpscQueue, DropOldestAccounting) {
+  SpscQueue<int> q(4, BackpressurePolicy::kDropOldest);
+  for (int i = 0; i < 10; ++i) q.push(i);  // 0..5 are shed, 6..9 survive
+  EXPECT_EQ(q.dropped(), 6u);
+  EXPECT_EQ(q.size(), 4u);
+  for (int expect = 6; expect < 10; ++expect) {
+    int out = -1;
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_TRUE(q.empty());
+  // Drops only happen under overflow, not on every push.
+  q.push(42);
+  EXPECT_EQ(q.dropped(), 6u);
+}
+
+TEST(SpscQueue, HighWaterTracksDeepestOccupancy) {
+  SpscQueue<int> q(16);
+  for (int i = 0; i < 5; ++i) q.push(i);
+  int out;
+  while (q.try_pop(out)) {
+  }
+  for (int i = 0; i < 3; ++i) q.push(i);
+  EXPECT_EQ(q.high_water(), 5u);
+}
+
+TEST(SpscQueue, CloseWakesConsumerAfterDrain) {
+  SpscQueue<int> q(8);
+  q.push(1);
+  q.push(2);
+  q.close();
+  int out = -1;
+  EXPECT_TRUE(q.pop_wait(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.pop_wait(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.pop_wait(out));  // closed and empty
+}
+
+TEST(SpscQueue, TwoThreadStressBlocking) {
+  constexpr std::size_t kItems = 200000;
+  SpscQueue<std::size_t> q(64);
+  std::vector<std::size_t> got;
+  got.reserve(kItems);
+  std::thread consumer([&] {
+    std::size_t v = 0;
+    while (q.pop_wait(v)) got.push_back(v);
+  });
+  for (std::size_t i = 0; i < kItems; ++i) q.push(i);
+  q.close();
+  consumer.join();
+  ASSERT_EQ(got.size(), kItems);
+  for (std::size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(got[i], i) << "order violated at " << i;
+  }
+  EXPECT_EQ(q.dropped(), 0u);
+  EXPECT_LE(q.high_water(), q.capacity());
+}
+
+TEST(SpscQueue, TwoThreadStressDropOldestKeepsOrderedSuffix) {
+  constexpr std::size_t kItems = 100000;
+  SpscQueue<std::size_t> q(16, BackpressurePolicy::kDropOldest);
+  std::vector<std::size_t> got;
+  got.reserve(kItems);
+  std::thread consumer([&] {
+    std::size_t v = 0;
+    while (q.pop_wait(v)) got.push_back(v);
+  });
+  for (std::size_t i = 0; i < kItems; ++i) q.push(i);
+  q.close();
+  consumer.join();
+  // Whatever survives must be a strictly increasing subsequence ending at
+  // the final element, and conservation must hold exactly.
+  ASSERT_FALSE(got.empty());
+  EXPECT_EQ(got.back(), kItems - 1);
+  for (std::size_t i = 1; i < got.size(); ++i) ASSERT_LT(got[i - 1], got[i]);
+  EXPECT_EQ(got.size() + q.dropped(), kItems);
+}
+
+TEST(SpscQueue, MovesNonTrivialPayloads) {
+  SpscQueue<std::string> q(8);
+  std::thread consumer([&] {
+    std::string s;
+    std::size_t n = 0;
+    while (q.pop_wait(s)) {
+      ASSERT_EQ(s, "payload-" + std::to_string(n++));
+    }
+    EXPECT_EQ(n, 5000u);
+  });
+  for (int i = 0; i < 5000; ++i) q.push("payload-" + std::to_string(i));
+  q.close();
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace droppkt::util

@@ -1,0 +1,365 @@
+// ML training engine benchmark: thread-pool forest fitting and the
+// presorted split search vs the legacy per-node re-sort.
+//
+// Not a paper figure: every accuracy/ablation result in EXPERIMENTS.md
+// retrains Random Forests dozens of times, so fit throughput bounds how
+// fast the whole evaluation suite iterates. This bench pins down the perf
+// trajectory: it times forest fitting on the standard synthetic dataset
+// at 1/2/4/8 threads, times the legacy algorithm (re-sorting (value,
+// label) pairs at every node, exactly what src/ml/decision_tree.cpp did
+// before the presorted column-index structure) as the single-thread
+// baseline, verifies the fitted forest is bit-identical across thread
+// counts, and measures batch-prediction throughput.
+//
+// Thread speedup requires physical cores — on a 1-core container the
+// curve is flat and only the algorithmic (presorted vs re-sort) speedup
+// shows. `hardware_concurrency` is recorded in BENCH_ml.json so readers
+// can interpret the numbers.
+//
+// Usage:
+//   bench_ml_training          full run, writes BENCH_ml.json to the cwd
+//   bench_ml_training --smoke  tiny dataset, no JSON — CI exercises the
+//                              parallel path under -O2 in seconds
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ml/cross_validation.hpp"
+#include "ml/dataset.hpp"
+#include "ml/random_forest.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using droppkt::ml::Dataset;
+using droppkt::util::Rng;
+
+/// Standard synthetic dataset: 38 features like the paper's TLS feature
+/// vector — 8 informative (class-shifted means at varying scales), the
+/// rest pure noise — 3 QoE-like classes.
+Dataset make_synthetic(std::size_t rows, std::uint64_t seed) {
+  constexpr std::size_t kFeatures = 38;
+  constexpr std::size_t kInformative = 8;
+  std::vector<std::string> names;
+  names.reserve(kFeatures);
+  for (std::size_t f = 0; f < kFeatures; ++f) {
+    names.push_back("f" + std::to_string(f));
+  }
+  Dataset data(std::move(names), 3);
+  Rng rng(seed);
+  std::vector<double> row(kFeatures);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const int label = static_cast<int>(rng.uniform_int(0, 2));
+    for (std::size_t f = 0; f < kInformative; ++f) {
+      const double scale = 1.0 + static_cast<double>(f);
+      row[f] = label * scale + rng.normal(0.0, 2.0 * scale);
+    }
+    for (std::size_t f = kInformative; f < kFeatures; ++f) {
+      row[f] = rng.normal();
+    }
+    data.add_row(row, label);
+  }
+  return data;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Legacy baseline: the pre-PR-2 split search. Every node re-collects and
+// re-sorts (value, label) pairs per candidate feature — O(F·W log W) per
+// node. Kept here (not in the library) purely as the bench's reference
+// workload; bootstrap/seed draws mirror RandomForest::fit so the forests
+// are structurally comparable.
+namespace legacy {
+
+struct Node {
+  int feature = -1;
+  double threshold = 0.0;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+};
+
+struct Tree {
+  std::vector<Node> nodes;
+  std::size_t max_features = 0;
+  int max_depth = 24;
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& indices,
+                     int depth, Rng& rng) {
+    std::vector<double> counts(static_cast<std::size_t>(data.num_classes()), 0.0);
+    for (std::size_t i : indices) {
+      counts[static_cast<std::size_t>(data.label(i))] += 1.0;
+    }
+    const double total = static_cast<double>(indices.size());
+    double sum_sq = 0.0;
+    for (double c : counts) sum_sq += (c / total) * (c / total);
+    const double node_gini = 1.0 - sum_sq;
+
+    auto make_leaf = [&]() -> std::int32_t {
+      nodes.push_back(Node{});
+      return static_cast<std::int32_t>(nodes.size() - 1);
+    };
+    if (node_gini <= 1e-12 || depth >= max_depth || indices.size() < 2) {
+      return make_leaf();
+    }
+
+    std::vector<std::size_t> features;
+    const auto perm = rng.permutation(data.num_features());
+    features.assign(perm.begin(),
+                    perm.begin() + static_cast<std::ptrdiff_t>(max_features));
+
+    struct Best {
+      double impurity = 1e18;
+      int feature = -1;
+      double threshold = 0.0;
+    } best;
+    std::vector<std::pair<double, int>> sorted;
+    sorted.reserve(indices.size());
+    std::vector<double> left_counts(counts.size());
+
+    for (std::size_t f : features) {
+      sorted.clear();
+      for (std::size_t i : indices) {
+        sorted.emplace_back(data.row(i)[f], data.label(i));
+      }
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted.front().first == sorted.back().first) continue;
+      std::fill(left_counts.begin(), left_counts.end(), 0.0);
+      double w_left = 0.0;
+      const std::size_t n = sorted.size();
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        left_counts[static_cast<std::size_t>(sorted[i].second)] += 1.0;
+        w_left += 1.0;
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        const double w_right = total - w_left;
+        if (w_right <= 0.0) continue;
+        double lg = 0.0, rg = 0.0;
+        for (std::size_t c = 0; c < left_counts.size(); ++c) {
+          const double pl = left_counts[c] / w_left;
+          lg += pl * pl;
+          const double pr = (counts[c] - left_counts[c]) / w_right;
+          rg += pr * pr;
+        }
+        const double weighted =
+            (w_left * (1.0 - lg) + w_right * (1.0 - rg)) / total;
+        if (weighted < best.impurity) {
+          best.impurity = weighted;
+          best.feature = static_cast<int>(f);
+          double thr = 0.5 * (sorted[i].first + sorted[i + 1].first);
+          if (!(thr >= sorted[i].first && thr < sorted[i + 1].first)) {
+            thr = sorted[i].first;
+          }
+          best.threshold = thr;
+        }
+      }
+    }
+
+    if (best.feature < 0 || best.impurity >= node_gini - 1e-12) {
+      return make_leaf();
+    }
+    std::vector<std::size_t> left_idx, right_idx;
+    for (std::size_t i : indices) {
+      if (data.row(i)[static_cast<std::size_t>(best.feature)] <=
+          best.threshold) {
+        left_idx.push_back(i);
+      } else {
+        right_idx.push_back(i);
+      }
+    }
+    indices.clear();
+    indices.shrink_to_fit();
+    Node node;
+    node.feature = best.feature;
+    node.threshold = best.threshold;
+    nodes.push_back(node);
+    const auto me = static_cast<std::int32_t>(nodes.size() - 1);
+    const std::int32_t l = build(data, left_idx, depth + 1, rng);
+    const std::int32_t r = build(data, right_idx, depth + 1, rng);
+    nodes[static_cast<std::size_t>(me)].left = l;
+    nodes[static_cast<std::size_t>(me)].right = r;
+    return me;
+  }
+};
+
+/// Sequential forest fit with the legacy split search; returns total node
+/// count (consumed so the work is not optimized away).
+std::size_t fit_forest(const Dataset& data, std::size_t num_trees,
+                       std::uint64_t seed) {
+  const std::size_t n = data.size();
+  const auto mtry = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::floor(std::sqrt(static_cast<double>(data.num_features())))));
+  Rng rng(seed);
+  std::size_t total_nodes = 0;
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    std::vector<std::size_t> sample(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sample[i] = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    Tree tree;
+    tree.max_features = mtry;
+    Rng tree_rng(rng());
+    tree.build(data, sample, 0, tree_rng);
+    total_nodes += tree.nodes.size();
+  }
+  return total_nodes;
+}
+
+}  // namespace legacy
+
+struct FitRun {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace droppkt;
+
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t rows = smoke ? 300 : 6000;
+  const std::size_t test_rows = smoke ? 200 : 20000;
+  const std::size_t num_trees = smoke ? 12 : 100;
+  const std::vector<std::size_t> thread_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+
+  std::printf("=========================================================\n");
+  std::printf("ML training engine: parallel forests + presorted splits\n");
+  std::printf("mode: %s | hardware_concurrency: %zu\n",
+              smoke ? "smoke" : "full",
+              util::ThreadPool::recommended_threads());
+  std::printf("=========================================================\n\n");
+
+  const Dataset train = make_synthetic(rows, 7777);
+  const Dataset test = make_synthetic(test_rows, 8888);
+  std::printf("dataset: %zu rows x %zu features, %d classes; %zu trees\n\n",
+              train.size(), train.num_features(), train.num_classes(),
+              num_trees);
+
+  // Legacy single-thread baseline: per-node re-sort split search.
+  const auto t_legacy = std::chrono::steady_clock::now();
+  const std::size_t legacy_nodes = legacy::fit_forest(train, num_trees, 42);
+  const double legacy_s = seconds_since(t_legacy);
+  std::printf("legacy re-sort fit (1 thread): %7.2f s  (%zu nodes)\n",
+              legacy_s, legacy_nodes);
+
+  // Presorted engine at increasing thread counts.
+  ml::RandomForestParams params;
+  params.num_trees = num_trees;
+  params.seed = 42;
+  std::vector<FitRun> runs;
+  std::string model_1t;
+  bool deterministic = true;
+  for (const std::size_t threads : thread_counts) {
+    params.num_threads = threads;
+    ml::RandomForest forest(params);
+    const auto t0 = std::chrono::steady_clock::now();
+    forest.fit(train);
+    const double fit_s = seconds_since(t0);
+    runs.push_back({threads, fit_s});
+
+    std::stringstream model;
+    forest.save(model);
+    if (threads == thread_counts.front()) {
+      model_1t = model.str();
+    } else if (model.str() != model_1t) {
+      deterministic = false;
+    }
+    const double vs_1t = runs.front().seconds / fit_s;
+    const double vs_legacy = legacy_s / fit_s;
+    std::printf(
+        "presorted fit (%zu thread%s):     %7.2f s  "
+        "(%4.2fx vs 1t, %4.2fx vs legacy)\n",
+        threads, threads == 1 ? "" : "s", fit_s, vs_1t, vs_legacy);
+  }
+  std::printf("bit-identical across thread counts: %s\n\n",
+              deterministic ? "yes" : "NO — BUG");
+
+  // Batch prediction throughput.
+  params.num_threads = 1;
+  ml::RandomForest forest(params);
+  forest.fit(train);
+  const auto c_count = static_cast<std::size_t>(train.num_classes());
+  std::vector<double> proba(test.size() * c_count);
+  const auto t_p1 = std::chrono::steady_clock::now();
+  forest.predict_proba_batch(test, proba, 1);
+  const double predict_1t_s = seconds_since(t_p1);
+  const std::size_t max_threads = thread_counts.back();
+  const auto t_pn = std::chrono::steady_clock::now();
+  forest.predict_proba_batch(test, proba, max_threads);
+  const double predict_nt_s = seconds_since(t_pn);
+  const double thr_1t = static_cast<double>(test.size()) / predict_1t_s;
+  const double thr_nt = static_cast<double>(test.size()) / predict_nt_s;
+  std::printf("batch predict: %zu rows | %.0f rows/s (1 thread) | "
+              "%.0f rows/s (%zu threads)\n",
+              test.size(), thr_1t, thr_nt, max_threads);
+
+  // Fold-parallel cross-validation (the paper's evaluation loop).
+  double cv_1t_s = 0.0, cv_nt_s = 0.0;
+  if (!smoke) {
+    auto factory = [] {
+      ml::RandomForestParams p;
+      p.num_trees = 30;
+      p.num_threads = 1;  // CV-level parallelism is the measured axis
+      return std::unique_ptr<ml::Classifier>(new ml::RandomForest(p));
+    };
+    const auto t_cv1 = std::chrono::steady_clock::now();
+    const auto cv_a = ml::cross_validate(train, factory, 5, 1234, 1);
+    cv_1t_s = seconds_since(t_cv1);
+    const auto t_cvn = std::chrono::steady_clock::now();
+    const auto cv_b = ml::cross_validate(train, factory, 5, 1234, 5);
+    cv_nt_s = seconds_since(t_cvn);
+    std::printf("5-fold CV (30-tree forests): %.2f s sequential | %.2f s "
+                "fold-parallel | accuracy %.3f (identical: %s)\n",
+                cv_1t_s, cv_nt_s, cv_a.accuracy(),
+                cv_a.accuracy() == cv_b.accuracy() ? "yes" : "NO — BUG");
+  }
+
+  if (!smoke) {
+    std::ofstream json("BENCH_ml.json");
+    json << "{\n  \"bench\": \"ml_training\",\n";
+    json << "  \"hardware_concurrency\": "
+         << util::ThreadPool::recommended_threads() << ",\n";
+    json << "  \"dataset\": {\"rows\": " << train.size()
+         << ", \"features\": " << train.num_features()
+         << ", \"classes\": " << train.num_classes() << "},\n";
+    json << "  \"forest\": {\"num_trees\": " << num_trees
+         << ", \"max_depth\": " << params.max_depth << "},\n";
+    json << "  \"legacy_resort_fit_seconds\": " << legacy_s << ",\n";
+    json << "  \"fit_runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto& r = runs[i];
+      json << "    {\"threads\": " << r.threads
+           << ", \"seconds\": " << r.seconds
+           << ", \"speedup_vs_1t\": " << runs.front().seconds / r.seconds
+           << ", \"speedup_vs_legacy\": " << legacy_s / r.seconds << "}"
+           << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n";
+    json << "  \"deterministic_across_threads\": "
+         << (deterministic ? "true" : "false") << ",\n";
+    json << "  \"predict\": {\"rows\": " << test.size()
+         << ", \"rows_per_s_1t\": " << thr_1t << ", \"rows_per_s_"
+         << max_threads << "t\": " << thr_nt << "},\n";
+    json << "  \"cross_validation\": {\"k\": 5, \"seconds_sequential\": "
+         << cv_1t_s << ", \"seconds_fold_parallel\": " << cv_nt_s << "}\n";
+    json << "}\n";
+    std::printf("\nwrote BENCH_ml.json\n");
+  }
+
+  return deterministic ? 0 : 1;
+}

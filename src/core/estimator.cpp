@@ -1,8 +1,10 @@
 #include "core/estimator.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 #include "util/expect.hpp"
+#include "util/thread_pool.hpp"
 
 namespace droppkt::core {
 
@@ -39,6 +41,51 @@ std::vector<double> QoeEstimator::predict_proba(
     const trace::TlsLog& session) const {
   DROPPKT_EXPECT(trained_, "QoeEstimator: predict before train");
   return forest_.predict_proba(extract_tls_features(session, config_.features));
+}
+
+void QoeEstimator::predict_proba_batch(std::span<const trace::TlsLog> sessions,
+                                       std::span<double> out,
+                                       std::size_t num_threads) const {
+  DROPPKT_EXPECT(trained_, "QoeEstimator: predict before train");
+  const std::size_t rows = sessions.size();
+  const auto c_count = static_cast<std::size_t>(kNumQoeClasses);
+  DROPPKT_EXPECT(out.size() == rows * c_count,
+                 "QoeEstimator::predict_proba_batch: bad output buffer size");
+  if (rows == 0) return;
+  const std::size_t width = tls_feature_names(config_.features).size();
+
+  // Extract all feature rows into one flat matrix, in parallel.
+  std::vector<double> matrix(rows * width);
+  auto extract_row = [&](std::size_t r) {
+    const auto feats = extract_tls_features(sessions[r], config_.features);
+    DROPPKT_ENSURE(feats.size() == width,
+                   "QoeEstimator: feature width drifted from config");
+    std::copy(feats.begin(), feats.end(),
+              matrix.begin() + static_cast<std::ptrdiff_t>(r * width));
+  };
+  const std::size_t threads =
+      std::min(util::ThreadPool::resolve_threads(num_threads), rows);
+  if (threads <= 1) {
+    for (std::size_t r = 0; r < rows; ++r) extract_row(r);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(0, rows, extract_row);
+  }
+
+  forest_.predict_proba_batch(matrix, out, threads);
+}
+
+std::vector<int> QoeEstimator::predict_batch(
+    std::span<const trace::TlsLog> sessions, std::size_t num_threads) const {
+  const auto c_count = static_cast<std::size_t>(kNumQoeClasses);
+  std::vector<double> proba(sessions.size() * c_count);
+  predict_proba_batch(sessions, proba, num_threads);
+  std::vector<int> preds(sessions.size());
+  for (std::size_t r = 0; r < sessions.size(); ++r) {
+    const double* p = proba.data() + r * c_count;
+    preds[r] = static_cast<int>(std::max_element(p, p + c_count) - p);
+  }
+  return preds;
 }
 
 const std::string& QoeEstimator::class_name(int cls) const {

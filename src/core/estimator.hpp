@@ -5,6 +5,7 @@
 // from their TLS transaction logs.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,20 @@ class QoeEstimator {
 
   /// Per-class probabilities.
   std::vector<double> predict_proba(const trace::TlsLog& session) const;
+
+  /// Classify many sessions in one pass — the monitoring-node hot path.
+  /// Feature extraction and forest voting are spread over `num_threads`
+  /// workers (0 = hardware concurrency) and the forest votes accumulate
+  /// into one flat buffer, so no per-session/per-tree vectors are
+  /// allocated. Predictions are identical for any thread count.
+  std::vector<int> predict_batch(std::span<const trace::TlsLog> sessions,
+                                 std::size_t num_threads = 0) const;
+
+  /// Batch probabilities: `out` must hold sessions.size() x kNumQoeClasses
+  /// doubles (row-major, one row per session).
+  void predict_proba_batch(std::span<const trace::TlsLog> sessions,
+                           std::span<double> out,
+                           std::size_t num_threads = 0) const;
 
   /// Forest feature importances paired with feature names, descending.
   std::vector<std::pair<std::string, double>> feature_importances() const;

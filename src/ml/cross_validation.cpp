@@ -2,34 +2,59 @@
 
 #include "util/expect.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace droppkt::ml {
 
 CrossValidationResult cross_validate(
     const Dataset& data,
     const std::function<std::unique_ptr<Classifier>()>& make_model,
-    std::size_t k, std::uint64_t seed) {
+    std::size_t k, std::uint64_t seed, std::size_t num_threads) {
   DROPPKT_EXPECT(static_cast<bool>(make_model),
                  "cross_validate: model factory must be callable");
   util::Rng rng(seed);
   const auto folds = stratified_folds(data, k, rng);
 
-  CrossValidationResult result(data.num_classes());
-  for (const auto& test_idx : folds) {
+  // Factories may capture shared state, so call them before going wide.
+  std::vector<std::unique_ptr<Classifier>> models;
+  models.reserve(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    models.push_back(make_model());
+    DROPPKT_ENSURE(models.back() != nullptr,
+                   "cross_validate: factory returned null");
+  }
+
+  std::vector<ConfusionMatrix> fold_cms(k, ConfusionMatrix(data.num_classes()));
+  auto run_fold = [&](std::size_t f) {
+    const auto& test_idx = folds[f];
     const auto train_idx = fold_complement(data.size(), test_idx);
     const Dataset train = data.subset(train_idx);
     const Dataset test = data.subset(test_idx);
 
-    auto model = make_model();
-    DROPPKT_ENSURE(model != nullptr, "cross_validate: factory returned null");
-    model->fit(train);
+    Classifier& model = *models[f];
+    model.fit(train);
 
-    ConfusionMatrix fold_cm(data.num_classes());
+    ConfusionMatrix& cm = fold_cms[f];
     for (std::size_t i = 0; i < test.size(); ++i) {
-      fold_cm.add(test.label(i), model->predict(test.row(i)));
+      cm.add(test.label(i), model.predict(test.row(i)));
     }
-    result.fold_accuracy.push_back(fold_cm.accuracy());
-    result.pooled.merge(fold_cm);
+  };
+
+  const std::size_t threads =
+      std::min(util::ThreadPool::resolve_threads(num_threads), k);
+  if (threads <= 1) {
+    for (std::size_t f = 0; f < k; ++f) run_fold(f);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(0, k, run_fold);
+  }
+
+  // Merge in fold order: pooled counts and fold_accuracy are independent
+  // of which fold finished first.
+  CrossValidationResult result(data.num_classes());
+  for (std::size_t f = 0; f < k; ++f) {
+    result.fold_accuracy.push_back(fold_cms[f].accuracy());
+    result.pooled.merge(fold_cms[f]);
   }
   return result;
 }

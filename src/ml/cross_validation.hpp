@@ -24,9 +24,17 @@ struct CrossValidationResult {
 
 /// Run stratified k-fold CV. `make_model` is invoked once per fold so every
 /// fold trains a fresh, identically-configured classifier.
+///
+/// `num_threads` spreads the folds over a util::ThreadPool (0 = hardware
+/// concurrency, 1 = sequential). Factories run sequentially before any
+/// fold starts (they may share state), fold results merge in fold order,
+/// and the fold split is drawn once up front — so the result is identical
+/// for every thread count. Avoid combining multi-threaded CV with
+/// multi-threaded models: the product oversubscribes the machine.
 CrossValidationResult cross_validate(
     const Dataset& data,
     const std::function<std::unique_ptr<Classifier>()>& make_model,
-    std::size_t k = 5, std::uint64_t seed = 1234);
+    std::size_t k = 5, std::uint64_t seed = 1234,
+    std::size_t num_threads = 1);
 
 }  // namespace droppkt::ml

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <numeric>
 
 #include "util/csv.hpp"
 #include "util/expect.hpp"
@@ -67,6 +68,30 @@ Dataset Dataset::select_features(const std::vector<std::string>& names) const {
     out.add_row(std::move(sel), label(i));
   }
   return out;
+}
+
+ColumnMatrix::ColumnMatrix(const Dataset& data)
+    : num_rows_(data.size()), num_features_(data.num_features()) {
+  data_.resize(num_rows_ * num_features_);
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const auto r = data.row(i);
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      data_[f * num_rows_ + i] = r[f];
+    }
+  }
+
+  sorted_rows_.resize(num_rows_ * num_features_);
+  sorted_vals_.resize(num_rows_ * num_features_);
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    const double* col = data_.data() + f * num_rows_;
+    std::uint32_t* rows = sorted_rows_.data() + f * num_rows_;
+    double* vals = sorted_vals_.data() + f * num_rows_;
+    std::iota(rows, rows + num_rows_, std::uint32_t{0});
+    std::sort(rows, rows + num_rows_, [col](std::uint32_t a, std::uint32_t b) {
+      return col[a] != col[b] ? col[a] < col[b] : a < b;
+    });
+    for (std::size_t i = 0; i < num_rows_; ++i) vals[i] = col[rows[i]];
+  }
 }
 
 int Dataset::majority_class() const {

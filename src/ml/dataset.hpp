@@ -2,11 +2,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "util/expect.hpp"
 #include "util/rng.hpp"
 
 namespace droppkt::ml {
@@ -57,6 +59,56 @@ class Dataset {
   int num_classes_;
   std::vector<double> data_;  // row-major
   std::vector<int> labels_;
+};
+
+/// Column-major copy of a Dataset's feature matrix, plus a per-feature
+/// presort of the rows.
+///
+/// The split search in tree training scans one feature across many rows;
+/// the row-major Dataset makes that a strided walk (cache-hostile), so
+/// training transposes once up front and every tree of a forest shares
+/// the same read-only copy — safe to use from many threads concurrently.
+/// The sorted row orders let each tree derive its bootstrap sample's
+/// sorted layout with a linear counting merge instead of re-sorting —
+/// the F column sorts are paid once per forest, not once per tree.
+class ColumnMatrix {
+ public:
+  explicit ColumnMatrix(const Dataset& data);
+
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_features() const { return num_features_; }
+
+  /// All rows' values of one feature, contiguous.
+  std::span<const double> column(std::size_t f) const {
+    DROPPKT_EXPECT(f < num_features_, "ColumnMatrix::column: out of range");
+    return {data_.data() + f * num_rows_, num_rows_};
+  }
+
+  double value(std::size_t row, std::size_t f) const {
+    DROPPKT_EXPECT(row < num_rows_ && f < num_features_,
+                   "ColumnMatrix::value: out of range");
+    return data_[f * num_rows_ + row];
+  }
+
+  /// Row indices of one feature, ascending by (value, row).
+  std::span<const std::uint32_t> sorted_rows(std::size_t f) const {
+    DROPPKT_EXPECT(f < num_features_, "ColumnMatrix::sorted_rows: out of range");
+    return {sorted_rows_.data() + f * num_rows_, num_rows_};
+  }
+
+  /// The feature's values in the `sorted_rows(f)` order (ascending).
+  std::span<const double> sorted_values(std::size_t f) const {
+    DROPPKT_EXPECT(f < num_features_,
+                   "ColumnMatrix::sorted_values: out of range");
+    return {sorted_vals_.data() + f * num_rows_, num_rows_};
+  }
+
+ private:
+  std::size_t num_rows_;
+  std::size_t num_features_;
+  std::vector<double> data_;                 // column-major
+  std::vector<std::uint32_t> sorted_rows_;   // per feature, by (value, row)
+  std::vector<double> sorted_vals_;          // values in sorted_rows_ order
 };
 
 /// Stratified k-fold split: each fold's class mix matches the dataset's.

@@ -25,6 +25,35 @@ double gini(const std::vector<double>& weighted_counts, double total) {
 
 }  // namespace
 
+// Presorted split-search state, built once per fit_on and partitioned down
+// the tree (scikit-learn style). Sample *positions* (0..n-1, one per
+// bootstrap draw) are the unit of bookkeeping so repeated row indices stay
+// distinct. Every node owns the same window [begin, end) in each feature's
+// order/value arrays; `vals` mirrors `order` so the scan is sequential.
+struct DecisionTree::FitContext {
+  explicit FitContext(const ColumnMatrix& cols) : columns(cols) {}
+
+  const ColumnMatrix& columns;
+  std::size_t n = 0;              // sample count (positions)
+  std::size_t num_features = 0;
+
+  std::vector<std::uint32_t> order;  // num_features x n: positions by value
+  std::vector<double> vals;          // num_features x n: value at order[...]
+  std::vector<std::uint32_t> row_of_pos;
+  std::vector<std::int32_t> label_of_pos;
+  std::vector<double> weight_of_pos;
+
+  // Per-node scratch (reused; no allocation inside build()).
+  std::vector<std::uint8_t> goes_left;   // indexed by position
+  std::vector<std::uint32_t> tmp_order;
+  std::vector<double> tmp_vals;
+  std::vector<double> counts;       // per-class, node distribution
+  std::vector<double> left_counts;  // per-class, split scan
+
+  std::uint32_t* feature_order(std::size_t f) { return order.data() + f * n; }
+  double* feature_vals(std::size_t f) { return vals.data() + f * n; }
+};
+
 DecisionTree::DecisionTree(DecisionTreeParams params)
     : params_(std::move(params)) {
   DROPPKT_EXPECT(params_.max_depth >= 1, "DecisionTree: max_depth must be >= 1");
@@ -48,27 +77,98 @@ void DecisionTree::fit(const Dataset& train) {
 
 void DecisionTree::fit_on(const Dataset& train,
                           std::span<const std::size_t> indices) {
+  const ColumnMatrix columns(train);
+  fit_on(train, indices, columns);
+}
+
+void DecisionTree::fit_on(const Dataset& train,
+                          std::span<const std::size_t> indices,
+                          const ColumnMatrix& columns) {
   DROPPKT_EXPECT(!indices.empty(), "DecisionTree: cannot fit on empty sample");
+  DROPPKT_EXPECT(columns.num_rows() == train.size() &&
+                     columns.num_features() == train.num_features(),
+                 "DecisionTree: column matrix does not match dataset");
   nodes_.clear();
   num_classes_ = train.num_classes();
   num_features_ = train.num_features();
   fit_sample_count_ = indices.size();
   importance_.assign(num_features_, 0.0);
   util::Rng rng(params_.seed);
-  std::vector<std::size_t> idx(indices.begin(), indices.end());
-  build(train, idx, 0, rng);
+
+  FitContext ctx(columns);
+  const std::size_t n = indices.size();
+  ctx.n = n;
+  ctx.num_features = num_features_;
+  ctx.row_of_pos.resize(n);
+  ctx.label_of_pos.resize(n);
+  ctx.weight_of_pos.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto row = static_cast<std::uint32_t>(indices[p]);
+    ctx.row_of_pos[p] = row;
+    ctx.label_of_pos[p] = train.label(row);
+    ctx.weight_of_pos[p] = class_weight(ctx.label_of_pos[p]);
+  }
+
+  // Derive this sample's sorted layout from the ColumnMatrix's global
+  // presort with a counting merge: walk each feature's rows in value order
+  // and expand every row into the positions that drew it. O(F * (N + n))
+  // instead of re-sorting each feature per tree, and deterministic — ties
+  // in value follow (row, position) order, which never affects the chosen
+  // splits (boundaries only exist between distinct values).
+  ctx.order.resize(num_features_ * n);
+  ctx.vals.resize(num_features_ * n);
+  const std::size_t num_rows = columns.num_rows();
+  std::vector<std::uint32_t> row_start(num_rows + 1, 0);
+  for (std::size_t p = 0; p < n; ++p) ++row_start[ctx.row_of_pos[p] + 1];
+  for (std::size_t r = 0; r < num_rows; ++r) row_start[r + 1] += row_start[r];
+  std::vector<std::uint32_t> pos_by_row(n);
+  {
+    std::vector<std::uint32_t> cursor(row_start.begin(), row_start.end() - 1);
+    for (std::size_t p = 0; p < n; ++p) {
+      pos_by_row[cursor[ctx.row_of_pos[p]]++] = static_cast<std::uint32_t>(p);
+    }
+  }
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    const auto sorted_rows = columns.sorted_rows(f);
+    const auto sorted_vals = columns.sorted_values(f);
+    auto* order = ctx.feature_order(f);
+    auto* vals = ctx.feature_vals(f);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < num_rows; ++i) {
+      const std::uint32_t r = sorted_rows[i];
+      for (std::uint32_t j = row_start[r]; j < row_start[r + 1]; ++j) {
+        order[k] = pos_by_row[j];
+        vals[k] = sorted_vals[i];
+        ++k;
+      }
+    }
+  }
+
+  ctx.goes_left.resize(n);
+  ctx.tmp_order.resize(n);
+  ctx.tmp_vals.resize(n);
+  ctx.counts.resize(static_cast<std::size_t>(num_classes_));
+  ctx.left_counts.resize(static_cast<std::size_t>(num_classes_));
+
+  build(ctx, 0, n, 0, rng);
 }
 
-std::int32_t DecisionTree::build(const Dataset& data,
-                                 std::vector<std::size_t>& indices, int depth,
-                                 util::Rng& rng) {
-  // Weighted class distribution at this node.
-  std::vector<double> counts(static_cast<std::size_t>(num_classes_), 0.0);
+std::int32_t DecisionTree::build(FitContext& ctx, std::size_t begin,
+                                 std::size_t end, int depth, util::Rng& rng) {
+  const std::size_t window = end - begin;
+  // Weighted class distribution at this node; any feature's window holds
+  // the same position set, so enumerate via feature 0.
+  std::vector<double>& counts = ctx.counts;
+  std::fill(counts.begin(), counts.end(), 0.0);
   double total_weight = 0.0;
-  for (std::size_t i : indices) {
-    const double w = class_weight(data.label(i));
-    counts[static_cast<std::size_t>(data.label(i))] += w;
-    total_weight += w;
+  {
+    const auto* order = ctx.feature_order(0) + begin;
+    for (std::size_t i = 0; i < window; ++i) {
+      const std::uint32_t pos = order[i];
+      counts[static_cast<std::size_t>(ctx.label_of_pos[pos])] +=
+          ctx.weight_of_pos[pos];
+      total_weight += ctx.weight_of_pos[pos];
+    }
   }
   const double node_gini = gini(counts, total_weight);
 
@@ -87,7 +187,7 @@ std::int32_t DecisionTree::build(const Dataset& data,
 
   const bool pure = node_gini <= 1e-12;
   if (pure || depth >= params_.max_depth ||
-      indices.size() < params_.min_samples_split) {
+      window < params_.min_samples_split) {
     return make_leaf();
   }
 
@@ -102,36 +202,32 @@ std::int32_t DecisionTree::build(const Dataset& data,
                     perm.begin() + static_cast<std::ptrdiff_t>(params_.max_features));
   }
 
-  // Best split search.
+  // Best split search: one linear scan per candidate feature over its
+  // presorted window.
   struct Best {
     double impurity = 1e18;
     int feature = -1;
     double threshold = 0.0;
   } best;
 
-  std::vector<std::pair<double, int>> sorted;  // (value, label)
-  sorted.reserve(indices.size());
-  std::vector<double> left_counts(static_cast<std::size_t>(num_classes_));
+  std::vector<double>& left_counts = ctx.left_counts;
 
   for (std::size_t f : features) {
-    sorted.clear();
-    for (std::size_t i : indices) {
-      sorted.emplace_back(data.row(i)[f], data.label(i));
-    }
-    std::sort(sorted.begin(), sorted.end());
-    if (sorted.front().first == sorted.back().first) continue;  // constant
+    const double* vals = ctx.feature_vals(f) + begin;
+    const std::uint32_t* order = ctx.feature_order(f) + begin;
+    if (vals[0] == vals[window - 1]) continue;  // constant in this node
 
     std::fill(left_counts.begin(), left_counts.end(), 0.0);
     double w_left = 0.0;
     std::size_t n_left = 0;
-    const std::size_t n = sorted.size();
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-      const double w = class_weight(sorted[i].second);
-      left_counts[static_cast<std::size_t>(sorted[i].second)] += w;
+    for (std::size_t i = 0; i + 1 < window; ++i) {
+      const std::uint32_t pos = order[i];
+      const double w = ctx.weight_of_pos[pos];
+      left_counts[static_cast<std::size_t>(ctx.label_of_pos[pos])] += w;
       w_left += w;
       ++n_left;
-      if (sorted[i].first == sorted[i + 1].first) continue;  // not a boundary
-      const std::size_t n_right = n - n_left;
+      if (vals[i] == vals[i + 1]) continue;  // not a boundary
+      const std::size_t n_right = window - n_left;
       if (n_left < params_.min_samples_leaf || n_right < params_.min_samples_leaf)
         continue;
       const double w_right = total_weight - w_left;
@@ -153,9 +249,9 @@ std::int32_t DecisionTree::build(const Dataset& data,
         best.feature = static_cast<int>(f);
         // Midpoint, unless rounding collapses it onto the upper value (for
         // adjacent doubles) — then split exactly at the lower value.
-        double thr = 0.5 * (sorted[i].first + sorted[i + 1].first);
-        if (!(thr >= sorted[i].first && thr < sorted[i + 1].first)) {
-          thr = sorted[i].first;
+        double thr = 0.5 * (vals[i] + vals[i + 1]);
+        if (!(thr >= vals[i] && thr < vals[i + 1])) {
+          thr = vals[i];
         }
         best.threshold = thr;
       }
@@ -169,30 +265,57 @@ std::int32_t DecisionTree::build(const Dataset& data,
   // Gini importance: impurity decrease weighted by the node's share of the
   // training sample.
   importance_[static_cast<std::size_t>(best.feature)] +=
-      (node_gini - best.impurity) * static_cast<double>(indices.size()) /
+      (node_gini - best.impurity) * static_cast<double>(window) /
       static_cast<double>(fit_sample_count_);
 
-  // Partition indices.
-  std::vector<std::size_t> left_idx, right_idx;
-  for (std::size_t i : indices) {
-    if (data.row(i)[static_cast<std::size_t>(best.feature)] <= best.threshold) {
-      left_idx.push_back(i);
-    } else {
-      right_idx.push_back(i);
+  // Mark each position's side using the winning feature's window (values
+  // are aligned with positions there).
+  std::size_t n_left = 0;
+  {
+    const double* vals = ctx.feature_vals(best.feature) + begin;
+    const std::uint32_t* order =
+        ctx.feature_order(static_cast<std::size_t>(best.feature)) + begin;
+    for (std::size_t i = 0; i < window; ++i) {
+      const bool left = vals[i] <= best.threshold;
+      ctx.goes_left[order[i]] = left ? 1 : 0;
+      n_left += left ? 1 : 0;
     }
   }
-  DROPPKT_ENSURE(!left_idx.empty() && !right_idx.empty(),
+  DROPPKT_ENSURE(n_left > 0 && n_left < window,
                  "DecisionTree: degenerate split");
-  indices.clear();
-  indices.shrink_to_fit();
+
+  // Stable-partition every feature's window into [left | right], preserving
+  // sort order within each side — children windows stay presorted.
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    std::uint32_t* order = ctx.feature_order(f) + begin;
+    double* vals = ctx.feature_vals(f) + begin;
+    std::size_t lw = 0, rw = 0;
+    for (std::size_t i = 0; i < window; ++i) {
+      if (ctx.goes_left[order[i]]) {
+        order[lw] = order[i];
+        vals[lw] = vals[i];
+        ++lw;
+      } else {
+        ctx.tmp_order[rw] = order[i];
+        ctx.tmp_vals[rw] = vals[i];
+        ++rw;
+      }
+    }
+    std::copy(ctx.tmp_order.begin(),
+              ctx.tmp_order.begin() + static_cast<std::ptrdiff_t>(rw),
+              order + lw);
+    std::copy(ctx.tmp_vals.begin(),
+              ctx.tmp_vals.begin() + static_cast<std::ptrdiff_t>(rw),
+              vals + lw);
+  }
 
   Node node;
   node.feature = best.feature;
   node.threshold = best.threshold;
   nodes_.push_back(std::move(node));
   const auto me = static_cast<std::int32_t>(nodes_.size() - 1);
-  const std::int32_t l = build(data, left_idx, depth + 1, rng);
-  const std::int32_t r = build(data, right_idx, depth + 1, rng);
+  const std::int32_t l = build(ctx, begin, begin + n_left, depth + 1, rng);
+  const std::int32_t r = build(ctx, begin + n_left, end, depth + 1, rng);
   nodes_[static_cast<std::size_t>(me)].left = l;
   nodes_[static_cast<std::size_t>(me)].right = r;
   return me;
@@ -217,9 +340,15 @@ int DecisionTree::predict(std::span<const double> features) const {
   return descend(features).leaf_class;
 }
 
-std::vector<double> DecisionTree::predict_proba(
+std::span<const double> DecisionTree::predict_proba_ref(
     std::span<const double> features) const {
   return descend(features).class_probs;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> features) const {
+  const auto probs = predict_proba_ref(features);
+  return {probs.begin(), probs.end()};
 }
 
 void DecisionTree::save(std::ostream& os) const {
@@ -254,14 +383,27 @@ DecisionTree DecisionTree::load(std::istream& is) {
     DROPPKT_EXPECT(is.good(), "DecisionTree::load: truncated node");
     DROPPKT_EXPECT(n.feature < static_cast<int>(tree.num_features_),
                    "DecisionTree::load: feature index out of range");
-    n.class_probs.resize(n_probs);
-    for (auto& p : n.class_probs) is >> p;
     if (n.feature >= 0) {
+      // Internal node: children in range, no stored distribution.
       DROPPKT_EXPECT(
           n.left >= 0 && n.right >= 0 &&
               n.left < static_cast<std::int32_t>(node_count) &&
               n.right < static_cast<std::int32_t>(node_count),
           "DecisionTree::load: child index out of range");
+      DROPPKT_EXPECT(n_probs == 0,
+                     "DecisionTree::load: internal node carries class probs");
+    } else {
+      // Leaf: the distribution must cover every class exactly.
+      DROPPKT_EXPECT(n_probs == static_cast<std::size_t>(tree.num_classes_),
+                     "DecisionTree::load: leaf prob count != num_classes");
+      DROPPKT_EXPECT(n.leaf_class >= 0 &&
+                         n.leaf_class < static_cast<std::int32_t>(tree.num_classes_),
+                     "DecisionTree::load: leaf class out of range");
+    }
+    n.class_probs.resize(n_probs);
+    for (auto& p : n.class_probs) {
+      is >> p;
+      DROPPKT_EXPECT(!is.fail(), "DecisionTree::load: truncated class probs");
     }
   }
   DROPPKT_EXPECT(!is.fail(), "DecisionTree::load: truncated input");

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,10 +23,16 @@ struct RandomForestParams {
   std::uint64_t seed = 42;
   /// Per-class weights (empty = uniform); see DecisionTreeParams.
   std::vector<double> class_weights;
+  /// Worker threads for fit(); 0 means hardware concurrency, 1 trains
+  /// sequentially. The trained forest (trees, OOB error, importances) is
+  /// bit-identical for every value — all randomness is drawn up front and
+  /// results merge in tree order.
+  std::size_t num_threads = 0;
 };
 
 /// Bagged CART ensemble with per-split feature subsampling, soft voting,
-/// Gini feature importance and out-of-bag error.
+/// Gini feature importance and out-of-bag error. Trees train concurrently
+/// on a util::ThreadPool; see RandomForestParams::num_threads.
 class RandomForest final : public Classifier {
  public:
   explicit RandomForest(RandomForestParams params = {});
@@ -33,6 +40,23 @@ class RandomForest final : public Classifier {
   void fit(const Dataset& train) override;
   int predict(std::span<const double> features) const override;
   std::vector<double> predict_proba(std::span<const double> features) const override;
+
+  /// Batch prediction over a row-major feature matrix (num_rows x
+  /// num_features, contiguous). Writes mean per-class probabilities into
+  /// `out` (size num_rows x num_classes) with no per-row or per-tree
+  /// allocations. Rows are split across `num_threads` workers (0 =
+  /// hardware concurrency); output is identical for any thread count.
+  void predict_proba_batch(std::span<const double> matrix,
+                           std::span<double> out,
+                           std::size_t num_threads = 1) const;
+
+  /// Same over a Dataset's rows.
+  void predict_proba_batch(const Dataset& data, std::span<double> out,
+                           std::size_t num_threads = 1) const;
+
+  /// Argmax labels for every row of `data`.
+  std::vector<int> predict_batch(const Dataset& data,
+                                 std::size_t num_threads = 1) const;
 
   /// Mean decrease in Gini impurity per feature, normalized to sum to 1.
   std::vector<double> feature_importances() const;
@@ -45,6 +69,7 @@ class RandomForest final : public Classifier {
   std::optional<double> oob_error() const { return oob_error_; }
 
   std::size_t num_trees() const { return trees_.size(); }
+  int num_classes() const { return num_classes_; }
 
   /// Serialize the fitted forest (text format, versioned header). Trained
   /// models can be shipped to monitoring nodes without the training data.
@@ -55,6 +80,9 @@ class RandomForest final : public Classifier {
   static RandomForest load_file(const std::string& path);
 
  private:
+  void predict_proba_row(std::span<const double> features,
+                         std::span<double> out) const;
+
   RandomForestParams params_;
   std::vector<DecisionTree> trees_;
   std::vector<std::string> feature_names_;

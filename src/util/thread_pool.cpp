@@ -1,0 +1,46 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace droppkt::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  DROPPKT_EXPECT(num_threads >= 1, "ThreadPool: need at least one worker");
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();  // packaged_task captures any exception into its future
+  }
+}
+
+std::size_t ThreadPool::recommended_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  return requested == 0 ? recommended_threads() : requested;
+}
+
+}  // namespace droppkt::util

@@ -1,0 +1,112 @@
+// Fixed-size worker pool for CPU-bound fan-out (tree training, fold
+// evaluation, batch prediction).
+//
+// Complements util/spsc_queue.hpp: the SPSC ring is the streaming mailbox
+// of the ingest engine, while ThreadPool is the compute-side primitive —
+// a mutex/condvar task deque feeding N workers, with std::future handoff
+// of results and exceptions. Throughput per task is irrelevant here
+// (tasks are milliseconds, not nanoseconds), so the simple locked deque
+// beats a lock-free design on clarity and TSan-verifiability.
+//
+// Determinism contract: the pool never *creates* nondeterminism — tasks
+// run in unspecified order on unspecified workers, so callers that need
+// reproducible results must (a) draw all randomness before submitting and
+// (b) merge results in a fixed order (e.g. by task index). RandomForest,
+// cross_validate and the batch predictors all follow this recipe, which
+// is why their output is bit-identical for any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace droppkt::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1). Use `recommended_threads()` to
+  /// size a pool for the machine.
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the future carries its result or exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      DROPPKT_EXPECT(!stopping_, "ThreadPool: submit after shutdown began");
+      tasks_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Run `body(i)` for every i in [begin, end), spread over the workers in
+  /// contiguous chunks; blocks until all iterations finish. The first
+  /// exception thrown by any chunk is rethrown after all chunks complete.
+  /// With end <= begin this is a no-op.
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, F&& body) {
+    if (end <= begin) return;
+    const std::size_t n = end - begin;
+    const std::size_t chunks = std::min(n, std::max<std::size_t>(1, size()));
+    const std::size_t base = n / chunks;
+    const std::size_t extra = n % chunks;  // first `extra` chunks get +1
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    std::size_t lo = begin;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t hi = lo + base + (c < extra ? 1 : 0);
+      futures.push_back(submit([lo, hi, &body] {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      }));
+      lo = hi;
+    }
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  /// Hardware concurrency with a floor of 1 (some containers report 0).
+  static std::size_t recommended_threads();
+
+  /// Resolve a user-facing `num_threads` knob: 0 means "use the machine",
+  /// anything else is taken literally (floor 1).
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace droppkt::util

@@ -108,6 +108,42 @@ TEST(QoeEstimator, CustomIntervalsWork) {
   EXPECT_EQ(est.feature_importances().size(), 4u + 18u + 6u);
 }
 
+TEST(QoeEstimator, BatchPredictMatchesPerSession) {
+  const auto train = small_dataset(120, 10);
+  const auto test = small_dataset(40, 11);
+  QoeEstimator est;
+  est.train(train);
+
+  std::vector<trace::TlsLog> logs;
+  for (const auto& s : test) logs.push_back(s.record.tls);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const auto preds = est.predict_batch(logs, threads);
+    ASSERT_EQ(preds.size(), logs.size());
+    std::vector<double> proba(logs.size() * 3);
+    est.predict_proba_batch(logs, proba, threads);
+    for (std::size_t i = 0; i < logs.size(); ++i) {
+      EXPECT_EQ(preds[i], est.predict(logs[i]));
+      const auto one = est.predict_proba(logs[i]);
+      for (std::size_t c = 0; c < 3; ++c) {
+        EXPECT_EQ(proba[i * 3 + c], one[c]);
+      }
+    }
+  }
+}
+
+TEST(QoeEstimator, BatchPredictRejectsWrongBufferOrUntrained) {
+  const QoeEstimator untrained;
+  const std::vector<trace::TlsLog> logs(2);
+  EXPECT_THROW(untrained.predict_batch(logs, 1), droppkt::ContractViolation);
+
+  QoeEstimator est;
+  est.train(small_dataset(80, 12));
+  std::vector<double> too_small(logs.size() * 3 - 1);
+  EXPECT_THROW(est.predict_proba_batch(logs, too_small, 1),
+               droppkt::ContractViolation);
+}
+
 TEST(QoeEstimator, DeterministicGivenSeeds) {
   const auto train = small_dataset(100, 8);
   const auto test = small_dataset(30, 9);

@@ -1,0 +1,126 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace droppkt::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, RunsManyTasksAcrossWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&count] {
+      count.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorCompletesPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // join
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, hits.size(), [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPartialRange) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10, 20, [&sum](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(5, 5, [&count](std::size_t) { ++count; });
+  pool.parallel_for(7, 3, [&count](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&ran](std::size_t i) {
+                          ran.fetch_add(1, std::memory_order_relaxed);
+                          if (i == 50) throw std::runtime_error("halt");
+                        }),
+      std::runtime_error);
+  // The throwing chunk aborts at the exception but every other chunk
+  // completes before the rethrow, and the pool stays usable.
+  EXPECT_GE(ran.load(), 51);
+  EXPECT_LT(ran.load(), 100);
+  std::atomic<int> after{0};
+  pool.parallel_for(0, 8, [&after](std::size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, MoreTasksThanWorkersThanIndices) {
+  // chunks = min(n, workers): 2 indices over 8 workers must not stall.
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 2, [&count](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ZeroWorkersRejected) {
+  EXPECT_THROW(ThreadPool{0}, droppkt::ContractViolation);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
+  EXPECT_GE(ThreadPool::recommended_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace droppkt::util

@@ -51,7 +51,9 @@ Dataset make_synthetic(std::size_t rows, std::uint64_t seed) {
   std::vector<std::string> names;
   names.reserve(kFeatures);
   for (std::size_t f = 0; f < kFeatures; ++f) {
-    names.push_back("f" + std::to_string(f));
+    std::string name = "f";
+    name += std::to_string(f);
+    names.push_back(std::move(name));
   }
   Dataset data(std::move(names), 3);
   Rng rng(seed);

@@ -36,7 +36,6 @@ void BM_TlsFeatureExtraction(benchmark::State& state) {
 BENCHMARK(BM_TlsFeatureExtraction);
 
 void BM_PacketFeatureExtraction(benchmark::State& state) {
-  const auto& ds = sample_sessions();
   // Pre-generate packet logs so the benchmark isolates extraction cost.
   static const std::vector<trace::PacketLog> logs = [] {
     std::vector<trace::PacketLog> out;

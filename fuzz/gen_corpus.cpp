@@ -1,0 +1,191 @@
+// Seed-corpus generator: every seed comes from the repo's own writers, so
+// the fuzzers start from inputs that take the deep accept paths instead of
+// spending their budget rediscovering the file formats byte by byte.
+//
+// Usage: droppkt_gen_corpus <corpus-root>
+// Writes corpus/<target>/seed-* under the given root. The generated files
+// are committed (fuzz/corpus/**) and replayed by both the fuzz smoke job
+// and tests/integration/fuzz_regression_test.cpp.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/feed.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbt.hpp"
+#include "ml/random_forest.hpp"
+#include "trace/records.hpp"
+#include "trace/serialize.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using droppkt::trace::TlsLog;
+using droppkt::trace::TlsTransaction;
+
+void write_seed(const fs::path& dir, const std::string& name,
+                const std::string& bytes) {
+  fs::create_directories(dir);
+  std::ofstream ofs(dir / name, std::ios::binary);
+  ofs.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!ofs) {
+    std::fprintf(stderr, "gen_corpus: failed writing %s\n",
+                 (dir / name).c_str());
+    std::exit(1);
+  }
+}
+
+TlsTransaction txn(double start, double end, double ul, double dl,
+                   std::size_t http, std::string sni) {
+  TlsTransaction t;
+  t.start_s = start;
+  t.end_s = end;
+  t.ul_bytes = ul;
+  t.dl_bytes = dl;
+  t.http_count = http;
+  t.sni = std::move(sni);
+  return t;
+}
+
+droppkt::ml::Dataset tiny_dataset() {
+  droppkt::ml::Dataset data({"rate_mbps", "gap_s", "chunks"}, 2);
+  // A separable toy problem: class 1 iff rate < gap.
+  const double rows[][3] = {{0.4, 2.0, 3.0}, {0.6, 1.8, 4.0}, {0.5, 2.2, 2.0},
+                            {3.0, 0.2, 9.0}, {2.8, 0.4, 8.0}, {3.5, 0.1, 7.0},
+                            {0.7, 1.5, 5.0}, {2.5, 0.3, 6.0}};
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    data.add_row({rows[i][0], rows[i][1], rows[i][2]},
+                 rows[i][0] < rows[i][1] ? 1 : 0);
+  }
+  return data;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root = argv[1];
+
+  // --- tls_binary: output of write_tls_binary -------------------------
+  {
+    const fs::path dir = root / "tls_binary";
+    {
+      std::ostringstream os(std::ios::binary);
+      droppkt::trace::write_tls_binary({}, os);
+      write_seed(dir, "seed-empty.bin", os.str());
+    }
+    TlsLog log;
+    log.push_back(txn(0.0, 1.5, 900.0, 250000.0, 3, "video.example.com"));
+    log.push_back(txn(1.6, 4.25, 1200.5, 1.75e6, 12, "cdn.example.net"));
+    log.push_back(txn(4.3, 4.3, 0.0, 0.0, 0, ""));
+    {
+      std::ostringstream os(std::ios::binary);
+      droppkt::trace::write_tls_binary(log, os);
+      write_seed(dir, "seed-three-records.bin", os.str());
+    }
+    TlsLog weird;
+    weird.push_back(txn(-10.0, 1e9, 0.5, 6.02e23, 1000000,
+                        std::string(300, 'a') + ".example"));
+    {
+      std::ostringstream os(std::ios::binary);
+      droppkt::trace::write_tls_binary(weird, os);
+      write_seed(dir, "seed-extremes.bin", os.str());
+    }
+  }
+
+  // --- feed_line: output of write_feed --------------------------------
+  {
+    const fs::path dir = root / "feed_line";
+    droppkt::engine::Feed feed;
+    feed.push_back({"client-a", txn(0.0, 2.0, 800.0, 1.2e6, 4,
+                                    "video.example.com")});
+    feed.push_back({"client-b", txn(0.5, 3.75, 950.25, 2.5e6, 7, "")});
+    feed.push_back({"client-a", txn(240.0, 241.5, 400.0, 9.0e5, 2,
+                                    "cdn.example.net")});
+    std::ostringstream os;
+    droppkt::engine::write_feed(feed, os);
+    write_seed(dir, "seed-feed.txt", os.str());
+    std::ostringstream one;
+    droppkt::engine::write_feed_line(feed[0], one);
+    write_seed(dir, "seed-one-line.txt", one.str());
+    write_seed(dir, "seed-extreme-numbers.txt",
+               "c\t-1e308\t1e308\t0\t1.7976931348623157e308\t"
+               "18446744073709551615\tsni\n");
+  }
+
+  // --- csv: output of CsvTable::write and write_tls_csv ----------------
+  {
+    const fs::path dir = root / "csv";
+    {
+      droppkt::util::CsvTable table({"name", "value", "note"});
+      table.add_row({"plain", "1.25", "no quoting"});
+      table.add_row({"comma", "2", "a,b"});
+      table.add_row({"quote", "3", "say \"hi\""});
+      table.add_row({"newline", "4", "line1\nline2"});
+      table.add_row({"", "-0.0", ""});
+      std::ostringstream os;
+      table.write(os);
+      write_seed(dir, "seed-quoting.csv", os.str());
+    }
+    {
+      TlsLog log;
+      log.push_back(txn(0.0, 1.0, 100.0, 5.0e5, 2, "video.example.com"));
+      log.push_back(txn(1.5, 2.0, 200.0, 7.5e5, 3, "a,b\"c"));
+      std::ostringstream os;
+      droppkt::trace::write_tls_csv(log, os);
+      write_seed(dir, "seed-tls-log.csv", os.str());
+    }
+    write_seed(dir, "seed-header-only.csv", "alpha,beta\n");
+  }
+
+  // --- model: saved DecisionTree, RandomForest, GradientBoosting -------
+  {
+    const fs::path dir = root / "model";
+    const droppkt::ml::Dataset data = tiny_dataset();
+    {
+      droppkt::ml::DecisionTreeParams p;
+      p.max_depth = 3;
+      droppkt::ml::DecisionTree tree(p);
+      tree.fit(data);
+      std::ostringstream os;
+      tree.save(os);
+      write_seed(dir, "seed-tree.txt", os.str());
+    }
+    {
+      droppkt::ml::RandomForestParams p;
+      p.num_trees = 3;
+      p.max_depth = 3;
+      p.num_threads = 1;
+      droppkt::ml::RandomForest forest(p);
+      forest.fit(data);
+      std::ostringstream os;
+      forest.save(os);
+      write_seed(dir, "seed-forest.txt", os.str());
+    }
+    {
+      droppkt::ml::GradientBoostingParams p;
+      p.num_rounds = 4;
+      p.max_depth = 2;
+      p.min_samples_leaf = 1;
+      p.subsample = 1.0;
+      droppkt::ml::GradientBoosting gbt(p);
+      gbt.fit(data);
+      std::ostringstream os;
+      gbt.save(os);
+      write_seed(dir, "seed-gbt.txt", os.str());
+    }
+  }
+
+  std::printf("gen_corpus: seeds written under %s\n", root.c_str());
+  return 0;
+}

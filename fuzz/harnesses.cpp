@@ -1,0 +1,188 @@
+#include "harnesses.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/feed.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbt.hpp"
+#include "ml/random_forest.hpp"
+#include "trace/serialize.hpp"
+#include "util/csv.hpp"
+#include "util/expect.hpp"
+
+namespace droppkt::fuzz {
+
+namespace {
+
+[[noreturn]] void harness_fail(const char* harness, const char* what) {
+  std::fprintf(stderr, "fuzz harness %s: %s\n", harness, what);
+  std::abort();
+}
+
+std::string as_text(const std::uint8_t* data, std::size_t size) {
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+bool txn_equal(const trace::TlsTransaction& a, const trace::TlsTransaction& b) {
+  return a.start_s == b.start_s && a.end_s == b.end_s &&
+         a.ul_bytes == b.ul_bytes && a.dl_bytes == b.dl_bytes &&
+         a.http_count == b.http_count && a.sni == b.sni;
+}
+
+}  // namespace
+
+int one_tls_binary(const std::uint8_t* data, std::size_t size) {
+  trace::TlsLog log;
+  try {
+    log = trace::read_tls_binary(std::span<const std::uint8_t>(data, size));
+  } catch (const ParseError&) {
+    return 0;  // rejected cleanly — the expected outcome for random bytes
+  }
+  // Anything the reader accepted must re-serialize and re-parse to the
+  // same log: the round-trip invariant the CSV path cannot offer.
+  const auto bytes = trace::tls_binary_bytes(log);
+  trace::TlsLog back;
+  try {
+    back = trace::read_tls_binary(std::span<const std::uint8_t>(bytes));
+  } catch (const ParseError&) {
+    harness_fail("tls_binary", "writer output rejected by the reader");
+  }
+  if (back.size() != log.size()) {
+    harness_fail("tls_binary", "round-trip changed the record count");
+  }
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (!txn_equal(log[i], back[i])) {
+      harness_fail("tls_binary", "round-trip changed a record");
+    }
+  }
+  return 0;
+}
+
+int one_feed_line(const std::uint8_t* data, std::size_t size) {
+  std::istringstream is(as_text(data, size));
+  std::string line;
+  while (std::getline(is, line)) {
+    engine::FeedRecord rec;
+    try {
+      rec = engine::parse_feed_line(line);
+    } catch (const ParseError&) {
+      continue;
+    }
+    std::ostringstream os;
+    engine::write_feed_line(rec, os);
+    std::string written = os.str();
+    written.pop_back();  // trailing '\n'
+    engine::FeedRecord back;
+    try {
+      back = engine::parse_feed_line(written);
+    } catch (const ParseError&) {
+      harness_fail("feed_line", "writer output rejected by the parser");
+    }
+    if (back.client != rec.client || !txn_equal(back.txn, rec.txn)) {
+      harness_fail("feed_line", "round-trip changed the record");
+    }
+  }
+  return 0;
+}
+
+int one_csv(const std::uint8_t* data, std::size_t size) {
+  util::CsvTable table;
+  {
+    std::istringstream is(as_text(data, size));
+    try {
+      table = util::CsvTable::read(is);
+    } catch (const ParseError&) {
+      return 0;
+    }
+  }
+  // Accessors over the whole accepted table must stay in bounds.
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t c = 0; c < table.num_cols(); ++c) {
+      (void)table.at(r, c);
+      try {
+        (void)table.at_double(r, c);
+      } catch (const ContractViolation&) {
+        // non-numeric cell: a typed error, not a crash
+      }
+    }
+  }
+  // Write + re-read must reproduce the table exactly.
+  std::ostringstream os;
+  table.write(os);
+  std::istringstream back_in(os.str());
+  util::CsvTable back;
+  try {
+    back = util::CsvTable::read(back_in);
+  } catch (const ParseError&) {
+    harness_fail("csv", "writer output rejected by the reader");
+  }
+  if (back.header() != table.header() || back.num_rows() != table.num_rows()) {
+    harness_fail("csv", "round-trip changed the table shape");
+  }
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    if (back.row(r) != table.row(r)) {
+      harness_fail("csv", "round-trip changed a row");
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+void exercise_tree(const ml::DecisionTree& tree) {
+  const std::vector<double> mid(tree.num_features(), 0.5);
+  const std::vector<double> lo(tree.num_features(), -1e308);
+  const int p1 = tree.predict(mid);
+  (void)tree.predict(lo);
+  (void)tree.predict_proba(mid);
+  (void)tree.depth();
+  // A loaded tree must survive save + reload with identical predictions.
+  std::stringstream ss;
+  tree.save(ss);
+  const ml::DecisionTree back = ml::DecisionTree::load(ss);
+  if (back.predict(mid) != p1 || back.node_count() != tree.node_count()) {
+    harness_fail("model", "tree save/load round-trip diverged");
+  }
+}
+
+}  // namespace
+
+int one_model(const std::uint8_t* data, std::size_t size) {
+  const std::string text = as_text(data, size);
+  {
+    std::istringstream is(text);
+    try {
+      const ml::DecisionTree tree = ml::DecisionTree::load(is);
+      exercise_tree(tree);
+    } catch (const ParseError&) {
+    }
+  }
+  {
+    std::istringstream is(text);
+    try {
+      const ml::RandomForest forest = ml::RandomForest::load(is);
+      const std::vector<double> mid(forest.num_features(), 0.5);
+      (void)forest.predict(mid);
+      (void)forest.predict_proba(mid);
+    } catch (const ParseError&) {
+    }
+  }
+  {
+    std::istringstream is(text);
+    try {
+      const ml::GradientBoosting gbt = ml::GradientBoosting::load(is);
+      const std::vector<double> mid(gbt.num_features(), 0.5);
+      (void)gbt.predict(mid);
+      (void)gbt.predict_proba(mid);
+    } catch (const ParseError&) {
+    }
+  }
+  return 0;
+}
+
+}  // namespace droppkt::fuzz

@@ -1,0 +1,35 @@
+// One-input entry points for the four untrusted-input decoders.
+//
+// Each function is the body of a libFuzzer target (fuzz_<name>.cpp wraps
+// it in LLVMFuzzerTestOneInput) and is also linked into
+// tests/integration/fuzz_regression_test.cpp, which replays the checked-in
+// corpus and every committed crash regression through the exact harness
+// code. Contract: a harness returns 0 for any input — decoders may reject
+// bytes with droppkt::ParseError / droppkt::ContractViolation, but must
+// never crash, corrupt memory, loop forever, or break round-trip
+// invariants (a harness calls std::abort on those, which the fuzzer and
+// the sanitizers report).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace droppkt::fuzz {
+
+/// Binary TLS record stream: parse, re-serialize, re-parse, compare.
+int one_tls_binary(const std::uint8_t* data, std::size_t size);
+
+/// Proxy feed text lines: parse each line; successful parses must
+/// round-trip bit-exactly through write_feed_line.
+int one_feed_line(const std::uint8_t* data, std::size_t size);
+
+/// CSV table: parse; exercise accessors; successful parses must survive
+/// write + re-read with identical header and rows.
+int one_csv(const std::uint8_t* data, std::size_t size);
+
+/// Model deserialization: the same bytes are offered to DecisionTree,
+/// RandomForest and GradientBoosting load; anything accepted must predict
+/// without crashing and survive a save/load round-trip.
+int one_model(const std::uint8_t* data, std::size_t size);
+
+}  // namespace droppkt::fuzz

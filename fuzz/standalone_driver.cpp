@@ -1,0 +1,216 @@
+// Fallback fuzzing driver for toolchains without libFuzzer (GCC).
+//
+// Linked into each fuzz target when the compiler is not Clang. Replays
+// every file passed on the command line (and every regular file inside any
+// directory argument), then — unless -runs=0 — keeps mutating the corpus
+// with a deterministic xorshift PRNG until -max_total_time or -runs is
+// exhausted. Understands the subset of libFuzzer flags our CI invokes, so
+// the same command line works under both drivers. A crashing input is
+// written to crash-<n> in the working directory before the signal brings
+// the process down, same contract as libFuzzer.
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// The input currently being executed; dumped from the crash handler.
+std::vector<std::uint8_t> g_current;
+std::uint64_t g_executions = 0;
+
+void dump_current_input() {
+  static const char* const kName = "crash-input";
+  std::FILE* f = std::fopen(kName, "wb");
+  if (f != nullptr) {
+    if (!g_current.empty()) {
+      std::fwrite(g_current.data(), 1, g_current.size(), f);
+    }
+    std::fclose(f);
+    std::fprintf(stderr,
+                 "standalone_driver: crashing input (%zu bytes) written to %s "
+                 "after %llu executions\n",
+                 g_current.size(), kName,
+                 static_cast<unsigned long long>(g_executions));
+  }
+}
+
+[[noreturn]] void crash_handler(int sig) {
+  dump_current_input();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+  std::_Exit(128 + sig);
+}
+
+void run_one(const std::uint8_t* data, std::size_t size) {
+  g_current.assign(data, data + size);
+  ++g_executions;
+  (void)LLVMFuzzerTestOneInput(data, size);
+}
+
+/// xorshift64* — deterministic across platforms, no <random> needed.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1DULL;
+  }
+  std::size_t below(std::size_t n) {
+    return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+  }
+};
+
+void mutate(std::vector<std::uint8_t>& buf, Rng& rng, std::size_t max_len) {
+  const std::size_t kind = rng.below(5);
+  switch (kind) {
+    case 0:  // flip bits
+      if (!buf.empty()) {
+        for (std::size_t k = rng.below(4) + 1; k-- > 0;) {
+          buf[rng.below(buf.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+      }
+      break;
+    case 1:  // overwrite with a random byte
+      if (!buf.empty()) {
+        buf[rng.below(buf.size())] = static_cast<std::uint8_t>(rng.next());
+      }
+      break;
+    case 2:  // insert a short random chunk
+      if (buf.size() < max_len) {
+        const std::size_t count =
+            std::min<std::size_t>(rng.below(8) + 1, max_len - buf.size());
+        const std::size_t at = rng.below(buf.size() + 1);
+        std::vector<std::uint8_t> chunk(count);
+        for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next());
+        buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(at),
+                   chunk.begin(), chunk.end());
+      }
+      break;
+    case 3:  // erase a chunk
+      if (!buf.empty()) {
+        const std::size_t at = rng.below(buf.size());
+        const std::size_t count =
+            std::min(rng.below(8) + 1, buf.size() - at);
+        buf.erase(buf.begin() + static_cast<std::ptrdiff_t>(at),
+                  buf.begin() + static_cast<std::ptrdiff_t>(at + count));
+      }
+      break;
+    default:  // splice in an interesting integer
+      if (buf.size() >= 4) {
+        static const std::uint32_t kInteresting[] = {
+            0,          1,          0x7F,       0xFF,       0x100,
+            0x7FFF,     0xFFFF,     0x10000,    0x7FFFFFFF, 0xFFFFFFFF};
+        const std::uint32_t v =
+            kInteresting[rng.below(std::size(kInteresting))];
+        std::memcpy(buf.data() + rng.below(buf.size() - 3), &v, 4);
+      }
+      break;
+  }
+  if (buf.size() > max_len) buf.resize(max_len);
+}
+
+bool read_file(const fs::path& path, std::vector<std::uint8_t>& out) {
+  std::ifstream ifs(path, std::ios::binary);
+  if (!ifs) return false;
+  out.assign(std::istreambuf_iterator<char>(ifs),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGABRT, crash_handler);
+  std::signal(SIGSEGV, crash_handler);
+  std::signal(SIGBUS, crash_handler);
+  std::signal(SIGFPE, crash_handler);
+  std::signal(SIGILL, crash_handler);
+
+  long max_total_time = 0;  // seconds; 0 = no time budget
+  long long runs = -1;      // mutation executions; -1 = unlimited, 0 = replay only
+  std::uint64_t seed = 1;
+  std::size_t max_len = 1 << 20;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::atol(arg.c_str() + 16);
+    } else if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::atoll(arg.c_str() + 6);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 6));
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = static_cast<std::size_t>(std::atoll(arg.c_str() + 9));
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Ignore other libFuzzer flags (-rss_limit_mb, -print_final_stats, …)
+      // so shared CI command lines don't need driver-specific branches.
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+
+  // Phase 1: replay the corpus (files and directories, recursively).
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (const auto& in : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(in, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(in)) {
+        if (!entry.is_regular_file()) continue;
+        std::vector<std::uint8_t> bytes;
+        if (read_file(entry.path(), bytes)) corpus.push_back(std::move(bytes));
+      }
+    } else {
+      std::vector<std::uint8_t> bytes;
+      if (!read_file(in, bytes)) {
+        std::fprintf(stderr, "standalone_driver: cannot read %s\n",
+                     in.c_str());
+        return 2;
+      }
+      corpus.push_back(std::move(bytes));
+    }
+  }
+  for (const auto& bytes : corpus) run_one(bytes.data(), bytes.size());
+  std::fprintf(stderr, "standalone_driver: replayed %zu corpus inputs\n",
+               corpus.size());
+  if (runs == 0) return 0;
+
+  // Phase 2: mutate. Seeds come from the corpus; with no corpus we grow
+  // inputs from scratch.
+  if (corpus.empty()) corpus.push_back({});
+  Rng rng{seed ? seed : 1};
+  const std::time_t deadline =
+      max_total_time > 0 ? std::time(nullptr) + max_total_time : 0;
+  long long executed = 0;
+  std::vector<std::uint8_t> buf;
+  while (true) {
+    if (runs > 0 && executed >= runs) break;
+    if (deadline != 0 && std::time(nullptr) >= deadline) break;
+    if (deadline == 0 && runs < 0) break;  // no budget given: replay only
+    buf = corpus[rng.below(corpus.size())];
+    const std::size_t rounds = rng.below(4) + 1;
+    for (std::size_t k = 0; k < rounds; ++k) mutate(buf, rng, max_len);
+    run_one(buf.data(), buf.size());
+    ++executed;
+  }
+  std::fprintf(stderr,
+               "standalone_driver: done, %lld mutated executions (seed %llu)\n",
+               executed, static_cast<unsigned long long>(seed));
+  return 0;
+}

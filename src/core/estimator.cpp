@@ -119,18 +119,24 @@ QoeEstimator QoeEstimator::load_file(const std::string& path) {
   if (!ifs) throw std::runtime_error("QoeEstimator: cannot open " + path);
   std::string header;
   std::getline(ifs, header);
-  DROPPKT_EXPECT(header == "droppkt-estimator v1",
-                 "QoeEstimator::load: unrecognized header '" + header + "'");
+  if (header != "droppkt-estimator v1") {
+    throw ParseError("QoeEstimator::load: unrecognized header '" + header +
+                     "'");
+  }
   int target = 0;
   std::size_t n_intervals = 0;
   ifs >> target >> n_intervals;
-  DROPPKT_EXPECT(ifs.good() && target >= 0 && target <= 2 &&
-                     n_intervals >= 1 && n_intervals <= 1000,
-                 "QoeEstimator::load: malformed config");
+  if (!ifs.good() || target < 0 || target > 2 || n_intervals < 1 ||
+      n_intervals > 1000) {
+    throw ParseError("QoeEstimator::load: malformed config");
+  }
   Config config;
   config.target = static_cast<QoeTarget>(target);
   config.features.interval_ends_s.resize(n_intervals);
   for (auto& end : config.features.interval_ends_s) ifs >> end;
+  if (ifs.fail()) {
+    throw ParseError("QoeEstimator::load: truncated interval list");
+  }
   ifs.ignore(1, '\n');
 
   QoeEstimator estimator(config);

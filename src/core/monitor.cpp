@@ -49,6 +49,12 @@ void StreamingMonitor::observe(const std::string& client,
 
   state.pending.push_back(txn);
   state.last_start_s = txn.start_s;
+  // Per-record hot path, so debug-only: the buffered window must stay
+  // start-ordered or the boundary heuristic below silently misfires.
+  DROPPKT_ASSERT(state.pending.size() < 2 ||
+                     state.pending[state.pending.size() - 2].start_s <=
+                         txn.start_s,
+                 "StreamingMonitor: pending window lost start order");
 
   // Online boundary detection: re-run the burst+fresh-server heuristic on
   // the buffered window. A boundary at index k becomes detectable once its

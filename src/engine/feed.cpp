@@ -1,8 +1,15 @@
 #include "engine/feed.hpp"
 
 #include <algorithm>
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
 
 #include "core/dataset_builder.hpp"
+#include "util/expect.hpp"
 #include "util/rng.hpp"
 
 namespace droppkt::engine {
@@ -12,6 +19,120 @@ void sort_feed(Feed& feed) {
                    [](const FeedRecord& a, const FeedRecord& b) {
                      return a.txn.start_s < b.txn.start_s;
                    });
+}
+
+namespace {
+
+// A proxy export line is a few hundred bytes; a megabyte "line" is either
+// corruption or hostile input, and capping it bounds parser allocations.
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+constexpr std::size_t kMaxFieldBytes = 64 * 1024;
+
+[[noreturn]] void feed_fail(const std::string& what) {
+  throw ParseError("parse_feed_line: " + what);
+}
+
+double parse_finite(std::string_view field, const char* what) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(field.data(),
+                                         field.data() + field.size(), v);
+  if (ec != std::errc() || ptr != field.data() + field.size() ||
+      !std::isfinite(v)) {
+    feed_fail(std::string(what) + " is not a finite number: '" +
+              std::string(field) + "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_count(std::string_view field, const char* what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(field.data(),
+                                         field.data() + field.size(), v);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    feed_fail(std::string(what) + " is not a non-negative integer: '" +
+              std::string(field) + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_feed_line(const FeedRecord& record, std::ostream& os) {
+  DROPPKT_EXPECT(
+      record.client.find_first_of("\t\n\r") == std::string::npos &&
+          record.txn.sni.find_first_of("\t\n\r") == std::string::npos,
+      "write_feed_line: client/sni must not contain tab/newline/CR");
+  const auto old_prec =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << record.client << '\t' << record.txn.start_s << '\t' << record.txn.end_s
+     << '\t' << record.txn.ul_bytes << '\t' << record.txn.dl_bytes << '\t'
+     << record.txn.http_count << '\t' << record.txn.sni << '\n';
+  os.precision(old_prec);
+}
+
+void write_feed(const Feed& feed, std::ostream& os) {
+  for (const auto& r : feed) write_feed_line(r, os);
+}
+
+FeedRecord parse_feed_line(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line.size() > kMaxLineBytes) feed_fail("line exceeds the size limit");
+  // After stripping the CRLF terminator no carriage return may remain;
+  // allowing one would make write_feed_line(parse_feed_line(x)) lossy.
+  if (line.find('\r') != std::string_view::npos) {
+    feed_fail("stray carriage return inside line");
+  }
+
+  std::array<std::string_view, 7> fields;
+  std::size_t n_fields = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t');
+    const std::string_view field = line.substr(0, tab);
+    if (n_fields == fields.size()) feed_fail("too many fields");
+    fields[n_fields++] = field;
+    if (tab == std::string_view::npos) break;
+    line.remove_prefix(tab + 1);
+  }
+  if (n_fields != fields.size()) {
+    feed_fail("expected 7 tab-separated fields, got " +
+              std::to_string(n_fields));
+  }
+
+  FeedRecord r;
+  if (fields[0].empty()) feed_fail("empty client id");
+  if (fields[0].size() > kMaxFieldBytes || fields[6].size() > kMaxFieldBytes) {
+    feed_fail("client/sni field exceeds the size limit");
+  }
+  r.client = std::string(fields[0]);
+  r.txn.start_s = parse_finite(fields[1], "start_s");
+  r.txn.end_s = parse_finite(fields[2], "end_s");
+  r.txn.ul_bytes = parse_finite(fields[3], "ul_bytes");
+  r.txn.dl_bytes = parse_finite(fields[4], "dl_bytes");
+  const std::uint64_t http = parse_count(fields[5], "http_count");
+  r.txn.http_count = static_cast<std::size_t>(http);
+  r.txn.sni = std::string(fields[6]);
+  if (r.txn.end_s < r.txn.start_s) feed_fail("transaction end precedes start");
+  if (r.txn.ul_bytes < 0.0 || r.txn.dl_bytes < 0.0) {
+    feed_fail("negative byte counts");
+  }
+  return r;
+}
+
+Feed read_feed(std::istream& is) {
+  Feed feed;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    try {
+      feed.push_back(parse_feed_line(line));
+    } catch (const ParseError& e) {
+      throw ParseError("read_feed: line " + std::to_string(line_no) + ": " +
+                       e.what());
+    }
+  }
+  return feed;
 }
 
 Feed simulated_feed(const has::ServiceProfile& svc, std::size_t num_clients,

@@ -5,7 +5,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "has/service_profile.hpp"
@@ -23,6 +25,22 @@ using Feed = std::vector<FeedRecord>;
 
 /// Stable sort by transaction start time (the proxy's export order).
 void sort_feed(Feed& feed);
+
+/// Text wire format for a live proxy feed: one tab-separated line per
+/// record — client, start_s, end_s, ul_bytes, dl_bytes, http_count, sni.
+/// This is what a Squid-style proxy tails into the ingest engine, so the
+/// parser treats every line as untrusted: malformed field counts, bad
+/// numbers, oversized fields, or inverted timestamps raise
+/// droppkt::ParseError (fuzz/fuzz_feed_line.cpp enforces crash-freedom).
+void write_feed_line(const FeedRecord& record, std::ostream& os);
+void write_feed(const Feed& feed, std::ostream& os);
+
+/// Parse one feed line. Throws droppkt::ParseError on malformed input.
+FeedRecord parse_feed_line(std::string_view line);
+
+/// Parse a whole feed stream (blank lines skipped). Throws ParseError with
+/// the 1-based line number on the first malformed line.
+Feed read_feed(std::istream& is);
 
 /// Simulation-backed feed: `num_clients` subscribers each stream
 /// `sessions_per_client` back-to-back videos of `svc`, with staggered

@@ -332,6 +332,10 @@ const DecisionTree::Node& DecisionTree::descend(
     cur = static_cast<std::size_t>(
         features[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
                                                                      : n.right);
+    // Per-hop on the prediction hot path, so debug-only; load() validates
+    // child indices up front and fit() emits them by construction.
+    DROPPKT_ASSERT(cur < nodes_.size(),
+                   "DecisionTree: descend left the node array");
   }
   return nodes_[cur];
 }
@@ -365,48 +369,75 @@ void DecisionTree::save(std::ostream& os) const {
   }
 }
 
+namespace {
+
+// Deserialization sanity caps — a model file is operator-supplied input,
+// and a claimed dimension past these is hostile or corrupt. Rejecting it
+// before allocating is what turns the fuzzers' "absurd length" crashes
+// (multi-GiB resize from one 16-byte header) into typed errors.
+constexpr std::size_t kMaxLoadClasses = 4096;
+constexpr std::size_t kMaxLoadFeatures = 1 << 20;
+constexpr std::size_t kMaxLoadNodes = 1 << 24;
+
+[[noreturn]] void tree_parse_fail(const std::string& what) {
+  throw ParseError("DecisionTree::load: " + what);
+}
+
+}  // namespace
+
 DecisionTree DecisionTree::load(std::istream& is) {
   std::string tag;
   DecisionTree tree;
   std::size_t node_count = 0;
   is >> tag >> tree.num_classes_ >> tree.num_features_ >> node_count;
-  DROPPKT_EXPECT(is.good() && tag == "tree",
-                 "DecisionTree::load: bad header");
-  DROPPKT_EXPECT(tree.num_classes_ >= 1 && tree.num_features_ >= 1 &&
-                     node_count >= 1,
-                 "DecisionTree::load: implausible dimensions");
-  tree.nodes_.resize(node_count);
-  for (auto& n : tree.nodes_) {
+  if (!is.good() || tag != "tree") tree_parse_fail("bad header");
+  if (tree.num_classes_ < 1 ||
+      static_cast<std::size_t>(tree.num_classes_) > kMaxLoadClasses ||
+      tree.num_features_ < 1 || tree.num_features_ > kMaxLoadFeatures ||
+      node_count < 1 || node_count > kMaxLoadNodes) {
+    tree_parse_fail("implausible dimensions");
+  }
+  // Grow incrementally: a hostile node count can only allocate as many
+  // nodes as the stream actually provides before hitting truncation.
+  tree.nodes_.reserve(std::min<std::size_t>(node_count, 4096));
+  for (std::size_t i = 0; i < node_count; ++i) {
+    Node n;
     std::size_t n_probs = 0;
     is >> n.feature >> n.threshold >> n.left >> n.right >> n.leaf_class >>
         n_probs;
-    DROPPKT_EXPECT(is.good(), "DecisionTree::load: truncated node");
-    DROPPKT_EXPECT(n.feature < static_cast<int>(tree.num_features_),
-                   "DecisionTree::load: feature index out of range");
+    if (!is.good()) tree_parse_fail("truncated node");
+    if (n.feature >= static_cast<int>(tree.num_features_)) {
+      tree_parse_fail("feature index out of range");
+    }
     if (n.feature >= 0) {
-      // Internal node: children in range, no stored distribution.
-      DROPPKT_EXPECT(
-          n.left >= 0 && n.right >= 0 &&
-              n.left < static_cast<std::int32_t>(node_count) &&
-              n.right < static_cast<std::int32_t>(node_count),
-          "DecisionTree::load: child index out of range");
-      DROPPKT_EXPECT(n_probs == 0,
-                     "DecisionTree::load: internal node carries class probs");
+      // Internal node: children must point strictly past this node (the
+      // order save() emits), which both bounds them and proves traversal
+      // terminates — a crafted file cannot smuggle in a cycle.
+      const auto self = static_cast<std::int32_t>(i);
+      if (n.left <= self || n.right <= self ||
+          n.left >= static_cast<std::int32_t>(node_count) ||
+          n.right >= static_cast<std::int32_t>(node_count)) {
+        tree_parse_fail("child indices out of order or out of range");
+      }
+      if (n_probs != 0) tree_parse_fail("internal node carries class probs");
     } else {
       // Leaf: the distribution must cover every class exactly.
-      DROPPKT_EXPECT(n_probs == static_cast<std::size_t>(tree.num_classes_),
-                     "DecisionTree::load: leaf prob count != num_classes");
-      DROPPKT_EXPECT(n.leaf_class >= 0 &&
-                         n.leaf_class < static_cast<std::int32_t>(tree.num_classes_),
-                     "DecisionTree::load: leaf class out of range");
+      if (n_probs != static_cast<std::size_t>(tree.num_classes_)) {
+        tree_parse_fail("leaf prob count != num_classes");
+      }
+      if (n.leaf_class < 0 ||
+          n.leaf_class >= static_cast<std::int32_t>(tree.num_classes_)) {
+        tree_parse_fail("leaf class out of range");
+      }
     }
     n.class_probs.resize(n_probs);
     for (auto& p : n.class_probs) {
       is >> p;
-      DROPPKT_EXPECT(!is.fail(), "DecisionTree::load: truncated class probs");
+      if (is.fail()) tree_parse_fail("truncated class probs");
     }
+    tree.nodes_.push_back(std::move(n));
   }
-  DROPPKT_EXPECT(!is.fail(), "DecisionTree::load: truncated input");
+  if (is.fail()) tree_parse_fail("truncated input");
   tree.importance_.assign(tree.num_features_, 0.0);
   tree.fit_sample_count_ = 0;
   return tree;

@@ -59,6 +59,12 @@ class DecisionTree final : public Classifier {
   std::size_t node_count() const { return nodes_.size(); }
   int depth() const;
 
+  /// Dimensions the tree was fitted (or loaded) with; 0 before either.
+  /// RandomForest::load uses these to reject model files whose trees
+  /// disagree with the forest header.
+  int num_classes() const { return num_classes_; }
+  std::size_t num_features() const { return num_features_; }
+
   /// Serialize the fitted tree (text, line-based). Importances are not
   /// persisted — a loaded tree predicts but reports no importances.
   void save(std::ostream& os) const;

@@ -70,6 +70,7 @@ class RandomForest final : public Classifier {
 
   std::size_t num_trees() const { return trees_.size(); }
   int num_classes() const { return num_classes_; }
+  std::size_t num_features() const { return feature_names_.size(); }
 
   /// Serialize the fitted forest (text format, versioned header). Trained
   /// models can be shipped to monitoring nodes without the training data.

@@ -66,6 +66,10 @@ FlowLog FlowExporter::export_flows(
 
     FlowRecord& rec = it->second.rec;
     rec.last_s = p.ts_s;
+    // Per-packet, so debug-only: with sorted input the open record's
+    // window can never invert.
+    DROPPKT_ASSERT(rec.first_s <= rec.last_s,
+                   "FlowExporter: open record window inverted");
     if (p.dir == Direction::kUplink) {
       rec.ul_bytes += p.size_bytes;
       rec.ul_packets += 1;

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "util/expect.hpp"
@@ -90,6 +91,13 @@ std::vector<std::string> csv_split_line(const std::string& line) {
 
 void CsvTable::write(std::ostream& os) const {
   auto write_row = [&os](const std::vector<std::string>& row) {
+    // A lone empty field would serialize to a blank line, which read()
+    // skips — quote it so the row survives the round trip (fuzzer-found:
+    // fuzz/regressions/csv/crash-single-empty-field).
+    if (row.size() == 1 && row[0].empty()) {
+      os << "\"\"\n";
+      return;
+    }
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i) os << ',';
       os << csv_escape(row[i]);
@@ -108,20 +116,63 @@ void CsvTable::write_file(const std::string& path) const {
 }
 
 CsvTable CsvTable::read(std::istream& is) {
-  std::string line;
+  // RFC-4180 record framing: records end at a newline *outside* quotes, so
+  // a quoted field may span lines. The previous getline-based reader split
+  // such fields mid-record — the writer escapes embedded newlines, so it
+  // emitted output its own reader rejected (caught by the fuzz round-trip
+  // in fuzz/fuzz_csv.cpp). Structural failures on this untrusted input
+  // raise ParseError with the 1-based record number.
+  const std::string text{std::istreambuf_iterator<char>(is),
+                         std::istreambuf_iterator<char>()};
   CsvTable table;
   bool have_header = false;
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
+  std::size_t record_no = 0;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    bool in_quotes = false;
+    std::size_t j = i;
+    for (; j < n; ++j) {
+      const char c = text[j];
+      if (in_quotes) {
+        if (c == '"') {
+          if (j + 1 < n && text[j + 1] == '"') {
+            ++j;  // escaped quote
+          } else {
+            in_quotes = false;
+          }
+        }
+      } else if (c == '"') {
+        in_quotes = true;
+      } else if (c == '\n') {
+        break;
+      }
+    }
+    if (in_quotes) {
+      throw ParseError("CsvTable::read: unterminated quoted field in record " +
+                       std::to_string(record_no + 1));
+    }
+    const std::string line = text.substr(i, j - i);
+    i = j + 1;  // past the newline (or past the end)
+    if (line.empty() || line == "\r") continue;
+    ++record_no;
     auto fields = csv_split_line(line);
     if (!have_header) {
       table.header_ = std::move(fields);
       have_header = true;
     } else {
-      table.add_row(std::move(fields));
+      if (fields.size() != table.header_.size()) {
+        throw ParseError("CsvTable::read: record " + std::to_string(record_no) +
+                         " has " + std::to_string(fields.size()) +
+                         " fields, header has " +
+                         std::to_string(table.header_.size()));
+      }
+      table.rows_.push_back(std::move(fields));
     }
   }
-  DROPPKT_EXPECT(have_header, "CsvTable::read: input had no header row");
+  if (!have_header) {
+    throw ParseError("CsvTable::read: input had no header row");
+  }
   return table;
 }
 

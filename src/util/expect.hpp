@@ -17,6 +17,16 @@ class ContractViolation : public std::logic_error {
   explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Thrown when untrusted external input (a serialized record stream, a feed
+/// line, a model file) fails validation. Distinct from ContractViolation so
+/// callers can tell "bad bytes off the wire" from "bug in this program":
+/// decoders reject attacker-controllable input with ParseError and never
+/// crash, leak, or loop on it — that property is what fuzz/ exercises.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void contract_fail(const char* kind, const char* expr,
                                        const char* file, int line,
@@ -45,3 +55,20 @@ namespace detail {
       ::droppkt::detail::contract_fail("invariant", #cond, __FILE__, __LINE__,  \
                                        (msg));                                  \
   } while (false)
+
+/// Debug-only invariant check for hot per-packet / per-node paths where an
+/// always-on throwing check would be measurable. Compiled out in Release
+/// (NDEBUG) builds; sanitizer and Debug CI builds keep it armed, so the
+/// fuzzers and the ASan/UBSan matrix still see violations.
+#ifdef NDEBUG
+#define DROPPKT_ASSERT(cond, msg) \
+  do {                            \
+  } while (false)
+#else
+#define DROPPKT_ASSERT(cond, msg)                                               \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::droppkt::detail::contract_fail("debug invariant", #cond, __FILE__,      \
+                                       __LINE__, (msg));                        \
+  } while (false)
+#endif

@@ -68,6 +68,10 @@ class SpscQueue {
       }
     }
     const std::size_t depth = size();
+    // Per-push, so debug-only: a depth past capacity means the ring's
+    // sequence bookkeeping corrupted (double-produce or a stomped slot).
+    DROPPKT_ASSERT(depth <= capacity(),
+                   "SpscQueue: occupancy exceeds capacity");
     if (depth > high_water_.load(std::memory_order_relaxed)) {
       high_water_.store(depth, std::memory_order_relaxed);
     }

@@ -85,7 +85,7 @@ TEST(EstimatorPersistence, GarbageFileThrows) {
     std::fputs("definitely not a model\n1 2 3\n", f);
     std::fclose(f);
   }
-  EXPECT_THROW(QoeEstimator::load_file(path), droppkt::ContractViolation);
+  EXPECT_THROW(QoeEstimator::load_file(path), droppkt::ParseError);
   std::remove(path.c_str());
 }
 

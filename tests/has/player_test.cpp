@@ -93,7 +93,9 @@ TEST(Player, StallsAreDisjointAndOrdered) {
   const auto& stalls = r.ground_truth.stalls;
   for (std::size_t i = 0; i < stalls.size(); ++i) {
     EXPECT_LT(stalls[i].start_s, stalls[i].end_s);
-    if (i > 0) EXPECT_GE(stalls[i].start_s, stalls[i - 1].end_s - 1e-9);
+    if (i > 0) {
+      EXPECT_GE(stalls[i].start_s, stalls[i - 1].end_s - 1e-9);
+    }
   }
 }
 
@@ -113,13 +115,15 @@ TEST(Player, HttpLogSortedAndWellFormed) {
     EXPECT_LE(t.response_start_s, t.response_end_s + 1e-9);
     EXPECT_GE(t.ul_bytes, 0.0);
     EXPECT_GE(t.dl_bytes, 0.0);
-    if (i > 0) EXPECT_GE(t.request_s, r.http[i - 1].request_s);
+    if (i > 0) {
+      EXPECT_GE(t.request_s, r.http[i - 1].request_s);
+    }
   }
 }
 
 TEST(Player, HttpLogContainsAllKinds) {
   const auto r = run(svc1_profile(), 4000.0, 200.0, 6);
-  bool has[5] = {false, false, false, false, false};
+  bool has[static_cast<int>(HttpKind::kAsset) + 1] = {};
   for (const auto& t : r.http) has[static_cast<int>(t.kind)] = true;
   EXPECT_TRUE(has[static_cast<int>(HttpKind::kManifest)]);
   EXPECT_TRUE(has[static_cast<int>(HttpKind::kInitSegment)]);

@@ -219,8 +219,11 @@ TEST(IngestEngine, WatermarkEvictsIdleClientOnQuietShard) {
   }
   // Background clients carry feed time far past the idle timeout.
   for (int i = 0; i < 200; ++i) {
-    eng.ingest("busy-" + std::to_string(i % 5),
-               make_txn(10.0 + i * 2.0, "b" + std::to_string(i % 3)));
+    std::string client = "busy-";
+    client += std::to_string(i % 5);
+    std::string sni = "b";
+    sni += std::to_string(i % 3);
+    eng.ingest(client, make_txn(10.0 + i * 2.0, sni));
   }
   // The eviction is asynchronous; poll briefly rather than calling
   // finish(), which would flush everything anyway.

@@ -83,7 +83,9 @@ TEST_P(CrossModuleProperty, WindowStallLabelsTrackGroundTruthTotals) {
     // never misses more than the sub-threshold slivers.
     EXPECT_GE(labelled + 1.0,
               truth - cfg.window_s * (s.record.ground_truth.stalls.size() + 1));
-    if (truth == 0.0) EXPECT_EQ(labelled, 0.0);
+    if (truth == 0.0) {
+      EXPECT_EQ(labelled, 0.0);
+    }
   }
 }
 

@@ -1,0 +1,197 @@
+// Regression tests for the hostile-model-file classes the fuzzers hit:
+// absurd dimensions (allocation bombs), crafted child indices (infinite
+// predict loops), and forest/tree dimension mismatches (heap overflow in
+// predict_proba_row). Every case must be a typed ParseError, not a crash.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbt.hpp"
+#include "ml/random_forest.hpp"
+#include "util/expect.hpp"
+
+namespace droppkt::ml {
+namespace {
+
+Dataset tiny_dataset() {
+  Dataset data({"a", "b"}, 2);
+  data.add_row({0.0, 1.0}, 0);
+  data.add_row({0.2, 0.9}, 0);
+  data.add_row({0.9, 0.1}, 1);
+  data.add_row({1.0, 0.0}, 1);
+  data.add_row({0.1, 0.8}, 0);
+  data.add_row({0.8, 0.2}, 1);
+  return data;
+}
+
+TEST(TreeLoadHardening, RejectsHugeNodeCountBeforeAllocating) {
+  // fuzz/regressions/model/crash-huge-nodes.txt: the header alone used to
+  // drive nodes_.resize(1e18).
+  std::istringstream is("tree 2 3 999999999999999999\n");
+  EXPECT_THROW(DecisionTree::load(is), ParseError);
+}
+
+TEST(TreeLoadHardening, RejectsHugeClassAndFeatureCounts) {
+  {
+    std::istringstream is("tree 99999999 3 1\n-1 0 -1 -1 0 2 1 0\n");
+    EXPECT_THROW(DecisionTree::load(is), ParseError);
+  }
+  {
+    std::istringstream is("tree 2 99999999 1\n-1 0 -1 -1 0 2 1 0\n");
+    EXPECT_THROW(DecisionTree::load(is), ParseError);
+  }
+}
+
+TEST(TreeLoadHardening, RejectsSelfReferentialChild) {
+  // fuzz/regressions/model/crash-tree-cycle.txt: node 0's left child is
+  // node 0 — pre-fix, descend() span forever. Children must be strictly
+  // greater than their parent (the order save() emits).
+  std::istringstream is(
+      "tree 2 3 3\n"
+      "0 0.5 0 2 0 0\n"
+      "-1 0 -1 -1 1 2 0 1\n"
+      "-1 0 -1 -1 0 2 1 0\n");
+  EXPECT_THROW(DecisionTree::load(is), ParseError);
+}
+
+TEST(TreeLoadHardening, RejectsBackwardChild) {
+  std::istringstream is(
+      "tree 2 3 3\n"
+      "-1 0 -1 -1 1 2 0 1\n"
+      "1 0.5 0 2 0 0\n"  // left child points backwards: a cycle
+      "-1 0 -1 -1 0 2 1 0\n");
+  EXPECT_THROW(DecisionTree::load(is), ParseError);
+}
+
+TEST(TreeLoadHardening, RejectsOutOfRangeChild) {
+  std::istringstream is(
+      "tree 2 3 1\n"
+      "0 0.5 5 6 0 0\n");
+  EXPECT_THROW(DecisionTree::load(is), ParseError);
+}
+
+TEST(TreeLoadHardening, RejectsOutOfRangeSplitFeature) {
+  std::istringstream is(
+      "tree 2 3 3\n"
+      "7 0.5 1 2 0 0\n"  // feature 7 of 3
+      "-1 0 -1 -1 1 2 0 1\n"
+      "-1 0 -1 -1 0 2 1 0\n");
+  EXPECT_THROW(DecisionTree::load(is), ParseError);
+}
+
+TEST(ForestLoadHardening, RejectsTreeDisagreeingWithForestHeader) {
+  // fuzz/regressions/model/crash-forest-dim-mismatch.txt: the forest says
+  // 2 classes but its tree says 4 — pre-fix, predict_proba wrote the
+  // tree's 4 probabilities into the forest's 2-slot buffer.
+  std::istringstream is(
+      "droppkt-rf v1\n"
+      "2 3 1\n"
+      "rate_mbps\ngap_s\nchunks\n"
+      "tree 4 3 1\n"
+      "-1 0 -1 -1 0 4 0.25 0.25 0.25 0.25\n");
+  EXPECT_THROW(RandomForest::load(is), ParseError);
+}
+
+TEST(ForestLoadHardening, RejectsTreeWithWrongFeatureCount) {
+  std::istringstream is(
+      "droppkt-rf v1\n"
+      "2 3 1\n"
+      "rate_mbps\ngap_s\nchunks\n"
+      "tree 2 8 1\n"
+      "-1 0 -1 -1 0 2 1 0\n");
+  EXPECT_THROW(RandomForest::load(is), ParseError);
+}
+
+TEST(ForestLoadHardening, RejectsHugeTreeCount) {
+  std::istringstream is(
+      "droppkt-rf v1\n"
+      "2 3 4000000000\n"
+      "rate_mbps\ngap_s\nchunks\n");
+  EXPECT_THROW(RandomForest::load(is), ParseError);
+}
+
+TEST(GbtSerialization, RoundTripPredictsIdentically) {
+  const Dataset data = tiny_dataset();
+  GradientBoostingParams params;
+  params.num_rounds = 6;
+  params.max_depth = 2;
+  params.min_samples_leaf = 1;
+  params.subsample = 1.0;
+  GradientBoosting model(params);
+  model.fit(data);
+
+  std::stringstream ss;
+  model.save(ss);
+  const GradientBoosting back = GradientBoosting::load(ss);
+  EXPECT_EQ(back.num_classes(), model.num_classes());
+  EXPECT_EQ(back.num_features(), model.num_features());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(back.predict(data.row(i)), model.predict(data.row(i)));
+    const auto pa = model.predict_proba(data.row(i));
+    const auto pb = back.predict_proba(data.row(i));
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t c = 0; c < pa.size(); ++c) {
+      EXPECT_NEAR(pa[c], pb[c], 1e-12);
+    }
+  }
+}
+
+TEST(GbtSerialization, UnfittedSaveThrows) {
+  const GradientBoosting model;
+  std::ostringstream os;
+  EXPECT_THROW(model.save(os), ContractViolation);
+}
+
+TEST(GbtLoadHardening, RejectsBadHeader) {
+  std::istringstream is("droppkt-gbt v9\n2 2 0.1\n");
+  EXPECT_THROW(GradientBoosting::load(is), ParseError);
+}
+
+TEST(GbtLoadHardening, RejectsHostileDimensions) {
+  {
+    std::istringstream is("droppkt-gbt v1\n999999 2 0.1\n");
+    EXPECT_THROW(GradientBoosting::load(is), ParseError);
+  }
+  {
+    std::istringstream is("droppkt-gbt v1\n2 999999999 0.1\n");
+    EXPECT_THROW(GradientBoosting::load(is), ParseError);
+  }
+  {
+    std::istringstream is("droppkt-gbt v1\n2 2 nan\n");
+    EXPECT_THROW(GradientBoosting::load(is), ParseError);
+  }
+}
+
+TEST(GbtLoadHardening, RejectsTruncatedEnsemble) {
+  const Dataset data = tiny_dataset();
+  GradientBoostingParams params;
+  params.num_rounds = 4;
+  params.subsample = 1.0;
+  GradientBoosting model(params);
+  model.fit(data);
+  std::ostringstream os;
+  model.save(os);
+  const std::string full = os.str();
+  // Chop the serialized model at a few points; every prefix must be a
+  // typed reject, never a crash or a silently-partial model.
+  for (const double frac : {0.25, 0.5, 0.9}) {
+    std::istringstream is(
+        full.substr(0, static_cast<std::size_t>(frac * full.size())));
+    EXPECT_THROW(GradientBoosting::load(is), ParseError);
+  }
+}
+
+TEST(GbtPredict, RejectsWrongFeatureCount) {
+  const Dataset data = tiny_dataset();
+  GradientBoosting model;
+  model.fit(data);
+  const std::vector<double> wrong(5, 0.0);
+  EXPECT_THROW(model.predict_proba(wrong), ContractViolation);
+}
+
+}  // namespace
+}  // namespace droppkt::ml

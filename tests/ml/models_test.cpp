@@ -97,8 +97,8 @@ INSTANTIATE_TEST_SUITE_P(
                                   std::make_unique<GradientBoosting>()); }},
         ModelCase{"mlp", [] { return std::unique_ptr<Classifier>(
                                   std::make_unique<MlpClassifier>()); }}),
-    [](const ::testing::TestParamInfo<ModelCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<ModelCase>& param_info) {
+      return param_info.param.name;
     });
 
 // ---- Standardizer --------------------------------------------------------

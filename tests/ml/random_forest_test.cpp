@@ -73,7 +73,8 @@ TEST(RandomForest, DifferentSeedsDifferentForests) {
 TEST(RandomForest, ProbaSumsToOneAndArgmaxMatchesPredict) {
   const auto d = make_problem(200, 5);
   RandomForest rf({.num_trees = 30, .max_depth = 24, .min_samples_leaf = 1,
-                   .max_features = 0, .seed = 42});
+                   .max_features = 0, .seed = 42, .class_weights = {},
+                   .num_threads = 0});
   rf.fit(d);
   for (std::size_t i = 0; i < 20; ++i) {
     const auto proba = rf.predict_proba(d.row(i));
@@ -169,7 +170,8 @@ TEST(RandomForest, RefitReplacesModel) {
     d2.add_row({1.0, 1.0, 0.0, 0.0}, 2);
   }
   RandomForest rf({.num_trees = 10, .max_depth = 8, .min_samples_leaf = 1,
-                   .max_features = 0, .seed = 1});
+                   .max_features = 0, .seed = 1, .class_weights = {},
+                   .num_threads = 0});
   rf.fit(d1);
   rf.fit(d2);  // all class 2 now
   EXPECT_EQ(rf.predict(d2.row(0)), 2);

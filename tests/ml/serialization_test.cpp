@@ -43,10 +43,12 @@ TEST(TreeSerialization, UnfittedSaveThrows) {
 }
 
 TEST(TreeSerialization, MalformedInputThrows) {
+  // Malformed model files are untrusted input, not programming errors:
+  // they raise ParseError.
   std::stringstream bad("nottree 3 2 1\n");
-  EXPECT_THROW(DecisionTree::load(bad), droppkt::ContractViolation);
+  EXPECT_THROW(DecisionTree::load(bad), droppkt::ParseError);
   std::stringstream truncated("tree 3 2 5\n0 1.5 1 2 0 0\n");
-  EXPECT_THROW(DecisionTree::load(truncated), droppkt::ContractViolation);
+  EXPECT_THROW(DecisionTree::load(truncated), droppkt::ParseError);
 }
 
 TEST(ForestSerialization, RoundTripStream) {
@@ -74,7 +76,8 @@ TEST(ForestSerialization, RoundTripStream) {
 TEST(ForestSerialization, FeatureNamesSurviveEscaping) {
   const auto d = make_problem(100, 3);
   RandomForest rf({.num_trees = 5, .max_depth = 8, .min_samples_leaf = 1,
-                   .max_features = 0, .seed = 2});
+                   .max_features = 0, .seed = 2, .class_weights = {},
+                   .num_threads = 0});
   rf.fit(d);
   std::stringstream ss;
   rf.save(ss);
@@ -91,7 +94,8 @@ TEST(ForestSerialization, FeatureNamesSurviveEscaping) {
 TEST(ForestSerialization, RoundTripFile) {
   const auto d = make_problem(120, 4);
   RandomForest rf({.num_trees = 8, .max_depth = 10, .min_samples_leaf = 1,
-                   .max_features = 0, .seed = 3});
+                   .max_features = 0, .seed = 3, .class_weights = {},
+                   .num_threads = 0});
   rf.fit(d);
   const std::string path = ::testing::TempDir() + "/droppkt_rf_test.model";
   rf.save_file(path);
@@ -115,7 +119,7 @@ TEST(ForestSerialization, LoadedForestHasNoOob) {
 
 TEST(ForestSerialization, BadHeaderThrows) {
   std::stringstream bad("droppkt-rf v99\n3 2 1\n");
-  EXPECT_THROW(RandomForest::load(bad), droppkt::ContractViolation);
+  EXPECT_THROW(RandomForest::load(bad), droppkt::ParseError);
 }
 
 TEST(ForestSerialization, MissingFileThrows) {

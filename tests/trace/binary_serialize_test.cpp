@@ -1,0 +1,171 @@
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/serialize.hpp"
+#include "util/expect.hpp"
+
+namespace droppkt::trace {
+namespace {
+
+TlsTransaction txn(double start, double end, double ul, double dl,
+                   std::size_t http, std::string sni) {
+  TlsTransaction t;
+  t.start_s = start;
+  t.end_s = end;
+  t.ul_bytes = ul;
+  t.dl_bytes = dl;
+  t.http_count = http;
+  t.sni = std::move(sni);
+  return t;
+}
+
+TlsLog sample_log() {
+  TlsLog log;
+  log.push_back(txn(0.125, 1.5, 900.0, 250000.0, 3, "video.example.com"));
+  log.push_back(txn(1.6, 4.25, 1200.5, 1.75e6, 12, ""));
+  log.push_back(txn(4.3, 4.3, 0.0, 0.0, 0, "a\tb\nc,d\"e"));
+  return log;
+}
+
+void expect_logs_equal(const TlsLog& a, const TlsLog& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start_s, b[i].start_s);
+    EXPECT_EQ(a[i].end_s, b[i].end_s);
+    EXPECT_EQ(a[i].ul_bytes, b[i].ul_bytes);
+    EXPECT_EQ(a[i].dl_bytes, b[i].dl_bytes);
+    EXPECT_EQ(a[i].http_count, b[i].http_count);
+    EXPECT_EQ(a[i].sni, b[i].sni);
+  }
+}
+
+TEST(TlsBinary, RoundTripIsExact) {
+  const TlsLog log = sample_log();
+  const auto bytes = tls_binary_bytes(log);
+  const TlsLog back = read_tls_binary(std::span<const std::uint8_t>(bytes));
+  expect_logs_equal(log, back);
+}
+
+TEST(TlsBinary, RoundTripPreservesFullDoublePrecision) {
+  // Values that a 6-digit text format would mangle; the binary format
+  // must carry them bit-exactly.
+  TlsLog log;
+  log.push_back(txn(0.1 + 0.2, 1.0 / 3.0, 6.02214076e23, 1.7976931348623157e308,
+                    123456789, "x"));
+  const auto bytes = tls_binary_bytes(log);
+  const TlsLog back = read_tls_binary(std::span<const std::uint8_t>(bytes));
+  expect_logs_equal(log, back);
+}
+
+TEST(TlsBinary, EmptyLogRoundTrips) {
+  const auto bytes = tls_binary_bytes({});
+  EXPECT_TRUE(read_tls_binary(std::span<const std::uint8_t>(bytes)).empty());
+}
+
+TEST(TlsBinary, StreamRoundTrip) {
+  const TlsLog log = sample_log();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_tls_binary(log, ss);
+  expect_logs_equal(log, read_tls_binary(ss));
+}
+
+TEST(TlsBinary, RejectsBadMagic) {
+  auto bytes = tls_binary_bytes(sample_log());
+  bytes[0] = 'X';
+  EXPECT_THROW(read_tls_binary(std::span<const std::uint8_t>(bytes)),
+               ParseError);
+}
+
+TEST(TlsBinary, RejectsUnknownVersion) {
+  auto bytes = tls_binary_bytes(sample_log());
+  bytes[4] = 0xEE;
+  EXPECT_THROW(read_tls_binary(std::span<const std::uint8_t>(bytes)),
+               ParseError);
+}
+
+TEST(TlsBinary, RejectsEveryTruncation) {
+  const auto bytes = tls_binary_bytes(sample_log());
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    EXPECT_THROW(
+        read_tls_binary(std::span<const std::uint8_t>(bytes.data(), keep)),
+        ParseError)
+        << "truncation at " << keep << " bytes was accepted";
+  }
+}
+
+TEST(TlsBinary, RejectsTrailingBytes) {
+  auto bytes = tls_binary_bytes(sample_log());
+  bytes.push_back(0);
+  EXPECT_THROW(read_tls_binary(std::span<const std::uint8_t>(bytes)),
+               ParseError);
+}
+
+TEST(TlsBinary, RejectsAbsurdRecordCountBeforeAllocating) {
+  // Fuzzer-found class (fuzz/regressions/tls_binary/crash-huge-count.bin):
+  // a 16-byte input claiming 2^61 records previously reached reserve().
+  std::vector<std::uint8_t> bytes = {'D', 'P', 'T', 'L'};
+  const std::uint32_t version = 1;
+  const std::uint64_t count = std::uint64_t{1} << 61;
+  bytes.resize(4 + sizeof version + sizeof count);
+  std::memcpy(bytes.data() + 4, &version, sizeof version);
+  std::memcpy(bytes.data() + 8, &count, sizeof count);
+  EXPECT_THROW(read_tls_binary(std::span<const std::uint8_t>(bytes)),
+               ParseError);
+}
+
+TEST(TlsBinary, RejectsOversizedSniLength) {
+  // A record whose SNI length field points far past the buffer
+  // (fuzz/regressions/tls_binary/crash-sni-overread.bin).
+  TlsLog log;
+  log.push_back(txn(0.0, 1.0, 10.0, 20.0, 2, "ab"));
+  auto bytes = tls_binary_bytes(log);
+  const std::uint32_t huge = 0xFFFFFFF0u;
+  std::memcpy(bytes.data() + bytes.size() - 2 - 4, &huge, sizeof huge);
+  EXPECT_THROW(read_tls_binary(std::span<const std::uint8_t>(bytes)),
+               ParseError);
+}
+
+TEST(TlsBinary, RejectsInvertedTimes) {
+  TlsLog log;
+  log.push_back(txn(0.0, 1.0, 10.0, 20.0, 1, ""));
+  auto bytes = tls_binary_bytes(log);
+  // start_s is the first field after the 16-byte header; swap it with a
+  // value past end_s.
+  const double late = 99.0;
+  std::memcpy(bytes.data() + 16, &late, sizeof late);
+  EXPECT_THROW(read_tls_binary(std::span<const std::uint8_t>(bytes)),
+               ParseError);
+}
+
+TEST(TlsBinary, RejectsNonFiniteTimesAndNegativeBytes) {
+  TlsLog log;
+  log.push_back(txn(0.0, 1.0, 10.0, 20.0, 1, ""));
+  {
+    auto bytes = tls_binary_bytes(log);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::memcpy(bytes.data() + 16, &nan, sizeof nan);
+    EXPECT_THROW(read_tls_binary(std::span<const std::uint8_t>(bytes)),
+                 ParseError);
+  }
+  {
+    auto bytes = tls_binary_bytes(log);
+    const double neg = -5.0;
+    std::memcpy(bytes.data() + 16 + 16, &neg, sizeof neg);  // ul_bytes
+    EXPECT_THROW(read_tls_binary(std::span<const std::uint8_t>(bytes)),
+                 ParseError);
+  }
+}
+
+TEST(TlsBinaryFile, MissingFileThrows) {
+  EXPECT_THROW(read_tls_binary_file("/nonexistent/droppkt.tlsbin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace droppkt::trace

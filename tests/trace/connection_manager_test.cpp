@@ -96,7 +96,9 @@ TEST(ConnectionManager, TlsLogSortedAndWellFormed) {
     EXPECT_GT(log[i].ul_bytes, 0.0);
     EXPECT_GT(log[i].dl_bytes, 0.0);
     EXPECT_FALSE(log[i].sni.empty());
-    if (i > 0) EXPECT_GE(log[i].start_s, log[i - 1].start_s);
+    if (i > 0) {
+      EXPECT_GE(log[i].start_s, log[i - 1].start_s);
+    }
   }
 }
 

@@ -115,7 +115,9 @@ TEST(PacketGenerator, RetransmissionsArriveLater) {
   const auto log = gen.generate({txn(0.0, 1.0, 500.0, 100e3)}, rng);
   // Every retransmission timestamp exceeds the original window start.
   for (const auto& pk : log) {
-    if (pk.retransmission) EXPECT_GT(pk.ts_s, 0.05);
+    if (pk.retransmission) {
+      EXPECT_GT(pk.ts_s, 0.05);
+    }
   }
 }
 

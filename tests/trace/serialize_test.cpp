@@ -71,12 +71,12 @@ TEST(TlsSerialize, MissingFileThrows) {
 
 TEST(TlsSerialize, EmptyInputThrows) {
   std::stringstream ss("");
-  EXPECT_THROW(read_tls_csv(ss), droppkt::ContractViolation);
+  EXPECT_THROW(read_tls_csv(ss), droppkt::ParseError);
 }
 
 TEST(TlsSerialize, BlankLinesOnlyThrows) {
   std::stringstream ss("\n\n\n");
-  EXPECT_THROW(read_tls_csv(ss), droppkt::ContractViolation);
+  EXPECT_THROW(read_tls_csv(ss), droppkt::ParseError);
 }
 
 TEST(TlsSerialize, HeaderOnlyYieldsEmptyLog) {
@@ -87,7 +87,7 @@ TEST(TlsSerialize, HeaderOnlyYieldsEmptyLog) {
 TEST(TlsSerialize, MalformedRowWidthThrows) {
   // Row has fewer fields than the header.
   std::stringstream ss("start_s,end_s,ul_bytes,dl_bytes,sni\n1,2,3\n");
-  EXPECT_THROW(read_tls_csv(ss), droppkt::ContractViolation);
+  EXPECT_THROW(read_tls_csv(ss), droppkt::ParseError);
 }
 
 TEST(TlsSerialize, NonNumericCellThrows) {

@@ -89,7 +89,7 @@ TEST(CsvTable, OutOfRangeAccess) {
 
 TEST(CsvTable, ReadRequiresHeader) {
   std::stringstream empty;
-  EXPECT_THROW(CsvTable::read(empty), ContractViolation);
+  EXPECT_THROW(CsvTable::read(empty), ParseError);
 }
 
 TEST(CsvTable, SkipsBlankLines) {

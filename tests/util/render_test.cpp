@@ -37,7 +37,9 @@ TEST(TextTable, ColumnsAligned) {
   while (start < out.size()) {
     const auto end = out.find('\n', start);
     const auto len = end - start;
-    if (prev != std::string::npos) EXPECT_EQ(len, prev);
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
     prev = len;
     start = end + 1;
   }

@@ -1,0 +1,214 @@
+// Feature-extraction engine benchmark: the incremental accumulator vs the
+// batch extractor, plus the equivalence gates the refactor rests on.
+//
+// Not a paper figure: every layer that consumes the 38-feature vector —
+// training, batch prediction, the streaming monitor's per-session (and
+// now per-record provisional) classification, the early-detection bench —
+// runs through TlsFeatureAccumulator since the batch extractor became a
+// thin wrapper over it. This bench (a) gates the contracts that make that
+// safe, exactly, with exit status: snapshots are bit-identical to batch
+// extraction for any observation order, and snapshot_at(h) is
+// bit-identical to truncate_tls_log + re-extraction; and (b) measures the
+// payoff: one observe() pass + H snapshot_at() calls vs H rounds of
+// truncate + extract.
+//
+// Usage:
+//   bench_feature_extraction          full run, writes BENCH_features.json
+//   bench_feature_extraction --smoke  small corpus, no JSON — CI runs the
+//                                     equivalence gates under -O2 fast
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/feature_accumulator.hpp"
+#include "core/tls_features.hpp"
+#include "trace/records.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using droppkt::core::TlsFeatureAccumulator;
+using droppkt::core::TlsFeatureConfig;
+using droppkt::util::Rng;
+
+/// Random proxy-shaped TLS log: bursts of overlapping transactions with
+/// heavy-tailed sizes and occasional zero-duration / zero-upload edge
+/// cases, so the gates exercise every special case in the feature math.
+droppkt::trace::TlsLog random_log(Rng& rng, std::size_t n) {
+  droppkt::trace::TlsLog log;
+  log.reserve(n);
+  double t = rng.uniform(0.0, 5.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    droppkt::trace::TlsTransaction x;
+    x.start_s = t;
+    const double dur = rng.uniform01() < 0.05 ? 0.0 : rng.exponential(0.2);
+    x.end_s = x.start_s + dur;
+    x.dl_bytes = rng.uniform01() < 0.03 ? 0.0 : rng.exponential(1e-5);
+    x.ul_bytes = rng.uniform01() < 0.10 ? 0.0 : rng.exponential(1e-3);
+    log.push_back(x);
+    t += rng.exponential(0.5);
+  }
+  return log;
+}
+
+void shuffle_log(droppkt::trace::TlsLog& log, Rng& rng) {
+  for (std::size_t i = log.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, i - 1));
+    std::swap(log[i - 1], log[j]);
+  }
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  // memcmp, not ==: NaN-safe and catches -0.0 vs 0.0 drift.
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace droppkt;
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t n_logs = smoke ? 60 : 400;
+  const std::size_t max_txns = smoke ? 80 : 400;
+
+  std::printf("== feature extraction: incremental accumulator vs batch ==\n");
+
+  TlsFeatureConfig extended;
+  extended.extended_stats = true;
+  TlsFeatureConfig custom;
+  custom.interval_ends_s = {10.0, 45.0, 90.0, 300.0};
+  const TlsFeatureConfig configs[] = {TlsFeatureConfig{}, extended, custom};
+  const char* config_names[] = {"default", "extended_stats", "custom_intervals"};
+  const double horizons[] = {15.0, 30.0, 60.0, 120.0, 240.0};
+  constexpr std::size_t kHorizons = sizeof(horizons) / sizeof(horizons[0]);
+
+  // --- Equivalence gates (exact, byte-for-byte). ---
+  Rng rng(20201204);
+  std::size_t checked = 0, mismatches = 0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    const TlsFeatureConfig& config = configs[c];
+    for (std::size_t i = 0; i < n_logs; ++i) {
+      // Include the empty log as the first case of every config.
+      auto log = random_log(
+          rng, i == 0 ? 0 : 1 + static_cast<std::size_t>(
+                                    rng.uniform_int(0, max_txns - 1)));
+      const auto batch = core::extract_tls_features(log, config);
+
+      // Gate 1: accumulator over a shuffled order == batch over log order.
+      auto shuffled = log;
+      shuffle_log(shuffled, rng);
+      TlsFeatureAccumulator acc(config);
+      for (const auto& t : shuffled) acc.observe(t);
+      ++checked;
+      if (!bitwise_equal(acc.snapshot(), batch)) {
+        ++mismatches;
+        std::printf("MISMATCH [%s] log %zu: shuffled-order snapshot != batch\n",
+                    config_names[c], i);
+      }
+
+      // Gate 2: snapshot_at(h) == truncate + batch re-extraction.
+      if (!log.empty()) {
+        std::vector<double> at(acc.feature_count());
+        for (const double h : horizons) {
+          acc.snapshot_at(h, at);
+          const auto truncated =
+              core::extract_tls_features(core::truncate_tls_log(log, h),
+                                         config);
+          ++checked;
+          if (!bitwise_equal(at, truncated)) {
+            ++mismatches;
+            std::printf(
+                "MISMATCH [%s] log %zu: snapshot_at(%.0f) != truncate+extract\n",
+                config_names[c], i, h);
+          }
+        }
+      }
+    }
+  }
+  std::printf("equivalence gates: %zu comparisons, %zu mismatches — %s\n",
+              checked, mismatches, mismatches == 0 ? "OK" : "FAIL");
+
+  // --- Throughput: early-detection access pattern (H horizon vectors per
+  // session) on a fixed corpus. ---
+  Rng corpus_rng(7);
+  std::vector<trace::TlsLog> corpus;
+  corpus.reserve(n_logs);
+  std::size_t total_txns = 0;
+  for (std::size_t i = 0; i < n_logs; ++i) {
+    corpus.push_back(random_log(
+        corpus_rng,
+        1 + static_cast<std::size_t>(corpus_rng.uniform_int(0, max_txns - 1))));
+    total_txns += corpus.back().size();
+  }
+
+  double sink = 0.0;  // defeat dead-code elimination
+
+  const auto t_batch = std::chrono::steady_clock::now();
+  for (const auto& log : corpus) {
+    for (const double h : horizons) {
+      const auto f = core::extract_tls_features(core::truncate_tls_log(log, h));
+      sink += f[0];
+    }
+    sink += core::extract_tls_features(log)[0];
+  }
+  const double batch_s = seconds_since(t_batch);
+
+  TlsFeatureAccumulator acc;
+  std::vector<double> row(acc.feature_count());
+  const auto t_inc = std::chrono::steady_clock::now();
+  for (const auto& log : corpus) {
+    acc.reset();
+    for (const auto& t : log) acc.observe(t);
+    for (const double h : horizons) {
+      acc.snapshot_at(h, row);
+      sink += row[0];
+    }
+    acc.snapshot_into(row);
+    sink += row[0];
+  }
+  const double incremental_s = seconds_since(t_inc);
+
+  const double per_session = static_cast<double>(kHorizons + 1);
+  const double batch_vecs_s =
+      static_cast<double>(corpus.size()) * per_session / batch_s;
+  const double inc_vecs_s =
+      static_cast<double>(corpus.size()) * per_session / incremental_s;
+  std::printf(
+      "corpus: %zu sessions, %zu transactions, %zu horizon vectors each\n",
+      corpus.size(), total_txns, kHorizons + 1);
+  std::printf("batch (truncate + re-extract): %8.0f feature vectors/s\n",
+              batch_vecs_s);
+  std::printf("incremental (one pass):        %8.0f feature vectors/s\n",
+              inc_vecs_s);
+  std::printf("speedup: %.2fx   (checksum %g)\n", batch_s / incremental_s,
+              sink);
+
+  if (!smoke) {
+    std::ofstream json("BENCH_features.json");
+    json << "{\n  \"bench\": \"feature_extraction\",\n";
+    json << "  \"corpus\": {\"sessions\": " << corpus.size()
+         << ", \"transactions\": " << total_txns
+         << ", \"vectors_per_session\": " << (kHorizons + 1) << "},\n";
+    json << "  \"equivalence\": {\"comparisons\": " << checked
+         << ", \"mismatches\": " << mismatches << "},\n";
+    json << "  \"batch_per_horizon\": {\"seconds\": " << batch_s
+         << ", \"vectors_per_s\": " << batch_vecs_s << "},\n";
+    json << "  \"incremental\": {\"seconds\": " << incremental_s
+         << ", \"vectors_per_s\": " << inc_vecs_s << "},\n";
+    json << "  \"speedup\": " << batch_s / incremental_s << "\n";
+    json << "}\n";
+    std::printf("wrote BENCH_features.json\n");
+  }
+
+  return mismatches == 0 ? 0 : 1;
+}

@@ -34,10 +34,12 @@ int main() {
   engine::EngineConfig ecfg;
   ecfg.num_shards = 4;
   ecfg.monitor.client_idle_timeout_s = 120.0;
+  ecfg.monitor.provisional_every = 16;  // in-flight estimate cadence
   ecfg.watermark_interval_s = 30.0;
 
   std::mutex mu;
   int class_counts[3] = {0, 0, 0};
+  std::atomic<std::size_t> provisional_low{0};
   engine::IngestEngine eng(
       estimator,
       [&](const core::MonitoredSession& s) {
@@ -46,6 +48,12 @@ int main() {
         std::printf("  [%7.1fs] %-10s session ended: %3zu txns, QoE %s\n",
                     s.end_s, s.client.c_str(), s.transactions.size(),
                     estimator.class_name(s.predicted_class).c_str());
+      },
+      [&](const core::ProvisionalEstimate& p) {
+        // Mid-session screening: count clients already looking degraded
+        // before their session closes (an alerting layer would key off
+        // these instead of waiting for the idle timeout).
+        if (p.predicted_class == 0) ++provisional_low;
       },
       ecfg);
 
@@ -60,6 +68,8 @@ int main() {
               true_sessions);
   std::printf("  low: %d   medium: %d   high: %d\n", class_counts[0],
               class_counts[1], class_counts[2]);
+  std::printf("In-flight screening: %zu provisional low-QoE estimates "
+              "surfaced before session close\n", provisional_low.load());
   std::printf("\nSame session set as the single-threaded live_monitor loop —\n"
               "sharding parallelizes the drain without changing results.\n");
   return 0;

@@ -24,8 +24,15 @@ void QoeEstimator::train_raw(
     const std::vector<std::pair<trace::TlsLog, int>>& labelled) {
   DROPPKT_EXPECT(!labelled.empty(), "QoeEstimator: empty training set");
   ml::Dataset data(tls_feature_names(config_.features), kNumQoeClasses);
+  // One accumulator and one row buffer for the whole corpus instead of a
+  // fresh feature vector per session.
+  TlsFeatureAccumulator acc(config_.features);
+  std::vector<double> row(acc.feature_count());
   for (const auto& [log, label] : labelled) {
-    data.add_row(extract_tls_features(log, config_.features), label);
+    acc.reset();
+    for (const auto& t : log) acc.observe(t);
+    acc.snapshot_into(row);
+    data.add_row(std::span<const double>(row), label);
   }
   forest_ = ml::RandomForest(config_.forest);
   forest_.fit(data);
@@ -43,6 +50,27 @@ std::vector<double> QoeEstimator::predict_proba(
   return forest_.predict_proba(extract_tls_features(session, config_.features));
 }
 
+int QoeEstimator::predict_into(std::span<const double> features,
+                               std::span<double> proba_scratch) const {
+  predict_proba_into(features, proba_scratch);
+  return static_cast<int>(
+      std::max_element(proba_scratch.begin(), proba_scratch.end()) -
+      proba_scratch.begin());
+}
+
+void QoeEstimator::predict_proba_into(std::span<const double> features,
+                                      std::span<double> out) const {
+  DROPPKT_EXPECT(trained_, "QoeEstimator: predict before train");
+  forest_.predict_proba_into(features, out);
+}
+
+int QoeEstimator::predict_into(const TlsFeatureAccumulator& acc,
+                               std::span<double> feature_scratch,
+                               std::span<double> proba_scratch) const {
+  acc.snapshot_into(feature_scratch);
+  return predict_into(feature_scratch, proba_scratch);
+}
+
 void QoeEstimator::predict_proba_batch(std::span<const trace::TlsLog> sessions,
                                        std::span<double> out,
                                        std::size_t num_threads) const {
@@ -52,24 +80,34 @@ void QoeEstimator::predict_proba_batch(std::span<const trace::TlsLog> sessions,
   DROPPKT_EXPECT(out.size() == rows * c_count,
                  "QoeEstimator::predict_proba_batch: bad output buffer size");
   if (rows == 0) return;
-  const std::size_t width = tls_feature_names(config_.features).size();
+  const std::size_t width = feature_count();
 
-  // Extract all feature rows into one flat matrix, in parallel.
+  // Extract all feature rows into one flat matrix, in parallel: one
+  // accumulator per contiguous chunk snapshots straight into the matrix
+  // rows — no per-session feature vector.
   std::vector<double> matrix(rows * width);
-  auto extract_row = [&](std::size_t r) {
-    const auto feats = extract_tls_features(sessions[r], config_.features);
-    DROPPKT_ENSURE(feats.size() == width,
-                   "QoeEstimator: feature width drifted from config");
-    std::copy(feats.begin(), feats.end(),
-              matrix.begin() + static_cast<std::ptrdiff_t>(r * width));
+  auto extract_chunk = [&](std::size_t lo, std::size_t hi) {
+    TlsFeatureAccumulator acc(config_.features);
+    for (std::size_t r = lo; r < hi; ++r) {
+      acc.reset();
+      for (const auto& t : sessions[r]) acc.observe(t);
+      acc.snapshot_into(
+          std::span<double>(matrix.data() + r * width, width));
+    }
   };
   const std::size_t threads =
       std::min(util::ThreadPool::resolve_threads(num_threads), rows);
   if (threads <= 1) {
-    for (std::size_t r = 0; r < rows; ++r) extract_row(r);
+    extract_chunk(0, rows);
   } else {
+    const std::size_t base = rows / threads;
+    const std::size_t extra = rows % threads;
     util::ThreadPool pool(threads);
-    pool.parallel_for(0, rows, extract_row);
+    pool.parallel_for(0, threads, [&](std::size_t c) {
+      const std::size_t lo = c * base + std::min(c, extra);
+      const std::size_t hi = lo + base + (c < extra ? 1 : 0);
+      extract_chunk(lo, hi);
+    });
   }
 
   forest_.predict_proba_batch(matrix, out, threads);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/dataset_builder.hpp"
+#include "core/feature_accumulator.hpp"
 #include "core/qoe_labels.hpp"
 #include "core/tls_features.hpp"
 #include "ml/random_forest.hpp"
@@ -47,6 +48,35 @@ class QoeEstimator {
 
   /// Per-class probabilities.
   std::vector<double> predict_proba(const trace::TlsLog& session) const;
+
+  /// Width of the feature vector this estimator consumes.
+  std::size_t feature_count() const {
+    return tls_feature_count(config_.features);
+  }
+
+  /// A fresh accumulator configured to feed this estimator — streaming
+  /// callers hold one per client and snapshot it into the span APIs.
+  TlsFeatureAccumulator make_accumulator() const {
+    return TlsFeatureAccumulator(config_.features);
+  }
+
+  /// Predicted class from an already-extracted feature vector (size
+  /// feature_count()). No allocation beyond the forest's per-row scratch.
+  int predict_into(std::span<const double> features,
+                   std::span<double> proba_scratch) const;
+
+  /// Per-class probabilities from an already-extracted feature vector
+  /// into `out` (size kNumQoeClasses). Zero allocation.
+  void predict_proba_into(std::span<const double> features,
+                          std::span<double> out) const;
+
+  /// Classify an accumulator's live state: snapshot into `feature_scratch`
+  /// (size feature_count()) and vote. The zero-allocation streaming path —
+  /// bit-identical to predict() over the same transactions, mid-session
+  /// or complete.
+  int predict_into(const TlsFeatureAccumulator& acc,
+                   std::span<double> feature_scratch,
+                   std::span<double> proba_scratch) const;
 
   /// Classify many sessions in one pass — the monitoring-node hot path.
   /// Feature extraction and forest voting are spread over `num_threads`

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "core/feature_accumulator.hpp"
 #include "net/link_model.hpp"
 #include "trace/packet_generator.hpp"
 #include "util/expect.hpp"
@@ -12,19 +13,12 @@ namespace droppkt::core {
 namespace {
 
 /// A flow record carries the same (start, end, ul, dl) shape as a TLS
-/// transaction; converting lets the 38-feature extractor run unchanged.
-trace::TlsLog as_transactions(const trace::FlowLog& flows) {
-  trace::TlsLog log;
-  log.reserve(flows.size());
+/// transaction; folding the fields straight into the accumulator runs the
+/// 38-feature extractor unchanged without materializing a TlsLog.
+void observe_flows(TlsFeatureAccumulator& acc, const trace::FlowLog& flows) {
   for (const auto& f : flows) {
-    log.push_back({.start_s = f.first_s,
-                   .end_s = f.last_s,
-                   .ul_bytes = f.ul_bytes,
-                   .dl_bytes = f.dl_bytes,
-                   .sni = f.server_ip,
-                   .http_count = 0});
+    acc.observe(f.first_s, f.last_s, f.ul_bytes, f.dl_bytes);
   }
-  return log;
 }
 
 }  // namespace
@@ -37,7 +31,9 @@ std::vector<std::string> flow_feature_names(const TlsFeatureConfig& config) {
 
 std::vector<double> extract_flow_features(const trace::FlowLog& flows,
                                           const TlsFeatureConfig& config) {
-  return extract_tls_features(as_transactions(flows), config);
+  TlsFeatureAccumulator acc(config);
+  observe_flows(acc, flows);
+  return acc.snapshot();
 }
 
 trace::FlowLog flows_for_session(const trace::SessionRecord& record,
@@ -79,10 +75,14 @@ ml::Dataset make_flow_dataset(const LabeledDataset& sessions, QoeTarget target,
                               const TlsFeatureConfig& features) {
   DROPPKT_EXPECT(!sessions.empty(), "make_flow_dataset: empty dataset");
   ml::Dataset data(flow_feature_names(features), kNumQoeClasses);
+  TlsFeatureAccumulator acc(features);
+  std::vector<double> row(acc.feature_count());
   for (const auto& s : sessions) {
     const auto flows = flows_for_session(s.record, config);
-    data.add_row(extract_flow_features(flows, features),
-                 s.labels.label_for(target));
+    acc.reset();
+    observe_flows(acc, flows);
+    acc.snapshot_into(row);
+    data.add_row(std::span<const double>(row), s.labels.label_for(target));
   }
   return data;
 }

@@ -54,13 +54,14 @@ std::vector<std::string> ml16_feature_names() {
   names.push_back("FLOW_DL_MAX");
   names.push_back("FLOW_D2U_MED");
   names.push_back("FLOW_DUR_MED");
+  DROPPKT_ENSURE(names.size() == ml16_feature_count(),
+                 "ml16: name/count drift");
   return names;
 }
 
 std::vector<double> extract_ml16_features(const trace::PacketLog& packets,
                                           const Ml16Config& config) {
-  const auto names_count = ml16_feature_names().size();
-  std::vector<double> features(names_count, 0.0);
+  std::vector<double> features(ml16_feature_count(), 0.0);
   if (packets.empty()) return features;
 
   const double first_ts = packets.front().ts_s;
@@ -245,7 +246,7 @@ std::vector<double> extract_ml16_features(const trace::PacketLog& packets,
   features[f++] = util::median(flow_d2u);
   features[f++] = util::median(flow_dur);
 
-  DROPPKT_ENSURE(f == names_count, "ml16: feature count drift");
+  DROPPKT_ENSURE(f == features.size(), "ml16: feature count drift");
   return features;
 }
 

@@ -25,6 +25,11 @@ struct Ml16Config {
 /// Names of the ML16 features, in extraction order.
 std::vector<std::string> ml16_feature_names();
 
+/// Number of ML16 features, without building the name vector: 4 chunk
+/// metrics x 5 stats, 2 chunk counts, 8 network-health, 4 volume, 2 rate,
+/// 3 D2U, 5x2 cumulative windows, 5 flow aggregates.
+inline constexpr std::size_t ml16_feature_count() { return 54; }
+
 /// Extract the ML16 feature vector from one session's packet trace.
 /// Packets must be sorted by timestamp (the generator guarantees this).
 std::vector<double> extract_ml16_features(const trace::PacketLog& packets,

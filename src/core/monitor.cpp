@@ -15,13 +15,31 @@ StreamingMonitor::StreamingMonitor(const QoeEstimator& estimator,
                  "StreamingMonitor: callback must be callable");
   DROPPKT_EXPECT(config_.client_idle_timeout_s > 0.0,
                  "StreamingMonitor: idle timeout must be positive");
+  feature_scratch_.resize(estimator_->feature_count());
+  proba_scratch_.resize(static_cast<std::size_t>(kNumQoeClasses));
+}
+
+void StreamingMonitor::set_provisional_callback(
+    ProvisionalCallback on_provisional) {
+  on_provisional_ = std::move(on_provisional);
+}
+
+void StreamingMonitor::rebuild_accumulator(ClientState& state) {
+  state.acc.reset();
+  for (const auto& t : state.pending) state.acc.observe(t);
 }
 
 void StreamingMonitor::emit(const std::string& client, ClientState& state) {
   if (state.pending.size() >= config_.min_transactions) {
     MonitoredSession session;
     session.client = client;
-    session.predicted_class = estimator_->predict(state.pending);
+    // The live accumulator mirrors `pending`, so classification is one
+    // snapshot + forest vote into reused scratch — no re-extraction, no
+    // allocation. Bit-identical to estimator_->predict(state.pending).
+    DROPPKT_ASSERT(state.acc.transactions() == state.pending.size(),
+                   "StreamingMonitor: accumulator out of sync with pending");
+    session.predicted_class =
+        estimator_->predict_into(state.acc, feature_scratch_, proba_scratch_);
     session.start_s = state.pending.front().start_s;
     session.end_s = state.pending.front().end_s;
     for (const auto& t : state.pending) {
@@ -32,12 +50,21 @@ void StreamingMonitor::emit(const std::string& client, ClientState& state) {
     on_session_(session);
   }
   state.pending.clear();
+  state.acc.reset();
 }
 
 void StreamingMonitor::observe(const std::string& client,
                                const trace::TlsTransaction& txn) {
   DROPPKT_EXPECT(!client.empty(), "StreamingMonitor: client must be non-empty");
-  auto& state = clients_[client];
+  auto it = clients_.find(client);
+  if (it == clients_.end()) {
+    it = clients_
+             .emplace(client, ClientState{.pending = {},
+                                          .last_start_s = -1e18,
+                                          .acc = estimator_->make_accumulator()})
+             .first;
+  }
+  ClientState& state = it->second;
   DROPPKT_EXPECT(txn.start_s >= state.last_start_s,
                  "StreamingMonitor: records must arrive in start-time order");
 
@@ -48,6 +75,7 @@ void StreamingMonitor::observe(const std::string& client,
   }
 
   state.pending.push_back(txn);
+  state.acc.observe(txn);
   state.last_start_s = txn.start_s;
   // Per-record hot path, so debug-only: the buffered window must stay
   // start-ordered or the boundary heuristic below silently misfires.
@@ -55,6 +83,23 @@ void StreamingMonitor::observe(const std::string& client,
                      state.pending[state.pending.size() - 2].start_s <=
                          txn.start_s,
                  "StreamingMonitor: pending window lost start order");
+
+  // In-flight QoE: snapshot the live accumulator every N records. This is
+  // the early-detection path running online — the session is still open,
+  // records may still be clipped short of their eventual totals.
+  if (on_provisional_ && config_.provisional_every > 0 &&
+      state.pending.size() >= config_.min_transactions &&
+      state.pending.size() % config_.provisional_every == 0) {
+    ProvisionalEstimate est;
+    est.client = it->first;
+    est.transactions_observed = state.pending.size();
+    est.predicted_class =
+        estimator_->predict_into(state.acc, feature_scratch_, proba_scratch_);
+    est.session_start_s = state.pending.front().start_s;
+    est.last_activity_s = txn.start_s;
+    ++provisionals_reported_;
+    on_provisional_(est);
+  }
 
   // Online boundary detection: re-run the burst+fresh-server heuristic on
   // the buffered window. A boundary at index k becomes detectable once its
@@ -64,11 +109,15 @@ void StreamingMonitor::observe(const std::string& client,
   for (std::size_t k = 1; k < starts.size(); ++k) {
     if (!starts[k]) continue;
     ClientState head;
+    head.acc = estimator_->make_accumulator();
     head.pending.assign(state.pending.begin(),
                         state.pending.begin() + static_cast<std::ptrdiff_t>(k));
+    rebuild_accumulator(head);
     emit(client, head);
     state.pending.erase(state.pending.begin(),
                         state.pending.begin() + static_cast<std::ptrdiff_t>(k));
+    // The split invalidated the live state; re-fold the survivors.
+    rebuild_accumulator(state);
     break;
   }
 }

@@ -8,9 +8,11 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "core/estimator.hpp"
+#include "core/feature_accumulator.hpp"
 #include "core/session_id.hpp"
 #include "trace/records.hpp"
 
@@ -25,6 +27,20 @@ struct MonitoredSession {
   double end_s = 0.0;
 };
 
+/// An in-flight QoE estimate for a client's still-open session — the
+/// answer to the paper's §4.3 limitation (TLS records complete only at
+/// connection close, so estimates arrive late): each client's live
+/// feature accumulator is snapshotted mid-session, at partial-log cost
+/// O(features) instead of a full re-extraction. `client` borrows the
+/// monitor's storage and is valid only during the callback.
+struct ProvisionalEstimate {
+  std::string_view client;
+  std::size_t transactions_observed = 0;
+  int predicted_class = 0;  // 0 = low/worst
+  double session_start_s = 0.0;
+  double last_activity_s = 0.0;  // start of the newest record
+};
+
 struct MonitorConfig {
   SessionIdParams session_id;
   /// A client idle this long has finished its last session.
@@ -32,6 +48,10 @@ struct MonitorConfig {
   /// Sessions with fewer transactions than this are dropped as noise
   /// (stray beacons, preconnects that never carried traffic).
   std::size_t min_transactions = 3;
+  /// Emit a provisional estimate every this-many records per client, once
+  /// the pending window holds min_transactions records (0 = off). Needs a
+  /// provisional callback to have any effect.
+  std::size_t provisional_every = 0;
 };
 
 /// Online QoE monitoring over a proxy's TLS transaction feed.
@@ -42,9 +62,17 @@ struct MonitorConfig {
 class StreamingMonitor {
  public:
   using Callback = std::function<void(const MonitoredSession&)>;
+  using ProvisionalCallback = std::function<void(const ProvisionalEstimate&)>;
 
   StreamingMonitor(const QoeEstimator& estimator, Callback on_session,
                    MonitorConfig config = {});
+
+  /// Install the in-flight estimate hook (see MonitorConfig::
+  /// provisional_every). Call before feeding records. The callback fires
+  /// from inside observe(), before any session-boundary decision — a
+  /// later burst boundary can retroactively assign early records to the
+  /// previous session, which is inherent to online estimation.
+  void set_provisional_callback(ProvisionalCallback on_provisional);
 
   /// Feed one proxy record for a client. Completed sessions (detected via
   /// a new-session burst or the client idle timeout) are classified and
@@ -63,22 +91,35 @@ class StreamingMonitor {
   void finish();
 
   std::size_t sessions_reported() const { return sessions_reported_; }
+  std::size_t provisionals_reported() const { return provisionals_reported_; }
   std::size_t open_clients() const { return clients_.size(); }
 
  private:
   struct ClientState {
     trace::TlsLog pending;        // transactions of the in-progress session
     double last_start_s = -1e18;  // latest transaction start seen
+    // Live feature state over `pending`, fed in lockstep by observe().
+    // After a burst-boundary split it is rebuilt from the surviving
+    // records; acc.transactions() == pending.size() is the invariant
+    // emit() relies on to classify without re-extracting.
+    TlsFeatureAccumulator acc;
   };
 
   void emit(const std::string& client, ClientState& state);
+  void rebuild_accumulator(ClientState& state);
 
   const QoeEstimator* estimator_;
   Callback on_session_;
+  ProvisionalCallback on_provisional_;
   MonitorConfig config_;
   // unordered: client lookup is on the per-record hot path, needs no order.
   std::unordered_map<std::string, ClientState> clients_;
   std::size_t sessions_reported_ = 0;
+  std::size_t provisionals_reported_ = 0;
+  // Classification scratch, reused across emits/provisionals (observe is
+  // single-threaded per monitor).
+  std::vector<double> feature_scratch_;
+  std::vector<double> proba_scratch_;
 };
 
 }  // namespace droppkt::core

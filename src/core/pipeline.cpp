@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "core/feature_accumulator.hpp"
 #include "net/link_model.hpp"
 #include "trace/packet_generator.hpp"
 #include "util/expect.hpp"
@@ -30,9 +31,13 @@ ml::Dataset make_tls_dataset(const LabeledDataset& sessions, QoeTarget target,
                              const TlsFeatureConfig& config, FeatureSet set) {
   DROPPKT_EXPECT(!sessions.empty(), "make_tls_dataset: empty dataset");
   ml::Dataset full(tls_feature_names(config), kNumQoeClasses);
+  TlsFeatureAccumulator acc(config);
+  std::vector<double> row(acc.feature_count());
   for (const auto& s : sessions) {
-    full.add_row(extract_tls_features(s.record.tls, config),
-                 s.labels.label_for(target));
+    acc.reset();
+    for (const auto& t : s.record.tls) acc.observe(t);
+    acc.snapshot_into(row);
+    full.add_row(std::span<const double>(row), s.labels.label_for(target));
   }
   if (set == FeatureSet::kFull) return full;
   return full.select_features(feature_set_names(set, config));

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/feature_accumulator.hpp"
 #include "util/expect.hpp"
-#include "util/stats.hpp"
 
 namespace droppkt::core {
 
@@ -59,91 +59,13 @@ std::vector<std::string> tls_feature_names(const TlsFeatureConfig& config) {
 
 std::vector<double> extract_tls_features(const trace::TlsLog& log,
                                          const TlsFeatureConfig& config) {
-  for (double end : config.interval_ends_s) {
-    DROPPKT_EXPECT(end > 0.0, "TlsFeatureConfig: interval ends must be > 0");
-  }
-  const std::size_t per_metric = config.extended_stats ? 5u : 3u;
-  const std::size_t n_features =
-      4 + 6 * per_metric + 2 * config.interval_ends_s.size();
-  std::vector<double> features(n_features, 0.0);
-  if (log.empty()) return features;
-
-  // Session extent from the transactions themselves (all an ISP can see).
-  double first_start = log.front().start_s;
-  double last_end = log.front().end_s;
-  double total_dl = 0.0, total_ul = 0.0;
-  for (const auto& t : log) {
-    DROPPKT_EXPECT(t.end_s >= t.start_s,
-                   "extract_tls_features: transaction end precedes start");
-    first_start = std::min(first_start, t.start_s);
-    last_end = std::max(last_end, t.end_s);
-    total_dl += t.dl_bytes;
-    total_ul += t.ul_bytes;
-  }
-  const double ses_dur = std::max(1e-3, last_end - first_start);
-
-  // --- Session-level (4). ---
-  std::size_t f = 0;
-  features[f++] = total_dl * 8.0 / 1000.0 / ses_dur;  // SDR_DL (kbps)
-  features[f++] = total_ul * 8.0 / 1000.0 / ses_dur;  // SDR_UL (kbps)
-  features[f++] = ses_dur;                            // SES_DUR (s)
-  features[f++] = static_cast<double>(log.size()) / ses_dur;  // TRANS_PER_SEC
-
-  // --- Transaction statistics (18). ---
-  std::vector<double> dl, ul, dur, tdr, d2u, iat;
-  dl.reserve(log.size());
-  ul.reserve(log.size());
-  dur.reserve(log.size());
-  tdr.reserve(log.size());
-  d2u.reserve(log.size());
-  std::vector<double> starts;
-  starts.reserve(log.size());
-  for (const auto& t : log) {
-    dl.push_back(t.dl_bytes);
-    ul.push_back(t.ul_bytes);
-    const double d = std::max(1e-3, t.duration_s());
-    dur.push_back(t.duration_s());
-    tdr.push_back(t.dl_bytes * 8.0 / 1000.0 / d);  // kbps
-    d2u.push_back(t.ul_bytes > 0.0 ? t.dl_bytes / t.ul_bytes : 0.0);
-    starts.push_back(t.start_s);
-  }
-  std::sort(starts.begin(), starts.end());
-  for (std::size_t i = 1; i < starts.size(); ++i) {
-    iat.push_back(starts[i] - starts[i - 1]);
-  }
-
-  for (const auto* metric : {&dl, &ul, &dur, &tdr, &d2u, &iat}) {
-    const auto s = util::summarize(*metric);
-    features[f++] = s.min;
-    features[f++] = s.median;
-    features[f++] = s.max;
-    if (config.extended_stats) {
-      features[f++] = s.mean;
-      features[f++] = s.stddev;
-    }
-  }
-
-  // --- Temporal features (2 per interval). ---
-  // Cumulative bytes in [session start, session start + end). Transactions
-  // partially overlapping an interval contribute proportionally to the
-  // overlap (the paper's stated approximation).
-  for (double end : config.interval_ends_s) {
-    double cum_dl = 0.0, cum_ul = 0.0;
-    const double window_end = first_start + end;
-    for (const auto& t : log) {
-      const double span = std::max(1e-3, t.duration_s());
-      const double overlap =
-          std::max(0.0, std::min(t.end_s, window_end) - t.start_s);
-      const double share = std::min(1.0, overlap / span);
-      cum_dl += t.dl_bytes * share;
-      cum_ul += t.ul_bytes * share;
-    }
-    features[f++] = cum_dl;
-    features[f++] = cum_ul;
-  }
-
-  DROPPKT_ENSURE(f == n_features, "extract_tls_features: feature count drift");
-  return features;
+  // One code path for batch and incremental extraction: the batch case is
+  // just "observe everything, snapshot once". The accumulator's internal
+  // reductions are functions of the transaction multiset (exact sums,
+  // sorted samples), so this is also bit-identical for any log order.
+  TlsFeatureAccumulator acc(config);
+  for (const auto& t : log) acc.observe(t);
+  return acc.snapshot();
 }
 
 trace::TlsLog truncate_tls_log(const trace::TlsLog& log, double horizon_s) {

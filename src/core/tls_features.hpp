@@ -25,6 +25,15 @@ struct TlsFeatureConfig {
   bool extended_stats = false;
 };
 
+/// Number of features a config produces (38 with the default config).
+/// Cheap — callers that only need the vector width (batch loops, span
+/// sizing) should use this instead of tls_feature_names(...).size(),
+/// which builds a vector<string> per call.
+inline std::size_t tls_feature_count(const TlsFeatureConfig& config = {}) {
+  const std::size_t per_metric = config.extended_stats ? 5u : 3u;
+  return 4 + 6 * per_metric + 2 * config.interval_ends_s.size();
+}
+
 /// Names of the session-level features (4).
 std::vector<std::string> session_level_feature_names();
 /// Names of the transaction-statistic features (18).
@@ -39,6 +48,11 @@ std::vector<std::string> tls_feature_names(const TlsFeatureConfig& config = {});
 /// Times inside `log` must be session-relative (first transaction near 0);
 /// the dataset builder guarantees this. An empty log yields all-zero
 /// features. Transactions need not be sorted.
+///
+/// Thin wrapper over TlsFeatureAccumulator (core/feature_accumulator.hpp):
+/// feeds the log through one accumulator and snapshots it, so batch and
+/// incremental extraction share one code path and are bit-identical by
+/// construction. Streaming callers should hold an accumulator directly.
 std::vector<double> extract_tls_features(const trace::TlsLog& log,
                                          const TlsFeatureConfig& config = {});
 

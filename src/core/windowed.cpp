@@ -12,17 +12,21 @@
 namespace droppkt::core {
 
 std::vector<std::string> window_feature_names() {
-  return {"WIN_DL_BYTES",   "WIN_UL_BYTES",  "WIN_DL_PKTS",
-          "WIN_UL_PKTS",    "WIN_TPUT_KBPS", "WIN_RETX_RATE",
-          "WIN_ACTIVE_FRAC", "WIN_BURSTINESS", "WIN_MAX_GAP_S",
-          "WIN_REQUESTS"};
+  std::vector<std::string> names = {
+      "WIN_DL_BYTES",    "WIN_UL_BYTES",   "WIN_DL_PKTS",
+      "WIN_UL_PKTS",     "WIN_TPUT_KBPS",  "WIN_RETX_RATE",
+      "WIN_ACTIVE_FRAC", "WIN_BURSTINESS", "WIN_MAX_GAP_S",
+      "WIN_REQUESTS"};
+  DROPPKT_ENSURE(names.size() == window_feature_count(),
+                 "window features: name/count drift");
+  return names;
 }
 
 std::vector<double> extract_window_features(
     std::span<const trace::PacketRecord> slice, double win_start_s,
     double window_s) {
   DROPPKT_EXPECT(window_s > 0.0, "window features: window must be positive");
-  std::vector<double> f(window_feature_names().size(), 0.0);
+  std::vector<double> f(window_feature_count(), 0.0);
   double dl = 0.0, ul = 0.0;
   std::size_t dl_pkts = 0, ul_pkts = 0, retx = 0, requests = 0;
   const auto n_secs = static_cast<std::size_t>(std::ceil(window_s));

@@ -25,6 +25,10 @@ struct WindowedConfig {
 /// Names of the per-window packet features.
 std::vector<std::string> window_feature_names();
 
+/// Number of per-window features, without building the name vector — the
+/// per-window extractor sizes its output with this.
+inline constexpr std::size_t window_feature_count() { return 10; }
+
 /// Features of one window's packet slice (packets with ts in
 /// [win_start, win_start + window_s), sorted by time).
 std::vector<double> extract_window_features(

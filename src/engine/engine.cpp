@@ -30,7 +30,16 @@ std::uint64_t client_hash(const std::string& client) {
 
 IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
                            SessionSink sink, EngineConfig config)
-    : estimator_(&estimator), sink_(std::move(sink)), config_(config) {
+    : IngestEngine(estimator, std::move(sink), ProvisionalSink{},
+                   std::move(config)) {}
+
+IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
+                           SessionSink sink, ProvisionalSink provisional,
+                           EngineConfig config)
+    : estimator_(&estimator),
+      sink_(std::move(sink)),
+      provisional_sink_(std::move(provisional)),
+      config_(config) {
   DROPPKT_EXPECT(estimator.trained(), "IngestEngine: estimator must be trained");
   DROPPKT_EXPECT(static_cast<bool>(sink_), "IngestEngine: sink must be callable");
   DROPPKT_EXPECT(config_.watermark_interval_s > 0.0,
@@ -55,6 +64,16 @@ IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
           sink_(s);
         },
         config_.monitor);
+    if (provisional_sink_) {
+      // In-flight QoE fan-in mirrors the session sink: counted on the
+      // owning shard, serialized across shards by the same mutex.
+      sh->monitor->set_provisional_callback(
+          [this, sh](const core::ProvisionalEstimate& e) {
+            sh->counters.provisionals.fetch_add(1, std::memory_order_relaxed);
+            const std::lock_guard<std::mutex> lock(sink_mutex_);
+            provisional_sink_(e);
+          });
+    }
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
@@ -140,6 +159,7 @@ EngineStatsSnapshot IngestEngine::stats() const {
     s.records = sh.counters.records.load(std::memory_order_relaxed);
     s.watermarks = sh.counters.watermarks.load(std::memory_order_relaxed);
     s.sessions = sh.counters.sessions.load(std::memory_order_relaxed);
+    s.provisionals = sh.counters.provisionals.load(std::memory_order_relaxed);
     s.dropped = sh.queue.dropped();
     s.queue_depth = sh.queue.size();
     s.queue_high_water = sh.queue.high_water();
@@ -147,6 +167,7 @@ EngineStatsSnapshot IngestEngine::stats() const {
     snap.records_processed += s.records;
     snap.records_dropped += s.dropped;
     snap.sessions_reported += s.sessions;
+    snap.provisionals_reported += s.provisionals;
     snap.max_queue_high_water = std::max(snap.max_queue_high_water,
                                          s.queue_high_water);
     sh.counters.latency.add_to(merged);
@@ -161,6 +182,14 @@ std::uint64_t IngestEngine::sessions_reported() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->counters.sessions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t IngestEngine::provisionals_reported() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->counters.provisionals.load(std::memory_order_relaxed);
   }
   return total;
 }

@@ -67,9 +67,19 @@ struct EngineConfig {
 class IngestEngine {
  public:
   using SessionSink = std::function<void(const core::MonitoredSession&)>;
+  using ProvisionalSink =
+      std::function<void(const core::ProvisionalEstimate&)>;
 
   IngestEngine(const core::QoeEstimator& estimator, SessionSink sink,
                EngineConfig config = {});
+
+  /// With in-flight QoE surfacing: each shard's monitor emits a
+  /// provisional estimate every config.monitor.provisional_every records
+  /// per client (see core::ProvisionalEstimate). Like the session sink,
+  /// `provisional` is invoked from worker threads one call at a time; the
+  /// estimate's `client` view is valid only during the call.
+  IngestEngine(const core::QoeEstimator& estimator, SessionSink sink,
+               ProvisionalSink provisional, EngineConfig config = {});
   ~IngestEngine();
 
   IngestEngine(const IngestEngine&) = delete;
@@ -95,6 +105,9 @@ class IngestEngine {
   /// Total sessions reported across all shards so far.
   std::uint64_t sessions_reported() const;
 
+  /// Total in-flight (provisional) estimates reported across all shards.
+  std::uint64_t provisionals_reported() const;
+
  private:
   struct Msg {
     enum class Kind : std::uint8_t { kRecord, kWatermark };
@@ -117,6 +130,7 @@ class IngestEngine {
 
   const core::QoeEstimator* estimator_;
   SessionSink sink_;
+  ProvisionalSink provisional_sink_;
   std::mutex sink_mutex_;
   EngineConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -62,11 +62,12 @@ std::string EngineStatsSnapshot::to_string() const {
   }
   std::snprintf(line, sizeof(line),
                 "total: %llu ingested, %llu processed, %llu dropped, "
-                "%llu sessions\n",
+                "%llu sessions, %llu provisionals\n",
                 static_cast<unsigned long long>(records_ingested),
                 static_cast<unsigned long long>(records_processed),
                 static_cast<unsigned long long>(records_dropped),
-                static_cast<unsigned long long>(sessions_reported));
+                static_cast<unsigned long long>(sessions_reported),
+                static_cast<unsigned long long>(provisionals_reported));
   out += line;
   std::snprintf(line, sizeof(line),
                 "observe-to-classify latency: p50 %.1f us, p99 %.1f us\n",

@@ -47,6 +47,7 @@ struct ShardCounters {
   std::atomic<std::uint64_t> records{0};     // shard worker
   std::atomic<std::uint64_t> watermarks{0};  // shard worker
   std::atomic<std::uint64_t> sessions{0};    // shard worker
+  std::atomic<std::uint64_t> provisionals{0};  // shard worker
   LatencyHistogram latency;                  // observe-to-classify, ns
 };
 
@@ -57,6 +58,7 @@ struct ShardStatsSnapshot {
   std::uint64_t records = 0;
   std::uint64_t watermarks = 0;
   std::uint64_t sessions = 0;
+  std::uint64_t provisionals = 0;
   std::uint64_t dropped = 0;
   std::size_t queue_depth = 0;
   std::size_t queue_high_water = 0;
@@ -69,6 +71,7 @@ struct EngineStatsSnapshot {
   std::uint64_t records_processed = 0;  // observed by shard monitors
   std::uint64_t records_dropped = 0;    // shed by kDropOldest backpressure
   std::uint64_t sessions_reported = 0;
+  std::uint64_t provisionals_reported = 0;  // in-flight estimates emitted
   std::size_t max_queue_high_water = 0;
   double latency_p50_us = 0.0;  // observe-to-classify latency percentiles
   double latency_p99_us = 0.0;

@@ -16,13 +16,17 @@ Dataset::Dataset(std::vector<std::string> feature_names, int num_classes)
   DROPPKT_EXPECT(num_classes_ >= 1, "Dataset: need at least one class");
 }
 
-void Dataset::add_row(std::vector<double> features, int label) {
+void Dataset::add_row(std::span<const double> features, int label) {
   DROPPKT_EXPECT(features.size() == feature_names_.size(),
                  "Dataset::add_row: row width must match feature names");
   DROPPKT_EXPECT(label >= 0 && label < num_classes_,
                  "Dataset::add_row: label out of range");
   data_.insert(data_.end(), features.begin(), features.end());
   labels_.push_back(label);
+}
+
+void Dataset::add_row(std::vector<double> features, int label) {
+  add_row(std::span<const double>(features), label);
 }
 
 std::span<const double> Dataset::row(std::size_t i) const {

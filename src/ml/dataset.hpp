@@ -21,6 +21,10 @@ class Dataset {
  public:
   Dataset(std::vector<std::string> feature_names, int num_classes);
 
+  void add_row(std::span<const double> features, int label);
+  /// Same, from an owned vector (kept for call sites that build a fresh
+  /// row anyway; batch loops should reuse one buffer via the span
+  /// overload instead of allocating per row).
   void add_row(std::vector<double> features, int label);
 
   std::size_t size() const { return labels_.size(); }

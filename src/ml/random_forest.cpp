@@ -136,6 +136,14 @@ void RandomForest::predict_proba_row(std::span<const double> features,
   for (auto& v : out) v *= inv;
 }
 
+void RandomForest::predict_proba_into(std::span<const double> features,
+                                      std::span<double> out) const {
+  DROPPKT_EXPECT(!trees_.empty(), "RandomForest: predict before fit");
+  DROPPKT_EXPECT(out.size() == static_cast<std::size_t>(num_classes_),
+                 "RandomForest::predict_proba_into: bad output buffer size");
+  predict_proba_row(features, out);
+}
+
 std::vector<double> RandomForest::predict_proba(
     std::span<const double> features) const {
   DROPPKT_EXPECT(!trees_.empty(), "RandomForest: predict before fit");

@@ -54,6 +54,12 @@ class RandomForest final : public Classifier {
   void predict_proba_batch(const Dataset& data, std::span<double> out,
                            std::size_t num_threads = 1) const;
 
+  /// Single-row probabilities into a caller buffer (size num_classes) —
+  /// the zero-allocation path streaming callers pair with a reusable
+  /// feature span.
+  void predict_proba_into(std::span<const double> features,
+                          std::span<double> out) const;
+
   /// Argmax labels for every row of `data`.
   std::vector<int> predict_batch(const Dataset& data,
                                  std::size_t num_threads = 1) const;

@@ -1,0 +1,124 @@
+// Exactly-rounded running sum of doubles (Shewchuk's algorithm, the one
+// behind Python's math.fsum).
+//
+// A plain `double acc; acc += x;` loop rounds at every step, so its result
+// depends on the order the terms arrive in. The incremental feature
+// accumulator must produce bit-identical feature vectors for *any*
+// observation order, so its running byte totals and cumulative-interval
+// counters cannot tolerate that: ExactSum keeps the uncommitted rounding
+// error as a short list of non-overlapping partials whose exact sum equals
+// the exact real-valued sum of everything added so far, and value() rounds
+// that exact sum to the nearest double once. The correctly-rounded result
+// is a function of the term *multiset* alone — insertion order cannot
+// change it.
+//
+// Costs: a handful of adds/compares per add(). The partial list stays tiny
+// for realistic data (~1-4 entries), so it lives in a fixed inline buffer —
+// no heap traffic at all on that path; adversarial magnitude spreads that
+// outgrow the buffer spill to a heap vector and keep working. Assumes
+// round-to-nearest-even doubles and no -ffast-math (the repo builds with
+// neither -Ofast nor -ffast-math; the error-free transforms below would be
+// miscompiled under value-unsafe FP).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace droppkt::util {
+
+class ExactSum {
+ public:
+  /// Add one term. Finite values only (infinities/NaNs would poison the
+  /// partials without a way to report which term did it).
+  void add(double x) {
+    if (spill_.empty()) {
+      std::size_t used = 0;
+      for (std::size_t j = 0; j < n_inline_; ++j) {
+        double y = inline_[j];
+        if (std::abs(x) < std::abs(y)) {
+          const double t = x;
+          x = y;
+          y = t;
+        }
+        // Error-free transform: hi + lo == x + y exactly, |lo| <= ulp(hi).
+        const double hi = x + y;
+        const double lo = y - (hi - x);
+        if (lo != 0.0) inline_[used++] = lo;
+        x = hi;
+      }
+      if (used < kInline) {
+        inline_[used] = x;
+        n_inline_ = used + 1;
+        return;
+      }
+      // Every inline slot holds a residual; move to the heap and let the
+      // vector path place the final carry.
+      spill_.assign(inline_, inline_ + used);
+      n_inline_ = 0;
+      spill_.push_back(x);
+      return;
+    }
+    std::size_t used = 0;
+    for (std::size_t j = 0; j < spill_.size(); ++j) {
+      double y = spill_[j];
+      if (std::abs(x) < std::abs(y)) {
+        const double t = x;
+        x = y;
+        y = t;
+      }
+      const double hi = x + y;
+      const double lo = y - (hi - x);
+      if (lo != 0.0) spill_[used++] = lo;
+      x = hi;
+    }
+    spill_.resize(used);
+    spill_.push_back(x);
+  }
+
+  /// The exact sum of all added terms, rounded once to the nearest double.
+  /// Independent of the order the terms were added in.
+  double value() const {
+    const double* p = spill_.empty() ? inline_ : spill_.data();
+    auto n = static_cast<std::ptrdiff_t>(spill_.empty() ? n_inline_
+                                                        : spill_.size());
+    // Partials are non-overlapping and sorted by increasing magnitude.
+    // Sum from the largest down; the first non-zero residual decides the
+    // half-ulp correction (this is CPython fsum's rounding tail).
+    if (n == 0) return 0.0;
+    double hi = p[--n];
+    double lo = 0.0;
+    while (n > 0) {
+      const double x = hi;
+      const double y = p[--n];
+      hi = x + y;
+      const double yr = hi - x;
+      lo = y - yr;
+      if (lo != 0.0) break;
+    }
+    // hi sits exactly halfway between two doubles iff doubling the
+    // residual is itself exact; break the tie toward the remaining
+    // partials' sign so the result is the correctly-rounded exact sum.
+    if (n > 0 && ((lo < 0.0 && p[n - 1] < 0.0) || (lo > 0.0 && p[n - 1] > 0.0))) {
+      const double y2 = lo * 2.0;
+      const double x2 = hi + y2;
+      if (y2 == x2 - hi) hi = x2;
+    }
+    return hi;
+  }
+
+  void clear() {
+    n_inline_ = 0;
+    spill_.clear();
+  }
+  bool empty() const { return n_inline_ == 0 && spill_.empty(); }
+
+ private:
+  static constexpr std::size_t kInline = 6;
+
+  double inline_[kInline] = {};
+  std::size_t n_inline_ = 0;
+  std::vector<double> spill_;  // engaged only after inline overflow
+};
+
+}  // namespace droppkt::util

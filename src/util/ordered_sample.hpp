@@ -1,0 +1,71 @@
+// Sorted multiset of doubles for incremental order statistics.
+//
+// The feature accumulator needs exact (not sketched) min/median/max per
+// transaction metric while records arrive one at a time, in any order.
+// Every order statistic is a function of the value *multiset*, so the
+// container only has to present a sorted view when queried — it does not
+// have to keep the storage sorted between insertions. insert() therefore
+// appends in O(1) and tracks whether the appends happened to arrive in
+// order (chronological feeds usually do); the first query after an
+// out-of-order insert sorts once. This makes the write path as cheap as a
+// push_back while queries still read exact statistics straight off sorted
+// data, and the view is identical no matter the insertion order.
+//
+// The lazy sort runs inside const queries (mutable storage): concurrent
+// queries on one instance are not safe, matching the accumulator's
+// one-writer-per-client use.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace droppkt::util {
+
+class OrderedSample {
+ public:
+  void insert(double x) {
+    sorted_ = sorted_ && (values_.empty() || values_.back() <= x);
+    values_.push_back(x);
+  }
+
+  /// Remove one element equal to `x`, which must be present. Used when an
+  /// incrementally-maintained derived multiset (e.g. inter-arrival gaps)
+  /// replaces one element with two refined ones.
+  void erase_one(double x) {
+    ensure_sorted();
+    const auto it = std::lower_bound(values_.begin(), values_.end(), x);
+    DROPPKT_EXPECT(it != values_.end() && *it == x,
+                   "OrderedSample::erase_one: value not present");
+    values_.erase(it);
+  }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  void clear() {
+    values_.clear();
+    sorted_ = true;
+  }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  /// The sample, sorted ascending. Stable storage until the next mutation.
+  std::span<const double> sorted() const {
+    ensure_sorted();
+    return values_;
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace droppkt::util

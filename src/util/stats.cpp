@@ -8,17 +8,24 @@
 namespace droppkt::util {
 
 Summary summarize(std::span<const double> values) {
-  Summary s;
-  s.count = values.size();
-  if (values.empty()) return s;
+  if (values.empty()) return {};
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
+  return summarize_sorted(sorted);
+}
+
+Summary summarize_sorted(std::span<const double> sorted) {
+  DROPPKT_ASSERT(std::is_sorted(sorted.begin(), sorted.end()),
+                 "summarize_sorted: input must be sorted ascending");
+  Summary s;
+  s.count = sorted.size();
+  if (sorted.empty()) return s;
   s.min = sorted.front();
   s.max = sorted.back();
   double sum = 0.0;
   for (double v : sorted) sum += v;
   s.mean = sum / static_cast<double>(sorted.size());
-  s.median = percentile(sorted, 50.0);
+  s.median = percentile_sorted(sorted, 50.0);
   double ss = 0.0;
   for (double v : sorted) ss += (v - s.mean) * (v - s.mean);
   s.stddev = std::sqrt(ss / static_cast<double>(sorted.size()));
@@ -26,10 +33,17 @@ Summary summarize(std::span<const double> values) {
 }
 
 double percentile(std::span<const double> values, double p) {
-  DROPPKT_EXPECT(p >= 0.0 && p <= 100.0, "percentile: p must be in [0,100]");
-  if (values.empty()) return 0.0;
+  if (values.empty()) return percentile_sorted(values, p);
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  DROPPKT_EXPECT(p >= 0.0 && p <= 100.0, "percentile: p must be in [0,100]");
+  DROPPKT_ASSERT(std::is_sorted(sorted.begin(), sorted.end()),
+                 "percentile_sorted: input must be sorted ascending");
+  if (sorted.empty()) return 0.0;
   if (sorted.size() == 1) return sorted[0];
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

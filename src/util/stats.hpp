@@ -21,8 +21,19 @@ struct Summary {
 /// Summary with count == 0 (features over empty transaction lists are 0).
 Summary summarize(std::span<const double> values);
 
+/// `summarize` over an already-sorted (ascending) sample: no copy, no
+/// sort, no allocation. `summarize` delegates here after sorting a copy,
+/// so for equal multisets both return bit-identical Summaries — the
+/// incremental feature accumulator relies on this to match batch
+/// extraction exactly. Sortedness is the caller's contract (checked in
+/// debug builds only).
+Summary summarize_sorted(std::span<const double> sorted);
+
 /// Linear-interpolated percentile, p in [0, 100]. Empty input yields 0.
 double percentile(std::span<const double> values, double p);
+
+/// `percentile` over an already-sorted (ascending) sample; no allocation.
+double percentile_sorted(std::span<const double> sorted, double p);
 
 /// Median (50th percentile).
 double median(std::span<const double> values);

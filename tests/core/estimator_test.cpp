@@ -144,6 +144,49 @@ TEST(QoeEstimator, BatchPredictRejectsWrongBufferOrUntrained) {
                droppkt::ContractViolation);
 }
 
+TEST(QoeEstimator, SpanApisMatchAllocatingApis) {
+  QoeEstimator est;
+  est.train(small_dataset(120, 21));
+  const auto test = small_dataset(30, 22);
+
+  ASSERT_EQ(est.feature_count(), tls_feature_count(est.config().features));
+  std::vector<double> features(est.feature_count());
+  std::vector<double> proba(static_cast<std::size_t>(kNumQoeClasses));
+  auto acc = est.make_accumulator();
+  ASSERT_EQ(acc.feature_count(), est.feature_count());
+
+  for (const auto& s : test) {
+    const auto& log = s.record.tls;
+    // Feature-vector span path.
+    const auto extracted = extract_tls_features(log, est.config().features);
+    est.predict_proba_into(extracted, proba);
+    const auto expected_proba = est.predict_proba(log);
+    for (std::size_t c = 0; c < proba.size(); ++c) {
+      EXPECT_EQ(proba[c], expected_proba[c]);
+    }
+    EXPECT_EQ(est.predict_into(extracted, proba), est.predict(log));
+
+    // Accumulator path — the streaming monitor's classification route.
+    acc.reset();
+    for (const auto& t : log) acc.observe(t);
+    EXPECT_EQ(est.predict_into(acc, features, proba), est.predict(log));
+  }
+}
+
+TEST(QoeEstimator, SpanApisValidateSizesAndTraining) {
+  const QoeEstimator untrained;
+  std::vector<double> features(untrained.feature_count());
+  std::vector<double> proba(static_cast<std::size_t>(kNumQoeClasses));
+  EXPECT_THROW(untrained.predict_proba_into(features, proba),
+               droppkt::ContractViolation);
+
+  QoeEstimator est;
+  est.train(small_dataset(60, 23));
+  std::vector<double> bad_proba(static_cast<std::size_t>(kNumQoeClasses) - 1);
+  EXPECT_THROW(est.predict_proba_into(features, bad_proba),
+               droppkt::ContractViolation);
+}
+
 TEST(QoeEstimator, DeterministicGivenSeeds) {
   const auto train = small_dataset(100, 8);
   const auto test = small_dataset(30, 9);

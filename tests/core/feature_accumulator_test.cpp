@@ -1,0 +1,203 @@
+#include "core/feature_accumulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/tls_features.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace droppkt::core {
+namespace {
+
+using util::Rng;
+
+/// Randomized proxy-shaped log: overlapping transactions, heavy-tailed
+/// sizes, occasional zero-duration and zero-upload records.
+trace::TlsLog random_log(Rng& rng, std::size_t n) {
+  trace::TlsLog log;
+  log.reserve(n);
+  double t = rng.uniform(0.0, 3.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::TlsTransaction x;
+    x.start_s = t;
+    x.end_s = t + (rng.uniform01() < 0.08 ? 0.0 : rng.exponential(0.15));
+    x.dl_bytes = rng.uniform01() < 0.05 ? 0.0 : rng.exponential(1e-5);
+    x.ul_bytes = rng.uniform01() < 0.12 ? 0.0 : rng.exponential(1e-3);
+    log.push_back(x);
+    t += rng.exponential(0.4);
+  }
+  return log;
+}
+
+void shuffle_log(trace::TlsLog& log, Rng& rng) {
+  for (std::size_t i = log.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, i - 1));
+    std::swap(log[i - 1], log[j]);
+  }
+}
+
+std::vector<double> accumulate(const trace::TlsLog& log,
+                               const TlsFeatureConfig& config = {}) {
+  TlsFeatureAccumulator acc(config);
+  for (const auto& t : log) acc.observe(t);
+  return acc.snapshot();
+}
+
+// EXPECT_EQ on doubles is exact — the contract is bit-identity, not
+// tolerance.
+void expect_bit_identical(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "feature " << i;
+  }
+}
+
+TEST(TlsFeatureAccumulator, EmptyLogIsAllZeros) {
+  TlsFeatureAccumulator acc;
+  const auto snap = acc.snapshot();
+  EXPECT_EQ(snap.size(), tls_feature_count());
+  for (double v : snap) EXPECT_EQ(v, 0.0);
+  expect_bit_identical(snap, extract_tls_features({}));
+}
+
+TEST(TlsFeatureAccumulator, FeatureCountMatchesNames) {
+  TlsFeatureConfig extended;
+  extended.extended_stats = true;
+  TlsFeatureConfig custom;
+  custom.interval_ends_s = {5.0, 20.0};
+  for (const auto& config :
+       {TlsFeatureConfig{}, extended, custom}) {
+    EXPECT_EQ(tls_feature_count(config), tls_feature_names(config).size());
+    EXPECT_EQ(TlsFeatureAccumulator(config).feature_count(),
+              tls_feature_names(config).size());
+  }
+}
+
+TEST(TlsFeatureAccumulator, BitIdenticalToBatchOnRandomLogs) {
+  Rng rng(1234);
+  for (std::size_t trial = 0; trial < 50; ++trial) {
+    const auto log =
+        random_log(rng, 1 + static_cast<std::size_t>(rng.uniform_int(0, 99)));
+    expect_bit_identical(accumulate(log), extract_tls_features(log));
+  }
+}
+
+TEST(TlsFeatureAccumulator, ObservationOrderIsIrrelevant) {
+  Rng rng(99);
+  for (std::size_t trial = 0; trial < 30; ++trial) {
+    auto log =
+        random_log(rng, 2 + static_cast<std::size_t>(rng.uniform_int(0, 80)));
+    const auto batch = extract_tls_features(log);
+    // Several shuffles per log, including fully reversed (worst case for
+    // the interval-window rebuild: first_start decreases every step).
+    std::reverse(log.begin(), log.end());
+    expect_bit_identical(accumulate(log), batch);
+    for (int s = 0; s < 3; ++s) {
+      shuffle_log(log, rng);
+      expect_bit_identical(accumulate(log), batch);
+    }
+  }
+}
+
+TEST(TlsFeatureAccumulator, ExtendedStatsAndCustomIntervalsMatchBatch) {
+  TlsFeatureConfig extended;
+  extended.extended_stats = true;
+  TlsFeatureConfig custom;
+  custom.extended_stats = true;
+  custom.interval_ends_s = {2.0, 7.5, 30.0, 240.0};
+  Rng rng(4321);
+  for (const auto& config : {extended, custom}) {
+    for (std::size_t trial = 0; trial < 20; ++trial) {
+      auto log = random_log(
+          rng, 1 + static_cast<std::size_t>(rng.uniform_int(0, 60)));
+      const auto batch = extract_tls_features(log, config);
+      shuffle_log(log, rng);
+      expect_bit_identical(accumulate(log, config), batch);
+    }
+  }
+}
+
+TEST(TlsFeatureAccumulator, SnapshotAtMatchesTruncatePlusExtract) {
+  Rng rng(777);
+  TlsFeatureConfig extended;
+  extended.extended_stats = true;
+  for (const auto& config : {TlsFeatureConfig{}, extended}) {
+    TlsFeatureAccumulator acc(config);
+    std::vector<double> at(acc.feature_count());
+    for (std::size_t trial = 0; trial < 25; ++trial) {
+      auto log = random_log(
+          rng, 1 + static_cast<std::size_t>(rng.uniform_int(0, 60)));
+      acc.reset();
+      // Shuffled observation: snapshot_at must not depend on order either.
+      shuffle_log(log, rng);
+      for (const auto& t : log) acc.observe(t);
+      // Horizons from deep inside the session to far past its end (the
+      // past-the-end case exercises the snapshot_into fast path).
+      for (const double h : {0.5, 5.0, 20.0, 60.0, 1e6}) {
+        acc.snapshot_at(h, at);
+        const auto expected =
+            extract_tls_features(truncate_tls_log(log, h), config);
+        ASSERT_EQ(at.size(), expected.size());
+        for (std::size_t i = 0; i < at.size(); ++i) {
+          EXPECT_EQ(at[i], expected[i])
+              << "feature " << i << " at horizon " << h;
+        }
+      }
+    }
+  }
+}
+
+TEST(TlsFeatureAccumulator, ResetReusesCleanly) {
+  Rng rng(31);
+  TlsFeatureAccumulator acc;
+  std::vector<double> row(acc.feature_count());
+  for (std::size_t trial = 0; trial < 10; ++trial) {
+    const auto log =
+        random_log(rng, 1 + static_cast<std::size_t>(rng.uniform_int(0, 40)));
+    acc.reset();
+    for (const auto& t : log) acc.observe(t);
+    acc.snapshot_into(row);
+    expect_bit_identical(row, extract_tls_features(log));
+    EXPECT_EQ(acc.transactions(), log.size());
+  }
+  acc.reset();
+  EXPECT_EQ(acc.transactions(), 0u);
+  acc.snapshot_into(row);
+  for (double v : row) EXPECT_EQ(v, 0.0);
+}
+
+TEST(TlsFeatureAccumulator, NumericObserveMatchesTransactionObserve) {
+  Rng rng(55);
+  const auto log = random_log(rng, 30);
+  TlsFeatureAccumulator a, b;
+  for (const auto& t : log) {
+    a.observe(t);
+    b.observe(t.start_s, t.end_s, t.ul_bytes, t.dl_bytes);
+  }
+  expect_bit_identical(a.snapshot(), b.snapshot());
+}
+
+TEST(TlsFeatureAccumulator, ContractViolations) {
+  TlsFeatureConfig bad;
+  bad.interval_ends_s = {30.0, -1.0};
+  EXPECT_THROW(TlsFeatureAccumulator{bad}, droppkt::ContractViolation);
+
+  TlsFeatureAccumulator acc;
+  trace::TlsTransaction backwards;
+  backwards.start_s = 5.0;
+  backwards.end_s = 4.0;
+  EXPECT_THROW(acc.observe(backwards), droppkt::ContractViolation);
+
+  std::vector<double> wrong(acc.feature_count() + 1);
+  EXPECT_THROW(acc.snapshot_into(wrong), droppkt::ContractViolation);
+  EXPECT_THROW(acc.snapshot_at(10.0, wrong), droppkt::ContractViolation);
+  std::vector<double> right(acc.feature_count());
+  EXPECT_THROW(acc.snapshot_at(0.0, right), droppkt::ContractViolation);
+}
+
+}  // namespace
+}  // namespace droppkt::core

@@ -172,6 +172,87 @@ TEST(StreamingMonitor, EndToEndBackToBackStreams) {
   }
 }
 
+TEST(StreamingMonitor, ProvisionalEstimatesMidSession) {
+  std::vector<MonitoredSession> out;
+  MonitorConfig cfg;
+  cfg.min_transactions = 2;
+  cfg.provisional_every = 2;
+  StreamingMonitor mon(trained_estimator(),
+                       [&](const MonitoredSession& s) { out.push_back(s); },
+                       cfg);
+  struct Seen {
+    std::string client;
+    std::size_t observed;
+    int cls;
+    double start_s, last_s;
+  };
+  std::vector<Seen> seen;
+  mon.set_provisional_callback([&](const ProvisionalEstimate& e) {
+    seen.push_back({std::string(e.client), e.transactions_observed,
+                    e.predicted_class, e.session_start_s, e.last_activity_s});
+  });
+
+  trace::TlsLog fed;
+  for (int i = 0; i < 7; ++i) {
+    fed.push_back(txn(i * 5.0, "a"));
+    mon.observe("c1", fed.back());
+  }
+  // Pending sizes 2, 4, 6 cross the every-2 cadence above min_transactions.
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(mon.provisionals_reported(), 3u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    const auto& e = seen[i];
+    EXPECT_EQ(e.client, "c1");
+    EXPECT_EQ(e.observed, 2 * (i + 1));
+    EXPECT_EQ(e.start_s, 0.0);
+    EXPECT_EQ(e.last_s, (2.0 * (i + 1) - 1.0) * 5.0);
+    // The in-flight estimate is exactly what the estimator says about the
+    // records observed so far — live accumulator == batch over the prefix.
+    const trace::TlsLog prefix(fed.begin(),
+                               fed.begin() + static_cast<std::ptrdiff_t>(
+                                                 e.observed));
+    EXPECT_EQ(e.cls, trained_estimator().predict(prefix));
+  }
+  mon.finish();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].predicted_class, trained_estimator().predict(fed));
+}
+
+TEST(StreamingMonitor, ProvisionalsOffByDefault) {
+  StreamingMonitor mon(trained_estimator(), [](const MonitoredSession&) {});
+  std::size_t fired = 0;
+  mon.set_provisional_callback(
+      [&](const ProvisionalEstimate&) { ++fired; });
+  for (int i = 0; i < 8; ++i) mon.observe("c", txn(i * 5.0, "a"));
+  mon.finish();
+  EXPECT_EQ(fired, 0u);  // provisional_every defaults to 0 = disabled
+  EXPECT_EQ(mon.provisionals_reported(), 0u);
+}
+
+TEST(StreamingMonitor, EmitsMatchBatchPredictionAfterBurstSplit) {
+  // After a burst-boundary split the live accumulator is rebuilt from the
+  // surviving records; both the head and the remainder must classify
+  // exactly as the batch estimator would.
+  std::vector<MonitoredSession> out;
+  MonitorConfig cfg;
+  cfg.min_transactions = 2;
+  StreamingMonitor mon(trained_estimator(),
+                       [&](const MonitoredSession& s) { out.push_back(s); },
+                       cfg);
+  mon.observe("c1", txn(0.0, "a"));
+  mon.observe("c1", txn(5.0, "b"));
+  mon.observe("c1", txn(20.0, "a"));
+  mon.observe("c1", txn(40.0, "c"));
+  mon.observe("c1", txn(40.5, "d"));
+  mon.observe("c1", txn(41.0, "e"));
+  mon.observe("c1", txn(41.5, "f"));
+  mon.finish();
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& s : out) {
+    EXPECT_EQ(s.predicted_class, trained_estimator().predict(s.transactions));
+  }
+}
+
 TEST(StreamingMonitor, MatchesOfflineSplitOnSingleClient) {
   // The online splitter should agree with the offline heuristic when fed
   // the same merged log.

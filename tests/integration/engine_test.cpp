@@ -244,5 +244,48 @@ TEST(IngestEngine, WatermarkEvictsIdleClientOnQuietShard) {
   EXPECT_EQ(quiet_sessions, 1u);
 }
 
+TEST(IngestEngine, SurfacesProvisionalEstimatesInFlight) {
+  // With a provisional sink, each shard's monitor reports in-flight QoE on
+  // the configured cadence: every client with >= min_transactions records
+  // produces provisionals before its session completes, the counters
+  // account for each one, and the estimates reference live clients.
+  EngineConfig cfg;
+  cfg.num_shards = 3;
+  cfg.monitor.min_transactions = 3;
+  cfg.monitor.provisional_every = 4;
+  std::mutex mu;
+  std::map<std::string, std::size_t> provisional_counts;
+  std::size_t bad = 0;
+  IngestEngine eng(
+      trained_estimator(), [](const core::MonitoredSession&) {},
+      [&](const core::ProvisionalEstimate& e) {
+        const std::lock_guard<std::mutex> lock(mu);
+        ++provisional_counts[std::string(e.client)];
+        if (e.predicted_class < 0 || e.predicted_class > 2 ||
+            e.transactions_observed == 0 ||
+            e.last_activity_s < e.session_start_s) {
+          ++bad;
+        }
+      },
+      cfg);
+  for (const auto& r : shared_feed()) eng.ingest(r.client, r.txn);
+  eng.finish();
+
+  EXPECT_EQ(bad, 0u);
+  EXPECT_FALSE(provisional_counts.empty());
+  std::size_t total = 0;
+  for (const auto& [client, n] : provisional_counts) total += n;
+  EXPECT_EQ(eng.provisionals_reported(), total);
+  EXPECT_EQ(eng.stats().provisionals_reported, total);
+
+  // Without a sink (the 3-arg constructor), nothing fires even with the
+  // cadence configured.
+  IngestEngine quiet_eng(trained_estimator(),
+                         [](const core::MonitoredSession&) {}, cfg);
+  for (const auto& r : shared_feed()) quiet_eng.ingest(r.client, r.txn);
+  quiet_eng.finish();
+  EXPECT_EQ(quiet_eng.provisionals_reported(), 0u);
+}
+
 }  // namespace
 }  // namespace droppkt::engine

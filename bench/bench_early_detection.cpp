@@ -29,6 +29,7 @@ int main() {
   data.reserve(kHorizons);
   for (std::size_t i = 0; i < kHorizons; ++i) {
     data.emplace_back(names, core::kNumQoeClasses);
+    data.back().reserve(ds.size());
   }
 
   core::TlsFeatureAccumulator acc;

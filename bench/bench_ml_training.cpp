@@ -56,6 +56,7 @@ Dataset make_synthetic(std::size_t rows, std::uint64_t seed) {
     names.push_back(std::move(name));
   }
   Dataset data(std::move(names), 3);
+  data.reserve(rows);
   Rng rng(seed);
   std::vector<double> row(kFeatures);
   for (std::size_t i = 0; i < rows; ++i) {

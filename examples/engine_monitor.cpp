@@ -1,13 +1,19 @@
-// Sharded live monitoring: the deployment-scale successor to
-// live_monitor. The same interleaved multi-subscriber proxy feed is
-// drained by the IngestEngine — clients hashed across shard workers, each
-// running its own StreamingMonitor behind a lock-free mailbox — instead
-// of one single-threaded loop. Session results are identical to the
-// single-threaded run; only the draining parallelizes.
+// Sharded live monitoring with operator alerting: the deployment-scale
+// successor to live_monitor. An interleaved multi-subscriber proxy feed —
+// with a ground-truth incident injected at two cells — is drained by the
+// IngestEngine (clients hashed across shard workers, each running its own
+// StreamingMonitor behind a lock-free mailbox), while an
+// alert::AlertPipeline attached as the engine's AlertSink turns the
+// per-session verdict stream into location-level incidents: hysteresis
+// over provisional flips, a decaying per-location window with a Wilson
+// credibility test, and raise/clear lifecycle with cooldown. The alert
+// sequence is deterministic: re-run with any shard count and every event
+// is bit-identical.
 #include <atomic>
 #include <cstdio>
 #include <mutex>
 
+#include "alert/pipeline.hpp"
 #include "core/dataset_builder.hpp"
 #include "engine/engine.hpp"
 #include "engine/feed.hpp"
@@ -22,20 +28,48 @@ int main() {
   core::QoeEstimator estimator;
   estimator.train(core::build_dataset(has::svc1_profile(), cfg));
 
-  // The proxy feed: 24 subscribers, each streaming 4 back-to-back videos,
-  // interleaved in global time order.
-  std::size_t true_sessions = 0;
+  // The proxy feed: 6 cells x 6 subscribers, each streaming 3 videos.
+  // At t=600s the last two cells' links congest — sessions starting there
+  // afterwards stream through a squeezed link.
+  engine::IncidentFeedConfig fcfg;
+  fcfg.num_locations = 6;
+  fcfg.degraded_locations = 2;
+  fcfg.clients_per_location = 6;
+  fcfg.sessions_per_client = 3;
+  fcfg.incident_start_s = 600.0;
+  fcfg.seed = 1000;
+  engine::IncidentGroundTruth truth;
   const engine::Feed feed =
-      engine::simulated_feed(has::svc1_profile(), 24, 4, /*seed=*/1000,
-                             &true_sessions);
-  std::printf("Proxy feed: %zu TLS records from 24 subscribers "
-              "(%zu true sessions)\n\n", feed.size(), true_sessions);
+      engine::incident_feed(has::svc1_profile(), fcfg, &truth);
+  std::printf("Proxy feed: %zu TLS records, %zu sessions; incident hits "
+              "%zu/%zu cells at t=%.0fs\n\n",
+              feed.size(), truth.sessions.size(),
+              truth.degraded_locations.size(),
+              truth.degraded_locations.size() + truth.healthy_locations.size(),
+              truth.incident_start_s);
+
+  // The alerting layer: stable per-session verdicts (3 consistent
+  // confident estimates to flip), folded into a decaying per-cell window,
+  // raised as an incident once the Wilson lower bound of the low-QoE rate
+  // credibly exceeds 50%.
+  alert::AlertPipelineConfig acfg;
+  acfg.filter.hysteresis_k = 3;
+  acfg.filter.min_confidence = 0.5;
+  acfg.detector.half_life_s = 600.0;
+  acfg.detector.min_effective_sessions = 4.0;
+  // Residential cells hover well under 35% low-QoE in the healthy pool,
+  // so credibly exceeding it is already incident-grade.
+  acfg.detector.alert_rate = 0.35;
+  acfg.manager.defaults.raise_rate = 0.35;
+  acfg.manager.defaults.clear_rate = 0.2;
+  alert::AlertPipeline alerts(acfg);
 
   engine::EngineConfig ecfg;
   ecfg.num_shards = 4;
   ecfg.monitor.client_idle_timeout_s = 120.0;
-  ecfg.monitor.provisional_every = 16;  // in-flight estimate cadence
-  ecfg.watermark_interval_s = 30.0;
+  ecfg.monitor.provisional_every = 4;  // in-flight estimate cadence
+  ecfg.watermark_interval_s = 15.0;
+  ecfg.alert_sink = &alerts;
 
   std::mutex mu;
   int class_counts[3] = {0, 0, 0};
@@ -45,14 +79,10 @@ int main() {
       [&](const core::MonitoredSession& s) {
         const std::lock_guard<std::mutex> lock(mu);
         ++class_counts[s.predicted_class];
-        std::printf("  [%7.1fs] %-10s session ended: %3zu txns, QoE %s\n",
-                    s.end_s, s.client.c_str(), s.transactions.size(),
-                    estimator.class_name(s.predicted_class).c_str());
       },
       [&](const core::ProvisionalEstimate& p) {
-        // Mid-session screening: count clients already looking degraded
-        // before their session closes (an alerting layer would key off
-        // these instead of waiting for the idle timeout).
+        // Mid-session screening: the alert pipeline keys off these same
+        // estimates instead of waiting for the idle timeout.
         if (p.predicted_class == 0) ++provisional_low;
       },
       ecfg);
@@ -60,17 +90,26 @@ int main() {
   for (const auto& r : feed) eng.ingest(r.client, r.txn);
   eng.finish();
 
+  std::printf("Alert timeline (deterministic across shard counts):\n");
+  for (const auto& ev : alerts.log_snapshot()) {
+    std::printf("  [%7.1fs] #%llu %-7s %-8s  low-QoE rate in "
+                "[%.2f, %.2f], %.1f effective sessions\n",
+                ev.time_s, static_cast<unsigned long long>(ev.id),
+                ev.kind == alert::AlertEvent::Kind::kRaised ? "RAISED"
+                                                            : "CLEARED",
+                ev.location.c_str(), ev.rate_low, ev.rate_high,
+                ev.effective_sessions);
+  }
+
   const auto snap = eng.stats();
   std::printf("\nEngine statistics (%zu shards):\n%s\n", eng.num_shards(),
               snap.to_string().c_str());
-  std::printf("Monitoring window summary: %llu sessions reported (%zu true)\n",
-              static_cast<unsigned long long>(eng.sessions_reported()),
-              true_sessions);
-  std::printf("  low: %d   medium: %d   high: %d\n", class_counts[0],
-              class_counts[1], class_counts[2]);
+  std::printf("Session QoE — low: %d   medium: %d   high: %d\n",
+              class_counts[0], class_counts[1], class_counts[2]);
   std::printf("In-flight screening: %zu provisional low-QoE estimates "
               "surfaced before session close\n", provisional_low.load());
-  std::printf("\nSame session set as the single-threaded live_monitor loop —\n"
-              "sharding parallelizes the drain without changing results.\n");
+  std::printf("Open alerts at shutdown: %zu (ground truth: %zu degraded "
+              "cells)\n", alerts.open_alerts(),
+              truth.degraded_locations.size());
   return 0;
 }

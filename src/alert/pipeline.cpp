@@ -1,0 +1,195 @@
+#include "alert/pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace droppkt::alert {
+
+namespace {
+
+constexpr double kNeverSeen = -std::numeric_limits<double>::infinity();
+
+/// The total merge order: time, then client (distinct clients never need a
+/// further tie-break; one client's transitions keep their lane order via
+/// stable sort, because a client lives on exactly one shard).
+bool merge_before(const VerdictTransition& a, const VerdictTransition& b) {
+  if (a.time_s != b.time_s) return a.time_s < b.time_s;
+  return a.client < b.client;
+}
+
+}  // namespace
+
+std::string default_location_of(std::string_view client) {
+  const auto slash = client.find('/');
+  if (slash == std::string_view::npos) return std::string(client);
+  return std::string(client.substr(0, slash));
+}
+
+AlertPipeline::AlertPipeline(AlertPipelineConfig config)
+    : config_(std::move(config)),
+      detector_(config_.detector),
+      manager_(config_.manager) {
+  if (!config_.location_of) config_.location_of = default_location_of;
+}
+
+AlertPipeline::~AlertPipeline() = default;
+
+void AlertPipeline::bind(std::size_t num_shards) {
+  DROPPKT_EXPECT(num_shards >= 1, "AlertPipeline: need at least one shard");
+  DROPPKT_EXPECT(lanes_.empty(),
+                 "AlertPipeline: bind() must be called exactly once "
+                 "(use a fresh pipeline per engine)");
+  lanes_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->filter = SessionAlertFilter(config_.filter);
+    lane->watermark_s = kNeverSeen;
+    lanes_.push_back(std::move(lane));
+  }
+  merged_up_to_s_ = kNeverSeen;
+}
+
+void AlertPipeline::enqueue(Lane& lane, VerdictTransition t, bool at_close) {
+  transitions_.fetch_add(1, std::memory_order_relaxed);
+  Pending p;
+  p.location = config_.location_of(t.client);
+  p.transition = std::move(t);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  (at_close ? lane.at_close : lane.buffer).push_back(std::move(p));
+}
+
+void AlertPipeline::on_provisional(std::size_t shard,
+                                   const core::ProvisionalEstimate& estimate) {
+  DROPPKT_EXPECT(shard < lanes_.size(), "AlertPipeline: shard out of range");
+  // The filter is lane-local state touched only by the shard's own worker;
+  // no lock until a transition survives hysteresis.
+  FilterOutcome out = lanes_[shard]->filter.on_provisional(estimate);
+  if (out.suppressed) suppressed_.fetch_add(1, std::memory_order_relaxed);
+  if (out.transition) {
+    enqueue(*lanes_[shard], std::move(*out.transition), /*at_close=*/false);
+  }
+}
+
+void AlertPipeline::on_session(std::size_t shard,
+                               const core::MonitoredSession& session,
+                               bool at_close) {
+  DROPPKT_EXPECT(shard < lanes_.size(), "AlertPipeline: shard out of range");
+  VerdictTransition t = lanes_[shard]->filter.on_session(
+      session.client, session.predicted_class, session.confidence,
+      session.detected_s);
+  enqueue(*lanes_[shard], std::move(t), at_close);
+}
+
+void AlertPipeline::on_watermark(std::size_t shard, double watermark_s) {
+  DROPPKT_EXPECT(shard < lanes_.size(), "AlertPipeline: shard out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lanes_[shard]->watermark_s = watermark_s;
+  // Every lane receives the same broadcast sequence; recording shard 0's
+  // arrivals records it exactly once, in order.
+  if (shard == 0) pending_sweeps_.push_back(watermark_s);
+  double min_w = lanes_[0]->watermark_s;
+  for (const auto& lane : lanes_) min_w = std::min(min_w, lane->watermark_s);
+  if (min_w > merged_up_to_s_) merge_and_apply(min_w);
+}
+
+void AlertPipeline::merge_and_apply(double up_to_s) {
+  // Every transition with time < up_to_s is already buffered: each lane
+  // has acknowledged a watermark >= up_to_s, and a shard's later events
+  // carry times at or after its acknowledged watermark.
+  std::vector<Pending> batch;
+  for (auto& lane : lanes_) {
+    auto& buf = lane->buffer;
+    auto split = buf.begin();
+    while (split != buf.end() && split->transition.time_s < up_to_s) ++split;
+    batch.insert(batch.end(), std::make_move_iterator(buf.begin()),
+                 std::make_move_iterator(split));
+    buf.erase(buf.begin(), split);
+  }
+  apply_batch(std::move(batch), up_to_s);
+}
+
+void AlertPipeline::apply_batch(std::vector<Pending> batch, double up_to_s) {
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return merge_before(a.transition, b.transition);
+                   });
+  // Interleave lifecycle sweeps at the broadcast watermark instants so a
+  // cooldown clear fires at the same (shard-count-independent) time no
+  // matter how releases batched up.
+  auto next = batch.begin();
+  while (!pending_sweeps_.empty() && pending_sweeps_.front() <= up_to_s) {
+    const double sweep_s = pending_sweeps_.front();
+    pending_sweeps_.pop_front();
+    while (next != batch.end() && next->transition.time_s < sweep_s) {
+      apply_transition(*next);
+      ++next;
+    }
+    sweep(sweep_s);
+  }
+  for (; next != batch.end(); ++next) apply_transition(*next);
+  merged_up_to_s_ = std::max(merged_up_to_s_, up_to_s);
+}
+
+void AlertPipeline::apply_transition(const Pending& p) {
+  const VerdictTransition& t = p.transition;
+  if (config_.on_transition) config_.on_transition(t, p.location);
+  if (t.from_class != kNoVerdict) {
+    detector_.retract(p.location, t.time_s, t.prev_time_s,
+                      /*low_qoe=*/t.from_class == 0);
+  }
+  detector_.observe(p.location, t.time_s, /*low_qoe=*/t.to_class == 0);
+  manager_.update(p.location, detector_.window(p.location, t.time_s),
+                  t.time_s);
+}
+
+void AlertPipeline::sweep(double time_s) {
+  for (const auto& [location, window] : detector_.snapshot(time_s)) {
+    manager_.update(location, window, time_s);
+  }
+}
+
+void AlertPipeline::on_finish() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  // Tail flush: everything still buffered, plus the engine-shutdown
+  // sessions that had no watermark position. Concatenating buffer before
+  // at_close per lane keeps each client's internal order (a client's
+  // at_close verdict never precedes its buffered transitions in time).
+  std::vector<Pending> batch;
+  for (auto& lane : lanes_) {
+    batch.insert(batch.end(),
+                 std::make_move_iterator(lane->buffer.begin()),
+                 std::make_move_iterator(lane->buffer.end()));
+    lane->buffer.clear();
+    batch.insert(batch.end(),
+                 std::make_move_iterator(lane->at_close.begin()),
+                 std::make_move_iterator(lane->at_close.end()));
+    lane->at_close.clear();
+  }
+  apply_batch(std::move(batch), std::numeric_limits<double>::infinity());
+}
+
+engine::AlertCounts AlertPipeline::counts() const {
+  engine::AlertCounts c;
+  c.transitions = transitions_.load(std::memory_order_relaxed);
+  c.suppressed = suppressed_.load(std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  c.alerts_raised = manager_.total_raised();
+  c.alerts_cleared = manager_.total_cleared();
+  return c;
+}
+
+std::vector<AlertEvent> AlertPipeline::log_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {manager_.log().begin(), manager_.log().end()};
+}
+
+std::size_t AlertPipeline::open_alerts() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return manager_.open_alerts();
+}
+
+}  // namespace droppkt::alert

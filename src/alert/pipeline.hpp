@@ -1,0 +1,138 @@
+// AlertPipeline: the engine-facing assembly of the alerting subsystem —
+// hysteresis filter -> windowed location detector -> alert lifecycle —
+// implementing engine::AlertSink.
+//
+// The hard requirement is determinism: for a fixed feed and config, the
+// alert event sequence (ids, locations, times, evidence — every float)
+// must be bit-identical whether the engine runs 1 shard or 16. Shard
+// workers call in concurrently and in nondeterministic relative order, so
+// the pipeline is split into two stages:
+//
+//   Shard lanes (lock-free w.r.t. each other): each shard owns a
+//   SessionAlertFilter — hysteresis is per-client state, and a client's
+//   estimates all arrive on its one owning shard in deterministic order —
+//   plus a buffer of the stable-verdict transitions that survive it.
+//   A lane's buffer is ordered by transition time (feed order).
+//
+//   Watermark merge (one mutex): the engine broadcasts every low-watermark
+//   value to every shard. Once all lanes have acknowledged watermark W,
+//   every transition with time < W is already buffered (a shard cannot
+//   later produce one: its records beyond its acknowledged watermark start
+//   at or after it). The pipeline drains those prefixes, orders them by
+//   (time, client) — total, because one client's transitions keep their
+//   lane order and distinct clients never tie further — and feeds the
+//   detector and manager. Periodic evaluation sweeps run at the broadcast
+//   watermark values themselves (interleaved into the same time order),
+//   NOT at drain time, so cooldown clears fire at shard-count-independent
+//   instants.
+//
+// Release boundaries may batch differently across shard counts (a slow
+// lane can hold the minimum back through several watermarks), but batches
+// partition the same time-ordered sequence, so the concatenation — and
+// therefore every detector float and every alert id — is identical.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alert/alert_manager.hpp"
+#include "alert/location_detector.hpp"
+#include "alert/session_filter.hpp"
+#include "engine/alert_sink.hpp"
+
+namespace droppkt::alert {
+
+struct AlertPipelineConfig {
+  SessionFilterConfig filter;
+  DetectorConfig detector;
+  ManagerConfig manager;
+  /// Maps a client id to its network location (cell, CMTS port, OLT...).
+  /// Default: the prefix before the first '/', or the whole client id —
+  /// matching the "location/subscriber" naming the feed builders use.
+  std::function<std::string(std::string_view client)> location_of;
+  /// Optional tap on the deterministic merged transition stream (called
+  /// under the pipeline mutex, in the exact order the detector sees).
+  /// `location` is the resolved location of the transition's client.
+  std::function<void(const VerdictTransition&, const std::string& location)>
+      on_transition;
+};
+
+/// Everything-by-default location mapping: "cell-3/sub-17" -> "cell-3".
+std::string default_location_of(std::string_view client);
+
+class AlertPipeline final : public engine::AlertSink {
+ public:
+  explicit AlertPipeline(AlertPipelineConfig config = {});
+  ~AlertPipeline() override;
+
+  // engine::AlertSink (see its header for the threading contract).
+  void bind(std::size_t num_shards) override;
+  void on_provisional(std::size_t shard,
+                      const core::ProvisionalEstimate& estimate) override;
+  void on_session(std::size_t shard, const core::MonitoredSession& session,
+                  bool at_close) override;
+  void on_watermark(std::size_t shard, double watermark_s) override;
+  void on_finish() override;
+  engine::AlertCounts counts() const override;
+
+  /// Copy of the alert log (bounded, oldest first). Safe to call while the
+  /// engine runs; the deterministic full sequence is only guaranteed after
+  /// on_finish().
+  std::vector<AlertEvent> log_snapshot() const;
+
+  /// Alerts currently open. Like log_snapshot(), settles after on_finish().
+  std::size_t open_alerts() const;
+
+ private:
+  struct Pending {
+    VerdictTransition transition;
+    std::string location;
+  };
+  struct Lane {
+    SessionAlertFilter filter;
+    /// Transitions not yet merged, time-ordered (feed order per shard).
+    /// Guarded by mutex_; appended by the owning shard, drained by merges.
+    std::vector<Pending> buffer;
+    /// Force-flushed (engine shutdown) sessions: no watermark position,
+    /// surfaced only at on_finish. Guarded by mutex_.
+    std::vector<Pending> at_close;
+    double watermark_s = -1.0;  // guarded by mutex_
+  };
+
+  void enqueue(Lane& lane, VerdictTransition t, bool at_close);
+  /// Drain every lane's < up_to_s prefix, merge, and apply. mutex_ held.
+  void merge_and_apply(double up_to_s);
+  /// Apply one merged batch (already ordered) interleaved with pending
+  /// sweeps up to `up_to_s`. mutex_ held.
+  void apply_batch(std::vector<Pending> batch, double up_to_s);
+  void apply_transition(const Pending& p);
+  /// Re-evaluate every tracked location at `time_s` (cooldown clears for
+  /// locations with no fresh events). mutex_ held.
+  void sweep(double time_s);
+
+  AlertPipelineConfig config_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+
+  mutable std::mutex mutex_;
+  LocationDetector detector_;
+  AlertManager manager_;
+  /// Broadcast watermark values not yet swept, in broadcast order (every
+  /// lane sees the same sequence; lane 0's arrivals define it — with one
+  /// shard that is trivially the broadcast order, with N shards it is the
+  /// same values in the same order).
+  std::deque<double> pending_sweeps_;
+  double merged_up_to_s_ = -1.0;
+  bool finished_ = false;
+
+  std::atomic<std::uint64_t> transitions_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+};
+
+}  // namespace droppkt::alert

@@ -1,0 +1,71 @@
+#include "alert/session_filter.hpp"
+
+#include "util/expect.hpp"
+
+namespace droppkt::alert {
+
+SessionAlertFilter::SessionAlertFilter(SessionFilterConfig config)
+    : config_(config) {
+  DROPPKT_EXPECT(config_.hysteresis_k >= 1,
+                 "SessionAlertFilter: hysteresis_k must be >= 1");
+  DROPPKT_EXPECT(config_.min_confidence >= 0.0 && config_.min_confidence <= 1.0,
+                 "SessionAlertFilter: min_confidence must be in [0,1]");
+}
+
+FilterOutcome SessionAlertFilter::on_provisional(
+    const core::ProvisionalEstimate& estimate) {
+  FilterOutcome out;
+  if (estimate.confidence < config_.min_confidence) return out;
+
+  State& st = clients_[std::string(estimate.client)];
+  if (estimate.predicted_class == st.stable) {
+    // Reinforces the stable verdict; any contrary run restarts from zero.
+    st.run_len = 0;
+    st.run_class = kNoVerdict;
+    return out;
+  }
+  if (estimate.predicted_class == st.run_class) {
+    ++st.run_len;
+  } else {
+    st.run_class = estimate.predicted_class;
+    st.run_len = 1;
+  }
+  if (st.run_len < config_.hysteresis_k) {
+    out.suppressed = true;
+    return out;
+  }
+  VerdictTransition t;
+  t.client = std::string(estimate.client);
+  t.from_class = st.stable;
+  t.to_class = st.run_class;
+  t.confidence = estimate.confidence;
+  t.time_s = estimate.last_activity_s;
+  t.prev_time_s = st.stable_time_s;
+  st.stable = st.run_class;
+  st.stable_time_s = estimate.last_activity_s;
+  st.run_len = 0;
+  st.run_class = kNoVerdict;
+  out.transition = std::move(t);
+  return out;
+}
+
+VerdictTransition SessionAlertFilter::on_session(std::string_view client,
+                                                 int predicted_class,
+                                                 double confidence,
+                                                 double detected_s) {
+  VerdictTransition t;
+  t.client = std::string(client);
+  t.to_class = predicted_class;
+  t.confidence = confidence;
+  t.time_s = detected_s;
+  t.final_verdict = true;
+  const auto it = clients_.find(t.client);
+  if (it != clients_.end()) {
+    t.from_class = it->second.stable;
+    t.prev_time_s = it->second.stable_time_s;
+    clients_.erase(it);
+  }
+  return t;
+}
+
+}  // namespace droppkt::alert

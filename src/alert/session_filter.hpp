@@ -1,0 +1,95 @@
+// Hysteresis over per-session verdict flips — the first stage of the
+// alerting pipeline.
+//
+// Provisional estimates are noisy early in a session (the paper's
+// early-detection experiments show accuracy climbing with observation
+// horizon), so a session's predicted class can flip several times before
+// settling. Alerting on every flip would double-count sessions and thrash
+// downstream state; this filter turns the flip stream into a stable
+// per-session verdict that changes only after `hysteresis_k` consecutive
+// estimates agree on the new class at or above a confidence floor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/monitor.hpp"
+
+namespace droppkt::alert {
+
+/// Sentinel class for "no stable verdict yet".
+inline constexpr int kNoVerdict = -1;
+
+struct SessionFilterConfig {
+  /// Consecutive agreeing confident estimates required to change (or
+  /// first establish) a session's stable verdict.
+  std::size_t hysteresis_k = 3;
+  /// Estimates whose forest probability is below this neither advance nor
+  /// reset a run — the forest itself is unsure, so they carry no signal.
+  double min_confidence = 0.5;
+};
+
+/// One stable-verdict change for a session, ready for location-level
+/// aggregation. Owns its client string (transitions are rare relative to
+/// estimates, so the copy is off the hot path and lets callers buffer).
+struct VerdictTransition {
+  std::string client;
+  int from_class = kNoVerdict;  // kNoVerdict on the first verdict
+  int to_class = 0;
+  double confidence = 0.0;  // of the estimate that completed the flip
+  /// Feed time of the deciding event (provisional last_activity_s, or the
+  /// session's detected_s for final verdicts).
+  double time_s = 0.0;
+  /// Feed time at which `from_class` was established — the evidence a
+  /// windowed detector must retract when applying this transition.
+  double prev_time_s = 0.0;
+  /// True when emitted by the session's final (completed-session)
+  /// verdict; final verdicts are authoritative and bypass hysteresis.
+  bool final_verdict = false;
+};
+
+/// Result of feeding one provisional estimate.
+struct FilterOutcome {
+  std::optional<VerdictTransition> transition;
+  /// The estimate disagreed with the stable verdict but hysteresis
+  /// absorbed it (run not yet at k).
+  bool suppressed = false;
+};
+
+/// Per-client verdict hysteresis. Single-threaded; the sharded pipeline
+/// keeps one filter per shard lane so each is only touched by its shard's
+/// worker.
+class SessionAlertFilter {
+ public:
+  explicit SessionAlertFilter(SessionFilterConfig config = {});
+
+  /// Feed one in-flight estimate for a still-open session.
+  FilterOutcome on_provisional(const core::ProvisionalEstimate& estimate);
+
+  /// Feed a completed session's final verdict. Always yields exactly one
+  /// transition — from the stable provisional verdict when one formed
+  /// (even if equal: the transition re-times the evidence from the
+  /// provisional's clock to detected_s), from kNoVerdict otherwise — and
+  /// forgets the client, so every session contributes final evidence
+  /// exactly once.
+  VerdictTransition on_session(std::string_view client, int predicted_class,
+                               double confidence, double detected_s);
+
+  std::size_t open_clients() const { return clients_.size(); }
+
+ private:
+  struct State {
+    int stable = kNoVerdict;
+    double stable_time_s = 0.0;  // when `stable` was established
+    int run_class = kNoVerdict;  // candidate class of the current run
+    std::size_t run_len = 0;
+  };
+
+  SessionFilterConfig config_;
+  std::unordered_map<std::string, State> clients_;
+};
+
+}  // namespace droppkt::alert

@@ -8,12 +8,19 @@
 namespace droppkt::core {
 
 Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  return wilson_interval_real(static_cast<double>(successes),
+                              static_cast<double>(trials), z);
+}
+
+Interval wilson_interval_real(double successes, double trials, double z) {
+  DROPPKT_EXPECT(successes >= 0.0 && trials >= 0.0,
+                 "wilson_interval: counts must be non-negative");
   DROPPKT_EXPECT(successes <= trials,
                  "wilson_interval: successes cannot exceed trials");
   DROPPKT_EXPECT(z > 0.0, "wilson_interval: z must be positive");
-  if (trials == 0) return {0.0, 1.0};
-  const double n = static_cast<double>(trials);
-  const double p = static_cast<double>(successes) / n;
+  if (trials == 0.0) return {0.0, 1.0};
+  const double n = trials;
+  const double p = successes / n;
   const double z2 = z * z;
   const double denom = 1.0 + z2 / n;
   const double center = (p + z2 / (2.0 * n)) / denom;
@@ -54,9 +61,14 @@ std::vector<LocationStats> LocationAggregator::flagged() const {
     const auto ci = wilson_interval(stats.low_qoe, stats.sessions, config_.z);
     if (ci.low > config_.alert_rate) out.push_back(stats);
   }
+  // Worst first; equal rates tie-break on (sessions desc, name asc) so the
+  // ordering is total and stable run-to-run — std::sort on rate alone
+  // leaves tied locations in unspecified relative order.
   std::sort(out.begin(), out.end(),
             [](const LocationStats& a, const LocationStats& b) {
-              return a.rate() > b.rate();
+              if (a.rate() != b.rate()) return a.rate() > b.rate();
+              if (a.sessions != b.sessions) return a.sessions > b.sessions;
+              return a.location < b.location;
             });
   return out;
 }

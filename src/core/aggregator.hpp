@@ -24,6 +24,13 @@ struct Interval {
 Interval wilson_interval(std::size_t successes, std::size_t trials,
                          double z = 1.96);
 
+/// Wilson interval over fractional counts — for windowed/decaying
+/// aggregation where each observation carries an exponentially-decayed
+/// weight, so "successes" and "trials" are effective (real-valued) sample
+/// sizes. Degenerates to the integer version on whole numbers.
+Interval wilson_interval_real(double successes, double trials,
+                              double z = 1.96);
+
 struct LocationStats {
   std::string location;
   std::size_t sessions = 0;

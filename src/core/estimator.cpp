@@ -24,6 +24,7 @@ void QoeEstimator::train_raw(
     const std::vector<std::pair<trace::TlsLog, int>>& labelled) {
   DROPPKT_EXPECT(!labelled.empty(), "QoeEstimator: empty training set");
   ml::Dataset data(tls_feature_names(config_.features), kNumQoeClasses);
+  data.reserve(labelled.size());
   // One accumulator and one row buffer for the whole corpus instead of a
   // fresh feature vector per session.
   TlsFeatureAccumulator acc(config_.features);

@@ -75,6 +75,7 @@ ml::Dataset make_flow_dataset(const LabeledDataset& sessions, QoeTarget target,
                               const TlsFeatureConfig& features) {
   DROPPKT_EXPECT(!sessions.empty(), "make_flow_dataset: empty dataset");
   ml::Dataset data(flow_feature_names(features), kNumQoeClasses);
+  data.reserve(sessions.size());
   TlsFeatureAccumulator acc(features);
   std::vector<double> row(acc.feature_count());
   for (const auto& s : sessions) {

@@ -6,13 +6,31 @@ namespace droppkt::core {
 
 StreamingMonitor::StreamingMonitor(const QoeEstimator& estimator,
                                    Callback on_session, MonitorConfig config)
+    : StreamingMonitor(estimator, std::move(on_session), ViewCallback{},
+                       config, ViewTag{}) {
+  DROPPKT_EXPECT(static_cast<bool>(on_session_),
+                 "StreamingMonitor: callback must be callable");
+}
+
+StreamingMonitor StreamingMonitor::with_view_sink(const QoeEstimator& estimator,
+                                                  ViewCallback on_session,
+                                                  MonitorConfig config) {
+  DROPPKT_EXPECT(static_cast<bool>(on_session),
+                 "StreamingMonitor: callback must be callable");
+  return StreamingMonitor(estimator, Callback{}, std::move(on_session), config,
+                          ViewTag{});
+}
+
+StreamingMonitor::StreamingMonitor(const QoeEstimator& estimator,
+                                   Callback on_session,
+                                   ViewCallback on_session_view,
+                                   MonitorConfig config, ViewTag)
     : estimator_(&estimator),
       on_session_(std::move(on_session)),
+      on_session_view_(std::move(on_session_view)),
       config_(config) {
   DROPPKT_EXPECT(estimator.trained(),
                  "StreamingMonitor: estimator must be trained");
-  DROPPKT_EXPECT(static_cast<bool>(on_session_),
-                 "StreamingMonitor: callback must be callable");
   DROPPKT_EXPECT(config_.client_idle_timeout_s > 0.0,
                  "StreamingMonitor: idle timeout must be positive");
   feature_scratch_.resize(estimator_->feature_count());
@@ -29,25 +47,43 @@ void StreamingMonitor::rebuild_accumulator(ClientState& state) {
   for (const auto& t : state.pending) state.acc.observe(t);
 }
 
-void StreamingMonitor::emit(const std::string& client, ClientState& state) {
+void StreamingMonitor::emit(const std::string& client, ClientState& state,
+                            double detected_s) {
   if (state.pending.size() >= config_.min_transactions) {
-    MonitoredSession session;
-    session.client = client;
     // The live accumulator mirrors `pending`, so classification is one
     // snapshot + forest vote into reused scratch — no re-extraction, no
     // allocation. Bit-identical to estimator_->predict(state.pending).
     DROPPKT_ASSERT(state.acc.transactions() == state.pending.size(),
                    "StreamingMonitor: accumulator out of sync with pending");
-    session.predicted_class =
+    MonitoredSessionView view;
+    view.client = client;
+    view.transactions = state.pending;
+    view.predicted_class =
         estimator_->predict_into(state.acc, feature_scratch_, proba_scratch_);
-    session.start_s = state.pending.front().start_s;
-    session.end_s = state.pending.front().end_s;
+    view.confidence =
+        proba_scratch_[static_cast<std::size_t>(view.predicted_class)];
+    view.start_s = state.pending.front().start_s;
+    view.end_s = state.pending.front().end_s;
     for (const auto& t : state.pending) {
-      session.end_s = std::max(session.end_s, t.end_s);
+      view.end_s = std::max(view.end_s, t.end_s);
     }
-    session.transactions = std::move(state.pending);
+    view.detected_s = detected_s;
     ++sessions_reported_;
-    on_session_(session);
+    if (on_session_view_) {
+      // Borrowed-span path: the sink sees `pending` in place; clearing
+      // below keeps the buffer's capacity for the client's next session.
+      on_session_view_(view);
+    } else {
+      MonitoredSession session;
+      session.client = client;
+      session.transactions = std::move(state.pending);
+      session.predicted_class = view.predicted_class;
+      session.confidence = view.confidence;
+      session.start_s = view.start_s;
+      session.end_s = view.end_s;
+      session.detected_s = view.detected_s;
+      on_session_(session);
+    }
   }
   state.pending.clear();
   state.acc.reset();
@@ -71,7 +107,7 @@ void StreamingMonitor::observe(const std::string& client,
   // Idle gap: the previous session ended long ago.
   if (!state.pending.empty() &&
       txn.start_s - state.last_start_s > config_.client_idle_timeout_s) {
-    emit(client, state);
+    emit(client, state, txn.start_s);
   }
 
   state.pending.push_back(txn);
@@ -95,6 +131,8 @@ void StreamingMonitor::observe(const std::string& client,
     est.transactions_observed = state.pending.size();
     est.predicted_class =
         estimator_->predict_into(state.acc, feature_scratch_, proba_scratch_);
+    est.confidence =
+        proba_scratch_[static_cast<std::size_t>(est.predicted_class)];
     est.session_start_s = state.pending.front().start_s;
     est.last_activity_s = txn.start_s;
     ++provisionals_reported_;
@@ -113,7 +151,7 @@ void StreamingMonitor::observe(const std::string& client,
     head.pending.assign(state.pending.begin(),
                         state.pending.begin() + static_cast<std::ptrdiff_t>(k));
     rebuild_accumulator(head);
-    emit(client, head);
+    emit(client, head, txn.start_s);
     state.pending.erase(state.pending.begin(),
                         state.pending.begin() + static_cast<std::ptrdiff_t>(k));
     // The split invalidated the live state; re-fold the survivors.
@@ -126,7 +164,7 @@ void StreamingMonitor::advance_time(double now_s) {
   for (auto it = clients_.begin(); it != clients_.end();) {
     ClientState& state = it->second;
     if (now_s - state.last_start_s > config_.client_idle_timeout_s) {
-      if (!state.pending.empty()) emit(it->first, state);
+      if (!state.pending.empty()) emit(it->first, state, now_s);
       it = clients_.erase(it);
     } else {
       ++it;
@@ -136,7 +174,7 @@ void StreamingMonitor::advance_time(double now_s) {
 
 void StreamingMonitor::finish() {
   for (auto& [client, state] : clients_) {
-    if (!state.pending.empty()) emit(client, state);
+    if (!state.pending.empty()) emit(client, state, state.last_start_s);
   }
   clients_.clear();
 }

@@ -23,8 +23,42 @@ struct MonitoredSession {
   std::string client;
   trace::TlsLog transactions;
   int predicted_class = 0;  // 0 = low/worst
+  double confidence = 0.0;  // forest probability of predicted_class
   double start_s = 0.0;
   double end_s = 0.0;
+  /// Feed time at which the monitor decided the session was over (the
+  /// record or watermark that triggered emission) — always >= the start
+  /// of the session's last record, and the time an alerting layer should
+  /// order this verdict by. end_s can exceed it (long final connections).
+  double detected_s = 0.0;
+};
+
+/// Borrowed view of a completed session — the allocation-free emit path.
+/// `client` and `transactions` point into the monitor's storage and are
+/// valid only during the callback; sinks that need to retain the session
+/// call to_owned(). Skipping the owned copy also lets the monitor keep
+/// each client's transaction buffer capacity across sessions.
+struct MonitoredSessionView {
+  std::string_view client;
+  std::span<const trace::TlsTransaction> transactions;
+  int predicted_class = 0;  // 0 = low/worst
+  double confidence = 0.0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double detected_s = 0.0;  // see MonitoredSession::detected_s
+
+  /// Deep copy for sinks that outlive the callback.
+  MonitoredSession to_owned() const {
+    return MonitoredSession{
+        .client = std::string(client),
+        .transactions = trace::TlsLog(transactions.begin(),
+                                      transactions.end()),
+        .predicted_class = predicted_class,
+        .confidence = confidence,
+        .start_s = start_s,
+        .end_s = end_s,
+        .detected_s = detected_s};
+  }
 };
 
 /// An in-flight QoE estimate for a client's still-open session — the
@@ -37,6 +71,7 @@ struct ProvisionalEstimate {
   std::string_view client;
   std::size_t transactions_observed = 0;
   int predicted_class = 0;  // 0 = low/worst
+  double confidence = 0.0;  // forest probability of predicted_class
   double session_start_s = 0.0;
   double last_activity_s = 0.0;  // start of the newest record
 };
@@ -62,10 +97,20 @@ struct MonitorConfig {
 class StreamingMonitor {
  public:
   using Callback = std::function<void(const MonitoredSession&)>;
+  using ViewCallback = std::function<void(const MonitoredSessionView&)>;
   using ProvisionalCallback = std::function<void(const ProvisionalEstimate&)>;
 
   StreamingMonitor(const QoeEstimator& estimator, Callback on_session,
                    MonitorConfig config = {});
+
+  /// Monitor with the borrowed-span emit path: sessions are reported as
+  /// MonitoredSessionView, whose client/transactions borrow the monitor's
+  /// per-client buffer for the duration of the callback. Sinks that only
+  /// inspect the session (counters, alerting, logging) skip the owned
+  /// copy entirely, and the buffer's capacity is reused across sessions.
+  static StreamingMonitor with_view_sink(const QoeEstimator& estimator,
+                                         ViewCallback on_session,
+                                         MonitorConfig config = {});
 
   /// Install the in-flight estimate hook (see MonitorConfig::
   /// provisional_every). Call before feeding records. The callback fires
@@ -87,7 +132,9 @@ class StreamingMonitor {
   /// not exceed the start time of any record observed later.
   void advance_time(double now_s);
 
-  /// Flush all in-progress sessions (end of the monitoring window).
+  /// Flush all in-progress sessions (end of the monitoring window). Their
+  /// detected_s is the client's last record start (there is no feed clock
+  /// at shutdown).
   void finish();
 
   std::size_t sessions_reported() const { return sessions_reported_; }
@@ -95,6 +142,11 @@ class StreamingMonitor {
   std::size_t open_clients() const { return clients_.size(); }
 
  private:
+  struct ViewTag {};
+  StreamingMonitor(const QoeEstimator& estimator, Callback on_session,
+                   ViewCallback on_session_view, MonitorConfig config,
+                   ViewTag);
+
   struct ClientState {
     trace::TlsLog pending;        // transactions of the in-progress session
     double last_start_s = -1e18;  // latest transaction start seen
@@ -105,11 +157,12 @@ class StreamingMonitor {
     TlsFeatureAccumulator acc;
   };
 
-  void emit(const std::string& client, ClientState& state);
+  void emit(const std::string& client, ClientState& state, double detected_s);
   void rebuild_accumulator(ClientState& state);
 
   const QoeEstimator* estimator_;
   Callback on_session_;
+  ViewCallback on_session_view_;
   ProvisionalCallback on_provisional_;
   MonitorConfig config_;
   // unordered: client lookup is on the per-record hot path, needs no order.

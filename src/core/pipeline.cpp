@@ -31,6 +31,7 @@ ml::Dataset make_tls_dataset(const LabeledDataset& sessions, QoeTarget target,
                              const TlsFeatureConfig& config, FeatureSet set) {
   DROPPKT_EXPECT(!sessions.empty(), "make_tls_dataset: empty dataset");
   ml::Dataset full(tls_feature_names(config), kNumQoeClasses);
+  full.reserve(sessions.size());
   TlsFeatureAccumulator acc(config);
   std::vector<double> row(acc.feature_count());
   for (const auto& s : sessions) {
@@ -47,6 +48,7 @@ ml::Dataset make_ml16_dataset(const LabeledDataset& sessions, QoeTarget target,
                               const Ml16Config& config) {
   DROPPKT_EXPECT(!sessions.empty(), "make_ml16_dataset: empty dataset");
   ml::Dataset data(ml16_feature_names(), kNumQoeClasses);
+  data.reserve(sessions.size());
   for (const auto& s : sessions) {
     // Regenerate the packet view deterministically from the session seed.
     util::Rng rng(s.record.seed ^ 0x9ac4e7ULL);

@@ -1,0 +1,69 @@
+// The engine's alerting seam: an abstract sink the IngestEngine feeds with
+// every verdict-bearing event it produces, tagged with enough ordering
+// metadata (owning shard, low-watermark progress) for an implementation to
+// reconstruct a deterministic global event order.
+//
+// The interface lives in the engine layer so the alert subsystem
+// (src/alert/) can depend on the engine without the engine depending back
+// on it — the engine only knows "something downstream wants verdicts".
+//
+// Threading contract: bind() is called once, before any worker starts.
+// on_provisional / on_session / on_watermark are called from shard worker
+// threads WITHOUT the engine's sink mutex held; calls for one shard index
+// are serial (each shard has exactly one worker), calls for different
+// shards are concurrent. on_finish() is called once, from the thread
+// calling IngestEngine::finish(), after every worker has joined.
+// counts() may be called from any thread at any time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/monitor.hpp"
+
+namespace droppkt::engine {
+
+/// Monotonic totals an alert sink exposes back to EngineStats.
+struct AlertCounts {
+  /// Stable-verdict transitions the hysteresis stage let through.
+  std::uint64_t transitions = 0;
+  /// Verdict flips absorbed by hysteresis (never reached the detector).
+  std::uint64_t suppressed = 0;
+  std::uint64_t alerts_raised = 0;
+  std::uint64_t alerts_cleared = 0;
+};
+
+/// Consumer of the engine's verdict stream (see threading contract above).
+class AlertSink {
+ public:
+  virtual ~AlertSink() = default;
+
+  /// Number of shards the engine will report events from. Shard indices in
+  /// later calls are < num_shards.
+  virtual void bind(std::size_t num_shards) = 0;
+
+  /// An in-flight estimate for a still-open session. The estimate's
+  /// `client` view is valid only during the call.
+  virtual void on_provisional(std::size_t shard,
+                              const core::ProvisionalEstimate& estimate) = 0;
+
+  /// A completed session's final verdict. `at_close` is true when the
+  /// session was force-flushed by engine shutdown (monitor finish())
+  /// rather than delimited by feed time; such sessions carry no meaningful
+  /// position in the watermark order and must only be surfaced at
+  /// on_finish().
+  virtual void on_session(std::size_t shard,
+                          const core::MonitoredSession& session,
+                          bool at_close) = 0;
+
+  /// This shard has processed every record with start time < watermark_s.
+  /// Every shard receives every watermark value, in the same order.
+  virtual void on_watermark(std::size_t shard, double watermark_s) = 0;
+
+  /// The feed is done and all workers have joined; flush everything.
+  virtual void on_finish() = 0;
+
+  virtual AlertCounts counts() const = 0;
+};
+
+}  // namespace droppkt::engine

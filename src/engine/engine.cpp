@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/alert_sink.hpp"
 #include "util/expect.hpp"
 
 namespace droppkt::engine {
@@ -49,29 +50,41 @@ IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
     n = std::thread::hardware_concurrency();
     if (n == 0) n = 1;
   }
+  if (config_.alert_sink) config_.alert_sink->bind(n);
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>(config_.queue_capacity,
                                          config_.backpressure);
     Shard* sh = shard.get();
+    sh->index = i;
     // The callback runs on the shard's worker thread; the sink mutex
-    // serializes cross-shard emission.
+    // serializes cross-shard emission. The alert hook stays outside the
+    // mutex: its shard-side stage is per-shard state, so serializing it
+    // globally would be pure contention.
     sh->monitor = std::make_unique<core::StreamingMonitor>(
         *estimator_,
         [this, sh](const core::MonitoredSession& s) {
           sh->counters.sessions.fetch_add(1, std::memory_order_relaxed);
+          if (config_.alert_sink) {
+            config_.alert_sink->on_session(sh->index, s, sh->draining);
+          }
           const std::lock_guard<std::mutex> lock(sink_mutex_);
           sink_(s);
         },
         config_.monitor);
-    if (provisional_sink_) {
+    if (provisional_sink_ || config_.alert_sink) {
       // In-flight QoE fan-in mirrors the session sink: counted on the
       // owning shard, serialized across shards by the same mutex.
       sh->monitor->set_provisional_callback(
           [this, sh](const core::ProvisionalEstimate& e) {
             sh->counters.provisionals.fetch_add(1, std::memory_order_relaxed);
-            const std::lock_guard<std::mutex> lock(sink_mutex_);
-            provisional_sink_(e);
+            if (config_.alert_sink) {
+              config_.alert_sink->on_provisional(sh->index, e);
+            }
+            if (provisional_sink_) {
+              const std::lock_guard<std::mutex> lock(sink_mutex_);
+              provisional_sink_(e);
+            }
           });
     }
     shards_.push_back(std::move(shard));
@@ -131,10 +144,17 @@ void IngestEngine::worker_loop(Shard& shard) {
                                                                m.enqueue_tp)
               .count()));
     } else {
+      // advance_time first: sessions it evicts carry detected_s equal to
+      // the watermark, and the sink must see them before it learns the
+      // shard has reached that time.
       shard.monitor->advance_time(m.txn.start_s);
       shard.counters.watermarks.fetch_add(1, std::memory_order_relaxed);
+      if (config_.alert_sink) {
+        config_.alert_sink->on_watermark(shard.index, m.txn.start_s);
+      }
     }
   }
+  shard.draining = true;
   shard.monitor->finish();
 }
 
@@ -145,6 +165,9 @@ void IngestEngine::finish() {
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
+  // All workers have joined, so every on_* call has completed; the sink
+  // may now flush its buffered tail single-threaded.
+  if (config_.alert_sink) config_.alert_sink->on_finish();
 }
 
 EngineStatsSnapshot IngestEngine::stats() const {
@@ -175,6 +198,14 @@ EngineStatsSnapshot IngestEngine::stats() const {
   }
   snap.latency_p50_us = histogram_quantile_ns(merged, 0.50) / 1000.0;
   snap.latency_p99_us = histogram_quantile_ns(merged, 0.99) / 1000.0;
+  if (config_.alert_sink) {
+    const AlertCounts ac = config_.alert_sink->counts();
+    snap.alerting = true;
+    snap.verdict_transitions = ac.transitions;
+    snap.verdicts_suppressed = ac.suppressed;
+    snap.alerts_raised = ac.alerts_raised;
+    snap.alerts_cleared = ac.alerts_cleared;
+  }
   return snap;
 }
 

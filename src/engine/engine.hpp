@@ -42,6 +42,8 @@
 
 namespace droppkt::engine {
 
+class AlertSink;  // engine/alert_sink.hpp
+
 struct EngineConfig {
   /// Number of shard workers; 0 means hardware_concurrency (min 1).
   std::size_t num_shards = 0;
@@ -55,6 +57,10 @@ struct EngineConfig {
   /// Feed-time interval between low-watermark broadcasts. Must be positive;
   /// values well below the idle timeout keep quiet-shard eviction timely.
   double watermark_interval_s = 15.0;
+  /// Optional verdict consumer (see engine/alert_sink.hpp for the
+  /// threading contract). Borrowed; must outlive the engine. The alert
+  /// subsystem's alert::AlertPipeline is the intended implementation.
+  AlertSink* alert_sink = nullptr;
 };
 
 /// Sharded multi-threaded ingest over a proxy's TLS transaction feed.
@@ -124,6 +130,12 @@ class IngestEngine {
     ShardCounters counters;
     std::unique_ptr<core::StreamingMonitor> monitor;
     std::thread worker;
+    std::size_t index = 0;
+    /// Set by the shard's own worker just before the shutdown
+    /// monitor->finish() flush; read only from monitor callbacks on that
+    /// same thread, so no atomics needed. Lets the alert sink distinguish
+    /// feed-delimited sessions from force-flushed ones.
+    bool draining = false;
   };
 
   void worker_loop(Shard& shard);

@@ -73,6 +73,16 @@ std::string EngineStatsSnapshot::to_string() const {
                 "observe-to-classify latency: p50 %.1f us, p99 %.1f us\n",
                 latency_p50_us, latency_p99_us);
   out += line;
+  if (alerting) {
+    std::snprintf(line, sizeof(line),
+                  "alerting: %llu transitions, %llu suppressed, "
+                  "%llu raised, %llu cleared\n",
+                  static_cast<unsigned long long>(verdict_transitions),
+                  static_cast<unsigned long long>(verdicts_suppressed),
+                  static_cast<unsigned long long>(alerts_raised),
+                  static_cast<unsigned long long>(alerts_cleared));
+    out += line;
+  }
   return out;
 }
 

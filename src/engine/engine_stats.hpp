@@ -75,6 +75,12 @@ struct EngineStatsSnapshot {
   std::size_t max_queue_high_water = 0;
   double latency_p50_us = 0.0;  // observe-to-classify latency percentiles
   double latency_p99_us = 0.0;
+  /// Alerting totals, populated only when an AlertSink is configured.
+  bool alerting = false;
+  std::uint64_t verdict_transitions = 0;  // passed hysteresis
+  std::uint64_t verdicts_suppressed = 0;  // absorbed by hysteresis
+  std::uint64_t alerts_raised = 0;
+  std::uint64_t alerts_cleared = 0;
 
   /// Multi-line human-readable table.
   std::string to_string() const;

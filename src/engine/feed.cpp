@@ -9,6 +9,11 @@
 #include <ostream>
 
 #include "core/dataset_builder.hpp"
+#include "has/player.hpp"
+#include "has/video_catalog.hpp"
+#include "net/link_model.hpp"
+#include "net/trace_generator.hpp"
+#include "trace/connection_manager.hpp"
 #include "util/expect.hpp"
 #include "util/rng.hpp"
 
@@ -159,6 +164,121 @@ Feed simulated_feed(const has::ServiceProfile& svc, std::size_t num_clients,
   }
   sort_feed(feed);
   if (true_sessions != nullptr) *true_sessions = truth;
+  return feed;
+}
+
+namespace {
+
+/// Simulate `n` sessions over an LTE link with `congestion` of the
+/// bandwidth removed, times normalized so each log starts at 0.
+std::vector<trace::TlsLog> session_pool(const has::ServiceProfile& svc,
+                                        std::size_t n, double congestion,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  net::TraceGenerator gen(rng());
+  const auto catalog = has::VideoCatalog::generate(svc.name, 20, rng());
+  const has::PlayerSimulator player;
+  std::vector<trace::TlsLog> pool;
+  pool.reserve(n);
+  while (pool.size() < n) {
+    auto bw = gen.generate(net::Environment::kLte, 600.0);
+    std::vector<net::BandwidthSample> squeezed;
+    squeezed.reserve(bw.samples().size());
+    for (const auto& s : bw.samples()) {
+      squeezed.push_back({s.t_s, s.kbps * (1.0 - congestion)});
+    }
+    const net::BandwidthTrace trace(std::move(squeezed), bw.duration_s(),
+                                    net::Environment::kLte);
+    const net::LinkModel link(trace);
+    auto playback = player.play(svc, catalog.sample(rng), link,
+                                rng.uniform(60.0, 300.0), rng);
+    const trace::ConnectionManager conns(svc.connections, rng);
+    trace::TlsLog log = conns.collect(playback.http, rng);
+    if (log.size() < 3) continue;  // too sparse to survive min_transactions
+    double t0 = log.front().start_s;
+    for (const auto& t : log) t0 = std::min(t0, t.start_s);
+    for (auto& t : log) {
+      t.start_s -= t0;
+      t.end_s -= t0;
+    }
+    pool.push_back(std::move(log));
+  }
+  return pool;
+}
+
+}  // namespace
+
+Feed incident_feed(const has::ServiceProfile& svc,
+                   const IncidentFeedConfig& config,
+                   IncidentGroundTruth* truth) {
+  DROPPKT_EXPECT(config.num_locations >= 1 &&
+                     config.degraded_locations <= config.num_locations,
+                 "incident_feed: degraded_locations must be <= num_locations");
+  DROPPKT_EXPECT(config.congestion > 0.0 && config.congestion < 1.0,
+                 "incident_feed: congestion must be in (0,1)");
+  DROPPKT_EXPECT(config.pool_sessions >= 1,
+                 "incident_feed: need at least one pool session");
+
+  const auto healthy_pool =
+      session_pool(svc, config.pool_sessions, 0.05, config.seed);
+  const auto degraded_pool =
+      session_pool(svc, config.pool_sessions, config.congestion,
+                   config.seed ^ 0xdeadULL);
+
+  IncidentGroundTruth gt;
+  gt.incident_start_s = config.incident_start_s;
+  const std::size_t first_degraded =
+      config.num_locations - config.degraded_locations;
+  std::vector<std::string> locations;
+  for (std::size_t l = 0; l < config.num_locations; ++l) {
+    const bool degraded = l >= first_degraded;
+    // Healthy cells "cell-hN", degraded "cell-dN": self-describing output
+    // in examples/benches, invisible to the pipeline (any names work).
+    const std::string name =
+        (degraded ? "cell-d" : "cell-h") +
+        std::to_string(degraded ? l - first_degraded : l);
+    locations.push_back(name);
+    (degraded ? gt.degraded_locations : gt.healthy_locations).push_back(name);
+  }
+
+  util::Rng rng(config.seed ^ 0x5ca1edULL);
+  Feed feed;
+  std::size_t client_idx = 0;
+  for (std::size_t l = 0; l < config.num_locations; ++l) {
+    const bool loc_degraded = l >= first_degraded;
+    for (std::size_t c = 0; c < config.clients_per_location; ++c) {
+      const std::string client =
+          locations[l] + "/sub-" + std::to_string(c);
+      double t = config.client_stagger_s * static_cast<double>(client_idx++);
+      for (std::size_t s = 0; s < config.sessions_per_client; ++s) {
+        const bool degraded =
+            loc_degraded && t >= config.incident_start_s;
+        const auto& pool = degraded ? degraded_pool : healthy_pool;
+        const auto& log = pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+        ScheduledSession sched;
+        sched.client = client;
+        sched.location = locations[l];
+        sched.start_s = t;
+        sched.degraded = degraded;
+        double last_end = t;
+        for (const auto& txn : log) {
+          FeedRecord r;
+          r.client = client;
+          r.txn = txn;
+          r.txn.start_s += t;
+          r.txn.end_s += t;
+          last_end = std::max(last_end, r.txn.end_s);
+          feed.push_back(std::move(r));
+        }
+        sched.end_s = last_end;
+        gt.sessions.push_back(std::move(sched));
+        t = last_end + config.session_gap_s + rng.uniform(0.0, 10.0);
+      }
+    }
+  }
+  sort_feed(feed);
+  if (truth != nullptr) *truth = gt;
   return feed;
 }
 

@@ -72,4 +72,60 @@ struct SynthFeedConfig {
 /// throughput bench needs.
 Feed synthetic_feed(const SynthFeedConfig& config);
 
+/// Configuration for a feed with a ground-truth location incident — the
+/// alerting subsystem's evaluation input.
+struct IncidentFeedConfig {
+  /// Locations; the last `degraded_locations` of them turn bad at
+  /// incident_start_s. Clients are named "<location>/sub-<k>" so the alert
+  /// pipeline's default location mapping recovers the location.
+  std::size_t num_locations = 10;
+  std::size_t degraded_locations = 3;
+  std::size_t clients_per_location = 6;
+  std::size_t sessions_per_client = 3;
+  /// Feed time at which the degraded locations' congestion begins.
+  /// Sessions *starting* at or after this at a degraded location stream
+  /// through the congested link; earlier sessions are healthy everywhere.
+  double incident_start_s = 900.0;
+  /// Bandwidth squeeze applied to degraded sessions (fraction removed).
+  double congestion = 0.9;
+  /// Pre-simulated session pool size per condition. Composition samples
+  /// (with replacement) from the pools instead of running the player per
+  /// scheduled session, which keeps incident feeds cheap to generate.
+  std::size_t pool_sessions = 24;
+  /// Idle gap between a client's sessions; must exceed the monitor idle
+  /// timeout for timeout-based delimitation.
+  double session_gap_s = 240.0;
+  /// Deterministic stagger between client start offsets.
+  double client_stagger_s = 23.0;
+  std::uint64_t seed = 20201204;
+};
+
+/// One scheduled session of an incident feed, for metric computation.
+struct ScheduledSession {
+  std::string client;
+  std::string location;
+  double start_s = 0.0;
+  double end_s = 0.0;  // last transaction end
+  /// Streamed through the congested link (degraded location, started at
+  /// or after the incident).
+  bool degraded = false;
+};
+
+/// What actually happened, for scoring detection latency and false alarms.
+struct IncidentGroundTruth {
+  double incident_start_s = 0.0;
+  std::vector<std::string> degraded_locations;  // name order
+  std::vector<std::string> healthy_locations;   // name order
+  /// All scheduled sessions, feed-start order.
+  std::vector<ScheduledSession> sessions;
+};
+
+/// Simulation-backed feed with an injected location incident: every client
+/// streams pool-sampled sessions; at incident_start_s the degraded
+/// locations' new sessions switch to a congested-link pool. Deterministic
+/// from the config seed.
+Feed incident_feed(const has::ServiceProfile& svc,
+                   const IncidentFeedConfig& config,
+                   IncidentGroundTruth* truth = nullptr);
+
 }  // namespace droppkt::engine

@@ -16,6 +16,11 @@ Dataset::Dataset(std::vector<std::string> feature_names, int num_classes)
   DROPPKT_EXPECT(num_classes_ >= 1, "Dataset: need at least one class");
 }
 
+void Dataset::reserve(std::size_t n_rows) {
+  data_.reserve(n_rows * feature_names_.size());
+  labels_.reserve(n_rows);
+}
+
 void Dataset::add_row(std::span<const double> features, int label) {
   DROPPKT_EXPECT(features.size() == feature_names_.size(),
                  "Dataset::add_row: row width must match feature names");
@@ -47,6 +52,7 @@ std::vector<std::size_t> Dataset::class_counts() const {
 
 Dataset Dataset::subset(std::span<const std::size_t> indices) const {
   Dataset out(feature_names_, num_classes_);
+  out.reserve(indices.size());
   for (std::size_t i : indices) {
     auto r = row(i);
     out.add_row(std::vector<double>(r.begin(), r.end()), label(i));
@@ -64,6 +70,7 @@ Dataset Dataset::select_features(const std::vector<std::string>& names) const {
     cols.push_back(static_cast<std::size_t>(it - feature_names_.begin()));
   }
   Dataset out(names, num_classes_);
+  out.reserve(size());
   for (std::size_t i = 0; i < size(); ++i) {
     auto r = row(i);
     std::vector<double> sel;
@@ -147,6 +154,7 @@ Dataset Dataset::read_csv(std::istream& is, int num_classes) {
   }
   Dataset data(std::move(names),
                num_classes > 0 ? num_classes : max_label + 1);
+  data.reserve(table.num_rows());
   for (std::size_t r = 0; r < table.num_rows(); ++r) {
     std::vector<double> row;
     row.reserve(label_col);

@@ -21,6 +21,13 @@ class Dataset {
  public:
   Dataset(std::vector<std::string> feature_names, int num_classes);
 
+  /// Pre-size the backing storage for `n_rows` total rows. Dataset builders
+  /// almost always know the row count up front (one row per session, per
+  /// fold index, per window); without this hint add_row grows the
+  /// row-major matrix geometrically — log2(n) reallocations each copying
+  /// the whole corpus.
+  void reserve(std::size_t n_rows);
+
   void add_row(std::span<const double> features, int label);
   /// Same, from an owned vector (kept for call sites that build a fresh
   /// row anyway; batch loops should reuse one buffer via the span

@@ -42,6 +42,7 @@ std::vector<double> Standardizer::transform(std::span<const double> row) const {
 
 Dataset Standardizer::transform(const Dataset& data) const {
   Dataset out(data.feature_names(), data.num_classes());
+  out.reserve(data.size());
   for (std::size_t i = 0; i < data.size(); ++i) {
     out.add_row(transform(data.row(i)), data.label(i));
   }

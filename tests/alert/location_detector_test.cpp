@@ -1,0 +1,162 @@
+#include "alert/location_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace droppkt::alert {
+namespace {
+
+DetectorConfig decay_cfg(double half_life = 100.0, double min_eff = 0.0) {
+  DetectorConfig cfg;
+  cfg.window = WindowKind::kDecay;
+  cfg.half_life_s = half_life;
+  cfg.min_effective_sessions = min_eff;
+  return cfg;
+}
+
+TEST(LocationDetector, DecayHalvesWeightPerHalfLife) {
+  LocationDetector det(decay_cfg(100.0));
+  det.observe("cell", 0.0, true);
+  EXPECT_NEAR(det.window("cell", 0.0).effective_sessions, 1.0, 1e-12);
+  EXPECT_NEAR(det.window("cell", 100.0).effective_sessions, 0.5, 1e-12);
+  EXPECT_NEAR(det.window("cell", 200.0).effective_sessions, 0.25, 1e-12);
+  EXPECT_NEAR(det.window("cell", 200.0).effective_low, 0.25, 1e-12);
+}
+
+TEST(LocationDetector, SlidingWindowExpiresEvents) {
+  DetectorConfig cfg;
+  cfg.window = WindowKind::kSliding;
+  cfg.window_s = 100.0;
+  cfg.min_effective_sessions = 0.0;
+  LocationDetector det(cfg);
+  det.observe("cell", 0.0, true);
+  det.observe("cell", 50.0, false);
+  EXPECT_NEAR(det.window("cell", 99.0).effective_sessions, 2.0, 1e-12);
+  // The t=0 event ages out exactly at t=100 (cutoff is inclusive).
+  EXPECT_NEAR(det.window("cell", 100.0).effective_sessions, 1.0, 1e-12);
+  EXPECT_NEAR(det.window("cell", 100.0).effective_low, 0.0, 1e-12);
+  EXPECT_NEAR(det.window("cell", 151.0).effective_sessions, 0.0, 1e-12);
+}
+
+TEST(LocationDetector, RetractionCancelsDecayedEvidenceExactly) {
+  LocationDetector det(decay_cfg(100.0));
+  det.observe("cell", 0.0, true);
+  det.retract("cell", 50.0, /*evidence_time_s=*/0.0, true);
+  const auto w = det.window("cell", 50.0);
+  EXPECT_NEAR(w.effective_sessions, 0.0, 1e-12);
+  EXPECT_NEAR(w.effective_low, 0.0, 1e-12);
+  EXPECT_GE(w.effective_sessions, 0.0);  // never negative
+}
+
+TEST(LocationDetector, RetractionFlipsVerdictWithoutDoubleCounting) {
+  // A session first judged low, later re-judged fine: after retract +
+  // re-observe it contributes exactly one (non-low) trial.
+  LocationDetector det(decay_cfg(1000.0));
+  det.observe("cell", 10.0, true);
+  det.retract("cell", 20.0, 10.0, true);
+  det.observe("cell", 20.0, false);
+  const auto w = det.window("cell", 20.0);
+  EXPECT_NEAR(w.effective_sessions, 1.0, 1e-9);
+  EXPECT_NEAR(w.effective_low, 0.0, 1e-9);
+}
+
+TEST(LocationDetector, RetractingExpiredSlidingEvidenceIsNoop) {
+  DetectorConfig cfg;
+  cfg.window = WindowKind::kSliding;
+  cfg.window_s = 50.0;
+  cfg.min_effective_sessions = 0.0;
+  LocationDetector det(cfg);
+  det.observe("cell", 0.0, true);
+  det.observe("cell", 70.0, true);
+  det.retract("cell", 80.0, /*evidence_time_s=*/0.0, true);  // already gone
+  const auto w = det.window("cell", 80.0);
+  EXPECT_NEAR(w.effective_sessions, 1.0, 1e-12);
+  EXPECT_NEAR(w.effective_low, 1.0, 1e-12);
+}
+
+TEST(LocationDetector, DegradedRequiresCredibleRateNotJustHighRate) {
+  DetectorConfig cfg = decay_cfg(1e6, /*min_eff=*/8.0);
+  cfg.alert_rate = 0.5;
+  LocationDetector det(cfg);
+  // 18/20 low within a negligible decay horizon: credibly above 0.5.
+  for (int i = 0; i < 20; ++i) det.observe("bad", i, i < 18);
+  // 6/10 low: above 0.5 in rate, but the lower bound is not.
+  for (int i = 0; i < 10; ++i) det.observe("noisy", i, i < 6);
+  EXPECT_TRUE(det.window("bad", 20.0).degraded);
+  EXPECT_FALSE(det.window("noisy", 20.0).degraded);
+}
+
+TEST(LocationDetector, MinEffectiveSessionsGatesDegraded) {
+  DetectorConfig cfg = decay_cfg(1e6, /*min_eff=*/8.0);
+  LocationDetector det(cfg);
+  // All at t=0 so the effective count is exactly whole: the floor is an
+  // inclusive boundary.
+  for (int i = 0; i < 7; ++i) det.observe("small", 0.0, true);
+  EXPECT_FALSE(det.window("small", 0.0).degraded);
+  det.observe("small", 0.0, true);
+  EXPECT_TRUE(det.window("small", 0.0).degraded);
+  // Decay can push a location back under the floor.
+  EXPECT_FALSE(det.window("small", 3e6).degraded);
+}
+
+TEST(LocationDetector, DegradedOrderingIsTotal) {
+  DetectorConfig cfg = decay_cfg(1e6, /*min_eff=*/5.0);
+  LocationDetector det(cfg);
+  for (int i = 0; i < 20; ++i) det.observe("b-worse", i, i < 19);
+  for (int i = 0; i < 20; ++i) det.observe("c-bad", i, i < 15);
+  // Identical evidence to c-bad, alphabetically earlier: name breaks tie.
+  for (int i = 0; i < 20; ++i) det.observe("a-bad", i, i < 15);
+  const auto out = det.degraded(20.0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, "b-worse");
+  EXPECT_EQ(out[1].first, "a-bad");
+  EXPECT_EQ(out[2].first, "c-bad");
+}
+
+TEST(LocationDetector, SnapshotReportsEveryTrackedLocation) {
+  LocationDetector det(decay_cfg(100.0));
+  det.observe("b", 0.0, true);
+  det.observe("a", 1.0, false);
+  const auto snap = det.snapshot(2.0);
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a");  // name order
+  EXPECT_EQ(snap[1].first, "b");
+  EXPECT_FALSE(snap[0].second.degraded);
+}
+
+TEST(LocationDetector, UnseenLocationIsVacuous) {
+  const LocationDetector det(decay_cfg());
+  const auto w = det.window("nowhere", 10.0);
+  EXPECT_EQ(w.effective_sessions, 0.0);
+  EXPECT_EQ(w.interval.low, 0.0);
+  EXPECT_EQ(w.interval.high, 1.0);
+  EXPECT_FALSE(w.degraded);
+}
+
+TEST(LocationDetector, EvictStaleDropsDecayedLocations) {
+  LocationDetector det(decay_cfg(10.0));
+  det.observe("old", 0.0, true);
+  det.observe("fresh", 1000.0, true);
+  EXPECT_EQ(det.tracked_locations(), 2u);
+  EXPECT_EQ(det.evict_stale(1000.0), 1u);
+  EXPECT_EQ(det.tracked_locations(), 1u);
+  EXPECT_NEAR(det.window("fresh", 1000.0).effective_sessions, 1.0, 1e-12);
+}
+
+TEST(LocationDetector, Validates) {
+  DetectorConfig bad;
+  bad.half_life_s = 0.0;
+  EXPECT_THROW(LocationDetector{bad}, droppkt::ContractViolation);
+  DetectorConfig bad_rate;
+  bad_rate.alert_rate = 1.0;
+  EXPECT_THROW(LocationDetector{bad_rate}, droppkt::ContractViolation);
+  LocationDetector det(decay_cfg());
+  EXPECT_THROW(det.observe("", 0.0, true), droppkt::ContractViolation);
+  det.observe("cell", 10.0, true);
+  EXPECT_THROW(det.retract("cell", 5.0, 10.0, true),
+               droppkt::ContractViolation);
+}
+
+}  // namespace
+}  // namespace droppkt::alert

@@ -1,0 +1,217 @@
+#include "alert/session_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace droppkt::alert {
+namespace {
+
+core::ProvisionalEstimate est(std::string_view client, int cls, double conf,
+                              double time_s) {
+  core::ProvisionalEstimate e;
+  e.client = client;
+  e.transactions_observed = 8;
+  e.predicted_class = cls;
+  e.confidence = conf;
+  e.session_start_s = 0.0;
+  e.last_activity_s = time_s;
+  return e;
+}
+
+TEST(SessionAlertFilter, NoTransitionBeforeKConsistentEstimates) {
+  SessionFilterConfig cfg;
+  cfg.hysteresis_k = 3;
+  cfg.min_confidence = 0.5;
+  SessionAlertFilter filter(cfg);
+  EXPECT_FALSE(filter.on_provisional(est("c", 0, 0.9, 1.0)).transition);
+  EXPECT_FALSE(filter.on_provisional(est("c", 0, 0.9, 2.0)).transition);
+  const auto out = filter.on_provisional(est("c", 0, 0.9, 3.0));
+  ASSERT_TRUE(out.transition);
+  EXPECT_EQ(out.transition->from_class, kNoVerdict);
+  EXPECT_EQ(out.transition->to_class, 0);
+  EXPECT_EQ(out.transition->time_s, 3.0);
+  EXPECT_FALSE(out.transition->final_verdict);
+}
+
+TEST(SessionAlertFilter, BelowConfidenceCarriesNoSignal) {
+  SessionFilterConfig cfg;
+  cfg.hysteresis_k = 2;
+  cfg.min_confidence = 0.6;
+  SessionAlertFilter filter(cfg);
+  // Unsure estimates never advance a run...
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(filter.on_provisional(est("c", 0, 0.3, i)).transition);
+  }
+  // ...and never reset one either: confident 0, unsure 2, confident 0.
+  EXPECT_FALSE(filter.on_provisional(est("c", 0, 0.9, 20.0)).transition);
+  EXPECT_FALSE(filter.on_provisional(est("c", 2, 0.3, 21.0)).transition);
+  EXPECT_TRUE(filter.on_provisional(est("c", 0, 0.9, 22.0)).transition);
+}
+
+TEST(SessionAlertFilter, DisagreementResetsTheRun) {
+  SessionFilterConfig cfg;
+  cfg.hysteresis_k = 3;
+  SessionAlertFilter filter(cfg);
+  EXPECT_FALSE(filter.on_provisional(est("c", 0, 0.9, 1.0)).transition);
+  EXPECT_FALSE(filter.on_provisional(est("c", 0, 0.9, 2.0)).transition);
+  // A confident disagreeing estimate restarts the count.
+  EXPECT_FALSE(filter.on_provisional(est("c", 1, 0.9, 3.0)).transition);
+  EXPECT_FALSE(filter.on_provisional(est("c", 0, 0.9, 4.0)).transition);
+  EXPECT_FALSE(filter.on_provisional(est("c", 0, 0.9, 5.0)).transition);
+  EXPECT_TRUE(filter.on_provisional(est("c", 0, 0.9, 6.0)).transition);
+}
+
+TEST(SessionAlertFilter, AgreementWithStableVerdictResetsContraryRun) {
+  SessionFilterConfig cfg;
+  cfg.hysteresis_k = 2;
+  SessionAlertFilter filter(cfg);
+  filter.on_provisional(est("c", 0, 0.9, 1.0));
+  ASSERT_TRUE(filter.on_provisional(est("c", 0, 0.9, 2.0)).transition);
+  // One contrary estimate, then re-agreement with the stable verdict: the
+  // contrary run is dead, so a single later contrary estimate cannot flip.
+  auto out = filter.on_provisional(est("c", 2, 0.9, 3.0));
+  EXPECT_FALSE(out.transition);
+  EXPECT_TRUE(out.suppressed);
+  EXPECT_FALSE(filter.on_provisional(est("c", 0, 0.9, 4.0)).transition);
+  EXPECT_FALSE(filter.on_provisional(est("c", 2, 0.9, 5.0)).transition);
+  const auto flip = filter.on_provisional(est("c", 2, 0.9, 6.0));
+  ASSERT_TRUE(flip.transition);
+  EXPECT_EQ(flip.transition->from_class, 0);
+  EXPECT_EQ(flip.transition->to_class, 2);
+  // The evidence being superseded was established at t=2.
+  EXPECT_EQ(flip.transition->prev_time_s, 2.0);
+}
+
+TEST(SessionAlertFilter, FinalVerdictBypassesHysteresisAndForgets) {
+  SessionFilterConfig cfg;
+  cfg.hysteresis_k = 3;
+  SessionAlertFilter filter(cfg);
+  // No provisional history at all: still exactly one transition.
+  const auto t1 = filter.on_session("fresh", 1, 0.8, 100.0);
+  EXPECT_EQ(t1.from_class, kNoVerdict);
+  EXPECT_EQ(t1.to_class, 1);
+  EXPECT_TRUE(t1.final_verdict);
+  EXPECT_EQ(filter.open_clients(), 0u);
+
+  // With a stable provisional verdict: the final verdict re-times it.
+  for (double t = 1.0; t <= 3.0; t += 1.0) {
+    filter.on_provisional(est("c", 0, 0.9, t));
+  }
+  EXPECT_EQ(filter.open_clients(), 1u);
+  const auto t2 = filter.on_session("c", 0, 0.9, 50.0);
+  EXPECT_EQ(t2.from_class, 0);
+  EXPECT_EQ(t2.to_class, 0);
+  EXPECT_TRUE(t2.final_verdict);
+  EXPECT_EQ(t2.time_s, 50.0);
+  EXPECT_EQ(t2.prev_time_s, 3.0);
+  EXPECT_EQ(filter.open_clients(), 0u);
+
+  // The client was forgotten: its next session starts from no verdict.
+  const auto t3 = filter.on_session("c", 2, 0.9, 60.0);
+  EXPECT_EQ(t3.from_class, kNoVerdict);
+}
+
+TEST(SessionAlertFilter, ClientsAreIndependent) {
+  SessionFilterConfig cfg;
+  cfg.hysteresis_k = 2;
+  SessionAlertFilter filter(cfg);
+  filter.on_provisional(est("a", 0, 0.9, 1.0));
+  filter.on_provisional(est("b", 2, 0.9, 1.5));
+  const auto a = filter.on_provisional(est("a", 0, 0.9, 2.0));
+  const auto b = filter.on_provisional(est("b", 2, 0.9, 2.5));
+  ASSERT_TRUE(a.transition);
+  ASSERT_TRUE(b.transition);
+  EXPECT_EQ(a.transition->to_class, 0);
+  EXPECT_EQ(b.transition->to_class, 2);
+}
+
+// Property: over arbitrary estimate streams, a transition is emitted iff
+// the last k confident estimates (ignoring below-floor ones) all carry the
+// new class and that class differs from the stable verdict.
+TEST(SessionAlertFilter, PropertyTransitionRequiresKConsistentConfident) {
+  util::Rng rng(20201204);
+  for (int trial = 0; trial < 50; ++trial) {
+    SessionFilterConfig cfg;
+    cfg.hysteresis_k = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    cfg.min_confidence = 0.5;
+    SessionAlertFilter filter(cfg);
+    int stable = kNoVerdict;
+    std::deque<int> confident_tail;  // classes of recent confident estimates
+    for (int step = 0; step < 300; ++step) {
+      const int cls = static_cast<int>(rng.uniform_int(0, 2));
+      const double conf = rng.uniform(0.0, 1.0);
+      const auto out =
+          filter.on_provisional(est("c", cls, conf, 1.0 + step));
+      if (conf >= cfg.min_confidence) {
+        confident_tail.push_back(cls);
+        if (confident_tail.size() > cfg.hysteresis_k) {
+          confident_tail.pop_front();
+        }
+      }
+      if (out.transition) {
+        // The emitted flip must be backed by k consecutive confident
+        // agreeing estimates, targeting a genuinely new class.
+        ASSERT_EQ(confident_tail.size(), cfg.hysteresis_k);
+        for (const int c : confident_tail) EXPECT_EQ(c, cls);
+        EXPECT_EQ(out.transition->to_class, cls);
+        EXPECT_EQ(out.transition->from_class, stable);
+        EXPECT_NE(cls, stable);
+        stable = cls;
+      } else if (conf >= cfg.min_confidence && cls != stable &&
+                 stable != kNoVerdict) {
+        // Confident disagreement without a flip is hysteresis absorbing it.
+        EXPECT_TRUE(out.suppressed);
+      }
+    }
+  }
+}
+
+// Property: no single below-confidence estimate ever changes what a
+// subsequent confident streak needs to flip the verdict.
+TEST(SessionAlertFilter, PropertyUnsureEstimatesAreInert) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    SessionFilterConfig cfg;
+    cfg.hysteresis_k = static_cast<std::size_t>(rng.uniform_int(2, 3));
+    cfg.min_confidence = 0.6;
+    SessionAlertFilter with_noise(cfg);
+    SessionAlertFilter without_noise(cfg);
+    double t = 0.0;
+    for (int step = 0; step < 200; ++step) {
+      const int cls = static_cast<int>(rng.uniform_int(0, 2));
+      const bool noise = rng.uniform(0.0, 1.0) < 0.4;
+      t += 1.0;
+      if (noise) {
+        // Below-floor estimate fed only to one filter.
+        const auto out = with_noise.on_provisional(
+            est("c", static_cast<int>(rng.uniform_int(0, 2)), 0.2, t));
+        EXPECT_FALSE(out.transition);
+      } else {
+        const auto a = with_noise.on_provisional(est("c", cls, 0.9, t));
+        const auto b = without_noise.on_provisional(est("c", cls, 0.9, t));
+        EXPECT_EQ(a.transition.has_value(), b.transition.has_value());
+        if (a.transition) {
+          EXPECT_EQ(a.transition->to_class, b.transition->to_class);
+          EXPECT_EQ(a.transition->from_class, b.transition->from_class);
+        }
+      }
+    }
+  }
+}
+
+TEST(SessionAlertFilter, Validates) {
+  SessionFilterConfig bad;
+  bad.hysteresis_k = 0;
+  EXPECT_THROW(SessionAlertFilter{bad}, droppkt::ContractViolation);
+  SessionFilterConfig bad_conf;
+  bad_conf.min_confidence = 1.5;
+  EXPECT_THROW(SessionAlertFilter{bad_conf}, droppkt::ContractViolation);
+}
+
+}  // namespace
+}  // namespace droppkt::alert

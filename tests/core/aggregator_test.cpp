@@ -42,6 +42,50 @@ TEST(WilsonInterval, Validates) {
   EXPECT_THROW(wilson_interval(1, 2, 0.0), droppkt::ContractViolation);
 }
 
+TEST(WilsonInterval, ZeroSuccessesAtTinyN) {
+  // p-hat = 0: the lower bound is exactly 0, the upper bound is well away
+  // from both endpoints (5 clean trials don't rule out a sizable rate).
+  const auto ci = wilson_interval(0, 5);
+  EXPECT_NEAR(ci.low, 0.0, 1e-12);
+  EXPECT_GT(ci.high, 0.3);
+  EXPECT_LT(ci.high, 0.7);
+}
+
+TEST(WilsonInterval, AllSuccessesAtTinyN) {
+  // p-hat = 1: upper bound pins to 1, lower bound stays clear of it —
+  // 3/3 is nowhere near credible evidence of a high rate.
+  const auto ci = wilson_interval(3, 3);
+  EXPECT_NEAR(ci.high, 1.0, 1e-12);
+  EXPECT_GT(ci.low, 0.2);
+  EXPECT_LT(ci.low, 0.7);
+}
+
+TEST(WilsonIntervalReal, MatchesIntegerVersionOnWholeCounts) {
+  for (std::size_t k : {0u, 4u, 10u}) {
+    const auto integral = wilson_interval(k, 10);
+    const auto real = wilson_interval_real(static_cast<double>(k), 10.0);
+    EXPECT_DOUBLE_EQ(real.low, integral.low);
+    EXPECT_DOUBLE_EQ(real.high, integral.high);
+  }
+}
+
+TEST(WilsonIntervalReal, FractionalCountsInterpolate) {
+  // Effective counts between two whole-number cases land between their
+  // intervals: decaying a window shrinks n and widens the interval.
+  const auto small = wilson_interval_real(4.5, 9.0);
+  const auto large = wilson_interval_real(9.0, 18.0);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+  EXPECT_EQ(wilson_interval_real(0.0, 0.0).low, 0.0);
+  EXPECT_EQ(wilson_interval_real(0.0, 0.0).high, 1.0);
+}
+
+TEST(WilsonIntervalReal, Validates) {
+  EXPECT_THROW(wilson_interval_real(2.0, 1.0), droppkt::ContractViolation);
+  EXPECT_THROW(wilson_interval_real(-0.5, 1.0), droppkt::ContractViolation);
+  EXPECT_THROW(wilson_interval_real(0.5, 1.0, 0.0),
+               droppkt::ContractViolation);
+}
+
 TEST(LocationAggregator, CountsPerLocation) {
   LocationAggregator agg;
   agg.record("cell-1", 0);
@@ -84,6 +128,39 @@ TEST(LocationAggregator, FlaggedSortedWorstFirst) {
   const auto flagged = agg.flagged();
   ASSERT_EQ(flagged.size(), 2u);
   EXPECT_EQ(flagged[0].location, "worse");
+}
+
+TEST(LocationAggregator, MinSessionsBoundaryIsInclusive) {
+  AggregatorConfig cfg;
+  cfg.alert_rate = 0.5;
+  cfg.min_sessions = 10;
+  LocationAggregator agg(cfg);
+  // 9 all-low sessions: under the floor, never flagged.
+  for (int i = 0; i < 9; ++i) agg.record("edge", 0);
+  EXPECT_TRUE(agg.flagged().empty());
+  // The 10th reaches the floor exactly; 10/10 low is credible.
+  agg.record("edge", 0);
+  ASSERT_EQ(agg.flagged().size(), 1u);
+  EXPECT_EQ(agg.flagged()[0].location, "edge");
+}
+
+TEST(LocationAggregator, FlaggedTieOrderingIsTotal) {
+  AggregatorConfig cfg;
+  cfg.alert_rate = 0.2;
+  cfg.min_sessions = 10;
+  LocationAggregator agg(cfg);
+  // Same 80% rate; "bigger" has more sessions, "b-same"/"a-same" are
+  // identical so the name decides. Rate desc, sessions desc, name asc.
+  for (int i = 0; i < 40; ++i) agg.record("bigger", i < 32 ? 0 : 2);
+  for (int i = 0; i < 20; ++i) agg.record("b-same", i < 16 ? 0 : 2);
+  for (int i = 0; i < 20; ++i) agg.record("a-same", i < 16 ? 0 : 2);
+  for (int i = 0; i < 20; ++i) agg.record("worst", i < 19 ? 0 : 2);
+  const auto flagged = agg.flagged();
+  ASSERT_EQ(flagged.size(), 4u);
+  EXPECT_EQ(flagged[0].location, "worst");    // highest rate
+  EXPECT_EQ(flagged[1].location, "bigger");   // 0.8, more sessions
+  EXPECT_EQ(flagged[2].location, "a-same");   // 0.8, 20, name asc
+  EXPECT_EQ(flagged[3].location, "b-same");
 }
 
 TEST(LocationAggregator, IntervalForUnseenLocation) {

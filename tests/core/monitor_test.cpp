@@ -253,6 +253,46 @@ TEST(StreamingMonitor, EmitsMatchBatchPredictionAfterBurstSplit) {
   }
 }
 
+TEST(StreamingMonitor, ViewSinkMatchesOwnedSink) {
+  // The borrowed-span emit path must report exactly the sessions the owned
+  // path does — same boundaries, classes, confidences, and timestamps —
+  // while its views stay valid only inside the callback (checked by
+  // copying through to_owned()).
+  const auto stream = build_back_to_back(has::svc1_profile(), 4, 23);
+  MonitorConfig cfg;
+  cfg.client_idle_timeout_s = 120.0;
+
+  std::vector<MonitoredSession> owned;
+  StreamingMonitor mon_owned(
+      trained_estimator(),
+      [&](const MonitoredSession& s) { owned.push_back(s); }, cfg);
+  for (const auto& t : stream.merged) mon_owned.observe("c", t);
+  mon_owned.finish();
+
+  std::vector<MonitoredSession> viewed;
+  auto mon_view = StreamingMonitor::with_view_sink(
+      trained_estimator(),
+      [&](const MonitoredSessionView& v) {
+        EXPECT_EQ(v.client, "c");
+        viewed.push_back(v.to_owned());
+      },
+      cfg);
+  for (const auto& t : stream.merged) mon_view.observe("c", t);
+  mon_view.finish();
+
+  ASSERT_EQ(viewed.size(), owned.size());
+  ASSERT_GE(viewed.size(), 2u);
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    EXPECT_EQ(viewed[i].client, owned[i].client);
+    EXPECT_EQ(viewed[i].transactions.size(), owned[i].transactions.size());
+    EXPECT_EQ(viewed[i].predicted_class, owned[i].predicted_class);
+    EXPECT_EQ(viewed[i].confidence, owned[i].confidence);
+    EXPECT_EQ(viewed[i].start_s, owned[i].start_s);
+    EXPECT_EQ(viewed[i].end_s, owned[i].end_s);
+    EXPECT_EQ(viewed[i].detected_s, owned[i].detected_s);
+  }
+}
+
 TEST(StreamingMonitor, MatchesOfflineSplitOnSingleClient) {
   // The online splitter should agree with the offline heuristic when fed
   // the same merged log.

@@ -102,7 +102,7 @@ RunResult run_once(const core::QoeEstimator& estimator,
   ecfg.monitor.provisional_every = 4;
   ecfg.watermark_interval_s = 15.0;
   ecfg.alert_sink = &pipeline;
-  engine::IngestEngine eng(estimator, [](const core::MonitoredSession&) {},
+  engine::IngestEngine eng(estimator, [](const core::MonitoredSessionView&) {},
                            ecfg);
   for (const auto& r : feed) eng.ingest(r.client, r.txn);
   eng.finish();

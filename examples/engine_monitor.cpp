@@ -76,7 +76,7 @@ int main() {
   std::atomic<std::size_t> provisional_low{0};
   engine::IngestEngine eng(
       estimator,
-      [&](const core::MonitoredSession& s) {
+      [&](const core::MonitoredSessionView& s) {
         const std::lock_guard<std::mutex> lock(mu);
         ++class_counts[s.predicted_class];
       },

@@ -140,11 +140,13 @@ std::vector<std::pair<std::string, LocationWindow>> LocationDetector::snapshot(
   return out;
 }
 
-std::size_t LocationDetector::evict_stale(double time_s, double min_weight) {
+std::size_t LocationDetector::evict_stale(
+    double time_s, double min_weight,
+    const std::function<bool(const std::string&)>& keep) {
   std::size_t dropped = 0;
   for (auto it = locations_.begin(); it != locations_.end();) {
     const auto w = evaluate(it->second, time_s);
-    if (w.effective_sessions < min_weight) {
+    if (w.effective_sessions < min_weight && !(keep && keep(it->first))) {
       it = locations_.erase(it);
       ++dropped;
     } else {

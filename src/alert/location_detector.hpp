@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -105,8 +106,13 @@ class LocationDetector {
 
   /// Drop locations whose windowed evidence has decayed/expired below
   /// `min_weight` as of `time_s` — the eviction hook that bounds state on
-  /// long feeds. Returns the number of locations dropped.
-  std::size_t evict_stale(double time_s, double min_weight = 1e-6);
+  /// long feeds. Locations for which `keep` returns true survive
+  /// regardless (the pipeline pins locations with an open alert, whose
+  /// lifecycle still needs sweep evaluations). Returns the number of
+  /// locations dropped.
+  std::size_t evict_stale(double time_s, double min_weight = 1e-6,
+                          const std::function<bool(const std::string&)>& keep =
+                              {});
 
  private:
   struct SlidingEvent {

@@ -73,7 +73,7 @@ void AlertPipeline::on_provisional(std::size_t shard,
 }
 
 void AlertPipeline::on_session(std::size_t shard,
-                               const core::MonitoredSession& session,
+                               const core::MonitoredSessionView& session,
                                bool at_close) {
   DROPPKT_EXPECT(shard < lanes_.size(), "AlertPipeline: shard out of range");
   VerdictTransition t = lanes_[shard]->filter.on_session(
@@ -148,6 +148,11 @@ void AlertPipeline::sweep(double time_s) {
   for (const auto& [location, window] : detector_.snapshot(time_s)) {
     manager_.update(location, window, time_s);
   }
+  if (config_.evict_below_weight > 0.0) {
+    locations_evicted_ += detector_.evict_stale(
+        time_s, config_.evict_below_weight,
+        [this](const std::string& loc) { return manager_.is_raised(loc); });
+  }
 }
 
 void AlertPipeline::on_finish() {
@@ -190,6 +195,16 @@ std::vector<AlertEvent> AlertPipeline::log_snapshot() const {
 std::size_t AlertPipeline::open_alerts() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return manager_.open_alerts();
+}
+
+std::size_t AlertPipeline::tracked_locations() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return detector_.tracked_locations();
+}
+
+std::size_t AlertPipeline::locations_evicted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return locations_evicted_;
 }
 
 }  // namespace droppkt::alert

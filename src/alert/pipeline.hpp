@@ -62,6 +62,14 @@ struct AlertPipelineConfig {
   /// `location` is the resolved location of the transition's client.
   std::function<void(const VerdictTransition&, const std::string& location)>
       on_transition;
+  /// Bound detector state on long feeds: at every lifecycle sweep, evict
+  /// locations whose windowed evidence has decayed/expired below this
+  /// weight (0 = never evict, the default). Locations with an open alert
+  /// are always kept — their cooldown clear still needs sweep
+  /// evaluations. Eviction runs at the broadcast watermark instants on
+  /// the merged deterministic stream, so which locations drop — and every
+  /// float after they re-appear — is still shard-count-independent.
+  double evict_below_weight = 0.0;
 };
 
 /// Everything-by-default location mapping: "cell-3/sub-17" -> "cell-3".
@@ -76,7 +84,8 @@ class AlertPipeline final : public engine::AlertSink {
   void bind(std::size_t num_shards) override;
   void on_provisional(std::size_t shard,
                       const core::ProvisionalEstimate& estimate) override;
-  void on_session(std::size_t shard, const core::MonitoredSession& session,
+  void on_session(std::size_t shard,
+                  const core::MonitoredSessionView& session,
                   bool at_close) override;
   void on_watermark(std::size_t shard, double watermark_s) override;
   void on_finish() override;
@@ -89,6 +98,13 @@ class AlertPipeline final : public engine::AlertSink {
 
   /// Alerts currently open. Like log_snapshot(), settles after on_finish().
   std::size_t open_alerts() const;
+
+  /// Locations the detector currently tracks (bounded by stale eviction
+  /// when evict_below_weight > 0).
+  std::size_t tracked_locations() const;
+
+  /// Locations stale-evicted so far (0 unless evict_below_weight > 0).
+  std::size_t locations_evicted() const;
 
  private:
   struct Pending {
@@ -130,6 +146,7 @@ class AlertPipeline final : public engine::AlertSink {
   std::deque<double> pending_sweeps_;
   double merged_up_to_s_ = -1.0;
   bool finished_ = false;
+  std::size_t locations_evicted_ = 0;  // guarded by mutex_
 
   std::atomic<std::uint64_t> transitions_{0};
   std::atomic<std::uint64_t> suppressed_{0};

@@ -1,5 +1,7 @@
 #include "core/monitor.hpp"
 
+#include <algorithm>
+
 #include "util/expect.hpp"
 
 namespace droppkt::core {
@@ -15,10 +17,17 @@ StreamingMonitor::StreamingMonitor(const QoeEstimator& estimator,
 StreamingMonitor StreamingMonitor::with_view_sink(const QoeEstimator& estimator,
                                                   ViewCallback on_session,
                                                   MonitorConfig config) {
-  DROPPKT_EXPECT(static_cast<bool>(on_session),
+  return StreamingMonitor(ViewSinkTag{}, estimator, std::move(on_session),
+                          config);
+}
+
+StreamingMonitor::StreamingMonitor(ViewSinkTag, const QoeEstimator& estimator,
+                                   ViewCallback on_session,
+                                   MonitorConfig config)
+    : StreamingMonitor(estimator, Callback{}, std::move(on_session), config,
+                       ViewTag{}) {
+  DROPPKT_EXPECT(static_cast<bool>(on_session_view_),
                  "StreamingMonitor: callback must be callable");
-  return StreamingMonitor(estimator, Callback{}, std::move(on_session), config,
-                          ViewTag{});
 }
 
 StreamingMonitor::StreamingMonitor(const QoeEstimator& estimator,
@@ -28,13 +37,30 @@ StreamingMonitor::StreamingMonitor(const QoeEstimator& estimator,
     : estimator_(&estimator),
       on_session_(std::move(on_session)),
       on_session_view_(std::move(on_session_view)),
-      config_(config) {
+      config_(config),
+      head_acc_(estimator.make_accumulator()) {
   DROPPKT_EXPECT(estimator.trained(),
                  "StreamingMonitor: estimator must be trained");
   DROPPKT_EXPECT(config_.client_idle_timeout_s > 0.0,
                  "StreamingMonitor: idle timeout must be positive");
+  DROPPKT_EXPECT(config_.session_id.window_s > 0.0,
+                 "SessionIdParams: W must be > 0");
+  DROPPKT_EXPECT(config_.session_id.delta_min >= 0.0 &&
+                     config_.session_id.delta_min <= 1.0,
+                 "SessionIdParams: delta_min must be in [0,1]");
   feature_scratch_.resize(estimator_->feature_count());
   proba_scratch_.resize(static_cast<std::size_t>(kNumQoeClasses));
+}
+
+void StreamingMonitor::use_external_pools(const util::StringPool* client_pool,
+                                          const util::StringPool* sni_pool) {
+  DROPPKT_EXPECT(client_pool != nullptr && sni_pool != nullptr,
+                 "StreamingMonitor: external pools must be non-null");
+  DROPPKT_EXPECT(clients_.empty() && sessions_reported_ == 0,
+                 "StreamingMonitor: pools must be set before the first record");
+  client_pool_ = client_pool;
+  sni_pool_ = sni_pool;
+  external_pools_ = true;
 }
 
 void StreamingMonitor::set_provisional_callback(
@@ -42,82 +68,123 @@ void StreamingMonitor::set_provisional_callback(
   on_provisional_ = std::move(on_provisional);
 }
 
-void StreamingMonitor::rebuild_accumulator(ClientState& state) {
-  state.acc.reset();
-  for (const auto& t : state.pending) state.acc.observe(t);
+void StreamingMonitor::sync_acc(ClientState& state) {
+  for (std::size_t i = state.acc_synced; i < state.pending.size(); ++i) {
+    const TlsRecord& r = state.pending[i];
+    state.acc.observe(r.start_s, r.end_s, r.ul_bytes, r.dl_bytes);
+  }
+  state.acc_synced = state.pending.size();
 }
 
-void StreamingMonitor::emit(const std::string& client, ClientState& state,
-                            double detected_s) {
-  if (state.pending.size() >= config_.min_transactions) {
-    // The live accumulator mirrors `pending`, so classification is one
-    // snapshot + forest vote into reused scratch — no re-extraction, no
-    // allocation. Bit-identical to estimator_->predict(state.pending).
-    DROPPKT_ASSERT(state.acc.transactions() == state.pending.size(),
-                   "StreamingMonitor: accumulator out of sync with pending");
-    MonitoredSessionView view;
-    view.client = client;
-    view.transactions = state.pending;
-    view.predicted_class =
-        estimator_->predict_into(state.acc, feature_scratch_, proba_scratch_);
-    view.confidence =
-        proba_scratch_[static_cast<std::size_t>(view.predicted_class)];
-    view.start_s = state.pending.front().start_s;
-    view.end_s = state.pending.front().end_s;
-    for (const auto& t : state.pending) {
-      view.end_s = std::max(view.end_s, t.end_s);
-    }
-    view.detected_s = detected_s;
-    ++sessions_reported_;
-    if (on_session_view_) {
-      // Borrowed-span path: the sink sees `pending` in place; clearing
-      // below keeps the buffer's capacity for the client's next session.
-      on_session_view_(view);
-    } else {
-      MonitoredSession session;
-      session.client = client;
-      session.transactions = std::move(state.pending);
-      session.predicted_class = view.predicted_class;
-      session.confidence = view.confidence;
-      session.start_s = view.start_s;
-      session.end_s = view.end_s;
-      session.detected_s = view.detected_s;
-      on_session_(session);
+void StreamingMonitor::emit_records(util::StringPool::Ref client_ref,
+                                    std::span<const TlsRecord> recs,
+                                    const TlsFeatureAccumulator& acc,
+                                    double detected_s) {
+  if (recs.size() < config_.min_transactions) return;
+  DROPPKT_ASSERT(acc.transactions() == recs.size(),
+                 "StreamingMonitor: accumulator out of sync with emission");
+  // Classification is one snapshot + forest vote into reused scratch — no
+  // re-extraction, no allocation; bit-identical to predict() over the
+  // materialized log.
+  const int predicted =
+      estimator_->predict_into(acc, feature_scratch_, proba_scratch_);
+  const double confidence =
+      proba_scratch_[static_cast<std::size_t>(predicted)];
+  double end_s = recs.front().end_s;
+  for (const TlsRecord& r : recs) end_s = std::max(end_s, r.end_s);
+
+  // Materialize owning strings into grow-only scratch: emit_txns_ keeps
+  // every element's sni capacity across sessions, so in steady state the
+  // emission itself allocates nothing either. View sinks can opt out and
+  // read the interned records straight off the view.
+  const bool materialize =
+      config_.materialize_transactions || !on_session_view_;
+  if (materialize) {
+    if (emit_txns_.size() < recs.size()) emit_txns_.resize(recs.size());
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      to_transaction(recs[i], *sni_pool_, emit_txns_[i]);
     }
   }
+  ++sessions_reported_;
+  if (on_session_view_) {
+    MonitoredSessionView view;
+    view.client = client_pool_->view(client_ref);
+    if (materialize) view.transactions = {emit_txns_.data(), recs.size()};
+    view.records = recs;
+    view.sni_pool = sni_pool_;
+    view.predicted_class = predicted;
+    view.confidence = confidence;
+    view.start_s = recs.front().start_s;
+    view.end_s = end_s;
+    view.detected_s = detected_s;
+    on_session_view_(view);
+  } else {
+    emit_session_.client.assign(client_pool_->view(client_ref));
+    emit_session_.transactions.assign(emit_txns_.begin(),
+                                      emit_txns_.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              recs.size()));
+    emit_session_.predicted_class = predicted;
+    emit_session_.confidence = confidence;
+    emit_session_.start_s = recs.front().start_s;
+    emit_session_.end_s = end_s;
+    emit_session_.detected_s = detected_s;
+    on_session_(emit_session_);
+  }
+}
+
+void StreamingMonitor::emit_pending(util::StringPool::Ref client_ref,
+                                    ClientState& state, double detected_s) {
+  sync_acc(state);
+  emit_records(client_ref, state.pending, state.acc, detected_s);
   state.pending.clear();
   state.acc.reset();
+  state.acc_synced = 0;
+  state.scan.reset();
 }
 
 void StreamingMonitor::observe(const std::string& client,
                                const trace::TlsTransaction& txn) {
   DROPPKT_EXPECT(!client.empty(), "StreamingMonitor: client must be non-empty");
-  auto it = clients_.find(client);
-  if (it == clients_.end()) {
-    it = clients_
-             .emplace(client, ClientState{.pending = {},
-                                          .last_start_s = -1e18,
-                                          .acc = estimator_->make_accumulator()})
-             .first;
+  DROPPKT_EXPECT(!external_pools_,
+                 "StreamingMonitor: string observe() requires owned pools — "
+                 "with external pools the producer interns and calls "
+                 "observe_ref()");
+  const util::StringPool::Ref client_ref = owned_clients_.intern(client);
+  observe_ref(client_ref, to_tls_record(txn, owned_snis_));
+}
+
+void StreamingMonitor::observe_ref(util::StringPool::Ref client_ref,
+                                   const TlsRecord& rec) {
+  if (client_ref >= clients_.size()) {
+    clients_.resize(static_cast<std::size_t>(client_ref) + 1);
   }
-  ClientState& state = it->second;
-  DROPPKT_EXPECT(txn.start_s >= state.last_start_s,
+  ClientState& state = clients_[client_ref];
+  if (!state.open) {
+    if (!state.init) {
+      state.acc = estimator_->make_accumulator();
+      state.init = true;
+    }
+    state.open = true;
+    state.last_start_s = -1e18;
+    ++open_clients_;
+  }
+  DROPPKT_EXPECT(rec.start_s >= state.last_start_s,
                  "StreamingMonitor: records must arrive in start-time order");
 
   // Idle gap: the previous session ended long ago.
   if (!state.pending.empty() &&
-      txn.start_s - state.last_start_s > config_.client_idle_timeout_s) {
-    emit(client, state, txn.start_s);
+      rec.start_s - state.last_start_s > config_.client_idle_timeout_s) {
+    emit_pending(client_ref, state, rec.start_s);
   }
 
-  state.pending.push_back(txn);
-  state.acc.observe(txn);
-  state.last_start_s = txn.start_s;
+  state.pending.push_back(rec);
+  state.last_start_s = rec.start_s;
   // Per-record hot path, so debug-only: the buffered window must stay
   // start-ordered or the boundary heuristic below silently misfires.
   DROPPKT_ASSERT(state.pending.size() < 2 ||
                      state.pending[state.pending.size() - 2].start_s <=
-                         txn.start_s,
+                         rec.start_s,
                  "StreamingMonitor: pending window lost start order");
 
   // In-flight QoE: snapshot the live accumulator every N records. This is
@@ -126,57 +193,72 @@ void StreamingMonitor::observe(const std::string& client,
   if (on_provisional_ && config_.provisional_every > 0 &&
       state.pending.size() >= config_.min_transactions &&
       state.pending.size() % config_.provisional_every == 0) {
+    sync_acc(state);
     ProvisionalEstimate est;
-    est.client = it->first;
+    est.client = client_pool_->view(client_ref);
     est.transactions_observed = state.pending.size();
     est.predicted_class =
         estimator_->predict_into(state.acc, feature_scratch_, proba_scratch_);
     est.confidence =
         proba_scratch_[static_cast<std::size_t>(est.predicted_class)];
     est.session_start_s = state.pending.front().start_s;
-    est.last_activity_s = txn.start_s;
+    est.last_activity_s = rec.start_s;
     ++provisionals_reported_;
     on_provisional_(est);
   }
 
-  // Online boundary detection: re-run the burst+fresh-server heuristic on
-  // the buffered window. A boundary at index k becomes detectable once its
-  // burst (the W-second look-ahead) has arrived in the buffer; at that
-  // point everything before k is a completed session.
-  const auto starts = detect_session_starts(state.pending, config_.session_id);
-  for (std::size_t k = 1; k < starts.size(); ++k) {
-    if (!starts[k]) continue;
-    ClientState head;
-    head.acc = estimator_->make_accumulator();
-    head.pending.assign(state.pending.begin(),
-                        state.pending.begin() + static_cast<std::ptrdiff_t>(k));
-    rebuild_accumulator(head);
-    emit(client, head, txn.start_s);
+  // Online boundary detection: the burst+fresh-server heuristic over the
+  // buffered window, maintained incrementally — per record this costs
+  // O(records within W), not O(window x burst). A boundary at index k
+  // becomes detectable once its burst (the W-second look-ahead) has
+  // arrived in the buffer; at that point everything before k is a
+  // completed session.
+  const std::size_t k = state.scan.on_append(state.pending,
+                                             config_.session_id);
+  if (k != 0) {
+    // Emit the prefix through the reused split accumulator, then slide the
+    // survivors down. The live accumulator restarts lazily from the
+    // surviving records (acc_synced = 0), folded on next need.
+    head_acc_.reset();
+    for (std::size_t i = 0; i < k; ++i) {
+      const TlsRecord& r = state.pending[i];
+      head_acc_.observe(r.start_s, r.end_s, r.ul_bytes, r.dl_bytes);
+    }
+    emit_records(client_ref, {state.pending.data(), k}, head_acc_,
+                 rec.start_s);
     state.pending.erase(state.pending.begin(),
                         state.pending.begin() + static_cast<std::ptrdiff_t>(k));
-    // The split invalidated the live state; re-fold the survivors.
-    rebuild_accumulator(state);
-    break;
+    state.acc.reset();
+    state.acc_synced = 0;
+    state.scan.rebuild(state.pending, config_.session_id);
   }
 }
 
 void StreamingMonitor::advance_time(double now_s) {
-  for (auto it = clients_.begin(); it != clients_.end();) {
-    ClientState& state = it->second;
+  for (std::size_t ref = 0; ref < clients_.size(); ++ref) {
+    ClientState& state = clients_[ref];
+    if (!state.open) continue;
     if (now_s - state.last_start_s > config_.client_idle_timeout_s) {
-      if (!state.pending.empty()) emit(it->first, state, now_s);
-      it = clients_.erase(it);
-    } else {
-      ++it;
+      if (!state.pending.empty()) {
+        emit_pending(static_cast<util::StringPool::Ref>(ref), state, now_s);
+      }
+      state.open = false;
+      --open_clients_;
     }
   }
 }
 
 void StreamingMonitor::finish() {
-  for (auto& [client, state] : clients_) {
-    if (!state.pending.empty()) emit(client, state, state.last_start_s);
+  for (std::size_t ref = 0; ref < clients_.size(); ++ref) {
+    ClientState& state = clients_[ref];
+    if (!state.open) continue;
+    if (!state.pending.empty()) {
+      emit_pending(static_cast<util::StringPool::Ref>(ref), state,
+                   state.last_start_s);
+    }
+    state.open = false;
   }
-  clients_.clear();
+  open_clients_ = 0;
 }
 
 }  // namespace droppkt::core

@@ -4,21 +4,38 @@
 // demultiplexes them per client, delimits sessions online with the
 // burst+fresh-server heuristic, and emits a QoE estimate for every
 // completed session.
+//
+// Hot-path representation: clients and SNIs are interned in
+// util::StringPools, so per-client state is keyed by a 4-byte ref and the
+// pending-session window buffers trivially copyable core::TlsRecord
+// values. In standalone use the monitor owns its pools and the string API
+// interns on the way in; inside the sharded ingest engine the *producer*
+// interns into shard-local pools and the worker feeds refs straight to
+// observe_ref() — no string is hashed, copied, or allocated per record on
+// the worker. Owning strings are materialized only at emission, into
+// scratch that keeps its capacity across sessions, so the steady-state
+// record path performs zero heap allocations (gated by a counting-
+// allocator test).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
 #include "core/estimator.hpp"
 #include "core/feature_accumulator.hpp"
 #include "core/session_id.hpp"
+#include "core/tls_record.hpp"
 #include "trace/records.hpp"
+#include "util/string_pool.hpp"
 
 namespace droppkt::core {
 
-/// A completed, classified session as reported by the monitor.
+/// A completed, classified session as reported by the monitor. Callback
+/// sinks receive a const reference to monitor-owned scratch that is reused
+/// for the next emission — copy what must outlive the call.
 struct MonitoredSession {
   std::string client;
   trace::TlsLog transactions;
@@ -37,17 +54,26 @@ struct MonitoredSession {
 /// `client` and `transactions` point into the monitor's storage and are
 /// valid only during the callback; sinks that need to retain the session
 /// call to_owned(). Skipping the owned copy also lets the monitor keep
-/// each client's transaction buffer capacity across sessions.
+/// its emission buffers' capacity across sessions.
 struct MonitoredSessionView {
   std::string_view client;
+  /// Materialized owning transactions — empty when the monitor runs with
+  /// MonitorConfig::materialize_transactions off; `records` always carries
+  /// the session content either way.
   std::span<const trace::TlsTransaction> transactions;
+  /// The session's interned POD records (always populated). SNI strings
+  /// resolve through `sni_pool`; sinks that only need counts or byte
+  /// totals read these and skip string materialization entirely.
+  std::span<const TlsRecord> records;
+  const util::StringPool* sni_pool = nullptr;
   int predicted_class = 0;  // 0 = low/worst
   double confidence = 0.0;
   double start_s = 0.0;
   double end_s = 0.0;
   double detected_s = 0.0;  // see MonitoredSession::detected_s
 
-  /// Deep copy for sinks that outlive the callback.
+  /// Deep copy for sinks that outlive the callback. Requires the monitor
+  /// to be materializing transactions (the default).
   MonitoredSession to_owned() const {
     return MonitoredSession{
         .client = std::string(client),
@@ -87,6 +113,13 @@ struct MonitorConfig {
   /// the pending window holds min_transactions records (0 = off). Needs a
   /// provisional callback to have any effect.
   std::size_t provisional_every = 0;
+  /// View-sink monitors only: when false, emission skips materializing
+  /// owning trace::TlsTransaction strings and the view's `transactions`
+  /// span is empty — sinks read the interned `records` instead. Saves one
+  /// string resolve+copy per record for sinks (like the alert pipeline)
+  /// that never look at transaction contents. Ignored (always on) for the
+  /// owned-callback constructor, which must hand out owning strings.
+  bool materialize_transactions = true;
 };
 
 /// Online QoE monitoring over a proxy's TLS transaction feed.
@@ -105,12 +138,28 @@ class StreamingMonitor {
 
   /// Monitor with the borrowed-span emit path: sessions are reported as
   /// MonitoredSessionView, whose client/transactions borrow the monitor's
-  /// per-client buffer for the duration of the callback. Sinks that only
+  /// emission scratch for the duration of the callback. Sinks that only
   /// inspect the session (counters, alerting, logging) skip the owned
-  /// copy entirely, and the buffer's capacity is reused across sessions.
+  /// copy entirely, and the scratch capacity is reused across sessions.
   static StreamingMonitor with_view_sink(const QoeEstimator& estimator,
                                          ViewCallback on_session,
                                          MonitorConfig config = {});
+
+  /// Tag-dispatched form of with_view_sink for in-place construction
+  /// (emplace / make_unique) — the monitor holds atomics and cannot move.
+  struct ViewSinkTag {};
+  StreamingMonitor(ViewSinkTag, const QoeEstimator& estimator,
+                   ViewCallback on_session, MonitorConfig config = {});
+
+  /// Switch to externally owned interning pools (the sharded engine's
+  /// shard-local pools: its ingest thread interns, this monitor's thread
+  /// resolves). Must be called before the first record; afterwards feed
+  /// records through observe_ref() with refs from exactly these pools —
+  /// the string-keyed observe() is disabled because interning would write
+  /// to pools this monitor no longer owns. The pools must outlive the
+  /// monitor.
+  void use_external_pools(const util::StringPool* client_pool,
+                          const util::StringPool* sni_pool);
 
   /// Install the in-flight estimate hook (see MonitorConfig::
   /// provisional_every). Call before feeding records. The callback fires
@@ -121,8 +170,15 @@ class StreamingMonitor {
 
   /// Feed one proxy record for a client. Completed sessions (detected via
   /// a new-session burst or the client idle timeout) are classified and
-  /// reported through the callback before this call returns.
+  /// reported through the callback before this call returns. Interns the
+  /// client and SNI into the monitor's own pools, then forwards to
+  /// observe_ref() — both calls are the same hot path.
   void observe(const std::string& client, const trace::TlsTransaction& txn);
+
+  /// The allocation-free hot path: feed one interned record. `client_ref`
+  /// and `rec.sni_ref` must come from the monitor's pools (owned or
+  /// external; see use_external_pools).
+  void observe_ref(util::StringPool::Ref client_ref, const TlsRecord& rec);
 
   /// Advance the monitor's notion of "now" to `now_s` (feed time) without
   /// feeding a record: clients idle longer than the timeout have their
@@ -139,7 +195,7 @@ class StreamingMonitor {
 
   std::size_t sessions_reported() const { return sessions_reported_; }
   std::size_t provisionals_reported() const { return provisionals_reported_; }
-  std::size_t open_clients() const { return clients_.size(); }
+  std::size_t open_clients() const { return open_clients_; }
 
  private:
   struct ViewTag {};
@@ -148,31 +204,66 @@ class StreamingMonitor {
                    ViewTag);
 
   struct ClientState {
-    trace::TlsLog pending;        // transactions of the in-progress session
-    double last_start_s = -1e18;  // latest transaction start seen
-    // Live feature state over `pending`, fed in lockstep by observe().
-    // After a burst-boundary split it is rebuilt from the surviving
-    // records; acc.transactions() == pending.size() is the invariant
-    // emit() relies on to classify without re-extracting.
+    /// Slot lifecycle in the dense table below: `open` means the client
+    /// has un-emitted state; `init` means the accumulator has been shaped
+    /// to the estimator's feature config (done once, buffers then live for
+    /// the process — an evicted client that returns reuses its slot's
+    /// capacity instead of reallocating).
+    bool open = false;
+    bool init = false;
+    std::vector<TlsRecord> pending;  // in-progress session, POD records
+    double last_start_s = -1e18;     // latest transaction start seen
+    // Live feature state over pending[0..acc_synced). Folding is lazy:
+    // records are appended POD-cheap and folded in arrival order only
+    // when a classification needs the accumulator (emit / provisional),
+    // which keeps the record path free of accumulator arithmetic while
+    // staying bit-identical — snapshots are functions of the fed multiset.
     TlsFeatureAccumulator acc;
+    std::size_t acc_synced = 0;
+    // Incremental boundary detection over `pending` (see
+    // IncrementalBoundaryScan) — byte-identical splits to re-running the
+    // batch heuristic per arrival, at O(burst) per record.
+    IncrementalBoundaryScan scan;
   };
 
-  void emit(const std::string& client, ClientState& state, double detected_s);
-  void rebuild_accumulator(ClientState& state);
+  /// Fold pending[acc_synced..) into the accumulator.
+  void sync_acc(ClientState& state);
+  /// Classify and report `recs` (acc must already mirror them), resolving
+  /// client/SNI strings from the pools into reused emission scratch.
+  void emit_records(util::StringPool::Ref client_ref,
+                    std::span<const TlsRecord> recs,
+                    const TlsFeatureAccumulator& acc, double detected_s);
+  /// Emit the client's whole pending window, then reset it for the next
+  /// session (buffer capacity and accumulator storage are kept).
+  void emit_pending(util::StringPool::Ref client_ref, ClientState& state,
+                    double detected_s);
 
   const QoeEstimator* estimator_;
   Callback on_session_;
   ViewCallback on_session_view_;
   ProvisionalCallback on_provisional_;
   MonitorConfig config_;
-  // unordered: client lookup is on the per-record hot path, needs no order.
-  std::unordered_map<std::string, ClientState> clients_;
+  // Interning pools: owned in standalone use, the shard's in engine use.
+  util::StringPool owned_clients_;
+  util::StringPool owned_snis_;
+  const util::StringPool* client_pool_ = &owned_clients_;
+  const util::StringPool* sni_pool_ = &owned_snis_;
+  bool external_pools_ = false;
+  // Dense table indexed by client ref: interner refs are sequential pool
+  // indices, so the per-record lookup is one bounds check + array index —
+  // no hashing, no probing, and advance_time() sweeps contiguously.
+  std::vector<ClientState> clients_;
+  std::size_t open_clients_ = 0;
   std::size_t sessions_reported_ = 0;
   std::size_t provisionals_reported_ = 0;
-  // Classification scratch, reused across emits/provisionals (observe is
-  // single-threaded per monitor).
+  // Scratch reused across emits/provisionals (observe is single-threaded
+  // per monitor). emit_txns_ only ever grows, so element string capacity
+  // survives; emit_session_ is the owned-callback materialization buffer.
   std::vector<double> feature_scratch_;
   std::vector<double> proba_scratch_;
+  TlsFeatureAccumulator head_acc_;  // split-prefix accumulator, reused
+  trace::TlsLog emit_txns_;         // high-water materialization buffer
+  MonitoredSession emit_session_;
 };
 
 }  // namespace droppkt::core

@@ -11,8 +11,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
+#include "core/tls_record.hpp"
 #include "trace/records.hpp"
 
 namespace droppkt::core {
@@ -33,5 +36,77 @@ std::vector<bool> detect_session_starts(const trace::TlsLog& merged,
 /// detected boundaries.
 std::vector<trace::TlsLog> split_sessions(const trace::TlsLog& merged,
                                           const SessionIdParams& params = {});
+
+/// Reused working memory for detect_session_starts_into — hold one per
+/// caller (the streaming monitor keeps one) so the per-record hot path
+/// allocates nothing in steady state.
+struct SessionStartScratch {
+  /// Output: is_start[i] != 0 iff merged[i] begins a new session.
+  std::vector<char> is_start;
+  /// Distinct SNI refs seen in the current session (small; linear scan).
+  std::vector<std::uint32_t> servers;
+};
+
+/// The same heuristic over interned POD records: identical boundaries to
+/// detect_session_starts for the equivalent transaction log, with the
+/// fresh-server test comparing 4-byte SNI refs instead of strings (ref
+/// equality == string equality within one util::StringPool). Writes into
+/// scratch.is_start; no allocation once the scratch has grown to the
+/// caller's window high-water mark.
+void detect_session_starts_into(std::span<const TlsRecord> merged,
+                                const SessionIdParams& params,
+                                SessionStartScratch& scratch);
+
+/// Incremental form of the boundary heuristic for the streaming hot path.
+///
+/// Re-running detect_session_starts_into over a client's whole pending
+/// window on every arrival costs O(window x burst) per record; this class
+/// maintains the per-position burst counters (N_i and the fresh count
+/// F_i) across arrivals instead, so each record costs O(records within W
+/// of it). The counters are pure functions of the window content — N_i
+/// counts succeeding records within W of record i, F_i those whose SNI's
+/// first occurrence in the window is at or after i (equivalent to "not in
+/// the servers seen before i") — so a position whose look-ahead window
+/// has closed can never change its decision and is skipped until the
+/// window itself is cut.
+///
+/// Usage (mirrors StreamingMonitor): call on_append() with the window
+/// AFTER appending each record; if it returns k > 0, records [0, k) are a
+/// completed session — cut them and call rebuild() with the surviving
+/// suffix. Byte-identical split decisions to running
+/// detect_session_starts_into per arrival and cutting at the first start.
+class IncrementalBoundaryScan {
+ public:
+  /// Forget everything (the window was emptied).
+  void reset();
+
+  /// Account for the newest record (window.back()) and return the first
+  /// session-start index in [1, window.size()), or 0 when no boundary is
+  /// detectable yet. `window` must be the full sorted pending window.
+  std::size_t on_append(std::span<const TlsRecord> window,
+                        const SessionIdParams& params);
+
+  /// Recompute state for a window whose prefix was just cut. The cut
+  /// changes every surviving position's seen-before-set, so the next
+  /// on_append() re-evaluates all positions once instead of only the
+  /// active suffix.
+  void rebuild(std::span<const TlsRecord> window,
+               const SessionIdParams& params);
+
+ private:
+  void append(std::span<const TlsRecord> window, const SessionIdParams& params);
+  std::size_t evaluate(std::span<const TlsRecord> window,
+                       const SessionIdParams& params);
+
+  struct FirstOcc {
+    std::uint32_t sni_ref = 0;
+    std::uint32_t index = 0;  // first window index carrying sni_ref
+  };
+  std::vector<std::uint32_t> n_;      // succeeding records within W of i
+  std::vector<std::uint32_t> fresh_;  // ... targeting servers fresh at i
+  std::vector<FirstOcc> first_occ_;   // distinct SNIs (small; linear scan)
+  std::size_t active_begin_ = 0;      // first position still within W
+  bool evaluate_all_next_ = false;    // set by rebuild()
+};
 
 }  // namespace droppkt::core

@@ -1,0 +1,62 @@
+// Fixed-size POD form of a proxy TLS record, for the allocation-free
+// ingest hot path.
+//
+// trace::TlsTransaction owns its SNI as a std::string, so copying one into
+// a queue or a per-client buffer heap-allocates. TlsRecord replaces the
+// string with a util::StringPool ref: records become trivially copyable
+// 48-byte values that move through SPSC mailboxes and pending-session
+// buffers without touching the allocator, and SNI equality (all the
+// session-boundary heuristic needs) is a 4-byte integer compare. The
+// owning form is materialized back — pool lookup per transaction — only
+// when a completed session is emitted, which is orders of magnitude rarer
+// than record arrival.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/records.hpp"
+#include "util/string_pool.hpp"
+
+namespace droppkt::core {
+
+/// One proxy TLS record with the SNI interned in a util::StringPool.
+/// Trivially copyable; the pool that produced `sni_ref` is needed to
+/// resolve it back to a hostname.
+struct TlsRecord {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double ul_bytes = 0.0;
+  double dl_bytes = 0.0;
+  util::StringPool::Ref sni_ref = 0;
+  std::uint32_t http_count = 0;  // u32 is ample for per-connection exchanges
+
+  double duration_s() const { return end_s - start_s; }
+};
+
+/// Intern `txn.sni` into `sni_pool` and return the POD form. Producer-side
+/// only (see StringPool's threading contract).
+inline TlsRecord to_tls_record(const trace::TlsTransaction& txn,
+                               util::StringPool& sni_pool) {
+  return TlsRecord{.start_s = txn.start_s,
+                   .end_s = txn.end_s,
+                   .ul_bytes = txn.ul_bytes,
+                   .dl_bytes = txn.dl_bytes,
+                   .sni_ref = sni_pool.intern(txn.sni),
+                   .http_count = static_cast<std::uint32_t>(txn.http_count)};
+}
+
+/// Materialize the owning form into `out`, resolving the SNI from
+/// `sni_pool`. Assigning into a reused TlsTransaction lets its sni string
+/// keep its capacity across sessions (the emit path's scratch reuse).
+inline void to_transaction(const TlsRecord& rec,
+                           const util::StringPool& sni_pool,
+                           trace::TlsTransaction& out) {
+  out.start_s = rec.start_s;
+  out.end_s = rec.end_s;
+  out.ul_bytes = rec.ul_bytes;
+  out.dl_bytes = rec.dl_bytes;
+  out.sni.assign(sni_pool.view(rec.sni_ref));
+  out.http_count = rec.http_count;
+}
+
+}  // namespace droppkt::core

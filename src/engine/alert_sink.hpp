@@ -47,13 +47,15 @@ class AlertSink {
   virtual void on_provisional(std::size_t shard,
                               const core::ProvisionalEstimate& estimate) = 0;
 
-  /// A completed session's final verdict. `at_close` is true when the
-  /// session was force-flushed by engine shutdown (monitor finish())
-  /// rather than delimited by feed time; such sessions carry no meaningful
-  /// position in the watermark order and must only be surfaced at
-  /// on_finish().
+  /// A completed session's final verdict. The view (and its `records`
+  /// span) is valid only during the call; `transactions` may be empty when
+  /// the engine runs with transaction materialization off. `at_close` is
+  /// true when the session was force-flushed by engine shutdown (monitor
+  /// finish()) rather than delimited by feed time; such sessions carry no
+  /// meaningful position in the watermark order and must only be surfaced
+  /// at on_finish().
   virtual void on_session(std::size_t shard,
-                          const core::MonitoredSession& session,
+                          const core::MonitoredSessionView& session,
                           bool at_close) = 0;
 
   /// This shard has processed every record with start time < watermark_s.

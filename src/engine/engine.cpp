@@ -7,28 +7,6 @@
 
 namespace droppkt::engine {
 
-namespace {
-
-/// FNV-1a with a SplitMix64 finalizer. std::hash<std::string> is not
-/// specified to mix well (libstdc++'s is fine, but shard balance should
-/// not depend on the standard library); this gives a stable, well-mixed
-/// client -> shard assignment on every platform.
-std::uint64_t client_hash(const std::string& client) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const unsigned char c : client) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ULL;
-  h ^= h >> 27;
-  h *= 0x94d049bb133111ebULL;
-  h ^= h >> 31;
-  return h;
-}
-
-}  // namespace
-
 IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
                            SessionSink sink, EngineConfig config)
     : IngestEngine(estimator, std::move(sink), ProvisionalSink{},
@@ -45,6 +23,8 @@ IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
   DROPPKT_EXPECT(static_cast<bool>(sink_), "IngestEngine: sink must be callable");
   DROPPKT_EXPECT(config_.watermark_interval_s > 0.0,
                  "IngestEngine: watermark interval must be positive");
+  DROPPKT_EXPECT(config_.drain_block > 0,
+                 "IngestEngine: drain block must be positive");
   std::size_t n = config_.num_shards;
   if (n == 0) {
     n = std::thread::hardware_concurrency();
@@ -57,13 +37,14 @@ IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
                                          config_.backpressure);
     Shard* sh = shard.get();
     sh->index = i;
+    sh->staging.reserve(config_.drain_block);
     // The callback runs on the shard's worker thread; the sink mutex
     // serializes cross-shard emission. The alert hook stays outside the
     // mutex: its shard-side stage is per-shard state, so serializing it
     // globally would be pure contention.
     sh->monitor = std::make_unique<core::StreamingMonitor>(
-        *estimator_,
-        [this, sh](const core::MonitoredSession& s) {
+        core::StreamingMonitor::ViewSinkTag{}, *estimator_,
+        [this, sh](const core::MonitoredSessionView& s) {
           sh->counters.sessions.fetch_add(1, std::memory_order_relaxed);
           if (config_.alert_sink) {
             config_.alert_sink->on_session(sh->index, s, sh->draining);
@@ -72,6 +53,9 @@ IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
           sink_(s);
         },
         config_.monitor);
+    // The ingest thread interns into the shard's pools; the worker's
+    // monitor only resolves refs (publication rides the mailbox).
+    sh->monitor->use_external_pools(&sh->clients, &sh->snis);
     if (provisional_sink_ || config_.alert_sink) {
       // In-flight QoE fan-in mirrors the session sink: counted on the
       // owning shard, serialized across shards by the same mutex.
@@ -97,62 +81,121 @@ IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
 
 IngestEngine::~IngestEngine() { finish(); }
 
-std::size_t IngestEngine::shard_of(const std::string& client) const {
-  return client_hash(client) % shards_.size();
+std::size_t IngestEngine::shard_of(std::string_view client) const {
+  return util::well_mixed_hash(client) % shards_.size();
 }
 
-void IngestEngine::ingest(const std::string& client,
+IngestEngine::Msg IngestEngine::make_record_msg(
+    Shard& sh, std::string_view client, const trace::TlsTransaction& txn) {
+  Msg m;
+  m.kind = Msg::Kind::kRecord;
+  m.client_ref = sh.clients.intern(client);
+  m.rec = core::to_tls_record(txn, sh.snis);
+  // Sampled latency stamping: a clock read per record costs more than the
+  // rest of this function; every k-th record per shard keeps the
+  // histogram live at negligible cost.
+  if (config_.latency_sample_every > 0 &&
+      ++sh.stamp_phase >= config_.latency_sample_every) {
+    sh.stamp_phase = 0;
+    m.enqueue_tp = std::chrono::steady_clock::now();
+  }
+  return m;
+}
+
+void IngestEngine::maybe_broadcast_watermark(double start_s) {
+  // Low-watermark broadcast: the global feed has reached start_s, so
+  // every shard — including ones whose clients have gone quiet — may evict
+  // clients idle past the timeout. Each shard's mailbox is FIFO, so the
+  // watermark is processed after every record enqueued before it; staged
+  // records are flushed first to keep that invariant under batching.
+  if (saw_record_ &&
+      start_s - last_watermark_s_ < config_.watermark_interval_s) {
+    return;
+  }
+  last_watermark_s_ = start_s;
+  saw_record_ = true;
+  flush_all_staging();
+  for (auto& shard : shards_) {
+    Msg wm;
+    wm.kind = Msg::Kind::kWatermark;
+    wm.rec.start_s = start_s;
+    shard->queue.push(wm);
+  }
+}
+
+void IngestEngine::flush_shard(Shard& sh) {
+  if (sh.staging.empty()) return;
+  sh.queue.push_bulk(sh.staging.data(), sh.staging.size());
+  sh.counters.enqueued.fetch_add(sh.staging.size(),
+                                 std::memory_order_relaxed);
+  sh.staging.clear();
+}
+
+void IngestEngine::flush_all_staging() {
+  for (auto& shard : shards_) flush_shard(*shard);
+}
+
+void IngestEngine::ingest(std::string_view client,
                           const trace::TlsTransaction& txn) {
   DROPPKT_EXPECT(!finished_, "IngestEngine: ingest after finish");
   DROPPKT_EXPECT(!client.empty(), "IngestEngine: client must be non-empty");
-
-  // Low-watermark broadcast: the global feed has reached txn.start_s, so
-  // every shard — including ones whose clients have gone quiet — may evict
-  // clients idle past the timeout. Each shard's mailbox is FIFO, so the
-  // watermark is processed after every record enqueued before it.
-  if (!saw_record_ ||
-      txn.start_s - last_watermark_s_ >= config_.watermark_interval_s) {
-    last_watermark_s_ = txn.start_s;
-    saw_record_ = true;
-    for (auto& shard : shards_) {
-      Msg wm;
-      wm.kind = Msg::Kind::kWatermark;
-      wm.txn.start_s = txn.start_s;
-      shard->queue.push(std::move(wm));
-    }
-  }
-
+  maybe_broadcast_watermark(txn.start_s);
   Shard& sh = *shards_[shard_of(client)];
-  Msg m;
-  m.kind = Msg::Kind::kRecord;
-  m.client = client;
-  m.txn = txn;
-  m.enqueue_tp = std::chrono::steady_clock::now();
+  Msg m = make_record_msg(sh, client, txn);
   sh.counters.enqueued.fetch_add(1, std::memory_order_relaxed);
-  sh.queue.push(std::move(m));
+  sh.queue.push(m);
+}
+
+void IngestEngine::ingest_batch(std::span<const FeedRecord> batch) {
+  DROPPKT_EXPECT(!finished_, "IngestEngine: ingest after finish");
+  for (const FeedRecord& r : batch) {
+    DROPPKT_EXPECT(!r.client.empty(),
+                   "IngestEngine: client must be non-empty");
+    maybe_broadcast_watermark(r.txn.start_s);
+    Shard& sh = *shards_[shard_of(r.client)];
+    sh.staging.push_back(make_record_msg(sh, r.client, r.txn));
+    if (sh.staging.size() >= config_.drain_block) flush_shard(sh);
+  }
+  flush_all_staging();
 }
 
 void IngestEngine::worker_loop(Shard& shard) {
-  Msg m;
-  while (shard.queue.pop_wait(m)) {
-    if (m.kind == Msg::Kind::kRecord) {
-      shard.monitor->observe(m.client, m.txn);
-      shard.counters.records.fetch_add(1, std::memory_order_relaxed);
-      const auto done = std::chrono::steady_clock::now();
-      shard.counters.latency.record(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(done -
-                                                               m.enqueue_tp)
-              .count()));
-    } else {
-      // advance_time first: sessions it evicts carry detected_s equal to
-      // the watermark, and the sink must see them before it learns the
-      // shard has reached that time.
-      shard.monitor->advance_time(m.txn.start_s);
-      shard.counters.watermarks.fetch_add(1, std::memory_order_relaxed);
-      if (config_.alert_sink) {
-        config_.alert_sink->on_watermark(shard.index, m.txn.start_s);
+  // Block-drained hot loop: one mailbox operation moves up to drain_block
+  // POD messages, and the shared counters are published once per block —
+  // per-record work is just the monitor call (plus a clock read for the
+  // sampled subset carrying a stamp).
+  std::vector<Msg> block(config_.drain_block);
+  std::uint64_t records = 0;
+  std::uint64_t watermarks = 0;
+  for (;;) {
+    const std::size_t got =
+        shard.queue.pop_wait_bulk(block.data(), block.size());
+    if (got == 0) break;
+    for (std::size_t i = 0; i < got; ++i) {
+      const Msg& m = block[i];
+      if (m.kind == Msg::Kind::kRecord) {
+        shard.monitor->observe_ref(m.client_ref, m.rec);
+        ++records;
+        if (m.enqueue_tp.time_since_epoch().count() != 0) {
+          const auto done = std::chrono::steady_clock::now();
+          shard.counters.latency.record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  done - m.enqueue_tp)
+                  .count()));
+        }
+      } else {
+        // advance_time first: sessions it evicts carry detected_s equal to
+        // the watermark, and the sink must see them before it learns the
+        // shard has reached that time.
+        shard.monitor->advance_time(m.rec.start_s);
+        ++watermarks;
+        if (config_.alert_sink) {
+          config_.alert_sink->on_watermark(shard.index, m.rec.start_s);
+        }
       }
     }
+    shard.counters.records.store(records, std::memory_order_relaxed);
+    shard.counters.watermarks.store(watermarks, std::memory_order_relaxed);
   }
   shard.draining = true;
   shard.monitor->finish();
@@ -161,6 +204,7 @@ void IngestEngine::worker_loop(Shard& shard) {
 void IngestEngine::finish() {
   if (finished_) return;
   finished_ = true;
+  flush_all_staging();
   for (auto& shard : shards_) shard->queue.close();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
@@ -186,11 +230,15 @@ EngineStatsSnapshot IngestEngine::stats() const {
     s.dropped = sh.queue.dropped();
     s.queue_depth = sh.queue.size();
     s.queue_high_water = sh.queue.high_water();
+    s.interned_clients = sh.clients.size();
+    s.interned_snis = sh.snis.size();
     snap.records_ingested += s.enqueued;
     snap.records_processed += s.records;
     snap.records_dropped += s.dropped;
     snap.sessions_reported += s.sessions;
     snap.provisionals_reported += s.provisionals;
+    snap.interned_clients += s.interned_clients;
+    snap.interned_snis += s.interned_snis;
     snap.max_queue_high_water = std::max(snap.max_queue_high_water,
                                          s.queue_high_water);
     sh.counters.latency.add_to(merged);

@@ -11,6 +11,22 @@
 // path. Because a client's records all hash to the same shard, per-client
 // ordering — the only ordering the monitor needs — is preserved.
 //
+// Hot-path representation (the carrier-scale record path):
+//   * Client ids and SNIs are interned into shard-local util::StringPools
+//     by the ingest thread; mailbox messages are fixed-size PODs carrying
+//     4-byte refs plus the numeric record fields — no string is copied or
+//     allocated per record, and the worker resolves names only when a
+//     session is emitted (orders of magnitude rarer than arrival).
+//   * ingest_batch() routes a caller-sized span of feed records through
+//     per-shard staging buffers and publishes them to the mailboxes in
+//     blocks (SpscQueue::push_bulk); workers drain symmetric blocks with
+//     pop_wait_bulk — the fastclick push/push_batch idiom, paying queue
+//     and bookkeeping overhead once per block instead of once per record.
+//   * Queue latency is stamped on a sampled subset of records
+//     (latency_sample_every) and per-thread counters accumulate locally,
+//     publishing to the shared snapshot atomics once per drained block —
+//     no steady_clock read and no shared-cache-line RMW per record.
+//
 // Quiet shards still evict idle clients: the ingest thread periodically
 // broadcasts a low-watermark timestamp (the feed time reached by the
 // global stream) to every shard, which forwards it to
@@ -18,11 +34,13 @@
 // fan into one sink, serialized by a mutex (sessions complete ~10^2-10^4x
 // less often than records arrive, so the lock is off the hot path).
 //
-// Determinism: for a fixed feed and config, an N-shard run reports exactly
-// the same session set (per-client boundaries and predicted classes) as a
-// 1-shard run or a plain single-threaded StreamingMonitor, because each
-// client's record-and-watermark subsequence is identical regardless of N.
-// Only the emission *order* across clients varies.
+// Determinism: for a fixed feed and config, an N-shard run — batched or
+// not, any batch size — reports exactly the same session set (per-client
+// boundaries and predicted classes) as a 1-shard run or a plain
+// single-threaded StreamingMonitor, because each shard's
+// record-and-watermark message sequence is identical regardless of N and
+// of how records were grouped into ingest_batch() calls. Only the
+// emission *order* across clients varies.
 #pragma once
 
 #include <chrono>
@@ -30,15 +48,20 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "core/estimator.hpp"
 #include "core/monitor.hpp"
+#include "core/tls_record.hpp"
 #include "engine/engine_stats.hpp"
+#include "engine/feed.hpp"
 #include "trace/records.hpp"
 #include "util/spsc_queue.hpp"
+#include "util/string_pool.hpp"
 
 namespace droppkt::engine {
 
@@ -57,6 +80,16 @@ struct EngineConfig {
   /// Feed-time interval between low-watermark broadcasts. Must be positive;
   /// values well below the idle timeout keep quiet-shard eviction timely.
   double watermark_interval_s = 15.0;
+  /// Stamp-and-measure queue latency on every k-th record accepted by a
+  /// shard (1 = every record — the pre-batching behavior; 0 = never). A
+  /// steady_clock read per record costs more than the rest of the enqueue
+  /// path, so the default samples: the histogram stays populated while the
+  /// hot path stays clock-free.
+  std::size_t latency_sample_every = 64;
+  /// Block size for batched transfer: ingest_batch() flushes a shard's
+  /// staging buffer at this size, and workers drain up to this many
+  /// messages per mailbox operation.
+  std::size_t drain_block = 256;
   /// Optional verdict consumer (see engine/alert_sink.hpp for the
   /// threading contract). Borrowed; must outlive the engine. The alert
   /// subsystem's alert::AlertPipeline is the intended implementation.
@@ -65,14 +98,19 @@ struct EngineConfig {
 
 /// Sharded multi-threaded ingest over a proxy's TLS transaction feed.
 ///
-/// ingest() must be called from one thread at a time (the proxy feed is a
-/// single ordered stream); records must arrive in global start-time order.
-/// The estimator is borrowed, must outlive the engine, and must be safe
-/// for concurrent predict() calls (it is: prediction is read-only). The
-/// sink is invoked from worker threads, one call at a time.
+/// ingest() / ingest_batch() must be called from one thread at a time (the
+/// proxy feed is a single ordered stream); records must arrive in global
+/// start-time order. The estimator is borrowed, must outlive the engine,
+/// and must be safe for concurrent predict() calls (it is: prediction is
+/// read-only). The sink is invoked from worker threads, one call at a
+/// time.
 class IngestEngine {
  public:
-  using SessionSink = std::function<void(const core::MonitoredSession&)>;
+  /// Session sink: invoked with a borrowed view (valid only during the
+  /// call) — copy via to_owned() to retain, or read the interned `records`
+  /// to stay allocation-free. `transactions` is empty unless
+  /// config.monitor.materialize_transactions is on.
+  using SessionSink = std::function<void(const core::MonitoredSessionView&)>;
   using ProvisionalSink =
       std::function<void(const core::ProvisionalEstimate&)>;
 
@@ -92,8 +130,17 @@ class IngestEngine {
   IngestEngine& operator=(const IngestEngine&) = delete;
 
   /// Route one proxy record to its client's shard. Applies the configured
-  /// backpressure policy if that shard's mailbox is full.
-  void ingest(const std::string& client, const trace::TlsTransaction& txn);
+  /// backpressure policy if that shard's mailbox is full. The unbatched
+  /// path: one mailbox operation per record.
+  void ingest(std::string_view client, const trace::TlsTransaction& txn);
+
+  /// Route a block of feed records (global start-time order, continuing
+  /// the stream fed so far). Records are interned, staged per shard, and
+  /// published to the mailboxes in bulk; every staged record is visible to
+  /// its shard by the time the call returns. Produces byte-identical
+  /// sessions and alert sequences to the same records fed one ingest()
+  /// call at a time, for any grouping into batches.
+  void ingest_batch(std::span<const FeedRecord> batch);
 
   /// Close all mailboxes, drain them, flush every shard's monitor and join
   /// the workers. Idempotent; called by the destructor if needed. After
@@ -103,7 +150,7 @@ class IngestEngine {
   std::size_t num_shards() const { return shards_.size(); }
 
   /// Which shard a client's records are routed to.
-  std::size_t shard_of(const std::string& client) const;
+  std::size_t shard_of(std::string_view client) const;
 
   /// Point-in-time statistics; safe to call while ingesting.
   EngineStatsSnapshot stats() const;
@@ -115,11 +162,15 @@ class IngestEngine {
   std::uint64_t provisionals_reported() const;
 
  private:
+  /// Fixed-size POD mailbox message: 4-byte interned refs instead of
+  /// owning strings, so queue transfer never touches the allocator and a
+  /// dropped (kDropOldest) message is discarded for free.
   struct Msg {
     enum class Kind : std::uint8_t { kRecord, kWatermark };
     Kind kind = Kind::kRecord;
-    std::string client;             // empty for watermarks
-    trace::TlsTransaction txn;      // for watermarks only start_s is used
+    util::StringPool::Ref client_ref = 0;  // unused for watermarks
+    core::TlsRecord rec;  // for watermarks only rec.start_s is used
+    /// Set only on latency-sampled records (time_point{} = unsampled).
     std::chrono::steady_clock::time_point enqueue_tp{};
   };
 
@@ -128,6 +179,15 @@ class IngestEngine {
         : queue(cap, policy) {}
     util::SpscQueue<Msg> queue;
     ShardCounters counters;
+    /// Shard-local interning pools: written only by the ingest thread,
+    /// resolved by this shard's worker for refs it received through the
+    /// mailbox (the queue's release/acquire pair publishes the entries).
+    util::StringPool clients;
+    util::StringPool snis;
+    /// ingest_batch staging (ingest thread only); capacity reused.
+    std::vector<Msg> staging;
+    /// Latency-sampling phase (ingest thread only).
+    std::size_t stamp_phase = 0;
     std::unique_ptr<core::StreamingMonitor> monitor;
     std::thread worker;
     std::size_t index = 0;
@@ -139,6 +199,15 @@ class IngestEngine {
   };
 
   void worker_loop(Shard& shard);
+  /// Build the POD message for one record on shard `sh` (interning).
+  Msg make_record_msg(Shard& sh, std::string_view client,
+                      const trace::TlsTransaction& txn);
+  /// Broadcast a low watermark when the feed time calls for one. Flushes
+  /// all staging first so every queue sees records-before-watermark in
+  /// feed order — the invariant batching must not disturb.
+  void maybe_broadcast_watermark(double start_s);
+  void flush_shard(Shard& sh);
+  void flush_all_staging();
 
   const core::QoeEstimator* estimator_;
   SessionSink sink_;

@@ -70,6 +70,10 @@ std::string EngineStatsSnapshot::to_string() const {
                 static_cast<unsigned long long>(provisionals_reported));
   out += line;
   std::snprintf(line, sizeof(line),
+                "interned: %zu clients, %zu SNIs across shard pools\n",
+                interned_clients, interned_snis);
+  out += line;
+  std::snprintf(line, sizeof(line),
                 "observe-to-classify latency: p50 %.1f us, p99 %.1f us\n",
                 latency_p50_us, latency_p99_us);
   out += line;

@@ -62,6 +62,8 @@ struct ShardStatsSnapshot {
   std::uint64_t dropped = 0;
   std::size_t queue_depth = 0;
   std::size_t queue_high_water = 0;
+  std::size_t interned_clients = 0;  // distinct clients in the shard pool
+  std::size_t interned_snis = 0;     // distinct SNIs in the shard pool
 };
 
 /// Aggregate view across all shards.
@@ -72,6 +74,8 @@ struct EngineStatsSnapshot {
   std::uint64_t records_dropped = 0;    // shed by kDropOldest backpressure
   std::uint64_t sessions_reported = 0;
   std::uint64_t provisionals_reported = 0;  // in-flight estimates emitted
+  std::size_t interned_clients = 0;  // distinct clients across shard pools
+  std::size_t interned_snis = 0;     // distinct SNIs across shard pools
   std::size_t max_queue_high_water = 0;
   double latency_p50_us = 0.0;  // observe-to-classify latency percentiles
   double latency_p99_us = 0.0;

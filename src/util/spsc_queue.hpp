@@ -67,14 +67,7 @@ class SpscQueue {
         backoff();
       }
     }
-    const std::size_t depth = size();
-    // Per-push, so debug-only: a depth past capacity means the ring's
-    // sequence bookkeeping corrupted (double-produce or a stomped slot).
-    DROPPKT_ASSERT(depth <= capacity(),
-                   "SpscQueue: occupancy exceeds capacity");
-    if (depth > high_water_.load(std::memory_order_relaxed)) {
-      high_water_.store(depth, std::memory_order_relaxed);
-    }
+    note_high_water();
   }
 
   /// Producer: enqueue without blocking or dropping. On success `value` is
@@ -128,6 +121,65 @@ class SpscQueue {
     return true;
   }
 
+  /// Producer: enqueue up to `n` items from `items`, stopping early when
+  /// the ring fills. Returns the number enqueued; those elements are
+  /// moved-from. One claim loop per element but a single high-water /
+  /// occupancy update per call — the fastclick push_batch idiom applied to
+  /// the mailbox: per-element function-call and bookkeeping overhead is
+  /// paid once per block.
+  std::size_t try_push_bulk(T* items, std::size_t n) {
+    std::size_t pushed = 0;
+    while (pushed < n && try_push(items[pushed])) ++pushed;
+    if (pushed > 0) note_high_water();
+    return pushed;
+  }
+
+  /// Producer: enqueue all `n` items, applying the backpressure policy
+  /// whenever the ring fills mid-block. kDropOldest may shed elements that
+  /// were part of this same block (a block larger than the ring keeps only
+  /// its newest ring-full suffix, all older elements counted in dropped()).
+  void push_bulk(T* items, std::size_t n) {
+    std::size_t pushed = 0;
+    std::size_t spins = 0;
+    while (pushed < n) {
+      const std::size_t got = try_push_bulk(items + pushed, n - pushed);
+      pushed += got;
+      if (pushed == n) break;
+      if (policy_ == BackpressurePolicy::kDropOldest) {
+        T discarded;
+        if (try_pop(discarded)) dropped_.fetch_add(1, std::memory_order_relaxed);
+      } else if (got == 0 && ++spins >= kSpinLimit) {
+        std::this_thread::yield();
+      } else if (got == 0) {
+        backoff();
+      }
+    }
+  }
+
+  /// Consumer (or producer shedding backlog): dequeue up to `n` items into
+  /// `out`. Returns the number dequeued (0 when empty).
+  std::size_t try_pop_bulk(T* out, std::size_t n) {
+    std::size_t popped = 0;
+    while (popped < n && try_pop(out[popped])) ++popped;
+    return popped;
+  }
+
+  /// Consumer: dequeue between 1 and `n` items, waiting for the first.
+  /// Returns 0 only once the queue has been close()d and fully drained.
+  std::size_t pop_wait_bulk(T* out, std::size_t n) {
+    std::size_t spins = 0;
+    for (;;) {
+      const std::size_t got = try_pop_bulk(out, n);
+      if (got > 0) return got;
+      if (closed_.load(std::memory_order_acquire)) {
+        return try_pop_bulk(out, n);  // drain pushes racing close()
+      }
+      if (++spins >= kSpinLimit) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
   /// Consumer: dequeue, waiting for an element. Returns false only once the
   /// queue has been close()d and fully drained.
   bool pop_wait(T& out) {
@@ -173,6 +225,17 @@ class SpscQueue {
   };
 
   static constexpr std::size_t kSpinLimit = 64;
+
+  void note_high_water() {
+    const std::size_t depth = size();
+    // Per-push-call, so debug-only: a depth past capacity means the ring's
+    // sequence bookkeeping corrupted (double-produce or a stomped slot).
+    DROPPKT_ASSERT(depth <= capacity(),
+                   "SpscQueue: occupancy exceeds capacity");
+    if (depth > high_water_.load(std::memory_order_relaxed)) {
+      high_water_.store(depth, std::memory_order_relaxed);
+    }
+  }
 
   static void backoff() {
 #if defined(__x86_64__) || defined(__i386__)

@@ -1,0 +1,184 @@
+// Append-only string interner for the ingest engine's allocation-free
+// record path.
+//
+// A proxy feed repeats the same client ids and SNI hostnames millions of
+// times; carrying them as owning std::strings made every queued record
+// heap-allocate. StringPool maps each distinct string to a dense
+// std::uint32_t ref exactly once; afterwards the hot path moves 4-byte
+// refs around and resolves them back to string_views only at session
+// emission, which is orders of magnitude rarer than record arrival.
+// Equality of refs is equivalent to equality of strings within one pool,
+// so consumers (e.g. the session-boundary heuristic's fresh-server set)
+// compare integers instead of strings.
+//
+// Threading contract — single writer, publish-then-read:
+//   * intern() may be called by exactly one thread (the producer).
+//   * view(ref) may be called from any thread that received `ref` through
+//     a release/acquire edge after the intern() that created it — e.g. a
+//     ref popped from util::SpscQueue (push() releases, pop() acquires).
+//     The entry tables are chunked with atomically published chunk
+//     pointers and entries are never moved, so concurrent intern() calls
+//     by the producer cannot invalidate a reader's view.
+//   * The producer-side hash index is touched only by intern(); readers
+//     never consult it, so its rehashes need no synchronization.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace droppkt::util {
+
+/// FNV-1a over bytes with a SplitMix64 finalizer: stable and well-mixed on
+/// every platform (std::hash<std::string_view> is not specified to mix
+/// well). Shared by the pool's index and the engine's shard router.
+inline std::uint64_t well_mixed_hash(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+class StringPool {
+ public:
+  /// Refs are dense: the first distinct string is 0, the next 1, ...
+  using Ref = std::uint32_t;
+
+  StringPool() : index_(kInitialIndexSlots, kEmptySlot) {}
+
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Producer only. Returns the ref of `s`, interning it on first sight.
+  /// Steady state (string already present) performs no allocation.
+  Ref intern(std::string_view s) {
+    const std::uint64_t hash = well_mixed_hash(s);
+    std::size_t slot = static_cast<std::size_t>(hash) & index_mask();
+    for (;;) {
+      const Ref ref = index_[slot];
+      if (ref == kEmptySlot) break;
+      if (hashes_[ref] == hash && view(ref) == s) return ref;
+      slot = (slot + 1) & index_mask();
+    }
+    return insert_new(s, hash, slot);
+  }
+
+  /// The interned string. Any thread, given the publication contract
+  /// above; the returned view is stable for the pool's lifetime.
+  std::string_view view(Ref ref) const {
+    const Chunk* chunk =
+        chunks_[ref >> kChunkShift].load(std::memory_order_acquire);
+    DROPPKT_ASSERT(chunk != nullptr, "StringPool: ref beyond published chunks");
+    const Entry& e = chunk->entries[ref & kChunkMask];
+    return {e.data, e.len};
+  }
+
+  /// Number of distinct strings interned so far (producer's view).
+  std::size_t size() const { return count_; }
+
+  /// Bytes of string payload held (producer's view; excludes index/tables).
+  std::size_t payload_bytes() const { return payload_bytes_; }
+
+  /// Hard cap on distinct strings per pool (chunk table geometry).
+  static constexpr std::size_t capacity() { return kMaxChunks << kChunkShift; }
+
+ private:
+  struct Entry {
+    const char* data = nullptr;
+    std::uint32_t len = 0;
+  };
+  // 4096 chunks of 4096 entries: 16.7M distinct strings per pool. The
+  // top-level table is a fixed array of atomic pointers so readers can
+  // resolve refs while the producer appends chunks.
+  static constexpr std::size_t kChunkShift = 12;
+  static constexpr std::size_t kChunkMask = (1u << kChunkShift) - 1;
+  static constexpr std::size_t kMaxChunks = 4096;
+  static constexpr std::size_t kInitialIndexSlots = 1024;
+  static constexpr Ref kEmptySlot = 0xffffffffu;
+  static constexpr std::size_t kArenaBlockBytes = 1u << 16;
+
+  struct Chunk {
+    Entry entries[1u << kChunkShift];
+  };
+
+  std::size_t index_mask() const { return index_.size() - 1; }
+
+  Ref insert_new(std::string_view s, std::uint64_t hash, std::size_t slot) {
+    DROPPKT_EXPECT(count_ < capacity(), "StringPool: pool is full");
+    const Ref ref = static_cast<Ref>(count_);
+    const std::size_t chunk_i = ref >> kChunkShift;
+    Chunk* chunk = chunks_[chunk_i].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      auto fresh = std::make_unique<Chunk>();
+      chunk = fresh.get();
+      chunk_storage_.push_back(std::move(fresh));
+      // Publish the chunk before any ref pointing into it can escape.
+      chunks_[chunk_i].store(chunk, std::memory_order_release);
+    }
+    Entry& e = chunk->entries[ref & kChunkMask];
+    e.data = arena_copy(s);
+    e.len = static_cast<std::uint32_t>(s.size());
+    hashes_.push_back(hash);
+    index_[slot] = ref;
+    ++count_;
+    payload_bytes_ += s.size();
+    if (count_ * 2 >= index_.size()) grow_index();
+    return ref;
+  }
+
+  const char* arena_copy(std::string_view s) {
+    if (s.empty()) return "";
+    if (s.size() > arena_left_) {
+      const std::size_t block =
+          s.size() > kArenaBlockBytes ? s.size() : kArenaBlockBytes;
+      arena_.push_back(std::make_unique<char[]>(block));
+      arena_next_ = arena_.back().get();
+      arena_left_ = block;
+    }
+    char* dst = arena_next_;
+    std::memcpy(dst, s.data(), s.size());
+    arena_next_ += s.size();
+    arena_left_ -= s.size();
+    return dst;
+  }
+
+  void grow_index() {
+    std::vector<Ref> bigger(index_.size() * 2, kEmptySlot);
+    const std::size_t mask = bigger.size() - 1;
+    for (const Ref ref : index_) {
+      if (ref == kEmptySlot) continue;
+      std::size_t slot = static_cast<std::size_t>(hashes_[ref]) & mask;
+      while (bigger[slot] != kEmptySlot) slot = (slot + 1) & mask;
+      bigger[slot] = ref;
+    }
+    index_ = std::move(bigger);
+  }
+
+  // Reader-visible tables: fixed array of atomically published chunks.
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  // Producer-only state.
+  std::vector<std::unique_ptr<Chunk>> chunk_storage_;
+  std::vector<std::unique_ptr<char[]>> arena_;
+  char* arena_next_ = nullptr;
+  std::size_t arena_left_ = 0;
+  std::vector<Ref> index_;             // open addressing, linear probing
+  std::vector<std::uint64_t> hashes_;  // per-ref, for probe short-circuit
+  std::size_t count_ = 0;
+  std::size_t payload_bytes_ = 0;
+};
+
+}  // namespace droppkt::util

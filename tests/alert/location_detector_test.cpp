@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "util/expect.hpp"
 
 namespace droppkt::alert {
@@ -156,6 +158,36 @@ TEST(LocationDetector, Validates) {
   det.observe("cell", 10.0, true);
   EXPECT_THROW(det.retract("cell", 5.0, 10.0, true),
                droppkt::ContractViolation);
+}
+
+
+TEST(LocationDetector, EvictStaleDropsDecayedLocationsOnly) {
+  LocationDetector det(decay_cfg(10.0));
+  det.observe("old", 0.0, true);
+  det.observe("live", 500.0, true);
+  EXPECT_EQ(det.tracked_locations(), 2u);
+  // At t=500 "old" has decayed through 50 half-lives; "live" is fresh.
+  EXPECT_EQ(det.evict_stale(500.0, 1e-6), 1u);
+  EXPECT_EQ(det.tracked_locations(), 1u);
+  EXPECT_GT(det.window("live", 500.0).effective_sessions, 0.9);
+  // An evicted location that re-appears starts from exactly zero history.
+  det.observe("old", 500.0, false);
+  EXPECT_NEAR(det.window("old", 500.0).effective_sessions, 1.0, 1e-12);
+  EXPECT_NEAR(det.window("old", 500.0).effective_low, 0.0, 1e-12);
+}
+
+TEST(LocationDetector, EvictStaleHonorsKeepPredicate) {
+  LocationDetector det(decay_cfg(10.0));
+  det.observe("pinned", 0.0, true);
+  det.observe("doomed", 0.0, true);
+  const std::size_t dropped = det.evict_stale(
+      1000.0, 1e-6, [](const std::string& loc) { return loc == "pinned"; });
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(det.tracked_locations(), 1u);
+  // The survivor is the kept one: its (decayed-to-nothing) state remains
+  // visible to snapshots, which is what alert-lifecycle sweeps need.
+  EXPECT_EQ(det.snapshot(1000.0).size(), 1u);
+  EXPECT_EQ(det.snapshot(1000.0)[0].first, "pinned");
 }
 
 }  // namespace

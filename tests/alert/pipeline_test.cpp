@@ -84,7 +84,7 @@ CanonicalRun run_engine(std::size_t shards) {
   ecfg.watermark_interval_s = 15.0;
   ecfg.alert_sink = &pipeline;
   engine::IngestEngine eng(trained_estimator(),
-                           [](const core::MonitoredSession&) {}, ecfg);
+                           [](const core::MonitoredSessionView&) {}, ecfg);
   for (const auto& r : incident_feed()) eng.ingest(r.client, r.txn);
   eng.finish();
 
@@ -142,6 +142,94 @@ TEST(AlertPipeline, AlertSequenceBitIdenticalAcrossShardCounts) {
     EXPECT_EQ(n.counts.alerts_raised, one.counts.alerts_raised);
     EXPECT_EQ(n.counts.alerts_cleared, one.counts.alerts_cleared);
   }
+}
+
+
+// ---------------------------------------------------------------------------
+// Long-feed soak: stale-location eviction must bound detector state
+// without perturbing determinism.
+// ---------------------------------------------------------------------------
+
+struct SoakResult {
+  std::string transitions;
+  std::string alerts;
+  std::size_t tracked = 0;
+  std::size_t evicted = 0;
+};
+
+SoakResult run_soak(std::size_t shards, double evict_below_weight) {
+  SoakResult out;
+  AlertPipelineConfig cfg;
+  cfg.filter.hysteresis_k = 1;
+  cfg.filter.min_confidence = 0.0;
+  cfg.detector.half_life_s = 60.0;
+  cfg.detector.min_effective_sessions = 2.0;
+  cfg.evict_below_weight = evict_below_weight;
+  cfg.on_transition = [&](const VerdictTransition& t,
+                          const std::string& location) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s|%s|%d|%d|%.17g\n", t.client.c_str(),
+                  location.c_str(), t.from_class, t.to_class, t.time_s);
+    out.transitions += buf;
+  };
+  AlertPipeline pipeline(cfg);
+
+  // An hour-long feed of one-client locations ("sub-N" has no slash, so
+  // each client is its own location): clients start uniformly across the
+  // horizon and go quiet after two sessions, so most locations' evidence
+  // has fully decayed long before the feed ends.
+  engine::SynthFeedConfig fcfg;
+  fcfg.num_clients = 150;
+  fcfg.sessions_per_client = 2;
+  fcfg.txns_per_session = 12;
+  fcfg.seed = 31;
+  const engine::Feed feed = engine::synthetic_feed(fcfg);
+
+  engine::EngineConfig ecfg;
+  ecfg.num_shards = shards;
+  ecfg.watermark_interval_s = 15.0;
+  ecfg.monitor.materialize_transactions = false;
+  ecfg.alert_sink = &pipeline;
+  engine::IngestEngine eng(trained_estimator(),
+                           [](const core::MonitoredSessionView&) {}, ecfg);
+  for (const auto& r : feed) eng.ingest(r.client, r.txn);
+  eng.finish();
+
+  for (const auto& ev : pipeline.log_snapshot()) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%llu|%d|%s|%.17g\n",
+                  static_cast<unsigned long long>(ev.id),
+                  static_cast<int>(ev.kind), ev.location.c_str(), ev.time_s);
+    out.alerts += buf;
+  }
+  out.tracked = pipeline.tracked_locations();
+  out.evicted = pipeline.locations_evicted();
+  return out;
+}
+
+TEST(AlertPipeline, StaleEvictionBoundsDetectorStateOnLongFeeds) {
+  const SoakResult off = run_soak(2, 0.0);
+  EXPECT_EQ(off.evicted, 0u);
+  // Without eviction every location that ever produced a verdict is
+  // tracked forever.
+  EXPECT_GT(off.tracked, 100u);
+
+  const SoakResult on = run_soak(2, 1e-4);
+  EXPECT_GT(on.evicted, 0u);
+  EXPECT_LT(on.tracked, off.tracked / 2)
+      << "eviction failed to bound tracked locations ("
+      << on.tracked << " of " << off.tracked << ")";
+  // Eviction changes bookkeeping, not the verdict stream.
+  EXPECT_EQ(on.transitions, off.transitions);
+}
+
+TEST(AlertPipeline, StaleEvictionPreservesShardCountDeterminism) {
+  const SoakResult one = run_soak(1, 1e-4);
+  const SoakResult four = run_soak(4, 1e-4);
+  EXPECT_EQ(one.transitions, four.transitions);
+  EXPECT_EQ(one.alerts, four.alerts);
+  EXPECT_EQ(one.tracked, four.tracked);
+  EXPECT_EQ(one.evicted, four.evicted);
 }
 
 }  // namespace

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
 #include "core/dataset_builder.hpp"
 #include "util/expect.hpp"
 
@@ -154,6 +159,126 @@ TEST(SessionId, TimeoutHeuristicWouldFail) {
     }
   }
   EXPECT_TRUE(any_overlap_at_boundary);
+}
+
+
+// ---------------------------------------------------------------------------
+// IncrementalBoundaryScan: the streaming form must make byte-identical
+// split decisions to re-running the batch heuristic on every arrival and
+// cutting at the first detected start — over adversarial random windows.
+// ---------------------------------------------------------------------------
+
+/// Reference decision: full rescan of the window, cut at the first start.
+std::size_t rescan_first_start(std::span<const TlsRecord> window,
+                               const SessionIdParams& params,
+                               SessionStartScratch& scratch) {
+  detect_session_starts_into(window, params, scratch);
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    if (scratch.is_start[i] != 0) return i;
+  }
+  return 0;
+}
+
+void run_incremental_vs_rescan(const SessionIdParams& params,
+                               std::uint32_t seed, int records) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> chunk_gap(0.2, 2.5);
+  std::uniform_real_distribution<double> burst_gap(0.0, 0.4);
+  std::uniform_int_distribution<std::uint32_t> familiar_sni(0, 7);
+  std::uniform_int_distribution<int> burst_len(2, 6);
+  std::uniform_int_distribution<int> coin(0, 99);
+
+  std::vector<TlsRecord> window;
+  IncrementalBoundaryScan scan;
+  SessionStartScratch scratch;
+  double now = 0.0;
+  std::uint32_t next_fresh_sni = 100;  // never overlaps the familiar pool
+  std::size_t cuts = 0;
+  int burst_left = 0;
+  bool burst_fresh = false;
+
+  for (int n = 0; n < records; ++n) {
+    if (burst_left == 0 && coin(rng) < 8) {
+      // Occasionally open a burst; fresh-server bursts are real session
+      // starts, familiar-server bursts are the heuristic's hard negative.
+      burst_left = burst_len(rng);
+      burst_fresh = coin(rng) < 70;
+    }
+    double gap = chunk_gap(rng);
+    std::uint32_t sni = familiar_sni(rng);
+    if (burst_left > 0) {
+      --burst_left;
+      gap = burst_gap(rng);
+      if (burst_fresh) sni = next_fresh_sni++;
+    }
+    now += gap;
+    window.push_back(TlsRecord{.start_s = now,
+                               .end_s = now + 5.0,
+                               .ul_bytes = 100.0,
+                               .dl_bytes = 1000.0,
+                               .sni_ref = sni,
+                               .http_count = 1});
+    const std::size_t expect = rescan_first_start(window, params, scratch);
+    const std::size_t got = scan.on_append(window, params);
+    ASSERT_EQ(got, expect)
+        << "diverged at record " << n << " (window " << window.size()
+        << ", seed " << seed << ")";
+    if (got != 0) {
+      ++cuts;
+      window.erase(window.begin(),
+                   window.begin() + static_cast<std::ptrdiff_t>(got));
+      scan.rebuild(window, params);
+    }
+  }
+  // The generator must actually have produced splits, or the test is
+  // vacuous.
+  EXPECT_GT(cuts, 0u) << "seed " << seed;
+}
+
+TEST(IncrementalBoundaryScan, MatchesRescanOnRandomWindows) {
+  for (const std::uint32_t seed : {1u, 2u, 3u, 4u}) {
+    run_incremental_vs_rescan(SessionIdParams{}, seed, 4000);
+  }
+}
+
+TEST(IncrementalBoundaryScan, MatchesRescanUnderTunedParams) {
+  SessionIdParams params;
+  params.window_s = 5.0;
+  params.n_min = 3;
+  params.delta_min = 0.6;
+  for (const std::uint32_t seed : {10u, 11u}) {
+    run_incremental_vs_rescan(params, seed, 4000);
+  }
+}
+
+TEST(IncrementalBoundaryScan, ResetForgetsWindowState) {
+  // Feed a window, reset, then replay the same records: decisions must
+  // match a fresh scan (no counters leak across the reset).
+  SessionIdParams params;
+  std::mt19937 rng(77);
+  std::vector<TlsRecord> window;
+  IncrementalBoundaryScan scan;
+  SessionStartScratch scratch;
+  double now = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    now += 1.0;
+    window.push_back(TlsRecord{.start_s = now, .end_s = now + 2.0,
+                               .ul_bytes = 1.0, .dl_bytes = 1.0,
+                               .sni_ref = static_cast<std::uint32_t>(i % 3),
+                               .http_count = 1});
+    scan.on_append(window, params);
+  }
+  scan.reset();
+  window.clear();
+  for (int i = 0; i < 50; ++i) {
+    now += 1.0;
+    window.push_back(TlsRecord{.start_s = now, .end_s = now + 2.0,
+                               .ul_bytes = 1.0, .dl_bytes = 1.0,
+                               .sni_ref = static_cast<std::uint32_t>(i % 3),
+                               .http_count = 1});
+    const std::size_t expect = rescan_first_start(window, params, scratch);
+    ASSERT_EQ(scan.on_append(window, params), expect) << "record " << i;
+  }
 }
 
 }  // namespace

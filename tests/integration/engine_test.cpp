@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <map>
+#include <tuple>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -69,9 +71,9 @@ std::vector<core::MonitoredSession> run_engine(const Feed& feed,
   std::mutex mu;
   IngestEngine eng(
       trained_estimator(),
-      [&](const core::MonitoredSession& s) {
+      [&](const core::MonitoredSessionView& s) {
         const std::lock_guard<std::mutex> lock(mu);
-        out.push_back(s);
+        out.push_back(s.to_owned());
       },
       cfg);
   for (const auto& r : feed) eng.ingest(r.client, r.txn);
@@ -79,25 +81,45 @@ std::vector<core::MonitoredSession> run_engine(const Feed& feed,
   return out;
 }
 
+std::vector<core::MonitoredSession> run_engine_batched(const Feed& feed,
+                                                      EngineConfig cfg,
+                                                      std::size_t batch) {
+  std::vector<core::MonitoredSession> out;
+  std::mutex mu;
+  IngestEngine eng(
+      trained_estimator(),
+      [&](const core::MonitoredSessionView& s) {
+        const std::lock_guard<std::mutex> lock(mu);
+        out.push_back(s.to_owned());
+      },
+      cfg);
+  for (std::size_t i = 0; i < feed.size(); i += batch) {
+    const std::size_t n = std::min(batch, feed.size() - i);
+    eng.ingest_batch({feed.data() + i, n});
+  }
+  eng.finish();
+  return out;
+}
+
 TEST(IngestEngine, ValidatesConstruction) {
   core::QoeEstimator untrained;
-  EXPECT_THROW(IngestEngine(untrained, [](const core::MonitoredSession&) {}),
+  EXPECT_THROW(IngestEngine(untrained, [](const core::MonitoredSessionView&) {}),
                droppkt::ContractViolation);
   EXPECT_THROW(IngestEngine(trained_estimator(), nullptr),
                droppkt::ContractViolation);
   EngineConfig bad;
   bad.watermark_interval_s = 0.0;
   EXPECT_THROW(
-      IngestEngine(trained_estimator(), [](const core::MonitoredSession&) {},
-                   bad),
+      IngestEngine(trained_estimator(),
+                   [](const core::MonitoredSessionView&) {}, bad),
       droppkt::ContractViolation);
 }
 
 TEST(IngestEngine, ClientsStickToOneShard) {
   EngineConfig cfg;
   cfg.num_shards = 4;
-  IngestEngine eng(trained_estimator(), [](const core::MonitoredSession&) {},
-                   cfg);
+  IngestEngine eng(trained_estimator(),
+                   [](const core::MonitoredSessionView&) {}, cfg);
   EXPECT_EQ(eng.num_shards(), 4u);
   for (int c = 0; c < 50; ++c) {
     const std::string client = "client-" + std::to_string(c);
@@ -125,6 +147,59 @@ TEST(IngestEngine, ShardCountDoesNotChangeSessions) {
   }
 }
 
+// Batching is a mailbox transport detail: any ingest_batch() block size —
+// including blocks far larger than the drain block and non-divisors of
+// the feed length — must produce exactly the per-record-ingest sessions.
+TEST(IngestEngine, BatchSizeDoesNotChangeSessions) {
+  const auto baseline = canonicalize(run_plain(shared_feed()));
+  for (const std::size_t shards : {1u, 3u}) {
+    for (const std::size_t batch : {1u, 7u, 64u, 1024u}) {
+      EngineConfig cfg;
+      cfg.num_shards = shards;
+      const auto batched =
+          canonicalize(run_engine_batched(shared_feed(), cfg, batch));
+      EXPECT_EQ(baseline, batched)
+          << "diverged at " << shards << " shards, batch " << batch;
+    }
+  }
+}
+
+// Sinks that only need counts/bytes can turn off transaction
+// materialization; the view then carries interned records (plus the pool
+// to resolve SNIs) and classification is unchanged.
+TEST(IngestEngine, UnmaterializedViewCarriesRecords) {
+  std::mutex mu;
+  std::vector<std::tuple<std::string, std::size_t, int>> got;
+  EngineConfig cfg;
+  cfg.num_shards = 2;
+  cfg.monitor.materialize_transactions = false;
+  {
+    IngestEngine eng(
+        trained_estimator(),
+        [&](const core::MonitoredSessionView& s) {
+          const std::lock_guard<std::mutex> lock(mu);
+          EXPECT_TRUE(s.transactions.empty());
+          EXPECT_NE(s.sni_pool, nullptr);
+          for (const auto& r : s.records) {
+            EXPECT_FALSE(s.sni_pool->view(r.sni_ref).empty());
+          }
+          got.emplace_back(std::string(s.client), s.records.size(),
+                           s.predicted_class);
+        },
+        cfg);
+    for (const auto& r : shared_feed()) eng.ingest(r.client, r.txn);
+    eng.finish();
+  }
+  // Same sessions (client, record count, class) as the materialized run.
+  std::multiset<std::tuple<std::string, std::size_t, int>> lean(
+      got.begin(), got.end());
+  std::multiset<std::tuple<std::string, std::size_t, int>> full;
+  for (const auto& s : run_plain(shared_feed())) {
+    full.insert({s.client, s.transactions.size(), s.predicted_class});
+  }
+  EXPECT_EQ(lean, full);
+}
+
 TEST(IngestEngine, StatsAccountForEveryRecord) {
   EngineConfig cfg;
   cfg.num_shards = 3;
@@ -132,7 +207,7 @@ TEST(IngestEngine, StatsAccountForEveryRecord) {
   std::mutex mu;
   IngestEngine eng(
       trained_estimator(),
-      [&](const core::MonitoredSession&) {
+      [&](const core::MonitoredSessionView&) {
         const std::lock_guard<std::mutex> lock(mu);
         ++sink_count;
       },
@@ -168,7 +243,7 @@ TEST(IngestEngine, DropOldestShedsButConserves) {
   std::size_t sessions = 0;
   IngestEngine eng(
       trained_estimator(),
-      [&](const core::MonitoredSession&) {
+      [&](const core::MonitoredSessionView&) {
         const std::lock_guard<std::mutex> lock(mu);
         ++sessions;
       },
@@ -197,9 +272,9 @@ TEST(IngestEngine, WatermarkEvictsIdleClientOnQuietShard) {
   std::vector<std::string> emitted;
   IngestEngine eng(
       trained_estimator(),
-      [&](const core::MonitoredSession& s) {
+      [&](const core::MonitoredSessionView& s) {
         const std::lock_guard<std::mutex> lock(mu);
-        emitted.push_back(s.client);
+        emitted.push_back(std::string(s.client));
       },
       cfg);
 
@@ -257,7 +332,7 @@ TEST(IngestEngine, SurfacesProvisionalEstimatesInFlight) {
   std::map<std::string, std::size_t> provisional_counts;
   std::size_t bad = 0;
   IngestEngine eng(
-      trained_estimator(), [](const core::MonitoredSession&) {},
+      trained_estimator(), [](const core::MonitoredSessionView&) {},
       [&](const core::ProvisionalEstimate& e) {
         const std::lock_guard<std::mutex> lock(mu);
         ++provisional_counts[std::string(e.client)];
@@ -281,7 +356,7 @@ TEST(IngestEngine, SurfacesProvisionalEstimatesInFlight) {
   // Without a sink (the 3-arg constructor), nothing fires even with the
   // cadence configured.
   IngestEngine quiet_eng(trained_estimator(),
-                         [](const core::MonitoredSession&) {}, cfg);
+                         [](const core::MonitoredSessionView&) {}, cfg);
   for (const auto& r : shared_feed()) quiet_eng.ingest(r.client, r.txn);
   quiet_eng.finish();
   EXPECT_EQ(quiet_eng.provisionals_reported(), 0u);

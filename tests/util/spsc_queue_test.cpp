@@ -132,6 +132,97 @@ TEST(SpscQueue, TwoThreadStressDropOldestKeepsOrderedSuffix) {
   EXPECT_EQ(got.size() + q.dropped(), kItems);
 }
 
+TEST(SpscQueue, BulkRoundTripWrapsAround) {
+  // Bulk blocks that never divide the capacity evenly force every push
+  // and pop to straddle the ring boundary repeatedly.
+  SpscQueue<std::size_t> q(8);
+  std::size_t next_in = 0;
+  std::size_t next_out = 0;
+  std::size_t block[5];
+  std::size_t out[5];
+  for (int round = 0; round < 500; ++round) {
+    for (auto& v : block) v = next_in++;
+    q.push_bulk(block, 5);
+    const std::size_t got = q.try_pop_bulk(out, 5);
+    ASSERT_EQ(got, 5u);
+    for (std::size_t i = 0; i < got; ++i) ASSERT_EQ(out[i], next_out++);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.dropped(), 0u);
+}
+
+TEST(SpscQueue, TryPushBulkStopsAtFullRing) {
+  SpscQueue<int> q(4);
+  int items[6] = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(q.try_push_bulk(items, 6), 4u);  // ring holds 4
+  EXPECT_EQ(q.try_push_bulk(items + 4, 2), 0u);
+  int out[6];
+  EXPECT_EQ(q.try_pop_bulk(out, 6), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(q.try_pop_bulk(out, 6), 0u);  // empty
+}
+
+TEST(SpscQueue, DropOldestAcrossOneBulkBlock) {
+  // A block larger than the ring: only its newest ring-full suffix may
+  // survive, and everything older — including elements of this same
+  // block — is counted in dropped().
+  SpscQueue<int> q(4, BackpressurePolicy::kDropOldest);
+  q.push(100);
+  q.push(101);
+  int block[10] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  q.push_bulk(block, 10);
+  EXPECT_EQ(q.dropped(), 8u);  // 100, 101, and block elements 0..5
+  EXPECT_EQ(q.size(), 4u);
+  for (int expect = 6; expect < 10; ++expect) {
+    int out = -1;
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, expect);
+  }
+}
+
+TEST(SpscQueue, PopWaitBulkDrainsTailAfterClose) {
+  SpscQueue<int> q(8);
+  int items[3] = {7, 8, 9};
+  q.push_bulk(items, 3);
+  q.close();
+  int out[8];
+  EXPECT_EQ(q.pop_wait_bulk(out, 8), 3u);
+  EXPECT_EQ(out[0], 7);
+  EXPECT_EQ(out[1], 8);
+  EXPECT_EQ(out[2], 9);
+  EXPECT_EQ(q.pop_wait_bulk(out, 8), 0u);  // closed and fully drained
+}
+
+TEST(SpscQueue, TwoThreadBulkStressBlocking) {
+  constexpr std::size_t kItems = 200000;
+  constexpr std::size_t kBlock = 37;  // non-power-of-two on a 64-ring
+  SpscQueue<std::size_t> q(64);
+  std::vector<std::size_t> got;
+  got.reserve(kItems);
+  std::thread consumer([&] {
+    std::size_t buf[kBlock];
+    for (;;) {
+      const std::size_t n = q.pop_wait_bulk(buf, kBlock);
+      if (n == 0) break;
+      got.insert(got.end(), buf, buf + n);
+    }
+  });
+  std::size_t block[kBlock];
+  std::size_t next = 0;
+  while (next < kItems) {
+    std::size_t n = 0;
+    while (n < kBlock && next < kItems) block[n++] = next++;
+    q.push_bulk(block, n);
+  }
+  q.close();
+  consumer.join();
+  ASSERT_EQ(got.size(), kItems);
+  for (std::size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(got[i], i) << "order violated at " << i;
+  }
+  EXPECT_EQ(q.dropped(), 0u);
+}
+
 TEST(SpscQueue, MovesNonTrivialPayloads) {
   SpscQueue<std::string> q(8);
   std::thread consumer([&] {

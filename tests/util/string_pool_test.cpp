@@ -1,0 +1,135 @@
+#include "util/string_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace droppkt::util {
+namespace {
+
+TEST(WellMixedHash, StableAndSensitive) {
+  // The hash is part of the determinism contract (shard routing keys off
+  // it), so its values must never drift across platforms or builds.
+  EXPECT_EQ(well_mixed_hash(""), well_mixed_hash(""));
+  EXPECT_NE(well_mixed_hash("a"), well_mixed_hash("b"));
+  EXPECT_NE(well_mixed_hash("ab"), well_mixed_hash("ba"));
+  const std::uint64_t h = well_mixed_hash("cell-3/sub-17");
+  EXPECT_EQ(well_mixed_hash(std::string("cell-3/sub-17")), h);
+}
+
+TEST(StringPool, RefsAreDenseAndRoundTrip) {
+  StringPool pool;
+  std::vector<std::string> strings;
+  for (int i = 0; i < 100; ++i) strings.push_back("sub-" + std::to_string(i));
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    EXPECT_EQ(pool.intern(strings[i]), static_cast<StringPool::Ref>(i));
+  }
+  EXPECT_EQ(pool.size(), strings.size());
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    EXPECT_EQ(pool.view(static_cast<StringPool::Ref>(i)), strings[i]);
+    // Re-interning returns the existing ref, never a new one.
+    EXPECT_EQ(pool.intern(strings[i]), static_cast<StringPool::Ref>(i));
+  }
+  EXPECT_EQ(pool.size(), strings.size());
+}
+
+TEST(StringPool, EmptyAndLargeStringsRoundTrip) {
+  StringPool pool;
+  const StringPool::Ref empty = pool.intern("");
+  EXPECT_EQ(pool.view(empty), "");
+  // Larger than one arena block (64 KiB): takes the oversized-block path.
+  const std::string big(1u << 17, 'x');
+  const StringPool::Ref big_ref = pool.intern(big);
+  EXPECT_EQ(pool.view(big_ref), big);
+  EXPECT_EQ(pool.intern(""), empty);
+  EXPECT_EQ(pool.intern(big), big_ref);
+  EXPECT_GE(pool.payload_bytes(), big.size());
+}
+
+TEST(StringPool, SurvivesIndexGrowthAndProbeCollisions) {
+  // Intern enough strings to force several index rehashes (initial index
+  // is 1024 slots, grown at 50% load); every earlier ref must still
+  // resolve and re-intern to itself afterwards. With tens of thousands of
+  // keys the open-addressed index also exercises long probe chains.
+  StringPool pool;
+  std::unordered_map<std::string, StringPool::Ref> refs;
+  for (int i = 0; i < 20000; ++i) {
+    const std::string s = "client-" + std::to_string(i * 7919);
+    refs.emplace(s, pool.intern(s));
+  }
+  EXPECT_EQ(pool.size(), refs.size());
+  for (const auto& [s, ref] : refs) {
+    EXPECT_EQ(pool.view(ref), s);
+    EXPECT_EQ(pool.intern(s), ref);
+  }
+}
+
+TEST(StringPool, DistinctStringsNeverShareARef) {
+  // Collision safety: refs are compared as integers in the hot path, so
+  // two distinct strings must never intern to the same ref even when
+  // their hashes land on the same index slot.
+  StringPool pool;
+  std::unordered_map<StringPool::Ref, std::string> owner;
+  for (int i = 0; i < 5000; ++i) {
+    const std::string s = std::to_string(i);
+    const StringPool::Ref ref = pool.intern(s);
+    const auto [it, fresh] = owner.emplace(ref, s);
+    EXPECT_TRUE(fresh) << "ref " << ref << " shared by '" << it->second
+                       << "' and '" << s << "'";
+  }
+}
+
+TEST(StringPool, ViewIsStableAcrossLaterInterns) {
+  // The engine's worker resolves refs while the producer keeps interning;
+  // entries must never move. Capture views early, intern enough to add
+  // chunks and regrow the index, then re-check the old views in place.
+  StringPool pool;
+  const StringPool::Ref ref = pool.intern("pinned");
+  const std::string_view before = pool.view(ref);
+  for (int i = 0; i < 10000; ++i) pool.intern("filler-" + std::to_string(i));
+  const std::string_view after = pool.view(ref);
+  EXPECT_EQ(before.data(), after.data());
+  EXPECT_EQ(after, "pinned");
+}
+
+TEST(StringPool, CrossThreadViewAfterPublication) {
+  // Publication contract: a ref handed to another thread through a
+  // release/acquire edge resolves there. The producer interns and
+  // publishes the count; the reader acquires it and views every ref below.
+  StringPool pool;
+  std::atomic<std::uint32_t> published{0};
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint32_t n = published.load(std::memory_order_acquire);
+      for (std::uint32_t r = 0; r < n; ++r) {
+        const std::string_view v = pool.view(r);
+        if (v != "k-" + std::to_string(r)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  for (std::uint32_t i = 0; i < 30000; ++i) {
+    const StringPool::Ref ref = pool.intern("k-" + std::to_string(i));
+    ASSERT_EQ(ref, i);
+    published.store(i + 1, std::memory_order_release);
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(StringPool, CapacityMatchesChunkGeometry) {
+  EXPECT_EQ(StringPool::capacity(), 4096u * 4096u);
+}
+
+}  // namespace
+}  // namespace droppkt::util

@@ -38,59 +38,60 @@ AlertPipeline::~AlertPipeline() = default;
 
 void AlertPipeline::bind(std::size_t num_shards) {
   DROPPKT_EXPECT(num_shards >= 1, "AlertPipeline: need at least one shard");
-  DROPPKT_EXPECT(lanes_.empty(),
+  DROPPKT_EXPECT(filters_.empty(),
                  "AlertPipeline: bind() must be called exactly once "
                  "(use a fresh pipeline per engine)");
-  lanes_.reserve(num_shards);
-  for (std::size_t i = 0; i < num_shards; ++i) {
-    auto lane = std::make_unique<Lane>();
-    lane->filter = SessionAlertFilter(config_.filter);
-    lane->watermark_s = kNeverSeen;
-    lanes_.push_back(std::move(lane));
-  }
+  filters_.assign(num_shards, SessionAlertFilter(config_.filter));
+  const util::MutexLock lock(mutex_);
+  lane_buffers_.resize(num_shards);
+  for (auto& lane : lane_buffers_) lane.watermark_s = kNeverSeen;
   merged_up_to_s_ = kNeverSeen;
 }
 
-void AlertPipeline::enqueue(Lane& lane, VerdictTransition t, bool at_close) {
+void AlertPipeline::enqueue(std::size_t shard, VerdictTransition t,
+                            bool at_close) {
   transitions_.fetch_add(1, std::memory_order_relaxed);
   Pending p;
   p.location = config_.location_of(t.client);
   p.transition = std::move(t);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
+  LaneBuffers& lane = lane_buffers_[shard];
   (at_close ? lane.at_close : lane.buffer).push_back(std::move(p));
 }
 
 void AlertPipeline::on_provisional(std::size_t shard,
                                    const core::ProvisionalEstimate& estimate) {
-  DROPPKT_EXPECT(shard < lanes_.size(), "AlertPipeline: shard out of range");
+  DROPPKT_EXPECT(shard < filters_.size(), "AlertPipeline: shard out of range");
   // The filter is lane-local state touched only by the shard's own worker;
   // no lock until a transition survives hysteresis.
-  FilterOutcome out = lanes_[shard]->filter.on_provisional(estimate);
+  FilterOutcome out = filters_[shard].on_provisional(estimate);
   if (out.suppressed) suppressed_.fetch_add(1, std::memory_order_relaxed);
   if (out.transition) {
-    enqueue(*lanes_[shard], std::move(*out.transition), /*at_close=*/false);
+    enqueue(shard, std::move(*out.transition), /*at_close=*/false);
   }
 }
 
 void AlertPipeline::on_session(std::size_t shard,
                                const core::MonitoredSessionView& session,
                                bool at_close) {
-  DROPPKT_EXPECT(shard < lanes_.size(), "AlertPipeline: shard out of range");
-  VerdictTransition t = lanes_[shard]->filter.on_session(
+  DROPPKT_EXPECT(shard < filters_.size(), "AlertPipeline: shard out of range");
+  VerdictTransition t = filters_[shard].on_session(
       session.client, session.predicted_class, session.confidence,
       session.detected_s);
-  enqueue(*lanes_[shard], std::move(t), at_close);
+  enqueue(shard, std::move(t), at_close);
 }
 
 void AlertPipeline::on_watermark(std::size_t shard, double watermark_s) {
-  DROPPKT_EXPECT(shard < lanes_.size(), "AlertPipeline: shard out of range");
-  const std::lock_guard<std::mutex> lock(mutex_);
-  lanes_[shard]->watermark_s = watermark_s;
+  DROPPKT_EXPECT(shard < filters_.size(), "AlertPipeline: shard out of range");
+  const util::MutexLock lock(mutex_);
+  lane_buffers_[shard].watermark_s = watermark_s;
   // Every lane receives the same broadcast sequence; recording shard 0's
   // arrivals records it exactly once, in order.
   if (shard == 0) pending_sweeps_.push_back(watermark_s);
-  double min_w = lanes_[0]->watermark_s;
-  for (const auto& lane : lanes_) min_w = std::min(min_w, lane->watermark_s);
+  double min_w = lane_buffers_[0].watermark_s;
+  for (const auto& lane : lane_buffers_) {
+    min_w = std::min(min_w, lane.watermark_s);
+  }
   if (min_w > merged_up_to_s_) merge_and_apply(min_w);
 }
 
@@ -99,8 +100,8 @@ void AlertPipeline::merge_and_apply(double up_to_s) {
   // has acknowledged a watermark >= up_to_s, and a shard's later events
   // carry times at or after its acknowledged watermark.
   std::vector<Pending> batch;
-  for (auto& lane : lanes_) {
-    auto& buf = lane->buffer;
+  for (auto& lane : lane_buffers_) {
+    auto& buf = lane.buffer;
     auto split = buf.begin();
     while (split != buf.end() && split->transition.time_s < up_to_s) ++split;
     batch.insert(batch.end(), std::make_move_iterator(buf.begin()),
@@ -149,14 +150,19 @@ void AlertPipeline::sweep(double time_s) {
     manager_.update(location, window, time_s);
   }
   if (config_.evict_below_weight > 0.0) {
+    // The keep-predicate runs synchronously inside evict_stale while the
+    // caller holds mutex_; aliasing the guarded member through a local
+    // reference keeps the lambda's body checkable (thread-safety analysis
+    // examines lambdas without the enclosing REQUIRES context).
+    AlertManager& mgr = manager_;
     locations_evicted_ += detector_.evict_stale(
         time_s, config_.evict_below_weight,
-        [this](const std::string& loc) { return manager_.is_raised(loc); });
+        [&mgr](const std::string& loc) { return mgr.is_raised(loc); });
   }
 }
 
 void AlertPipeline::on_finish() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (finished_) return;
   finished_ = true;
   // Tail flush: everything still buffered, plus the engine-shutdown
@@ -164,15 +170,15 @@ void AlertPipeline::on_finish() {
   // at_close per lane keeps each client's internal order (a client's
   // at_close verdict never precedes its buffered transitions in time).
   std::vector<Pending> batch;
-  for (auto& lane : lanes_) {
+  for (auto& lane : lane_buffers_) {
     batch.insert(batch.end(),
-                 std::make_move_iterator(lane->buffer.begin()),
-                 std::make_move_iterator(lane->buffer.end()));
-    lane->buffer.clear();
+                 std::make_move_iterator(lane.buffer.begin()),
+                 std::make_move_iterator(lane.buffer.end()));
+    lane.buffer.clear();
     batch.insert(batch.end(),
-                 std::make_move_iterator(lane->at_close.begin()),
-                 std::make_move_iterator(lane->at_close.end()));
-    lane->at_close.clear();
+                 std::make_move_iterator(lane.at_close.begin()),
+                 std::make_move_iterator(lane.at_close.end()));
+    lane.at_close.clear();
   }
   apply_batch(std::move(batch), std::numeric_limits<double>::infinity());
 }
@@ -181,29 +187,29 @@ engine::AlertCounts AlertPipeline::counts() const {
   engine::AlertCounts c;
   c.transitions = transitions_.load(std::memory_order_relaxed);
   c.suppressed = suppressed_.load(std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   c.alerts_raised = manager_.total_raised();
   c.alerts_cleared = manager_.total_cleared();
   return c;
 }
 
 std::vector<AlertEvent> AlertPipeline::log_snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return {manager_.log().begin(), manager_.log().end()};
 }
 
 std::size_t AlertPipeline::open_alerts() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return manager_.open_alerts();
 }
 
 std::size_t AlertPipeline::tracked_locations() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return detector_.tracked_locations();
 }
 
 std::size_t AlertPipeline::locations_evicted() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return locations_evicted_;
 }
 

@@ -36,8 +36,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -46,6 +44,8 @@
 #include "alert/location_detector.hpp"
 #include "alert/session_filter.hpp"
 #include "engine/alert_sink.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace droppkt::alert {
 
@@ -111,42 +111,52 @@ class AlertPipeline final : public engine::AlertSink {
     VerdictTransition transition;
     std::string location;
   };
-  struct Lane {
-    SessionAlertFilter filter;
-    /// Transitions not yet merged, time-ordered (feed order per shard).
-    /// Guarded by mutex_; appended by the owning shard, drained by merges.
+  /// The merge-visible half of a shard lane. Kept in a pipeline-owned
+  /// vector (rather than inside a per-lane struct next to the filter) so
+  /// the whole thing carries one DROPPKT_GUARDED_BY(mutex_) the compiler
+  /// can enforce; the hysteresis filters stay outside the mutex because
+  /// each is touched only by its shard's own worker.
+  struct LaneBuffers {
+    /// Transitions not yet merged, time-ordered (feed order per shard);
+    /// appended by the owning shard, drained by merges.
     std::vector<Pending> buffer;
     /// Force-flushed (engine shutdown) sessions: no watermark position,
-    /// surfaced only at on_finish. Guarded by mutex_.
+    /// surfaced only at on_finish.
     std::vector<Pending> at_close;
-    double watermark_s = -1.0;  // guarded by mutex_
+    double watermark_s = -1.0;
   };
 
-  void enqueue(Lane& lane, VerdictTransition t, bool at_close);
-  /// Drain every lane's < up_to_s prefix, merge, and apply. mutex_ held.
-  void merge_and_apply(double up_to_s);
+  void enqueue(std::size_t shard, VerdictTransition t, bool at_close)
+      DROPPKT_EXCLUDES(mutex_);
+  /// Drain every lane's < up_to_s prefix, merge, and apply.
+  void merge_and_apply(double up_to_s) DROPPKT_REQUIRES(mutex_);
   /// Apply one merged batch (already ordered) interleaved with pending
-  /// sweeps up to `up_to_s`. mutex_ held.
-  void apply_batch(std::vector<Pending> batch, double up_to_s);
-  void apply_transition(const Pending& p);
+  /// sweeps up to `up_to_s`.
+  void apply_batch(std::vector<Pending> batch, double up_to_s)
+      DROPPKT_REQUIRES(mutex_);
+  void apply_transition(const Pending& p) DROPPKT_REQUIRES(mutex_);
   /// Re-evaluate every tracked location at `time_s` (cooldown clears for
-  /// locations with no fresh events). mutex_ held.
-  void sweep(double time_s);
+  /// locations with no fresh events).
+  void sweep(double time_s) DROPPKT_REQUIRES(mutex_);
 
   AlertPipelineConfig config_;
-  std::vector<std::unique_ptr<Lane>> lanes_;
+  /// Per-shard hysteresis state, indexed by shard; filters_[i] is touched
+  /// only by shard i's worker thread (the engine serializes calls per
+  /// shard), so it needs no capability. Sized once in bind().
+  std::vector<SessionAlertFilter> filters_;
 
-  mutable std::mutex mutex_;
-  LocationDetector detector_;
-  AlertManager manager_;
+  mutable util::Mutex mutex_;
+  std::vector<LaneBuffers> lane_buffers_ DROPPKT_GUARDED_BY(mutex_);
+  LocationDetector detector_ DROPPKT_GUARDED_BY(mutex_);
+  AlertManager manager_ DROPPKT_GUARDED_BY(mutex_);
   /// Broadcast watermark values not yet swept, in broadcast order (every
   /// lane sees the same sequence; lane 0's arrivals define it — with one
   /// shard that is trivially the broadcast order, with N shards it is the
   /// same values in the same order).
-  std::deque<double> pending_sweeps_;
-  double merged_up_to_s_ = -1.0;
-  bool finished_ = false;
-  std::size_t locations_evicted_ = 0;  // guarded by mutex_
+  std::deque<double> pending_sweeps_ DROPPKT_GUARDED_BY(mutex_);
+  double merged_up_to_s_ DROPPKT_GUARDED_BY(mutex_) = -1.0;
+  bool finished_ DROPPKT_GUARDED_BY(mutex_) = false;
+  std::size_t locations_evicted_ DROPPKT_GUARDED_BY(mutex_) = 0;
 
   std::atomic<std::uint64_t> transitions_{0};
   std::atomic<std::uint64_t> suppressed_{0};

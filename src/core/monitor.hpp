@@ -29,6 +29,7 @@
 #include "core/session_id.hpp"
 #include "core/tls_record.hpp"
 #include "trace/records.hpp"
+#include "util/annotations.hpp"
 #include "util/string_pool.hpp"
 
 namespace droppkt::core {
@@ -173,12 +174,14 @@ class StreamingMonitor {
   /// reported through the callback before this call returns. Interns the
   /// client and SNI into the monitor's own pools, then forwards to
   /// observe_ref() — both calls are the same hot path.
-  void observe(const std::string& client, const trace::TlsTransaction& txn);
+  DROPPKT_NOALLOC void observe(const std::string& client,
+                               const trace::TlsTransaction& txn);
 
   /// The allocation-free hot path: feed one interned record. `client_ref`
   /// and `rec.sni_ref` must come from the monitor's pools (owned or
   /// external; see use_external_pools).
-  void observe_ref(util::StringPool::Ref client_ref, const TlsRecord& rec);
+  DROPPKT_NOALLOC void observe_ref(util::StringPool::Ref client_ref,
+                                   const TlsRecord& rec);
 
   /// Advance the monitor's notion of "now" to `now_s` (feed time) without
   /// feeding a record: clients idle longer than the timeout have their
@@ -186,7 +189,7 @@ class StreamingMonitor {
   /// the sharded ingest engine's low-watermark broadcast) fire idle-client
   /// eviction on monitors whose own clients have gone quiet. `now_s` must
   /// not exceed the start time of any record observed later.
-  void advance_time(double now_s);
+  DROPPKT_NOALLOC void advance_time(double now_s);
 
   /// Flush all in-progress sessions (end of the monitoring window). Their
   /// detected_s is the client's last record start (there is no feed clock

@@ -31,6 +31,11 @@ IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
     if (n == 0) n = 1;
   }
   if (config_.alert_sink) config_.alert_sink->bind(n);
+  // Captured as plain bools: the sink callables themselves are guarded by
+  // sink_mutex_, and testing emptiness per event inside the worker lambdas
+  // would either race the guard or take the global mutex even when only
+  // the alert hook is installed.
+  const bool has_provisional_sink = static_cast<bool>(provisional_sink_);
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>(config_.queue_capacity,
@@ -49,24 +54,24 @@ IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
           if (config_.alert_sink) {
             config_.alert_sink->on_session(sh->index, s, sh->draining);
           }
-          const std::lock_guard<std::mutex> lock(sink_mutex_);
+          const util::MutexLock lock(sink_mutex_);
           sink_(s);
         },
         config_.monitor);
     // The ingest thread interns into the shard's pools; the worker's
     // monitor only resolves refs (publication rides the mailbox).
     sh->monitor->use_external_pools(&sh->clients, &sh->snis);
-    if (provisional_sink_ || config_.alert_sink) {
+    if (has_provisional_sink || config_.alert_sink) {
       // In-flight QoE fan-in mirrors the session sink: counted on the
       // owning shard, serialized across shards by the same mutex.
       sh->monitor->set_provisional_callback(
-          [this, sh](const core::ProvisionalEstimate& e) {
+          [this, sh, has_provisional_sink](const core::ProvisionalEstimate& e) {
             sh->counters.provisionals.fetch_add(1, std::memory_order_relaxed);
             if (config_.alert_sink) {
               config_.alert_sink->on_provisional(sh->index, e);
             }
-            if (provisional_sink_) {
-              const std::lock_guard<std::mutex> lock(sink_mutex_);
+            if (has_provisional_sink) {
+              const util::MutexLock lock(sink_mutex_);
               provisional_sink_(e);
             }
           });

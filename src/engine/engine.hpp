@@ -47,7 +47,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -60,6 +59,8 @@
 #include "engine/engine_stats.hpp"
 #include "engine/feed.hpp"
 #include "trace/records.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 #include "util/spsc_queue.hpp"
 #include "util/string_pool.hpp"
 
@@ -132,7 +133,8 @@ class IngestEngine {
   /// Route one proxy record to its client's shard. Applies the configured
   /// backpressure policy if that shard's mailbox is full. The unbatched
   /// path: one mailbox operation per record.
-  void ingest(std::string_view client, const trace::TlsTransaction& txn);
+  DROPPKT_NOALLOC void ingest(std::string_view client,
+                              const trace::TlsTransaction& txn);
 
   /// Route a block of feed records (global start-time order, continuing
   /// the stream fed so far). Records are interned, staged per shard, and
@@ -140,7 +142,7 @@ class IngestEngine {
   /// its shard by the time the call returns. Produces byte-identical
   /// sessions and alert sequences to the same records fed one ingest()
   /// call at a time, for any grouping into batches.
-  void ingest_batch(std::span<const FeedRecord> batch);
+  DROPPKT_NOALLOC void ingest_batch(std::span<const FeedRecord> batch);
 
   /// Close all mailboxes, drain them, flush every shard's monitor and join
   /// the workers. Idempotent; called by the destructor if needed. After
@@ -198,21 +200,26 @@ class IngestEngine {
     bool draining = false;
   };
 
-  void worker_loop(Shard& shard);
+  /// Shard drain loop; allocation-free after its one-time drain-buffer
+  /// setup (the per-record work is monitor calls on POD messages).
+  DROPPKT_NOALLOC void worker_loop(Shard& shard);
   /// Build the POD message for one record on shard `sh` (interning).
-  Msg make_record_msg(Shard& sh, std::string_view client,
-                      const trace::TlsTransaction& txn);
+  DROPPKT_NOALLOC Msg make_record_msg(Shard& sh, std::string_view client,
+                                      const trace::TlsTransaction& txn);
   /// Broadcast a low watermark when the feed time calls for one. Flushes
   /// all staging first so every queue sees records-before-watermark in
   /// feed order — the invariant batching must not disturb.
-  void maybe_broadcast_watermark(double start_s);
-  void flush_shard(Shard& sh);
-  void flush_all_staging();
+  DROPPKT_NOALLOC void maybe_broadcast_watermark(double start_s);
+  DROPPKT_NOALLOC void flush_shard(Shard& sh);
+  DROPPKT_NOALLOC void flush_all_staging();
 
   const core::QoeEstimator* estimator_;
-  SessionSink sink_;
-  ProvisionalSink provisional_sink_;
-  std::mutex sink_mutex_;
+  /// The sink mutex serializes cross-shard sink invocations; the sink
+  /// callables are set once at construction and guarded so the analysis
+  /// proves no worker invokes them without holding it.
+  util::Mutex sink_mutex_;
+  SessionSink sink_ DROPPKT_GUARDED_BY(sink_mutex_);
+  ProvisionalSink provisional_sink_ DROPPKT_GUARDED_BY(sink_mutex_);
   EngineConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   double last_watermark_s_ = 0.0;

@@ -1,0 +1,74 @@
+// Static-analysis annotation macros — the vocabulary tools/droppkt_analyze
+// and Clang's Thread Safety Analysis check over the whole tree.
+//
+// Two families live here:
+//
+//   * DROPPKT_NOALLOC marks a function as part of the allocation-free
+//     ingest hot path (DESIGN.md §5d). It expands to nothing — the marker
+//     is consumed textually by tools/droppkt_analyze, which walks the
+//     intra-repo call graph from every annotated function and fails on any
+//     transitively reachable allocation site that is not justified in
+//     tools/droppkt_analyze.allow. The dynamic counterpart is
+//     test_zero_alloc's counting allocator; the static gate covers the
+//     paths a test run happens not to execute.
+//
+//   * DROPPKT_CAPABILITY / DROPPKT_GUARDED_BY / DROPPKT_REQUIRES / ... map
+//     onto Clang's thread-safety attributes (no-ops on other compilers),
+//     so -Wthread-safety proves lock discipline at compile time where TSan
+//     can only observe it dynamically. Use them through util/mutex.hpp's
+//     annotated Mutex/MutexLock/CondVar wrappers — droppkt_analyze bans
+//     raw std::mutex in src/ precisely so every lock is visible to the
+//     analysis.
+#pragma once
+
+// Marker for the allocation-free hot path. Place before the declaration:
+//   DROPPKT_NOALLOC void observe_ref(Ref client_ref, const TlsRecord& rec);
+// Annotating either the declaration or the definition is enough; the
+// analyzer links them by qualified name.
+#define DROPPKT_NOALLOC
+
+#if defined(__clang__) && !defined(SWIG)
+#define DROPPKT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DROPPKT_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// A type that is a lockable capability (e.g. util::Mutex).
+#define DROPPKT_CAPABILITY(x) DROPPKT_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type that acquires a capability in its constructor and releases
+/// it in its destructor (e.g. util::MutexLock).
+#define DROPPKT_SCOPED_CAPABILITY DROPPKT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define DROPPKT_GUARDED_BY(x) DROPPKT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define DROPPKT_PT_GUARDED_BY(x) DROPPKT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capability held (and does not
+/// release it).
+#define DROPPKT_REQUIRES(...) \
+  DROPPKT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it on return.
+#define DROPPKT_ACQUIRE(...) \
+  DROPPKT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define DROPPKT_RELEASE(...) \
+  DROPPKT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `ret`.
+#define DROPPKT_TRY_ACQUIRE(ret, ...) \
+  DROPPKT_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function that must NOT be called with the capability held (it acquires
+/// it itself; calling with it held would deadlock).
+#define DROPPKT_EXCLUDES(...) \
+  DROPPKT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disable the analysis for one function. Every use needs a
+/// comment explaining why the analysis cannot see the invariant.
+#define DROPPKT_NO_THREAD_SAFETY_ANALYSIS \
+  DROPPKT_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,82 @@
+// Annotated locking primitives: thin wrappers over std::mutex /
+// std::condition_variable that carry Clang Thread Safety Analysis
+// capability attributes (util/annotations.hpp).
+//
+// std::mutex itself is not an annotated capability type under libstdc++,
+// so GUARDED_BY(some_std_mutex) is invisible to -Wthread-safety. All
+// library code therefore locks through these wrappers — droppkt_analyze's
+// lock-discipline rule bans raw std::mutex/std::lock_guard in src/ — and
+// the compiler statically proves that every access to a DROPPKT_GUARDED_BY
+// member happens with its mutex held. TSan still runs in CI as the
+// dynamic backstop for the lock-free code (SpscQueue, StringPool
+// publication) that mutex capabilities cannot describe.
+//
+// The wrappers add no state and no behavior: Mutex is exactly std::mutex,
+// MutexLock is exactly std::lock_guard, CondVar is std::condition_variable
+// with the lock passed as a util::Mutex.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace droppkt::util {
+
+class CondVar;
+
+/// std::mutex as a Clang TSA capability.
+class DROPPKT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DROPPKT_ACQUIRE() { mu_.lock(); }
+  void unlock() DROPPKT_RELEASE() { mu_.unlock(); }
+  bool try_lock() DROPPKT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over util::Mutex (std::lock_guard with a capability).
+class DROPPKT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DROPPKT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DROPPKT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting on a util::Mutex. wait() must be called with
+/// the mutex held and returns with it held — exactly std::condition_variable
+/// semantics, expressed as a REQUIRES so the analysis can check call sites.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) DROPPKT_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock without unlocking: ownership stays with the caller's
+    // capability, which TSA tracks across the call.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace droppkt::util

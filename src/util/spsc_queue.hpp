@@ -24,6 +24,7 @@
 #include <memory>
 #include <thread>
 
+#include "util/annotations.hpp"
 #include "util/expect.hpp"
 
 namespace droppkt::util {
@@ -55,7 +56,7 @@ class SpscQueue {
   BackpressurePolicy policy() const { return policy_; }
 
   /// Producer: enqueue, applying the backpressure policy when full.
-  void push(T value) {
+  DROPPKT_NOALLOC void push(T value) {
     std::size_t spins = 0;
     while (!try_push(value)) {
       if (policy_ == BackpressurePolicy::kDropOldest) {
@@ -72,7 +73,7 @@ class SpscQueue {
 
   /// Producer: enqueue without blocking or dropping. On success `value` is
   /// moved from; on a full ring it is left intact and false is returned.
-  bool try_push(T& value) {
+  DROPPKT_NOALLOC bool try_push(T& value) {
     Cell* cell = nullptr;
     std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
@@ -97,7 +98,7 @@ class SpscQueue {
   }
 
   /// Consumer (or producer shedding backlog): dequeue without blocking.
-  bool try_pop(T& out) {
+  DROPPKT_NOALLOC bool try_pop(T& out) {
     Cell* cell = nullptr;
     std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
     for (;;) {
@@ -127,7 +128,7 @@ class SpscQueue {
   /// occupancy update per call — the fastclick push_batch idiom applied to
   /// the mailbox: per-element function-call and bookkeeping overhead is
   /// paid once per block.
-  std::size_t try_push_bulk(T* items, std::size_t n) {
+  DROPPKT_NOALLOC std::size_t try_push_bulk(T* items, std::size_t n) {
     std::size_t pushed = 0;
     while (pushed < n && try_push(items[pushed])) ++pushed;
     if (pushed > 0) note_high_water();
@@ -138,7 +139,7 @@ class SpscQueue {
   /// whenever the ring fills mid-block. kDropOldest may shed elements that
   /// were part of this same block (a block larger than the ring keeps only
   /// its newest ring-full suffix, all older elements counted in dropped()).
-  void push_bulk(T* items, std::size_t n) {
+  DROPPKT_NOALLOC void push_bulk(T* items, std::size_t n) {
     std::size_t pushed = 0;
     std::size_t spins = 0;
     while (pushed < n) {
@@ -158,7 +159,7 @@ class SpscQueue {
 
   /// Consumer (or producer shedding backlog): dequeue up to `n` items into
   /// `out`. Returns the number dequeued (0 when empty).
-  std::size_t try_pop_bulk(T* out, std::size_t n) {
+  DROPPKT_NOALLOC std::size_t try_pop_bulk(T* out, std::size_t n) {
     std::size_t popped = 0;
     while (popped < n && try_pop(out[popped])) ++popped;
     return popped;
@@ -166,7 +167,7 @@ class SpscQueue {
 
   /// Consumer: dequeue between 1 and `n` items, waiting for the first.
   /// Returns 0 only once the queue has been close()d and fully drained.
-  std::size_t pop_wait_bulk(T* out, std::size_t n) {
+  DROPPKT_NOALLOC std::size_t pop_wait_bulk(T* out, std::size_t n) {
     std::size_t spins = 0;
     for (;;) {
       const std::size_t got = try_pop_bulk(out, n);
@@ -182,7 +183,7 @@ class SpscQueue {
 
   /// Consumer: dequeue, waiting for an element. Returns false only once the
   /// queue has been close()d and fully drained.
-  bool pop_wait(T& out) {
+  DROPPKT_NOALLOC bool pop_wait(T& out) {
     std::size_t spins = 0;
     for (;;) {
       if (try_pop(out)) return true;

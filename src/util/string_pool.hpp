@@ -32,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/expect.hpp"
 
 namespace droppkt::util {
@@ -65,7 +66,7 @@ class StringPool {
 
   /// Producer only. Returns the ref of `s`, interning it on first sight.
   /// Steady state (string already present) performs no allocation.
-  Ref intern(std::string_view s) {
+  DROPPKT_NOALLOC Ref intern(std::string_view s) {
     const std::uint64_t hash = well_mixed_hash(s);
     std::size_t slot = static_cast<std::size_t>(hash) & index_mask();
     for (;;) {
@@ -79,7 +80,7 @@ class StringPool {
 
   /// The interned string. Any thread, given the publication contract
   /// above; the returned view is stable for the pool's lifetime.
-  std::string_view view(Ref ref) const {
+  DROPPKT_NOALLOC std::string_view view(Ref ref) const {
     const Chunk* chunk =
         chunks_[ref >> kChunkShift].load(std::memory_order_acquire);
     DROPPKT_ASSERT(chunk != nullptr, "StringPool: ref beyond published chunks");

@@ -16,18 +16,17 @@
 // is why their output is bit-identical for any thread count.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "util/expect.hpp"
+#include "util/mutex.hpp"
 
 namespace droppkt::util {
 
@@ -52,7 +51,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       DROPPKT_EXPECT(!stopping_, "ThreadPool: submit after shutdown began");
       tasks_.emplace_back([task] { (*task)(); });
     }
@@ -103,10 +102,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> tasks_ DROPPKT_GUARDED_BY(mutex_);
+  bool stopping_ DROPPKT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace droppkt::util

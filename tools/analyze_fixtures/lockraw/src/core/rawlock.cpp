@@ -1,0 +1,19 @@
+// True positive: raw standard locking primitives hide critical sections
+// from Clang thread safety analysis.
+#include <mutex>
+
+namespace fix {
+
+class Counter {
+ public:
+  void bump() {
+    const std::lock_guard<std::mutex> lock(mutex_);  // must fire
+    ++value_;
+  }
+
+ private:
+  std::mutex mutex_;  // must fire
+  long value_ = 0;
+};
+
+}  // namespace fix

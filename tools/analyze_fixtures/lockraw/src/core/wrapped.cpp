@@ -1,0 +1,19 @@
+// Must not fire: locking through the annotated wrapper type.
+#include "util/mutex.hpp"
+
+namespace fix {
+
+class WrappedCounter {
+ public:
+  void bump() {
+    mutex_.lock();
+    ++value_;
+    mutex_.unlock();
+  }
+
+ private:
+  Mutex mutex_;
+  long value_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// Must not fire (with its allowlist entry): the one sanctioned home of
+// the raw primitives — the annotated wrapper itself, mirroring the real
+// util/mutex.hpp.
+#pragma once
+
+#include <mutex>
+
+namespace fix {
+
+class Mutex {
+ public:
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace fix

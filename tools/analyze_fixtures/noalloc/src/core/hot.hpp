@@ -1,0 +1,32 @@
+// True positive: the annotated entry point never allocates itself, but a
+// transitively reached helper does — only whole-program reachability can
+// flag this. The cold_report() path below it must stay quiet: it also
+// allocates, but nothing annotated reaches it.
+#pragma once
+
+#include <vector>
+
+#define DROPPKT_NOALLOC
+
+namespace fix {
+
+class Recorder {
+ public:
+  DROPPKT_NOALLOC void observe(int v) { stage(v); }
+
+  void cold_report() {
+    summary_.push_back(staged_);  // unreachable from observe(): quiet
+  }
+
+ private:
+  void stage(int v) {
+    staged_ = v;
+    history_.push_back(v);  // reachable from observe(): must fire
+  }
+
+  int staged_ = 0;
+  std::vector<int> history_;
+  std::vector<int> summary_;
+};
+
+}  // namespace fix

@@ -1,0 +1,45 @@
+// Allowlist semantics: a token-specific entry suppresses exactly one
+// justified site (warmup's bounded push_back); a token `*` entry declares
+// a whole function cold and prunes traversal into its callees, so
+// really_cold()'s allocation must not fire either. The unlisted
+// to_string in leak() must still fire — the allowlist is per-site, not
+// per-file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#define DROPPKT_NOALLOC
+
+namespace fix {
+
+inline std::string really_cold(int v) {
+  return std::to_string(v);  // behind the pruned first_sight(): quiet
+}
+
+class Pool {
+ public:
+  DROPPKT_NOALLOC int intern(int v) {
+    warmup(v);
+    first_sight(v);
+    return leak(v);
+  }
+
+ private:
+  void warmup(int v) {
+    table_.push_back(v);  // allowlisted by token: quiet
+  }
+
+  void first_sight(int v) {
+    names_.push_back(really_cold(v));  // whole function exempt: quiet
+  }
+
+  int leak(int v) {
+    return static_cast<int>(std::to_string(v).size());  // must fire
+  }
+
+  std::vector<int> table_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace fix

@@ -1,0 +1,20 @@
+// --require-noalloc-file round trip: observe() is annotated (must pass
+// the manifest check); drain() is exercised by the runtime zero-alloc
+// windows in this imaginary repo but lost its annotation (must be
+// reported missing).
+#pragma once
+
+#define DROPPKT_NOALLOC
+
+namespace fix {
+
+class Monitor {
+ public:
+  DROPPKT_NOALLOC void observe(int v) { last_ = v; }
+  void drain() { last_ = 0; }
+
+ private:
+  int last_ = 0;
+};
+
+}  // namespace fix

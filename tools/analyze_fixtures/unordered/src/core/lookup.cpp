@@ -1,0 +1,19 @@
+// Must not fire: an allowlisted unordered map used only for point
+// lookup/erase — no iteration, so determinism is unaffected.
+#include <string>
+#include <unordered_map>
+
+namespace fix {
+
+class LookupOnly {
+ public:
+  void forget(const std::string& key) { states_.erase(key); }
+  bool knows(const std::string& key) const {
+    return states_.find(key) != states_.end();
+  }
+
+ private:
+  std::unordered_map<std::string, int> states_;
+};
+
+}  // namespace fix

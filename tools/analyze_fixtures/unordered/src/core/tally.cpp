@@ -1,0 +1,24 @@
+// True positives: in a determinism layer, declaring an unordered
+// container needs a justifying allowlist entry, and iterating one is a
+// violation outright (iteration order is unspecified — the canonical way
+// shard-count byte-identity breaks).
+#include <string>
+#include <unordered_map>
+
+namespace fix {
+
+class Tally {
+ public:
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [key, value] : counts_) {  // must fire: iteration
+      sum += value;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::string, double> counts_;  // must fire: no entry
+};
+
+}  // namespace fix

@@ -1,0 +1,22 @@
+// Must not fire: identical iteration to the core fixture, but trace is
+// not a determinism layer (feed builders order their own output).
+#include <string>
+#include <unordered_map>
+
+namespace fix {
+
+class FeedIndex {
+ public:
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [key, value] : weights_) {
+      sum += value;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::string, double> weights_;
+};
+
+}  // namespace fix

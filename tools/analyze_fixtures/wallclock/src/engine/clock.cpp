@@ -1,0 +1,18 @@
+// True positives: wall-clock reads and thread ids in a determinism
+// layer. Feed time must come from the records themselves.
+#include <chrono>
+#include <thread>
+
+namespace fix {
+
+double now_seconds() {
+  const auto tp = std::chrono::steady_clock::now();  // must fire
+  return std::chrono::duration<double>(tp.time_since_epoch()).count();
+}
+
+std::size_t worker_tag() {
+  return std::hash<std::thread::id>{}(
+      std::this_thread::get_id());  // must fire
+}
+
+}  // namespace fix

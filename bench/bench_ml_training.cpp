@@ -1,25 +1,41 @@
-// ML training engine benchmark: thread-pool forest fitting and the
-// presorted split search vs the legacy per-node re-sort.
+// ML training engine benchmark: thread-pool forest fitting (exact and
+// histogram split search), the legacy per-node re-sort baseline, and
+// compiled flat-forest batch inference.
 //
 // Not a paper figure: every accuracy/ablation result in EXPERIMENTS.md
 // retrains Random Forests dozens of times, so fit throughput bounds how
 // fast the whole evaluation suite iterates. This bench pins down the perf
 // trajectory: it times forest fitting on the standard synthetic dataset
-// at 1/2/4/8 threads, times the legacy algorithm (re-sorting (value,
-// label) pairs at every node, exactly what src/ml/decision_tree.cpp did
-// before the presorted column-index structure) as the single-thread
-// baseline, verifies the fitted forest is bit-identical across thread
-// counts, and measures batch-prediction throughput.
+// at 1/2/4/8 threads for both split methods with a per-phase timing
+// breakdown (bootstrap draw / column build / tree training / OOB merge),
+// times the legacy algorithm (re-sorting (value, label) pairs at every
+// node, exactly what src/ml/decision_tree.cpp did before the presorted
+// column-index structure) as the single-thread baseline, and measures
+// batch-prediction throughput of the tree-walk forest against
+// ml::CompiledForest.
+//
+// The run is also a gate, not just a report — it exits non-zero if any
+// of these fail:
+//   * either split method produces thread-count-dependent models;
+//   * histogram-split holdout accuracy drifts from the exact search by
+//     more than the tolerance;
+//   * CompiledForest probabilities differ from the tree-walk forest's by
+//     even one bit;
+//   * (full mode) CompiledForest throughput is below 10x the tree-walk
+//     batch path measured in the same run.
+// Fold-parallel CV slower than sequential CV is a gate on multi-core
+// hosts and a warning on 1-core containers (there is nothing to win).
 //
 // Thread speedup requires physical cores — on a 1-core container the
-// curve is flat and only the algorithmic (presorted vs re-sort) speedup
-// shows. `hardware_concurrency` is recorded in BENCH_ml.json so readers
-// can interpret the numbers.
+// curve is flat and only the algorithmic speedups (presorted vs re-sort,
+// histogram vs exact, compiled vs tree-walk) show. `hardware_concurrency`
+// is recorded in BENCH_ml.json so readers can interpret the numbers.
 //
 // Usage:
 //   bench_ml_training          full run, writes BENCH_ml.json to the cwd
 //   bench_ml_training --smoke  tiny dataset, no JSON — CI exercises the
-//                              parallel path under -O2 in seconds
+//                              parallel path and all correctness gates
+//                              under -O2 in seconds
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -27,10 +43,12 @@
 #include <cstring>
 #include <fstream>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "ml/compiled_forest.hpp"
 #include "ml/cross_validation.hpp"
 #include "ml/dataset.hpp"
 #include "ml/random_forest.hpp"
@@ -225,7 +243,104 @@ std::size_t fit_forest(const Dataset& data, std::size_t num_trees,
 struct FitRun {
   std::size_t threads = 0;
   double seconds = 0.0;
+  // Per-phase breakdown from RandomForestParams::collect_timing.
+  double bootstrap_draw_s = 0.0;
+  double column_build_s = 0.0;
+  double trees_wall_s = 0.0;
+  double oob_merge_s = 0.0;
+  double tree_seconds_sum = 0.0;
+  double tree_seconds_max = 0.0;
 };
+
+struct CurveResult {
+  std::vector<FitRun> runs;
+  bool deterministic = true;
+  /// The forest fitted at the first (single-thread) point of the curve,
+  /// reused for accuracy / prediction sections instead of refitting.
+  std::optional<droppkt::ml::RandomForest> forest_1t;
+};
+
+/// Fit the forest at each thread count, record wall time plus the
+/// per-phase breakdown, and verify the serialized model is byte-identical
+/// across the whole curve.
+CurveResult run_fit_curve(const Dataset& train,
+                          droppkt::ml::RandomForestParams params,
+                          const std::vector<std::size_t>& thread_counts,
+                          const char* label, double baseline_s,
+                          const char* baseline_name) {
+  params.collect_timing = true;  // stats-only; the model is unaffected
+  CurveResult out;
+  std::string model_first;
+  for (const std::size_t threads : thread_counts) {
+    params.num_threads = threads;
+    droppkt::ml::RandomForest forest(params);
+    const auto t0 = std::chrono::steady_clock::now();
+    forest.fit(train);
+    FitRun run;
+    run.threads = threads;
+    run.seconds = seconds_since(t0);
+    if (const auto* timing = forest.last_fit_timing()) {
+      run.bootstrap_draw_s = timing->bootstrap_draw_s;
+      run.column_build_s = timing->column_build_s;
+      run.trees_wall_s = timing->trees_wall_s;
+      run.oob_merge_s = timing->oob_merge_s;
+      for (const double s : timing->tree_seconds) {
+        run.tree_seconds_sum += s;
+        run.tree_seconds_max = std::max(run.tree_seconds_max, s);
+      }
+    }
+    out.runs.push_back(run);
+
+    std::stringstream model;
+    forest.save(model);
+    if (threads == thread_counts.front()) {
+      model_first = model.str();
+      out.forest_1t.emplace(std::move(forest));
+    } else if (model.str() != model_first) {
+      out.deterministic = false;
+    }
+    std::printf(
+        "%s fit (%zu thread%s): %7.2f s  (%4.2fx vs 1t, %4.2fx vs %s)\n"
+        "    phases: bootstrap %.3fs | columns %.3fs | trees %.3fs "
+        "(sum %.3fs, max tree %.3fs) | oob %.3fs\n",
+        label, threads, threads == 1 ? " " : "s", run.seconds,
+        out.runs.front().seconds / run.seconds, baseline_s / run.seconds,
+        baseline_name, run.bootstrap_draw_s, run.column_build_s,
+        run.trees_wall_s, run.tree_seconds_sum, run.tree_seconds_max,
+        run.oob_merge_s);
+  }
+  std::printf("%s bit-identical across thread counts: %s\n\n", label,
+              out.deterministic ? "yes" : "NO — BUG");
+  return out;
+}
+
+double holdout_accuracy(const droppkt::ml::RandomForest& rf,
+                        const Dataset& test) {
+  const auto labels = rf.predict_batch(test, 1);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    hits += static_cast<std::size_t>(labels[i] == test.label(i));
+  }
+  return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+void write_fit_runs_json(std::ofstream& json, const std::vector<FitRun>& runs,
+                         double baseline_s, const char* baseline_key) {
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    json << "    {\"threads\": " << r.threads
+         << ", \"seconds\": " << r.seconds
+         << ", \"speedup_vs_1t\": " << runs.front().seconds / r.seconds
+         << ", \"" << baseline_key << "\": " << baseline_s / r.seconds
+         << ",\n     \"phases\": {\"bootstrap_draw_s\": " << r.bootstrap_draw_s
+         << ", \"column_build_s\": " << r.column_build_s
+         << ", \"trees_wall_s\": " << r.trees_wall_s
+         << ", \"oob_merge_s\": " << r.oob_merge_s
+         << ", \"tree_seconds_sum\": " << r.tree_seconds_sum
+         << ", \"tree_seconds_max\": " << r.tree_seconds_max << "}}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+}
 
 }  // namespace
 
@@ -239,9 +354,13 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> thread_counts =
       smoke ? std::vector<std::size_t>{1, 2}
             : std::vector<std::size_t>{1, 2, 4, 8};
+  // Histogram splits on a tiny smoke dataset see real quantization noise;
+  // at the full 6000-row workload the two searches track far closer.
+  const double accuracy_tolerance = smoke ? 0.08 : 0.02;
 
   std::printf("=========================================================\n");
-  std::printf("ML training engine: parallel forests + presorted splits\n");
+  std::printf("ML training engine: parallel forests, split methods,\n");
+  std::printf("compiled flat-forest inference\n");
   std::printf("mode: %s | hardware_concurrency: %zu\n",
               smoke ? "smoke" : "full",
               util::ThreadPool::recommended_threads());
@@ -257,62 +376,86 @@ int main(int argc, char** argv) {
   const auto t_legacy = std::chrono::steady_clock::now();
   const std::size_t legacy_nodes = legacy::fit_forest(train, num_trees, 42);
   const double legacy_s = seconds_since(t_legacy);
-  std::printf("legacy re-sort fit (1 thread): %7.2f s  (%zu nodes)\n",
+  std::printf("legacy re-sort fit (1 thread): %7.2f s  (%zu nodes)\n\n",
               legacy_s, legacy_nodes);
 
-  // Presorted engine at increasing thread counts.
+  // Exact presorted search, then histogram search, each across the thread
+  // curve with determinism checks and the per-phase breakdown.
   ml::RandomForestParams params;
   params.num_trees = num_trees;
   params.seed = 42;
-  std::vector<FitRun> runs;
-  std::string model_1t;
-  bool deterministic = true;
-  for (const std::size_t threads : thread_counts) {
-    params.num_threads = threads;
-    ml::RandomForest forest(params);
-    const auto t0 = std::chrono::steady_clock::now();
-    forest.fit(train);
-    const double fit_s = seconds_since(t0);
-    runs.push_back({threads, fit_s});
+  const CurveResult exact = run_fit_curve(train, params, thread_counts,
+                                          "presorted", legacy_s, "legacy");
+  params.split_method = ml::SplitMethod::kHistogram;
+  const CurveResult hist =
+      run_fit_curve(train, params, thread_counts, "histogram",
+                    exact.runs.front().seconds, "exact-1t");
 
-    std::stringstream model;
-    forest.save(model);
-    if (threads == thread_counts.front()) {
-      model_1t = model.str();
-    } else if (model.str() != model_1t) {
-      deterministic = false;
-    }
-    const double vs_1t = runs.front().seconds / fit_s;
-    const double vs_legacy = legacy_s / fit_s;
-    std::printf(
-        "presorted fit (%zu thread%s):     %7.2f s  "
-        "(%4.2fx vs 1t, %4.2fx vs legacy)\n",
-        threads, threads == 1 ? "" : "s", fit_s, vs_1t, vs_legacy);
-  }
-  std::printf("bit-identical across thread counts: %s\n\n",
-              deterministic ? "yes" : "NO — BUG");
+  // Accuracy gate: binned splits may trade only marginal holdout accuracy
+  // for their speed.
+  const double acc_exact = holdout_accuracy(*exact.forest_1t, test);
+  const double acc_hist = holdout_accuracy(*hist.forest_1t, test);
+  const double acc_delta = std::fabs(acc_hist - acc_exact);
+  const bool accuracy_ok = acc_delta <= accuracy_tolerance;
+  std::printf("holdout accuracy: exact %.4f | histogram %.4f | delta %.4f "
+              "(tolerance %.2f): %s\n\n",
+              acc_exact, acc_hist, acc_delta, accuracy_tolerance,
+              accuracy_ok ? "ok" : "FAIL");
 
-  // Batch prediction throughput.
-  params.num_threads = 1;
-  ml::RandomForest forest(params);
-  forest.fit(train);
+  // Compiled flat-forest inference: identity gate (bit-equal probabilities
+  // vs the tree-walk batch path) and throughput.
+  const ml::RandomForest& forest = *exact.forest_1t;
+  const auto cf = ml::CompiledForest::compile(forest);
   const auto c_count = static_cast<std::size_t>(train.num_classes());
-  std::vector<double> proba(test.size() * c_count);
-  const auto t_p1 = std::chrono::steady_clock::now();
-  forest.predict_proba_batch(test, proba, 1);
-  const double predict_1t_s = seconds_since(t_p1);
   const std::size_t max_threads = thread_counts.back();
-  const auto t_pn = std::chrono::steady_clock::now();
-  forest.predict_proba_batch(test, proba, max_threads);
-  const double predict_nt_s = seconds_since(t_pn);
-  const double thr_1t = static_cast<double>(test.size()) / predict_1t_s;
-  const double thr_nt = static_cast<double>(test.size()) / predict_nt_s;
-  std::printf("batch predict: %zu rows | %.0f rows/s (1 thread) | "
-              "%.0f rows/s (%zu threads)\n",
-              test.size(), thr_1t, thr_nt, max_threads);
+  std::vector<double> want(test.size() * c_count);
+  std::vector<double> got(want.size());
 
-  // Fold-parallel cross-validation (the paper's evaluation loop).
+  const auto t_p1 = std::chrono::steady_clock::now();
+  forest.predict_proba_batch(test, want, 1);
+  const double treewalk_1t_s = seconds_since(t_p1);
+  const auto t_pn = std::chrono::steady_clock::now();
+  forest.predict_proba_batch(test, got, max_threads);
+  const double treewalk_nt_s = seconds_since(t_pn);
+  bool identity_ok = want == got;  // tree-walk itself thread-invariant
+
+  const auto t_c1 = std::chrono::steady_clock::now();
+  cf.predict_proba_batch(test, got, 1);
+  const double compiled_1t_s = seconds_since(t_c1);
+  identity_ok = identity_ok && want == got;
+  const auto t_cn = std::chrono::steady_clock::now();
+  cf.predict_proba_batch(test, got, max_threads);
+  const double compiled_nt_s = seconds_since(t_cn);
+  identity_ok = identity_ok && want == got;
+
+  const double rows_d = static_cast<double>(test.size());
+  const double thr_tree_1t = rows_d / treewalk_1t_s;
+  const double thr_tree_nt = rows_d / treewalk_nt_s;
+  const double thr_cf_1t = rows_d / compiled_1t_s;
+  const double thr_cf_nt = rows_d / compiled_nt_s;
+  const double compiled_speedup = thr_cf_1t / thr_tree_1t;
+  // Throughput is machine-dependent, so the 10x gate only runs on the
+  // full-size workload where the ratio has wide margin; smoke still
+  // enforces the identity and accuracy gates.
+  const bool speedup_ok = smoke || compiled_speedup >= 10.0;
+  std::printf("batch predict, %zu rows x %zu nodes:\n", test.size(),
+              cf.num_nodes());
+  std::printf("  tree-walk: %8.0f rows/s (1t) | %8.0f rows/s (%zut)\n",
+              thr_tree_1t, thr_tree_nt, max_threads);
+  std::printf("  compiled:  %8.0f rows/s (1t) | %8.0f rows/s (%zut)\n",
+              thr_cf_1t, thr_cf_nt, max_threads);
+  std::printf("  bit-identical probabilities: %s\n",
+              identity_ok ? "yes" : "NO — BUG");
+  std::printf("  compiled speedup: %.1fx vs tree-walk (gate: >=10x%s): %s\n\n",
+              compiled_speedup, smoke ? ", skipped in smoke" : "",
+              speedup_ok ? "ok" : "FAIL");
+
+  // Fold-parallel cross-validation (the paper's evaluation loop): one
+  // shared pool, folds sequential, trees parallel within each fold.
   double cv_1t_s = 0.0, cv_nt_s = 0.0;
+  bool cv_identical = true;
+  bool cv_not_slower = true;
+  const bool one_core = util::ThreadPool::recommended_threads() <= 1;
   if (!smoke) {
     auto factory = [] {
       ml::RandomForestParams p;
@@ -326,10 +469,18 @@ int main(int argc, char** argv) {
     const auto t_cvn = std::chrono::steady_clock::now();
     const auto cv_b = ml::cross_validate(train, factory, 5, 1234, 5);
     cv_nt_s = seconds_since(t_cvn);
+    cv_identical = cv_a.accuracy() == cv_b.accuracy();
+    cv_not_slower = cv_nt_s <= cv_1t_s;
     std::printf("5-fold CV (30-tree forests): %.2f s sequential | %.2f s "
                 "fold-parallel | accuracy %.3f (identical: %s)\n",
                 cv_1t_s, cv_nt_s, cv_a.accuracy(),
-                cv_a.accuracy() == cv_b.accuracy() ? "yes" : "NO — BUG");
+                cv_identical ? "yes" : "NO — BUG");
+    if (!cv_not_slower) {
+      // On a single core there is no parallelism to win; the shared pool
+      // only has to not regress badly, so the gate degrades to a warning.
+      std::printf("  fold-parallel slower than sequential: %s\n",
+                  one_core ? "WARN (1-core host, non-fatal)" : "FAIL");
+    }
   }
 
   if (!smoke) {
@@ -344,25 +495,53 @@ int main(int argc, char** argv) {
          << ", \"max_depth\": " << params.max_depth << "},\n";
     json << "  \"legacy_resort_fit_seconds\": " << legacy_s << ",\n";
     json << "  \"fit_runs\": [\n";
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      const auto& r = runs[i];
-      json << "    {\"threads\": " << r.threads
-           << ", \"seconds\": " << r.seconds
-           << ", \"speedup_vs_1t\": " << runs.front().seconds / r.seconds
-           << ", \"speedup_vs_legacy\": " << legacy_s / r.seconds << "}"
-           << (i + 1 < runs.size() ? "," : "") << "\n";
-    }
+    write_fit_runs_json(json, exact.runs, legacy_s, "speedup_vs_legacy");
     json << "  ],\n";
     json << "  \"deterministic_across_threads\": "
-         << (deterministic ? "true" : "false") << ",\n";
+         << (exact.deterministic ? "true" : "false") << ",\n";
+    json << "  \"histogram_fit_runs\": [\n";
+    write_fit_runs_json(json, hist.runs, exact.runs.front().seconds,
+                        "speedup_vs_exact_1t");
+    json << "  ],\n";
+    json << "  \"histogram_deterministic_across_threads\": "
+         << (hist.deterministic ? "true" : "false") << ",\n";
+    json << "  \"accuracy\": {\"exact\": " << acc_exact
+         << ", \"histogram\": " << acc_hist << ", \"delta\": " << acc_delta
+         << ", \"tolerance\": " << accuracy_tolerance << "},\n";
     json << "  \"predict\": {\"rows\": " << test.size()
-         << ", \"rows_per_s_1t\": " << thr_1t << ", \"rows_per_s_"
-         << max_threads << "t\": " << thr_nt << "},\n";
+         << ", \"treewalk_rows_per_s_1t\": " << thr_tree_1t
+         << ", \"treewalk_rows_per_s_" << max_threads
+         << "t\": " << thr_tree_nt
+         << ",\n    \"compiled_rows_per_s_1t\": " << thr_cf_1t
+         << ", \"compiled_rows_per_s_" << max_threads
+         << "t\": " << thr_cf_nt
+         << ",\n    \"compiled_speedup_1t\": " << compiled_speedup
+         << ", \"compiled_identical\": "
+         << (identity_ok ? "true" : "false") << "},\n";
     json << "  \"cross_validation\": {\"k\": 5, \"seconds_sequential\": "
-         << cv_1t_s << ", \"seconds_fold_parallel\": " << cv_nt_s << "}\n";
+         << cv_1t_s << ", \"seconds_fold_parallel\": " << cv_nt_s
+         << ", \"accuracy_identical\": " << (cv_identical ? "true" : "false")
+         << "},\n";
+    json << "  \"gates\": {\"deterministic\": "
+         << (exact.deterministic ? "\"pass\"" : "\"fail\"")
+         << ", \"histogram_deterministic\": "
+         << (hist.deterministic ? "\"pass\"" : "\"fail\"")
+         << ", \"accuracy_delta\": " << (accuracy_ok ? "\"pass\"" : "\"fail\"")
+         << ",\n    \"compiled_identity\": "
+         << (identity_ok ? "\"pass\"" : "\"fail\"")
+         << ", \"compiled_speedup_10x\": "
+         << (speedup_ok ? "\"pass\"" : "\"fail\"")
+         << ", \"cv_fold_parallel\": "
+         << (cv_not_slower ? "\"pass\""
+                           : (one_core ? "\"warn-1core\"" : "\"fail\""))
+         << "}\n";
     json << "}\n";
     std::printf("\nwrote BENCH_ml.json\n");
   }
 
-  return deterministic ? 0 : 1;
+  const bool ok = exact.deterministic && hist.deterministic && accuracy_ok &&
+                  identity_ok && speedup_ok && cv_identical &&
+                  (cv_not_slower || one_core);
+  std::printf("\ngates: %s\n", ok ? "all pass" : "FAILED");
+  return ok ? 0 : 1;
 }

@@ -37,18 +37,22 @@ void QoeEstimator::train_raw(
   }
   forest_ = ml::RandomForest(config_.forest);
   forest_.fit(data);
+  compiled_ = ml::CompiledForest::compile(forest_);
   trained_ = true;
 }
 
 int QoeEstimator::predict(const trace::TlsLog& session) const {
   DROPPKT_EXPECT(trained_, "QoeEstimator: predict before train");
-  return forest_.predict(extract_tls_features(session, config_.features));
+  return compiled_.predict(extract_tls_features(session, config_.features));
 }
 
 std::vector<double> QoeEstimator::predict_proba(
     const trace::TlsLog& session) const {
   DROPPKT_EXPECT(trained_, "QoeEstimator: predict before train");
-  return forest_.predict_proba(extract_tls_features(session, config_.features));
+  std::vector<double> proba(static_cast<std::size_t>(kNumQoeClasses));
+  compiled_.predict_proba_into(
+      extract_tls_features(session, config_.features), proba);
+  return proba;
 }
 
 int QoeEstimator::predict_into(std::span<const double> features,
@@ -62,7 +66,7 @@ int QoeEstimator::predict_into(std::span<const double> features,
 void QoeEstimator::predict_proba_into(std::span<const double> features,
                                       std::span<double> out) const {
   DROPPKT_EXPECT(trained_, "QoeEstimator: predict before train");
-  forest_.predict_proba_into(features, out);
+  compiled_.predict_proba_into(features, out);
 }
 
 int QoeEstimator::predict_into(const TlsFeatureAccumulator& acc,
@@ -111,7 +115,7 @@ void QoeEstimator::predict_proba_batch(std::span<const trace::TlsLog> sessions,
     });
   }
 
-  forest_.predict_proba_batch(matrix, out, threads);
+  compiled_.predict_proba_batch(matrix, out, threads);
 }
 
 std::vector<int> QoeEstimator::predict_batch(
@@ -183,6 +187,7 @@ QoeEstimator QoeEstimator::load_file(const std::string& path) {
   DROPPKT_EXPECT(
       estimator.forest_.num_trees() >= 1,
       "QoeEstimator::load: model file contained no trees");
+  estimator.compiled_ = ml::CompiledForest::compile(estimator.forest_);
   estimator.trained_ = true;
   return estimator;
 }

@@ -13,6 +13,7 @@
 #include "core/feature_accumulator.hpp"
 #include "core/qoe_labels.hpp"
 #include "core/tls_features.hpp"
+#include "ml/compiled_forest.hpp"
 #include "ml/random_forest.hpp"
 
 namespace droppkt::core {
@@ -25,6 +26,11 @@ struct EstimatorConfig {
 };
 
 /// End-to-end estimator: TLS log -> 38 features -> Random Forest -> class.
+///
+/// Every predict* method serves from a ml::CompiledForest flattened once
+/// at train/load time — the tree-walk forest is kept for training,
+/// importances and serialization, inference runs on the flat arrays.
+/// Results are byte-identical to voting the tree-walk forest directly.
 class QoeEstimator {
  public:
   using Config = EstimatorConfig;
@@ -103,6 +109,7 @@ class QoeEstimator {
  private:
   Config config_;
   ml::RandomForest forest_;
+  ml::CompiledForest compiled_;  // rebuilt after every train/load
   bool trained_ = false;
 };
 

@@ -63,9 +63,22 @@ std::vector<double> extract_tls_features(const trace::TlsLog& log,
   // just "observe everything, snapshot once". The accumulator's internal
   // reductions are functions of the transaction multiset (exact sums,
   // sorted samples), so this is also bit-identical for any log order.
-  TlsFeatureAccumulator acc(config);
-  for (const auto& t : log) acc.observe(t);
-  return acc.snapshot();
+  //
+  // The accumulator is pooled per thread: constructing one allocates a
+  // dozen sample/scratch vectors, and callers that extract in a loop
+  // (training corpus build, ablation benches) were paying that per
+  // session. reset() keeps capacity, so steady state is allocation-free
+  // up to each session's high-water; the pool is rebuilt only when a
+  // caller switches feature configs on the same thread.
+  thread_local TlsFeatureAccumulator pooled_acc;
+  if (pooled_acc.config().extended_stats != config.extended_stats ||
+      pooled_acc.config().interval_ends_s != config.interval_ends_s) {
+    pooled_acc = TlsFeatureAccumulator(config);
+  } else {
+    pooled_acc.reset();
+  }
+  for (const auto& t : log) pooled_acc.observe(t);
+  return pooled_acc.snapshot();
 }
 
 trace::TlsLog truncate_tls_log(const trace::TlsLog& log, double horizon_s) {

@@ -7,6 +7,10 @@
 
 #include "ml/dataset.hpp"
 
+namespace droppkt::util {
+class ThreadPool;
+}
+
 namespace droppkt::ml {
 
 /// Supervised multi-class classifier.
@@ -31,5 +35,15 @@ class Classifier {
 /// Factory: cross-validation needs a fresh, identically-configured model
 /// per fold.
 using ClassifierFactory = std::unique_ptr<Classifier> (*)();
+
+/// Mixin for classifiers whose training can fan out over a caller-owned
+/// thread pool. cross_validate uses it to schedule work at fold x tree
+/// granularity on ONE shared pool instead of a pool per fold — the model
+/// fitted via fit_on_pool must be bit-identical to fit().
+class PoolTrainable {
+ public:
+  virtual ~PoolTrainable() = default;
+  virtual void fit_on_pool(const Dataset& train, util::ThreadPool& pool) = 0;
+};
 
 }  // namespace droppkt::ml

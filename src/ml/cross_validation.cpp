@@ -25,14 +25,18 @@ CrossValidationResult cross_validate(
   }
 
   std::vector<ConfusionMatrix> fold_cms(k, ConfusionMatrix(data.num_classes()));
-  auto run_fold = [&](std::size_t f) {
+  auto run_fold = [&](std::size_t f, util::ThreadPool* shared_pool) {
     const auto& test_idx = folds[f];
     const auto train_idx = fold_complement(data.size(), test_idx);
     const Dataset train = data.subset(train_idx);
     const Dataset test = data.subset(test_idx);
 
     Classifier& model = *models[f];
-    model.fit(train);
+    if (shared_pool != nullptr) {
+      dynamic_cast<PoolTrainable&>(model).fit_on_pool(train, *shared_pool);
+    } else {
+      model.fit(train);
+    }
 
     ConfusionMatrix& cm = fold_cms[f];
     for (std::size_t i = 0; i < test.size(); ++i) {
@@ -40,13 +44,27 @@ CrossValidationResult cross_validate(
     }
   };
 
-  const std::size_t threads =
-      std::min(util::ThreadPool::resolve_threads(num_threads), k);
+  const std::size_t threads = util::ThreadPool::resolve_threads(num_threads);
   if (threads <= 1) {
-    for (std::size_t f = 0; f < k; ++f) run_fold(f);
+    for (std::size_t f = 0; f < k; ++f) run_fold(f, nullptr);
+  } else if (dynamic_cast<PoolTrainable*>(models[0].get()) != nullptr) {
+    // Fold x tree granularity: folds run in order, each fit fans its
+    // trees across ALL workers of one shared pool. Fold-per-worker
+    // scheduling ran each multi-minute fit single-threaded and finished
+    // only when the slowest fold did; here the pool drains every fold's
+    // tree queue at full width, and nested pool construction (k pools x
+    // model threads) never happens. fit_on_pool is bit-identical to
+    // fit(), so the result matches the sequential path exactly — which
+    // also makes it safe to cap the pool at physical concurrency: tree
+    // tasks are CPU-bound, so workers beyond the core count only add
+    // scheduler churn (measurably so on 1-core containers).
+    util::ThreadPool pool(
+        std::min(threads, util::ThreadPool::recommended_threads()));
+    for (std::size_t f = 0; f < k; ++f) run_fold(f, &pool);
   } else {
-    util::ThreadPool pool(threads);
-    pool.parallel_for(0, k, run_fold);
+    util::ThreadPool pool(std::min(threads, k));
+    pool.parallel_for(0, k,
+                      [&run_fold](std::size_t f) { run_fold(f, nullptr); });
   }
 
   // Merge in fold order: pooled counts and fold_accuracy are independent

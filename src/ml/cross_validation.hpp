@@ -25,12 +25,19 @@ struct CrossValidationResult {
 /// Run stratified k-fold CV. `make_model` is invoked once per fold so every
 /// fold trains a fresh, identically-configured classifier.
 ///
-/// `num_threads` spreads the folds over a util::ThreadPool (0 = hardware
-/// concurrency, 1 = sequential). Factories run sequentially before any
-/// fold starts (they may share state), fold results merge in fold order,
-/// and the fold split is drawn once up front — so the result is identical
-/// for every thread count. Avoid combining multi-threaded CV with
-/// multi-threaded models: the product oversubscribes the machine.
+/// `num_threads` sets the worker count of ONE shared util::ThreadPool
+/// (0 = hardware concurrency, 1 = sequential; for pool-trainable models
+/// the pool is capped at physical concurrency — extra CPU-bound workers
+/// only add scheduler churn). PoolTrainable models (the
+/// random forest) train fold after fold in order, each fit fanning its
+/// trees out across every worker — fold x tree granularity, so the pool
+/// stays busy through the end of each fold instead of idling behind the
+/// slowest of k fold-sized tasks, and the thread count is never multiplied
+/// by the model's own. Other models fall back to one fold per worker.
+/// Factories run sequentially before any fold starts (they may share
+/// state), fold results merge in fold order, and the fold split is drawn
+/// once up front — so the result is bit-identical for every thread count
+/// and both granularities.
 CrossValidationResult cross_validate(
     const Dataset& data,
     const std::function<std::unique_ptr<Classifier>()>& make_model,

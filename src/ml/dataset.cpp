@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <numeric>
 
 #include "util/csv.hpp"
@@ -102,6 +103,54 @@ ColumnMatrix::ColumnMatrix(const Dataset& data)
       return col[a] != col[b] ? col[a] < col[b] : a < b;
     });
     for (std::size_t i = 0; i < num_rows_; ++i) vals[i] = col[rows[i]];
+  }
+}
+
+void ColumnMatrix::build_bins(std::size_t max_bins) {
+  DROPPKT_EXPECT(max_bins >= 2 && max_bins <= kMaxBins,
+                 "ColumnMatrix::build_bins: max_bins must be in [2, 256]");
+  DROPPKT_EXPECT(num_rows_ >= 1, "ColumnMatrix::build_bins: empty matrix");
+  binned_.assign(num_rows_ * num_features_, 0);
+  bin_count_.assign(num_features_, 0);
+  bin_thresholds_.assign(num_features_ * kMaxBins,
+                         std::numeric_limits<double>::infinity());
+
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    const double* vals = sorted_vals_.data() + f * num_rows_;
+    const std::uint32_t* rows = sorted_rows_.data() + f * num_rows_;
+    std::uint8_t* bins = binned_.data() + f * num_rows_;
+    double* thresholds = bin_thresholds_.data() + f * kMaxBins;
+
+    // Walk the sorted column, closing a bin at the first distinct-value
+    // boundary at or past each equal-frequency target. Integer targets
+    // (cum * max_bins >= (made + 1) * N) keep the cuts exact and
+    // deterministic; a feature with <= max_bins distinct values gets one
+    // bin per value.
+    std::size_t bin = 0;
+    std::size_t i = 0;
+    while (i < num_rows_) {
+      // Group of equal values [i, j).
+      std::size_t j = i + 1;
+      while (j < num_rows_ && vals[j] == vals[i]) ++j;
+      for (std::size_t k = i; k < j; ++k) {
+        bins[rows[k]] = static_cast<std::uint8_t>(bin);
+      }
+      const bool last_group = j == num_rows_;
+      // Close this bin once the equal-frequency quota is met (and a bin
+      // remains to open); otherwise later groups keep joining it.
+      const bool quota = j * max_bins >= (bin + 1) * num_rows_;
+      if (!last_group && quota && bin + 1 < max_bins) {
+        // Boundary between vals[j-1] and vals[j]: midpoint, with the
+        // same collapse guard as the exact split search (adjacent
+        // doubles can round onto the upper value).
+        double thr = 0.5 * (vals[j - 1] + vals[j]);
+        if (!(thr >= vals[j - 1] && thr < vals[j])) thr = vals[j - 1];
+        thresholds[bin] = thr;
+        ++bin;
+      }
+      i = j;
+    }
+    bin_count_[f] = static_cast<std::uint32_t>(bin + 1);
   }
 }
 

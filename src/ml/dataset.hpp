@@ -82,8 +82,18 @@ class Dataset {
 /// The sorted row orders let each tree derive its bootstrap sample's
 /// sorted layout with a linear counting merge instead of re-sorting —
 /// the F column sorts are paid once per forest, not once per tree.
+///
+/// For histogram-based split finding (SplitMethod::kHistogram),
+/// build_bins() additionally quantizes every feature into at most
+/// kMaxBins value ranges — LightGBM-style equal-frequency cuts over the
+/// global sorted order — and materializes a per-row bin index column per
+/// feature. Like the presort, binning is paid once per forest and shared
+/// read-only across all trees and threads.
 class ColumnMatrix {
  public:
+  /// Hard ceiling on bins per feature: bin indices are stored as uint8_t.
+  static constexpr std::size_t kMaxBins = 256;
+
   explicit ColumnMatrix(const Dataset& data);
 
   std::size_t num_rows() const { return num_rows_; }
@@ -114,12 +124,48 @@ class ColumnMatrix {
     return {sorted_vals_.data() + f * num_rows_, num_rows_};
   }
 
+  /// Quantize every feature into at most `max_bins` (<= kMaxBins) bins
+  /// with equal-frequency cut points over the sorted values; features
+  /// with fewer distinct values get one bin per value. Idempotent for a
+  /// given `max_bins`; must be called before the bin accessors below.
+  void build_bins(std::size_t max_bins = kMaxBins);
+
+  bool bins_built() const { return !bin_count_.empty(); }
+
+  /// Number of bins feature `f` was quantized into (>= 1).
+  std::size_t num_bins(std::size_t f) const {
+    DROPPKT_EXPECT(bins_built() && f < num_features_,
+                   "ColumnMatrix::num_bins: bins not built or out of range");
+    return bin_count_[f];
+  }
+
+  /// All rows' bin indices for one feature, contiguous (row-indexed).
+  std::span<const std::uint8_t> bin_column(std::size_t f) const {
+    DROPPKT_EXPECT(bins_built() && f < num_features_,
+                   "ColumnMatrix::bin_column: bins not built or out of range");
+    return {binned_.data() + f * num_rows_, num_rows_};
+  }
+
+  /// Raw-value threshold realizing "split after bin b": for every row,
+  /// value <= threshold  iff  bin <= b. The last bin's threshold is
+  /// +infinity (no right side — never a valid split).
+  double bin_threshold(std::size_t f, std::size_t b) const {
+    DROPPKT_EXPECT(bins_built() && f < num_features_ && b < bin_count_[f],
+                   "ColumnMatrix::bin_threshold: out of range");
+    return bin_thresholds_[f * kMaxBins + b];
+  }
+
  private:
   std::size_t num_rows_;
   std::size_t num_features_;
   std::vector<double> data_;                 // column-major
   std::vector<std::uint32_t> sorted_rows_;   // per feature, by (value, row)
   std::vector<double> sorted_vals_;          // values in sorted_rows_ order
+  // Histogram quantization (build_bins): per-row bin index per feature,
+  // bin counts, and per-boundary raw thresholds (kMaxBins stride).
+  std::vector<std::uint8_t> binned_;
+  std::vector<std::uint32_t> bin_count_;
+  std::vector<double> bin_thresholds_;
 };
 
 /// Stratified k-fold split: each fold's class mix matches the dataset's.

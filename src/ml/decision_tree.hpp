@@ -3,12 +3,26 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "ml/classifier.hpp"
 #include "util/rng.hpp"
 
 namespace droppkt::ml {
+
+/// How fit_on searches for the best split at each node.
+enum class SplitMethod {
+  /// Presorted exact search over every distinct-value boundary.
+  kExact,
+  /// Histogram search over quantized feature bins (requires a
+  /// ColumnMatrix with build_bins() called). O(rows) accumulation per
+  /// node instead of presorted O(features x rows) scans, with
+  /// parent-minus-sibling histogram subtraction for the larger child.
+  /// Split quality is approximate (boundaries only exist between bins);
+  /// the training bench gates the accuracy delta against kExact.
+  kHistogram,
+};
 
 struct DecisionTreeParams {
   int max_depth = 24;
@@ -22,6 +36,9 @@ struct DecisionTreeParams {
   /// means uniform. Up-weighting a class trades precision for recall on
   /// it (e.g. an ISP chasing low-QoE sessions).
   std::vector<double> class_weights;
+  /// Split search algorithm; kHistogram needs binned columns (the
+  /// three-argument fit_on overload with ColumnMatrix::build_bins done).
+  SplitMethod split_method = SplitMethod::kExact;
 };
 
 /// Single CART tree. Supports fitting on a row subset (indices may repeat —
@@ -71,6 +88,23 @@ class DecisionTree final : public Classifier {
   /// Rebuild a tree from `save` output. Throws on malformed input.
   static DecisionTree load(std::istream& is);
 
+  /// Read-only flat view of one node, for forest compilation/export.
+  /// feature == -1 marks a leaf (class_probs valid, children unset);
+  /// otherwise left/right index other nodes of the same tree. `i` must be
+  /// < node_count(); node 0 is the root.
+  struct NodeView {
+    int feature;
+    double threshold;  // go left if x[feature] <= threshold
+    std::int32_t left;
+    std::int32_t right;
+    std::span<const double> class_probs;
+  };
+  NodeView node_view(std::size_t i) const {
+    const Node& n = nodes_[i];
+    return {n.feature, n.threshold, n.left, n.right,
+            {n.class_probs.data(), n.class_probs.size()}};
+  }
+
  private:
   struct Node {
     // Internal node: feature >= 0; leaf: feature == -1.
@@ -82,10 +116,17 @@ class DecisionTree final : public Classifier {
     std::vector<double> class_probs;  // leaf only
   };
 
-  struct FitContext;  // presorted per-feature orders; see decision_tree.cpp
+  struct FitContext;   // presorted per-feature orders; see decision_tree.cpp
+  struct HistContext;  // binned histogram state; see decision_tree.cpp
 
   std::int32_t build(FitContext& ctx, std::size_t begin, std::size_t end,
                      int depth, util::Rng& rng);
+  void fit_histogram(const Dataset& train,
+                     std::span<const std::size_t> indices,
+                     const ColumnMatrix& columns, util::Rng& rng);
+  std::int32_t build_hist(HistContext& ctx, std::size_t begin,
+                          std::size_t end, int depth, int hist_slot,
+                          util::Rng& rng);
   const Node& descend(std::span<const double> features) const;
   double class_weight(int cls) const;
 

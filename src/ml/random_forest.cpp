@@ -1,6 +1,7 @@
 #include "ml/random_forest.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -12,12 +13,45 @@
 
 namespace droppkt::ml {
 
+namespace {
+
+// Stats-only phase clock for RandomForestParams::collect_timing: reads
+// feed RandomForestFitTiming and never influence the fitted model (the
+// analyzer's wallclock allowlist records this justification).
+double timing_now_s(bool enabled) {
+  if (!enabled) return 0.0;
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 RandomForest::RandomForest(RandomForestParams params)
     : params_(std::move(params)) {
   DROPPKT_EXPECT(params_.num_trees >= 1, "RandomForest: need >= 1 tree");
+  DROPPKT_EXPECT(params_.max_bins >= 2 &&
+                     params_.max_bins <= ColumnMatrix::kMaxBins,
+                 "RandomForest: max_bins must be in [2, 256]");
 }
 
 void RandomForest::fit(const Dataset& train) {
+  const std::size_t threads = std::min(
+      util::ThreadPool::resolve_threads(params_.num_threads),
+      params_.num_trees);
+  if (threads <= 1) {
+    fit_impl(train, nullptr);
+  } else {
+    util::ThreadPool pool(threads);
+    fit_impl(train, &pool);
+  }
+}
+
+void RandomForest::fit_on_pool(const Dataset& train, util::ThreadPool& pool) {
+  fit_impl(train, &pool);
+}
+
+void RandomForest::fit_impl(const Dataset& train, util::ThreadPool* pool) {
   DROPPKT_EXPECT(train.size() >= 2, "RandomForest: need >= 2 training rows");
   feature_names_ = train.feature_names();
   num_classes_ = train.num_classes();
@@ -44,6 +78,11 @@ void RandomForest::fit(const Dataset& train) {
     std::uint64_t tree_seed = 0;
     std::vector<double> oob_probs;  // oob_rows.size() x num_classes
   };
+  const bool timing = params_.collect_timing;
+  fit_timing_ = RandomForestFitTiming{};
+  if (timing) fit_timing_.tree_seconds.assign(num_trees, 0.0);
+  const double t_draw0 = timing_now_s(timing);
+
   std::vector<TreeJob> jobs(num_trees);
   util::Rng rng(params_.seed);
   std::vector<bool> in_bag(n);
@@ -62,11 +101,22 @@ void RandomForest::fit(const Dataset& train) {
     }
   }
 
-  // One shared column-major transpose for every tree's split presort.
-  const ColumnMatrix columns(train);
+  const double t_columns0 = timing_now_s(timing);
+  if (timing) fit_timing_.bootstrap_draw_s = t_columns0 - t_draw0;
+
+  // One shared column-major transpose for every tree's split presort —
+  // and, in histogram mode, one shared quantization of every feature.
+  ColumnMatrix columns(train);
+  if (params_.split_method == SplitMethod::kHistogram) {
+    columns.build_bins(params_.max_bins);
+  }
+
+  const double t_trees0 = timing_now_s(timing);
+  if (timing) fit_timing_.column_build_s = t_trees0 - t_columns0;
 
   trees_.assign(num_trees, DecisionTree{});
   auto train_one = [&](std::size_t t) {
+    const double t_tree0 = timing_now_s(timing);
     TreeJob& job = jobs[t];
     DecisionTreeParams tp;
     tp.max_depth = params_.max_depth;
@@ -74,6 +124,7 @@ void RandomForest::fit(const Dataset& train) {
     tp.max_features = mtry;
     tp.seed = job.tree_seed;
     tp.class_weights = params_.class_weights;
+    tp.split_method = params_.split_method;
     DecisionTree tree(tp);
     tree.fit_on(train, job.sample, columns);
     job.sample = {};  // bootstrap no longer needed; free it early
@@ -84,16 +135,17 @@ void RandomForest::fit(const Dataset& train) {
                 job.oob_probs.begin() + static_cast<std::ptrdiff_t>(k * c_count));
     }
     trees_[t] = std::move(tree);
+    if (timing) fit_timing_.tree_seconds[t] = timing_now_s(timing) - t_tree0;
   };
 
-  const std::size_t threads =
-      std::min(util::ThreadPool::resolve_threads(params_.num_threads), num_trees);
-  if (threads <= 1) {
+  if (pool == nullptr) {
     for (std::size_t t = 0; t < num_trees; ++t) train_one(t);
   } else {
-    util::ThreadPool pool(threads);
-    pool.parallel_for(0, num_trees, train_one);
+    pool->parallel_for(0, num_trees, train_one);
   }
+
+  const double t_merge0 = timing_now_s(timing);
+  if (timing) fit_timing_.trees_wall_s = t_merge0 - t_trees0;
 
   // OOB votes merge in tree order, so the sums (and the error) are
   // independent of which thread finished first.
@@ -123,6 +175,7 @@ void RandomForest::fit(const Dataset& train) {
                    ? std::optional<double>(static_cast<double>(wrong) /
                                            static_cast<double>(counted))
                    : std::nullopt;
+  if (timing) fit_timing_.oob_merge_s = timing_now_s(timing) - t_merge0;
 }
 
 void RandomForest::predict_proba_row(std::span<const double> features,

@@ -28,16 +28,46 @@ struct RandomForestParams {
   /// bit-identical for every value — all randomness is drawn up front and
   /// results merge in tree order.
   std::size_t num_threads = 0;
+  /// Split search: kExact (presorted, every distinct-value boundary) or
+  /// kHistogram (quantized bins, O(rows) accumulation per node with
+  /// parent-minus-sibling subtraction — see SplitMethod). Histogram
+  /// training is likewise bit-identical for any num_threads.
+  SplitMethod split_method = SplitMethod::kExact;
+  /// Bins per feature for kHistogram (2..ColumnMatrix::kMaxBins).
+  std::size_t max_bins = 256;
+  /// Record per-phase wall timings of fit() (see last_fit_timing()).
+  /// Off by default: the clock reads are stats-only and never affect the
+  /// fitted model, but they cost a syscall per tree.
+  bool collect_timing = false;
+};
+
+/// Per-phase wall timings of the last fit(), populated when
+/// RandomForestParams::collect_timing is set. Purely observational — the
+/// fitted model is byte-identical with collection on or off.
+struct RandomForestFitTiming {
+  double bootstrap_draw_s = 0.0;  // sequential up-front RNG phase
+  double column_build_s = 0.0;    // transpose + presort (+ binning)
+  double trees_wall_s = 0.0;      // parallel tree-training region
+  double oob_merge_s = 0.0;       // sequential OOB vote merge + error
+  /// Per-tree training seconds (split search + OOB predictions), indexed
+  /// by tree. Workers write disjoint slots, so the vector is exact for
+  /// any thread count; together with the pool's contiguous chunking it
+  /// reconstructs per-worker busy time.
+  std::vector<double> tree_seconds;
 };
 
 /// Bagged CART ensemble with per-split feature subsampling, soft voting,
 /// Gini feature importance and out-of-bag error. Trees train concurrently
 /// on a util::ThreadPool; see RandomForestParams::num_threads.
-class RandomForest final : public Classifier {
+class RandomForest final : public Classifier, public PoolTrainable {
  public:
   explicit RandomForest(RandomForestParams params = {});
 
   void fit(const Dataset& train) override;
+
+  /// Train on a caller-owned pool (tree-granular tasks); bit-identical to
+  /// fit() — cross_validate shares one pool across all folds this way.
+  void fit_on_pool(const Dataset& train, util::ThreadPool& pool) override;
   int predict(std::span<const double> features) const override;
   std::vector<double> predict_proba(std::span<const double> features) const override;
 
@@ -74,7 +104,18 @@ class RandomForest final : public Classifier {
   /// in-bag for all trees).
   std::optional<double> oob_error() const { return oob_error_; }
 
+  /// Phase timings of the last fit(); nullptr before any fit, or unless
+  /// RandomForestParams::collect_timing was set.
+  const RandomForestFitTiming* last_fit_timing() const {
+    return params_.collect_timing && !fit_timing_.tree_seconds.empty()
+               ? &fit_timing_
+               : nullptr;
+  }
+
   std::size_t num_trees() const { return trees_.size(); }
+  /// Read access to one fitted tree (t < num_trees()) — CompiledForest
+  /// flattens the ensemble through this.
+  const DecisionTree& tree(std::size_t t) const { return trees_[t]; }
   int num_classes() const { return num_classes_; }
   std::size_t num_features() const { return feature_names_.size(); }
 
@@ -89,12 +130,14 @@ class RandomForest final : public Classifier {
  private:
   void predict_proba_row(std::span<const double> features,
                          std::span<double> out) const;
+  void fit_impl(const Dataset& train, util::ThreadPool* pool);
 
   RandomForestParams params_;
   std::vector<DecisionTree> trees_;
   std::vector<std::string> feature_names_;
   int num_classes_ = 0;
   std::optional<double> oob_error_;
+  RandomForestFitTiming fit_timing_;
 };
 
 }  // namespace droppkt::ml

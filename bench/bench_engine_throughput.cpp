@@ -20,9 +20,12 @@
 //      combination must produce a byte-identical alert event sequence
 //      through an attached alert::AlertPipeline.
 //
-// The identity gates always hard-fail. The >=5x single-shard throughput
-// gate is enforced in full runs and only reported under --smoke (CI
-// containers share cores; sub-second smoke feeds are too noisy to gate).
+// The identity gates always hard-fail, as does the telemetry drop gate
+// (the interval streamer's bounded frame queue must shed nothing in the
+// default configuration). The >=5x single-shard throughput gate and the
+// <=2% telemetry streaming-overhead gate are enforced in full runs and
+// only reported under --smoke (CI containers share cores; sub-second
+// smoke feeds are too noisy to gate).
 //
 // Feed size defaults to ~960k records from 2k clients (240-connection
 // sessions, a ~10-minute video session each); scale with e.g.
@@ -36,6 +39,7 @@
 #include <cstring>
 #include <fstream>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -48,6 +52,9 @@
 #include "core/session_id.hpp"
 #include "engine/engine.hpp"
 #include "engine/feed.hpp"
+#include "telemetry/clock.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/streamer.hpp"
 #include "util/spsc_queue.hpp"
 #include "util/string_pool.hpp"
 
@@ -118,6 +125,9 @@ struct RunResult {
   std::size_t alert_events = 0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  std::uint64_t tm_intervals = 0;
+  std::uint64_t tm_dropped = 0;
+  std::size_t tm_bytes = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -344,13 +354,16 @@ RunResult run_legacy(const core::QoeEstimator& estimator,
 RunResult run_engine(const core::QoeEstimator& estimator,
                      const engine::Feed& feed, std::size_t shards,
                      std::size_t batch, const engine::EngineConfig& base,
-                     const alert::AlertPipelineConfig& pcfg) {
+                     const alert::AlertPipelineConfig& pcfg,
+                     bool stream_telemetry = false) {
   RunResult result;
   alert::AlertPipeline pipeline(pcfg);
   std::vector<std::string> lines;
   engine::EngineConfig ecfg = base;
   ecfg.num_shards = shards;
   ecfg.alert_sink = &pipeline;
+  telemetry::MetricRegistry registry;
+  if (stream_telemetry) ecfg.registry = &registry;
 
   const auto t0 = std::chrono::steady_clock::now();
   {
@@ -364,6 +377,30 @@ RunResult run_engine(const core::QoeEstimator& estimator,
                                        s.start_s, s.end_s, s.detected_s));
         },
         ecfg);
+    // Live interval streaming, as a deployment runs it: a sampler thread
+    // diffing the registry every 10 ms and draining the frame queue into
+    // the wire buffer. The hot path never waits on it — tick() try_pushes
+    // and drops on a full queue, so any interference shows up only as
+    // cache/scheduler pressure, which is exactly what the <2% gate bounds.
+    std::optional<telemetry::IntervalStreamer> streamer;
+    std::vector<std::uint8_t> wire;
+    std::atomic<bool> sampler_done{false};
+    std::thread sampler;
+    if (stream_telemetry) {
+      streamer.emplace(registry, telemetry::monotonic_clock());
+      wire = streamer->header_frame();
+      sampler = std::thread([&] {
+        while (!sampler_done.load(std::memory_order_acquire)) {
+          eng.refresh_gauges();
+          streamer->tick();
+          streamer->poll(wire);
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        eng.refresh_gauges();
+        streamer->tick();
+        streamer->poll(wire);
+      });
+    }
     if (batch <= 1) {
       for (const auto& r : feed) eng.ingest(r.client, r.txn);
     } else {
@@ -374,6 +411,13 @@ RunResult run_engine(const core::QoeEstimator& estimator,
       }
     }
     eng.finish();
+    if (stream_telemetry) {
+      sampler_done.store(true, std::memory_order_release);
+      sampler.join();
+      result.tm_intervals = streamer->intervals_sampled();
+      result.tm_dropped = streamer->dropped_intervals();
+      result.tm_bytes = wire.size();
+    }
     const auto snap = eng.stats();
     result.p50_us = snap.latency_p50_us;
     result.p99_us = snap.latency_p99_us;
@@ -477,6 +521,54 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Telemetry overhead: the same engine configuration with a live
+  // interval streamer attached (external registry, 10 ms sampling thread)
+  // against one without. Best-of-N throughput absorbs scheduler noise;
+  // the <2% gate is enforced in full runs only (sub-second smoke feeds
+  // on shared CI cores are too noisy to gate). The drop gate is
+  // unconditional: at the default queue depth with a live consumer, the
+  // bounded frame queue must never shed an interval.
+  const std::size_t tm_shards = 2;
+  const std::size_t tm_batch = 256;
+  const int tm_reps = smoke ? 1 : 3;
+  RunResult tm_base;
+  RunResult tm_tele;
+  std::uint64_t tm_dropped_total = 0;
+  bool tm_identical = true;
+  std::printf("\ntelemetry overhead (%zu shards, batch %zu, best of %d)...\n",
+              tm_shards, tm_batch, tm_reps);
+  for (int rep = 0; rep < tm_reps; ++rep) {
+    RunResult b = run_engine(estimator, feed, tm_shards, tm_batch, base, pcfg);
+    RunResult t = run_engine(estimator, feed, tm_shards, tm_batch, base, pcfg,
+                             /*stream_telemetry=*/true);
+    tm_dropped_total += t.tm_dropped;
+    if (b.session_canon != legacy.session_canon ||
+        t.session_canon != legacy.session_canon ||
+        b.alert_canon != legacy.alert_canon ||
+        t.alert_canon != legacy.alert_canon) {
+      tm_identical = false;
+    }
+    if (b.records_per_s > tm_base.records_per_s) tm_base = std::move(b);
+    if (t.records_per_s > tm_tele.records_per_s) tm_tele = std::move(t);
+  }
+  const double tm_overhead =
+      1.0 - tm_tele.records_per_s / tm_base.records_per_s;
+  const bool gate_tm = tm_overhead <= 0.02;
+  const bool gate_tm_drops = tm_dropped_total == 0;
+  std::printf("without streamer: %10.0f records/s\n", tm_base.records_per_s);
+  std::printf("with streamer:    %10.0f records/s  (%llu intervals, "
+              "%zu wire bytes, %llu dropped)\n",
+              tm_tele.records_per_s,
+              static_cast<unsigned long long>(tm_tele.tm_intervals),
+              tm_tele.tm_bytes,
+              static_cast<unsigned long long>(tm_tele.tm_dropped));
+  std::printf("streaming overhead: %.2f%% (gate: <= 2%%, %s%s); dropped "
+              "intervals across %d runs: %llu (gate: == 0, %s)\n",
+              tm_overhead * 100.0, gate_tm ? "PASS" : "FAIL",
+              smoke ? ", not enforced in smoke mode" : "",
+              tm_reps, static_cast<unsigned long long>(tm_dropped_total),
+              gate_tm_drops ? "PASS" : "FAIL");
+
   // Identity gates: one session multiset, one alert sequence, everywhere.
   bool sessions_identical = true;
   bool alerts_identical = true;
@@ -484,6 +576,8 @@ int main(int argc, char** argv) {
     if (row.r.session_canon != legacy.session_canon) sessions_identical = false;
     if (row.r.alert_canon != legacy.alert_canon) alerts_identical = false;
   }
+  sessions_identical = sessions_identical && tm_identical;
+  alerts_identical = alerts_identical && tm_identical;
   std::printf("\nidentity: sessions %s (all 9 combos + legacy), "
               "alert sequence %s (%zu events)\n",
               sessions_identical ? "IDENTICAL" : "DIVERGED",
@@ -530,7 +624,17 @@ int main(int argc, char** argv) {
        << ", \"alerts_identical\": " << (alerts_identical ? "true" : "false")
        << ", \"alert_events\": " << legacy.alert_events << "},\n";
   json << "  \"gate_5x\": {\"required\": 5.0, \"achieved\": " << achieved
-       << ", \"pass\": " << (gate_5x ? "true" : "false") << "}\n";
+       << ", \"pass\": " << (gate_5x ? "true" : "false") << "},\n";
+  json << "  \"telemetry\": {\"baseline_records_per_s\": "
+       << tm_base.records_per_s
+       << ", \"streaming_records_per_s\": " << tm_tele.records_per_s
+       << ", \"overhead\": " << tm_overhead
+       << ", \"intervals\": " << tm_tele.tm_intervals
+       << ", \"wire_bytes\": " << tm_tele.tm_bytes
+       << ", \"dropped_intervals\": " << tm_dropped_total
+       << ", \"gate_2pct_pass\": " << (gate_tm ? "true" : "false")
+       << ", \"gate_drops_pass\": " << (gate_tm_drops ? "true" : "false")
+       << "}\n";
   json << "}\n";
   std::printf("\nwrote BENCH_engine.json\n");
 
@@ -540,11 +644,25 @@ int main(int argc, char** argv) {
                  "unbatched baseline\n");
     return 1;
   }
+  if (!gate_tm_drops) {
+    std::fprintf(stderr,
+                 "[bench] FAIL: telemetry frame queue dropped %llu "
+                 "intervals in the default configuration\n",
+                 static_cast<unsigned long long>(tm_dropped_total));
+    return 1;
+  }
   if (!smoke && !gate_5x) {
     std::fprintf(stderr,
                  "[bench] FAIL: single-shard speedup %.2fx below the 5x "
                  "gate\n",
                  achieved);
+    return 1;
+  }
+  if (!smoke && !gate_tm) {
+    std::fprintf(stderr,
+                 "[bench] FAIL: telemetry streaming overhead %.2f%% above "
+                 "the 2%% gate\n",
+                 tm_overhead * 100.0);
     return 1;
   }
   return 0;

@@ -12,11 +12,13 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <vector>
 
 #include "alert/pipeline.hpp"
 #include "core/dataset_builder.hpp"
 #include "engine/engine.hpp"
 #include "engine/feed.hpp"
+#include "util/render.hpp"
 
 int main() {
   using namespace droppkt;
@@ -100,6 +102,29 @@ int main() {
                 ev.location.c_str(), ev.rate_low, ev.rate_high,
                 ev.effective_sessions);
   }
+
+  // Where each cell's evidence is heading: the detector's decaying window
+  // evaluated along a future horizon (no new sessions assumed), so an
+  // operator can read off when a quiet incident will clear on its own.
+  constexpr double kHorizonS = 1800.0;
+  constexpr std::size_t kSteps = 24;
+  std::printf("\nPer-cell state with projected decay over the next %.0f "
+              "min (each cell: effective sessions at +0..%.0f min):\n",
+              kHorizonS / 60.0, kHorizonS / 60.0);
+  util::TextTable cells(
+      {"cell", "eff sessions", "low-QoE rate", "state", "decay horizon"});
+  for (const auto& [name, w] : alerts.location_snapshot()) {
+    const auto curve = alerts.location_horizon(name, kHorizonS, kSteps);
+    std::vector<double> eff;
+    eff.reserve(curve.size());
+    for (const auto& step : curve) eff.push_back(step.effective_sessions);
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "[%.2f, %.2f]", w.interval.low,
+                  w.interval.high);
+    cells.add_row({name, util::fixed(w.effective_sessions, 1), rate,
+                   w.degraded ? "DEGRADED" : "ok", util::sparkline(eff)});
+  }
+  std::printf("%s", cells.render().c_str());
 
   const auto snap = eng.stats();
   std::printf("\nEngine statistics (%zu shards):\n%s\n", eng.num_shards(),

@@ -1,0 +1,9 @@
+#include <cstddef>
+#include <cstdint>
+
+#include "harnesses.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return droppkt::fuzz::one_telemetry_wire(data, size);
+}

@@ -16,10 +16,14 @@
 #include <vector>
 
 #include "engine/feed.hpp"
+#include "engine/replay.hpp"
 #include "ml/dataset.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/gbt.hpp"
 #include "ml/random_forest.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/wire.hpp"
+#include "trace/capture.hpp"
 #include "trace/records.hpp"
 #include "trace/serialize.hpp"
 #include "util/csv.hpp"
@@ -40,6 +44,13 @@ void write_seed(const fs::path& dir, const std::string& name,
                  (dir / name).c_str());
     std::exit(1);
   }
+}
+
+void write_seed(const fs::path& dir, const std::string& name,
+                const std::vector<std::uint8_t>& bytes) {
+  write_seed(dir, name,
+             std::string(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size()));
 }
 
 TlsTransaction txn(double start, double end, double ul, double dl,
@@ -183,6 +194,96 @@ int main(int argc, char** argv) {
       std::ostringstream os;
       gbt.save(os);
       write_seed(dir, "seed-gbt.txt", os.str());
+    }
+  }
+
+  // --- telemetry_wire: droppkt-tm v1 streams from the repo's encoders ---
+  {
+    namespace tm = droppkt::telemetry;
+    const fs::path dir = root / "telemetry_wire";
+    {
+      std::vector<std::uint8_t> out;
+      tm::tm_write_header(out);
+      write_seed(dir, "seed-header-only.bin", out);
+    }
+    tm::MetricRegistry reg;
+    auto& records = reg.counter("engine.shard0.records", "records");
+    auto& depth = reg.gauge("engine.shard0.queue_depth", "msgs");
+    auto& latency = reg.histogram("engine.shard0.latency", "ns");
+    records.add(12345);
+    depth.set(7);
+    latency.record(3);
+    latency.record(1500);
+    latency.record(1u << 20);
+    const std::vector<tm::TmDirectoryEntry> entries = tm::tm_directory_of(reg);
+    {
+      std::vector<std::uint8_t> out;
+      tm::tm_write_header(out);
+      tm::tm_write_directory(out, entries);
+      write_seed(dir, "seed-directory.bin", out);
+    }
+    {
+      tm::TmInterval iv;
+      iv.seq = 2;
+      iv.t0_ns = 1'000'000'000;
+      iv.t1_ns = 6'000'000'000;
+      iv.scalars = {{entries[0].id, 12345}, {entries[1].id, 7}};
+      tm::TmHistogramDelta hd;
+      hd.id = entries[2].id;
+      hd.deltas[1] = 1;
+      hd.deltas[10] = 1;
+      hd.deltas[20] = 1;
+      iv.hist_deltas.push_back(hd);
+      tm::TmLocation loc;
+      loc.name = "cell-d0";
+      loc.degraded = true;
+      loc.rate_low = 0.31;
+      loc.rate_high = 0.78;
+      loc.effective_sessions = 9.5;
+      loc.class_counts = {4, 2, 1};
+      iv.locations.push_back(loc);
+      std::vector<std::uint8_t> out;
+      tm::tm_write_header(out);
+      tm::tm_write_directory(out, entries);
+      tm::tm_write_interval(out, iv);
+      write_seed(dir, "seed-directory-interval.bin", out);
+    }
+  }
+
+  // --- feed_capture: DPFC files from capture_feed / the writer ----------
+  {
+    const fs::path dir = root / "feed_capture";
+    write_seed(dir, "seed-empty.dpfc",
+               droppkt::trace::feed_capture_bytes({}));
+    {
+      droppkt::engine::Feed feed;
+      feed.push_back({"loc0-client0", txn(0.0, 2.0, 800.0, 1.2e6, 4,
+                                          "video.example.com")});
+      feed.push_back({"loc0-client1", txn(5.0, 9.5, 950.25, 2.5e6, 7, "")});
+      feed.push_back({"loc1-client0", txn(20.0, 21.5, 400.0, 9.0e5, 2,
+                                          "cdn.example.net")});
+      droppkt::engine::CaptureConfig ccfg;
+      ccfg.marker_interval_s = 10.0;
+      const droppkt::trace::FeedCapture capture =
+          droppkt::engine::capture_feed(feed, ccfg);
+      write_seed(dir, "seed-markers.dpfc",
+                 droppkt::trace::feed_capture_bytes(capture));
+    }
+    {
+      droppkt::trace::FeedCapture capture;
+      droppkt::trace::CaptureEvent rec;
+      rec.kind = droppkt::trace::CaptureEvent::Kind::kRecord;
+      rec.client = std::string(4096, 'c');
+      rec.txn = txn(-10.0, 1e9, 0.5, 6.02e23, 1000000,
+                    std::string(300, 'a') + ".example");
+      capture.push_back(rec);
+      droppkt::trace::CaptureEvent mk;
+      mk.kind = droppkt::trace::CaptureEvent::Kind::kMarker;
+      mk.marker_seq = 18446744073709551615ull;
+      mk.marker_time_s = 1e12;
+      capture.push_back(mk);
+      write_seed(dir, "seed-extremes.dpfc",
+                 droppkt::trace::feed_capture_bytes(capture));
     }
   }
 

@@ -11,6 +11,8 @@
 #include "ml/decision_tree.hpp"
 #include "ml/gbt.hpp"
 #include "ml/random_forest.hpp"
+#include "telemetry/wire.hpp"
+#include "trace/capture.hpp"
 #include "trace/serialize.hpp"
 #include "util/csv.hpp"
 #include "util/expect.hpp"
@@ -180,6 +182,66 @@ int one_model(const std::uint8_t* data, std::size_t size) {
       (void)gbt.predict(mid);
       (void)gbt.predict_proba(mid);
     } catch (const ParseError&) {
+    }
+  }
+  return 0;
+}
+
+int one_telemetry_wire(const std::uint8_t* data, std::size_t size) {
+  std::vector<telemetry::TmFrame> frames;
+  try {
+    frames =
+        telemetry::tm_decode_stream(std::span<const std::uint8_t>(data, size));
+  } catch (const ParseError&) {
+    return 0;  // rejected cleanly
+  }
+  // The first decode already dropped unknown tags and frame types, so the
+  // decoded frames are fully canonical: re-encoding them must produce a
+  // stream the decoder maps back to the identical frame sequence.
+  const auto bytes = telemetry::tm_encode_frames(frames);
+  std::vector<telemetry::TmFrame> back;
+  try {
+    back = telemetry::tm_decode_stream(std::span<const std::uint8_t>(bytes));
+  } catch (const ParseError&) {
+    harness_fail("telemetry_wire", "encoder output rejected by the decoder");
+  }
+  if (back != frames) {
+    harness_fail("telemetry_wire", "round-trip changed the frames");
+  }
+  return 0;
+}
+
+int one_feed_capture(const std::uint8_t* data, std::size_t size) {
+  trace::FeedCapture capture;
+  try {
+    capture =
+        trace::read_feed_capture(std::span<const std::uint8_t>(data, size));
+  } catch (const ParseError&) {
+    return 0;
+  }
+  // Reader and writer must agree on the format limits: every accepted
+  // capture re-serializes (no ContractViolation) and reads back equal.
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = trace::feed_capture_bytes(capture);
+  } catch (const ContractViolation&) {
+    harness_fail("feed_capture", "reader accepted an event the writer rejects");
+  }
+  trace::FeedCapture back;
+  try {
+    back = trace::read_feed_capture(std::span<const std::uint8_t>(bytes));
+  } catch (const ParseError&) {
+    harness_fail("feed_capture", "writer output rejected by the reader");
+  }
+  if (back.size() != capture.size()) {
+    harness_fail("feed_capture", "round-trip changed the event count");
+  }
+  for (std::size_t i = 0; i < capture.size(); ++i) {
+    const auto& a = capture[i];
+    const auto& b = back[i];
+    if (a.kind != b.kind || a.client != b.client || !txn_equal(a.txn, b.txn) ||
+        a.marker_seq != b.marker_seq || a.marker_time_s != b.marker_time_s) {
+      harness_fail("feed_capture", "round-trip changed an event");
     }
   }
   return 0;

@@ -1,4 +1,4 @@
-// One-input entry points for the four untrusted-input decoders.
+// One-input entry points for the untrusted-input decoders.
 //
 // Each function is the body of a libFuzzer target (fuzz_<name>.cpp wraps
 // it in LLVMFuzzerTestOneInput) and is also linked into
@@ -31,5 +31,14 @@ int one_csv(const std::uint8_t* data, std::size_t size);
 /// RandomForest and GradientBoosting load; anything accepted must predict
 /// without crashing and survive a save/load round-trip.
 int one_model(const std::uint8_t* data, std::size_t size);
+
+/// droppkt-tm v1 telemetry stream: decode (unknown tags and frame types
+/// skipped via their length prefix), re-encode the decoded frames with
+/// tm_encode_frames, re-decode, compare frame-for-frame.
+int one_telemetry_wire(const std::uint8_t* data, std::size_t size);
+
+/// DPFC v1 feed capture: decode, re-serialize via feed_capture_bytes,
+/// re-decode, compare event-for-event.
+int one_feed_capture(const std::uint8_t* data, std::size_t size);
 
 }  // namespace droppkt::fuzz

@@ -132,10 +132,36 @@ std::vector<std::pair<std::string, LocationWindow>> LocationDetector::degraded(
 
 std::vector<std::pair<std::string, LocationWindow>> LocationDetector::snapshot(
     double time_s) const {
+  return snapshot_at(time_s);
+}
+
+std::vector<std::pair<std::string, LocationWindow>>
+LocationDetector::snapshot_at(double time_s) const {
   std::vector<std::pair<std::string, LocationWindow>> out;
   out.reserve(locations_.size());
   for (const auto& [name, st] : locations_) {
     out.emplace_back(name, evaluate(st, time_s));
+  }
+  return out;
+}
+
+std::vector<LocationWindow> LocationDetector::horizon_curve(
+    const std::string& location, double from_s, double horizon_s,
+    std::size_t steps) const {
+  DROPPKT_EXPECT(steps >= 2, "horizon_curve: need at least two steps");
+  DROPPKT_EXPECT(horizon_s >= 0.0, "horizon_curve: horizon must be >= 0");
+  std::vector<LocationWindow> out;
+  out.reserve(steps);
+  const auto it = locations_.find(location);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double t =
+        from_s + horizon_s * static_cast<double>(i) /
+                     static_cast<double>(steps - 1);
+    if (it == locations_.end()) {
+      out.push_back(LocationWindow{});
+    } else {
+      out.push_back(evaluate(it->second, t));
+    }
   }
   return out;
 }

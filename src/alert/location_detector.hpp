@@ -98,8 +98,28 @@ class LocationDetector {
   /// Every tracked location's window as of `time_s`, in name order — the
   /// sweep input for lifecycle evaluation (clears must fire for locations
   /// that stopped producing events, which degraded() would hide).
+  /// Equivalent to snapshot_at(time_s).
   std::vector<std::pair<std::string, LocationWindow>> snapshot(
       double time_s) const;
+
+  /// Every tracked location's window evaluated at `time_s`, which may lie
+  /// in the FUTURE of the last fed event: evaluation is a const pure
+  /// function of the stored evidence (decay / window expiry applied at
+  /// evaluation time, never mutating state), so projecting forward answers
+  /// "what will this location's window look like at t if no further
+  /// verdicts arrive" — the eviction-aware sweep the ROADMAP alerting
+  /// follow-ons asked for, and the basis of the dashboard horizon curves.
+  std::vector<std::pair<std::string, LocationWindow>> snapshot_at(
+      double time_s) const;
+
+  /// One location's projected window at `steps` evenly spaced times across
+  /// [from_s, from_s + horizon_s] (inclusive endpoints; steps >= 2): the
+  /// horizon curve a dashboard renders to show how fast a degraded
+  /// location's evidence decays toward its clear threshold. Unseen
+  /// locations yield all-zero windows.
+  std::vector<LocationWindow> horizon_curve(const std::string& location,
+                                            double from_s, double horizon_s,
+                                            std::size_t steps) const;
 
   const DetectorConfig& config() const { return config_; }
   std::size_t tracked_locations() const { return locations_.size(); }

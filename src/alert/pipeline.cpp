@@ -48,9 +48,31 @@ void AlertPipeline::bind(std::size_t num_shards) {
   merged_up_to_s_ = kNeverSeen;
 }
 
+void AlertPipeline::bind_telemetry(telemetry::MetricRegistry& registry) {
+  const util::MutexLock lock(mutex_);
+  DROPPKT_EXPECT(transitions_ctr_->value() == 0 && manager_.total_raised() == 0,
+                 "AlertPipeline: telemetry must be bound before any event");
+  transitions_ctr_ = &registry.counter("alert.transitions");
+  suppressed_ctr_ = &registry.counter("alert.suppressed");
+  raised_ctr_ = &registry.counter("alert.raised");
+  cleared_ctr_ = &registry.counter("alert.cleared");
+  locations_evicted_ctr_ = &registry.counter("alert.locations_evicted");
+  open_alerts_gauge_ = &registry.gauge("alert.open_alerts");
+  tracked_locations_gauge_ = &registry.gauge("alert.tracked_locations");
+}
+
+void AlertPipeline::note_update(const AlertEvent* event) {
+  if (event == nullptr) return;
+  if (event->kind == AlertEvent::Kind::kRaised) {
+    raised_ctr_->inc();
+  } else {
+    cleared_ctr_->inc();
+  }
+}
+
 void AlertPipeline::enqueue(std::size_t shard, VerdictTransition t,
                             bool at_close) {
-  transitions_.fetch_add(1, std::memory_order_relaxed);
+  transitions_ctr_->inc();
   Pending p;
   p.location = config_.location_of(t.client);
   p.transition = std::move(t);
@@ -65,7 +87,7 @@ void AlertPipeline::on_provisional(std::size_t shard,
   // The filter is lane-local state touched only by the shard's own worker;
   // no lock until a transition survives hysteresis.
   FilterOutcome out = filters_[shard].on_provisional(estimate);
-  if (out.suppressed) suppressed_.fetch_add(1, std::memory_order_relaxed);
+  if (out.suppressed) suppressed_ctr_->inc();
   if (out.transition) {
     enqueue(shard, std::move(*out.transition), /*at_close=*/false);
   }
@@ -131,6 +153,8 @@ void AlertPipeline::apply_batch(std::vector<Pending> batch, double up_to_s) {
   }
   for (; next != batch.end(); ++next) apply_transition(*next);
   merged_up_to_s_ = std::max(merged_up_to_s_, up_to_s);
+  open_alerts_gauge_->set(manager_.open_alerts());
+  tracked_locations_gauge_->set(detector_.tracked_locations());
 }
 
 void AlertPipeline::apply_transition(const Pending& p) {
@@ -141,13 +165,14 @@ void AlertPipeline::apply_transition(const Pending& p) {
                       /*low_qoe=*/t.from_class == 0);
   }
   detector_.observe(p.location, t.time_s, /*low_qoe=*/t.to_class == 0);
-  manager_.update(p.location, detector_.window(p.location, t.time_s),
-                  t.time_s);
+  note_update(manager_.update(p.location,
+                              detector_.window(p.location, t.time_s),
+                              t.time_s));
 }
 
 void AlertPipeline::sweep(double time_s) {
   for (const auto& [location, window] : detector_.snapshot(time_s)) {
-    manager_.update(location, window, time_s);
+    note_update(manager_.update(location, window, time_s));
   }
   if (config_.evict_below_weight > 0.0) {
     // The keep-predicate runs synchronously inside evict_stale while the
@@ -155,9 +180,9 @@ void AlertPipeline::sweep(double time_s) {
     // reference keeps the lambda's body checkable (thread-safety analysis
     // examines lambdas without the enclosing REQUIRES context).
     AlertManager& mgr = manager_;
-    locations_evicted_ += detector_.evict_stale(
+    locations_evicted_ctr_->add(detector_.evict_stale(
         time_s, config_.evict_below_weight,
-        [&mgr](const std::string& loc) { return mgr.is_raised(loc); });
+        [&mgr](const std::string& loc) { return mgr.is_raised(loc); }));
   }
 }
 
@@ -180,16 +205,30 @@ void AlertPipeline::on_finish() {
                  std::make_move_iterator(lane.at_close.end()));
     lane.at_close.clear();
   }
-  apply_batch(std::move(batch), std::numeric_limits<double>::infinity());
+  // Close at the latest instant any buffered evidence or pending sweep
+  // refers to — a FINITE time, covering everything left (so the drain is
+  // total, exactly as an infinite bound would be) while keeping
+  // merged_up_to_s_ usable as the evaluation time for post-shutdown
+  // location snapshots (at +inf every window decays to vacuous).
+  double up_to_s = merged_up_to_s_;
+  for (const Pending& p : batch) {
+    up_to_s = std::max(up_to_s, p.transition.time_s);
+  }
+  if (!pending_sweeps_.empty()) {
+    up_to_s = std::max(up_to_s, pending_sweeps_.back());
+  }
+  apply_batch(std::move(batch), up_to_s);
 }
 
 engine::AlertCounts AlertPipeline::counts() const {
+  // Every field is a relaxed-atomic telemetry counter now (raise/clear
+  // are counted where manager_.update reports them), so a stats snapshot
+  // no longer contends with the merge mutex.
   engine::AlertCounts c;
-  c.transitions = transitions_.load(std::memory_order_relaxed);
-  c.suppressed = suppressed_.load(std::memory_order_relaxed);
-  const util::MutexLock lock(mutex_);
-  c.alerts_raised = manager_.total_raised();
-  c.alerts_cleared = manager_.total_cleared();
+  c.transitions = transitions_ctr_->value();
+  c.suppressed = suppressed_ctr_->value();
+  c.alerts_raised = raised_ctr_->value();
+  c.alerts_cleared = cleared_ctr_->value();
   return c;
 }
 
@@ -209,8 +248,24 @@ std::size_t AlertPipeline::tracked_locations() const {
 }
 
 std::size_t AlertPipeline::locations_evicted() const {
+  return static_cast<std::size_t>(locations_evicted_ctr_->value());
+}
+
+double AlertPipeline::merged_up_to_s() const {
   const util::MutexLock lock(mutex_);
-  return locations_evicted_;
+  return merged_up_to_s_;
+}
+
+std::vector<std::pair<std::string, LocationWindow>>
+AlertPipeline::location_snapshot() const {
+  const util::MutexLock lock(mutex_);
+  return detector_.snapshot_at(merged_up_to_s_);
+}
+
+std::vector<LocationWindow> AlertPipeline::location_horizon(
+    const std::string& location, double horizon_s, std::size_t steps) const {
+  const util::MutexLock lock(mutex_);
+  return detector_.horizon_curve(location, merged_up_to_s_, horizon_s, steps);
 }
 
 }  // namespace droppkt::alert

@@ -32,7 +32,6 @@
 // therefore every detector float and every alert id — is identical.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -44,6 +43,7 @@
 #include "alert/location_detector.hpp"
 #include "alert/session_filter.hpp"
 #include "engine/alert_sink.hpp"
+#include "telemetry/registry.hpp"
 #include "util/annotations.hpp"
 #include "util/mutex.hpp"
 
@@ -82,6 +82,10 @@ class AlertPipeline final : public engine::AlertSink {
 
   // engine::AlertSink (see its header for the threading contract).
   void bind(std::size_t num_shards) override;
+  /// Registers "alert.*" counters/gauges in the registry and reports
+  /// through them from then on; must run before any event (the engine
+  /// calls it right after bind()).
+  void bind_telemetry(telemetry::MetricRegistry& registry) override;
   void on_provisional(std::size_t shard,
                       const core::ProvisionalEstimate& estimate) override;
   void on_session(std::size_t shard,
@@ -105,6 +109,22 @@ class AlertPipeline final : public engine::AlertSink {
 
   /// Locations stale-evicted so far (0 unless evict_below_weight > 0).
   std::size_t locations_evicted() const;
+
+  /// Feed time the deterministic merge has reached (-inf before the first
+  /// complete watermark round).
+  double merged_up_to_s() const;
+
+  /// Every tracked location's window projected at the merged watermark —
+  /// the dashboard's per-location table (LocationDetector::snapshot_at on
+  /// the deterministic merged state).
+  std::vector<std::pair<std::string, LocationWindow>> location_snapshot()
+      const;
+
+  /// One location's horizon curve from the merged watermark forward (see
+  /// LocationDetector::horizon_curve).
+  std::vector<LocationWindow> location_horizon(const std::string& location,
+                                               double horizon_s,
+                                               std::size_t steps) const;
 
  private:
   struct Pending {
@@ -138,6 +158,9 @@ class AlertPipeline final : public engine::AlertSink {
   /// Re-evaluate every tracked location at `time_s` (cooldown clears for
   /// locations with no fresh events).
   void sweep(double time_s) DROPPKT_REQUIRES(mutex_);
+  /// Count a manager update's outcome (raise/clear) into the telemetry
+  /// counters; nullptr (no transition) is a no-op.
+  void note_update(const AlertEvent* event);
 
   AlertPipelineConfig config_;
   /// Per-shard hysteresis state, indexed by shard; filters_[i] is touched
@@ -156,10 +179,26 @@ class AlertPipeline final : public engine::AlertSink {
   std::deque<double> pending_sweeps_ DROPPKT_GUARDED_BY(mutex_);
   double merged_up_to_s_ DROPPKT_GUARDED_BY(mutex_) = -1.0;
   bool finished_ DROPPKT_GUARDED_BY(mutex_) = false;
-  std::size_t locations_evicted_ DROPPKT_GUARDED_BY(mutex_) = 0;
 
-  std::atomic<std::uint64_t> transitions_{0};
-  std::atomic<std::uint64_t> suppressed_{0};
+  // Telemetry: standalone pipelines count into their own instruments;
+  // bind_telemetry() repoints these at registry-backed ones so the alert
+  // layer shares the engine's metrics plane. The counters are relaxed
+  // atomics and need no mutex; the gauges are refreshed at the end of
+  // each merged batch (under the mutex that guards their sources).
+  telemetry::Counter own_transitions_;
+  telemetry::Counter own_suppressed_;
+  telemetry::Counter own_raised_;
+  telemetry::Counter own_cleared_;
+  telemetry::Counter own_locations_evicted_;
+  telemetry::Gauge own_open_alerts_;
+  telemetry::Gauge own_tracked_locations_;
+  telemetry::Counter* transitions_ctr_ = &own_transitions_;
+  telemetry::Counter* suppressed_ctr_ = &own_suppressed_;
+  telemetry::Counter* raised_ctr_ = &own_raised_;
+  telemetry::Counter* cleared_ctr_ = &own_cleared_;
+  telemetry::Counter* locations_evicted_ctr_ = &own_locations_evicted_;
+  telemetry::Gauge* open_alerts_gauge_ = &own_open_alerts_;
+  telemetry::Gauge* tracked_locations_gauge_ = &own_tracked_locations_;
 };
 
 }  // namespace droppkt::alert

@@ -38,7 +38,13 @@ void QoeEstimator::train_raw(
   forest_ = ml::RandomForest(config_.forest);
   forest_.fit(data);
   compiled_ = ml::CompiledForest::compile(forest_);
+  compiled_.bind_telemetry(predictions_ctr_);
   trained_ = true;
+}
+
+void QoeEstimator::bind_telemetry(telemetry::Counter* predictions) {
+  predictions_ctr_ = predictions;
+  compiled_.bind_telemetry(predictions_ctr_);
 }
 
 int QoeEstimator::predict(const trace::TlsLog& session) const {
@@ -188,6 +194,7 @@ QoeEstimator QoeEstimator::load_file(const std::string& path) {
       estimator.forest_.num_trees() >= 1,
       "QoeEstimator::load: model file contained no trees");
   estimator.compiled_ = ml::CompiledForest::compile(estimator.forest_);
+  estimator.compiled_.bind_telemetry(estimator.predictions_ctr_);
   estimator.trained_ = true;
   return estimator;
 }

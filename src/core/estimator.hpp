@@ -106,10 +106,19 @@ class QoeEstimator {
   void save_file(const std::string& path) const;
   static QoeEstimator load_file(const std::string& path);
 
+  /// Count every prediction (single-row and batch rows alike) into
+  /// `predictions` — typically registry.counter("ml.predictions").
+  /// nullptr unbinds. Survives retraining: the binding is re-forwarded to
+  /// each recompiled forest. Setup-phase, like all telemetry binding; the
+  /// predict paths themselves stay const and thread-safe.
+  void bind_telemetry(telemetry::Counter* predictions);
+
  private:
   Config config_;
   ml::RandomForest forest_;
   ml::CompiledForest compiled_;  // rebuilt after every train/load
+  /// Borrowed prediction counter re-applied at every compile site.
+  telemetry::Counter* predictions_ctr_ = nullptr;
   bool trained_ = false;
 };
 

@@ -56,11 +56,25 @@ void StreamingMonitor::use_external_pools(const util::StringPool* client_pool,
                                           const util::StringPool* sni_pool) {
   DROPPKT_EXPECT(client_pool != nullptr && sni_pool != nullptr,
                  "StreamingMonitor: external pools must be non-null");
-  DROPPKT_EXPECT(clients_.empty() && sessions_reported_ == 0,
+  DROPPKT_EXPECT(clients_.empty() && sessions_reported() == 0,
                  "StreamingMonitor: pools must be set before the first record");
   client_pool_ = client_pool;
   sni_pool_ = sni_pool;
   external_pools_ = true;
+}
+
+void StreamingMonitor::bind_telemetry(const MonitorMetrics& metrics) {
+  DROPPKT_EXPECT(metrics.sessions != nullptr && metrics.provisionals != nullptr &&
+                     metrics.clients_evicted != nullptr &&
+                     metrics.sessions_noise_dropped != nullptr,
+                 "StreamingMonitor: telemetry counters must be non-null");
+  DROPPKT_EXPECT(clients_.empty() && sessions_reported() == 0,
+                 "StreamingMonitor: telemetry must be bound before the first "
+                 "record");
+  sessions_ctr_ = metrics.sessions;
+  provisionals_ctr_ = metrics.provisionals;
+  evicted_ctr_ = metrics.clients_evicted;
+  noise_ctr_ = metrics.sessions_noise_dropped;
 }
 
 void StreamingMonitor::set_provisional_callback(
@@ -80,7 +94,10 @@ void StreamingMonitor::emit_records(util::StringPool::Ref client_ref,
                                     std::span<const TlsRecord> recs,
                                     const TlsFeatureAccumulator& acc,
                                     double detected_s) {
-  if (recs.size() < config_.min_transactions) return;
+  if (recs.size() < config_.min_transactions) {
+    noise_ctr_->inc();
+    return;
+  }
   DROPPKT_ASSERT(acc.transactions() == recs.size(),
                  "StreamingMonitor: accumulator out of sync with emission");
   // Classification is one snapshot + forest vote into reused scratch — no
@@ -105,7 +122,7 @@ void StreamingMonitor::emit_records(util::StringPool::Ref client_ref,
       to_transaction(recs[i], *sni_pool_, emit_txns_[i]);
     }
   }
-  ++sessions_reported_;
+  sessions_ctr_->inc();
   if (on_session_view_) {
     MonitoredSessionView view;
     view.client = client_pool_->view(client_ref);
@@ -203,7 +220,7 @@ void StreamingMonitor::observe_ref(util::StringPool::Ref client_ref,
         proba_scratch_[static_cast<std::size_t>(est.predicted_class)];
     est.session_start_s = state.pending.front().start_s;
     est.last_activity_s = rec.start_s;
-    ++provisionals_reported_;
+    provisionals_ctr_->inc();
     on_provisional_(est);
   }
 
@@ -244,6 +261,7 @@ void StreamingMonitor::advance_time(double now_s) {
       }
       state.open = false;
       --open_clients_;
+      evicted_ctr_->inc();
     }
   }
 }

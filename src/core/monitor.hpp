@@ -28,6 +28,7 @@
 #include "core/feature_accumulator.hpp"
 #include "core/session_id.hpp"
 #include "core/tls_record.hpp"
+#include "telemetry/registry.hpp"
 #include "trace/records.hpp"
 #include "util/annotations.hpp"
 #include "util/string_pool.hpp"
@@ -103,6 +104,16 @@ struct ProvisionalEstimate {
   double last_activity_s = 0.0;  // start of the newest record
 };
 
+/// Registry-backed counters a StreamingMonitor reports through when bound
+/// to the telemetry plane (see StreamingMonitor::bind_telemetry). All
+/// pointers must be non-null and outlive the monitor.
+struct MonitorMetrics {
+  telemetry::Counter* sessions = nullptr;
+  telemetry::Counter* provisionals = nullptr;
+  telemetry::Counter* clients_evicted = nullptr;
+  telemetry::Counter* sessions_noise_dropped = nullptr;
+};
+
 struct MonitorConfig {
   SessionIdParams session_id;
   /// A client idle this long has finished its last session.
@@ -169,6 +180,13 @@ class StreamingMonitor {
   /// previous session, which is inherent to online estimation.
   void set_provisional_callback(ProvisionalCallback on_provisional);
 
+  /// Report through registry-backed counters instead of the monitor's own
+  /// (the unified telemetry plane: the sharded engine binds each shard's
+  /// monitor to its shard metrics). Must be called before the first
+  /// record; the counters must outlive the monitor. Accessors below read
+  /// whichever counters are bound.
+  void bind_telemetry(const MonitorMetrics& metrics);
+
   /// Feed one proxy record for a client. Completed sessions (detected via
   /// a new-session burst or the client idle timeout) are classified and
   /// reported through the callback before this call returns. Interns the
@@ -196,8 +214,22 @@ class StreamingMonitor {
   /// at shutdown).
   void finish();
 
-  std::size_t sessions_reported() const { return sessions_reported_; }
-  std::size_t provisionals_reported() const { return provisionals_reported_; }
+  std::size_t sessions_reported() const {
+    return static_cast<std::size_t>(sessions_ctr_->value());
+  }
+  std::size_t provisionals_reported() const {
+    return static_cast<std::size_t>(provisionals_ctr_->value());
+  }
+  /// Clients whose state was closed by the idle-timeout sweep
+  /// (advance_time); a returning client reopens without a new count.
+  std::size_t clients_evicted() const {
+    return static_cast<std::size_t>(evicted_ctr_->value());
+  }
+  /// Pending windows discarded for holding fewer than min_transactions
+  /// records (stray beacons, preconnects).
+  std::size_t sessions_noise_dropped() const {
+    return static_cast<std::size_t>(noise_ctr_->value());
+  }
   std::size_t open_clients() const { return open_clients_; }
 
  private:
@@ -257,8 +289,19 @@ class StreamingMonitor {
   // no hashing, no probing, and advance_time() sweeps contiguously.
   std::vector<ClientState> clients_;
   std::size_t open_clients_ = 0;
-  std::size_t sessions_reported_ = 0;
-  std::size_t provisionals_reported_ = 0;
+  // Reporting counters: standalone monitors count into their own
+  // instruments; bind_telemetry() repoints these at registry-backed ones
+  // so every layer shares one metrics plane. Counter updates are single
+  // relaxed atomics — the observe hot path stays allocation- and
+  // lock-free either way.
+  telemetry::Counter own_sessions_;
+  telemetry::Counter own_provisionals_;
+  telemetry::Counter own_evicted_;
+  telemetry::Counter own_noise_;
+  telemetry::Counter* sessions_ctr_ = &own_sessions_;
+  telemetry::Counter* provisionals_ctr_ = &own_provisionals_;
+  telemetry::Counter* evicted_ctr_ = &own_evicted_;
+  telemetry::Counter* noise_ctr_ = &own_noise_;
   // Scratch reused across emits/provisionals (observe is single-threaded
   // per monitor). emit_txns_ only ever grows, so element string capacity
   // survives; emit_session_ is the owned-callback materialization buffer.

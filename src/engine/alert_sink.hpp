@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "core/monitor.hpp"
+#include "telemetry/registry.hpp"
 
 namespace droppkt::engine {
 
@@ -41,6 +42,15 @@ class AlertSink {
   /// Number of shards the engine will report events from. Shard indices in
   /// later calls are < num_shards.
   virtual void bind(std::size_t num_shards) = 0;
+
+  /// Join the engine's telemetry plane: register this sink's counters and
+  /// gauges in `registry` and report through them from now on. Called once
+  /// by the engine right after bind(), before any worker starts; the
+  /// registry outlives the sink's event stream. Sinks with no metrics keep
+  /// the default no-op.
+  virtual void bind_telemetry(telemetry::MetricRegistry& registry) {
+    (void)registry;
+  }
 
   /// An in-flight estimate for a still-open session. The estimate's
   /// `client` view is valid only during the call.

@@ -30,7 +30,18 @@ IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
     n = std::thread::hardware_concurrency();
     if (n == 0) n = 1;
   }
-  if (config_.alert_sink) config_.alert_sink->bind(n);
+  if (config_.registry != nullptr) {
+    registry_ = config_.registry;
+  } else {
+    owned_registry_ = std::make_unique<telemetry::MetricRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  if (config_.alert_sink) {
+    config_.alert_sink->bind(n);
+    // Setup phase: the sink registers its "alert.*" instruments before any
+    // worker thread exists, honoring the registry's threading contract.
+    config_.alert_sink->bind_telemetry(*registry_);
+  }
   // Captured as plain bools: the sink callables themselves are guarded by
   // sink_mutex_, and testing emptiness per event inside the worker lambdas
   // would either race the guard or take the global mutex even when only
@@ -50,7 +61,8 @@ IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
     sh->monitor = std::make_unique<core::StreamingMonitor>(
         core::StreamingMonitor::ViewSinkTag{}, *estimator_,
         [this, sh](const core::MonitoredSessionView& s) {
-          sh->counters.sessions.fetch_add(1, std::memory_order_relaxed);
+          // The shard's session counter is bumped by the monitor itself
+          // (bound below), exactly once per emitted session.
           if (config_.alert_sink) {
             config_.alert_sink->on_session(sh->index, s, sh->draining);
           }
@@ -61,12 +73,17 @@ IngestEngine::IngestEngine(const core::QoeEstimator& estimator,
     // The ingest thread interns into the shard's pools; the worker's
     // monitor only resolves refs (publication rides the mailbox).
     sh->monitor->use_external_pools(&sh->clients, &sh->snis);
+    register_shard_metrics(*sh);
+    // The monitor reports session lifecycle (sessions, provisionals,
+    // evictions, noise drops) straight into the shard's registry counters.
+    sh->monitor->bind_telemetry(core::MonitorMetrics{
+        sh->metrics.sessions, sh->metrics.provisionals,
+        sh->metrics.clients_evicted, sh->metrics.noise_dropped});
     if (has_provisional_sink || config_.alert_sink) {
-      // In-flight QoE fan-in mirrors the session sink: counted on the
-      // owning shard, serialized across shards by the same mutex.
+      // In-flight QoE fan-in mirrors the session sink: serialized across
+      // shards by the same mutex (counting lives in the monitor).
       sh->monitor->set_provisional_callback(
           [this, sh, has_provisional_sink](const core::ProvisionalEstimate& e) {
-            sh->counters.provisionals.fetch_add(1, std::memory_order_relaxed);
             if (config_.alert_sink) {
               config_.alert_sink->on_provisional(sh->index, e);
             }
@@ -128,11 +145,28 @@ void IngestEngine::maybe_broadcast_watermark(double start_s) {
   }
 }
 
+void IngestEngine::register_shard_metrics(Shard& sh) {
+  const std::string prefix = "engine.shard" + std::to_string(sh.index) + ".";
+  telemetry::MetricRegistry& r = *registry_;
+  sh.metrics.enqueued = &r.counter(prefix + "enqueued", "records");
+  sh.metrics.records = &r.counter(prefix + "records", "records");
+  sh.metrics.watermarks = &r.counter(prefix + "watermarks");
+  sh.metrics.sessions = &r.counter(prefix + "sessions");
+  sh.metrics.provisionals = &r.counter(prefix + "provisionals");
+  sh.metrics.clients_evicted = &r.counter(prefix + "clients_evicted");
+  sh.metrics.noise_dropped = &r.counter(prefix + "noise_dropped");
+  sh.metrics.dropped = &r.counter(prefix + "dropped", "records");
+  sh.metrics.queue_depth = &r.gauge(prefix + "queue_depth", "records");
+  sh.metrics.queue_high_water = &r.gauge(prefix + "queue_high_water", "records");
+  sh.metrics.interned_clients = &r.gauge(prefix + "interned_clients");
+  sh.metrics.interned_snis = &r.gauge(prefix + "interned_snis");
+  sh.metrics.latency = &r.histogram(prefix + "latency", "ns");
+}
+
 void IngestEngine::flush_shard(Shard& sh) {
   if (sh.staging.empty()) return;
   sh.queue.push_bulk(sh.staging.data(), sh.staging.size());
-  sh.counters.enqueued.fetch_add(sh.staging.size(),
-                                 std::memory_order_relaxed);
+  sh.metrics.enqueued->add(sh.staging.size());
   sh.staging.clear();
 }
 
@@ -147,7 +181,7 @@ void IngestEngine::ingest(std::string_view client,
   maybe_broadcast_watermark(txn.start_s);
   Shard& sh = *shards_[shard_of(client)];
   Msg m = make_record_msg(sh, client, txn);
-  sh.counters.enqueued.fetch_add(1, std::memory_order_relaxed);
+  sh.metrics.enqueued->inc();
   sh.queue.push(m);
 }
 
@@ -183,7 +217,7 @@ void IngestEngine::worker_loop(Shard& shard) {
         ++records;
         if (m.enqueue_tp.time_since_epoch().count() != 0) {
           const auto done = std::chrono::steady_clock::now();
-          shard.counters.latency.record(static_cast<std::uint64_t>(
+          shard.metrics.latency->record(static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(
                   done - m.enqueue_tp)
                   .count()));
@@ -199,8 +233,8 @@ void IngestEngine::worker_loop(Shard& shard) {
         }
       }
     }
-    shard.counters.records.store(records, std::memory_order_relaxed);
-    shard.counters.watermarks.store(watermarks, std::memory_order_relaxed);
+    shard.metrics.records->store(records);
+    shard.metrics.watermarks->store(watermarks);
   }
   shard.draining = true;
   shard.monitor->finish();
@@ -219,7 +253,19 @@ void IngestEngine::finish() {
   if (config_.alert_sink) config_.alert_sink->on_finish();
 }
 
+void IngestEngine::refresh_gauges() const {
+  for (const auto& shard : shards_) {
+    const Shard& sh = *shard;
+    sh.metrics.dropped->store(sh.queue.dropped());
+    sh.metrics.queue_depth->set(sh.queue.size());
+    sh.metrics.queue_high_water->set(sh.queue.high_water());
+    sh.metrics.interned_clients->set(sh.clients.size());
+    sh.metrics.interned_snis->set(sh.snis.size());
+  }
+}
+
 EngineStatsSnapshot IngestEngine::stats() const {
+  refresh_gauges();
   EngineStatsSnapshot snap;
   LatencyHistogram::Counts merged{};
   snap.shards.reserve(shards_.size());
@@ -227,11 +273,13 @@ EngineStatsSnapshot IngestEngine::stats() const {
     const Shard& sh = *shards_[i];
     ShardStatsSnapshot s;
     s.shard = i;
-    s.enqueued = sh.counters.enqueued.load(std::memory_order_relaxed);
-    s.records = sh.counters.records.load(std::memory_order_relaxed);
-    s.watermarks = sh.counters.watermarks.load(std::memory_order_relaxed);
-    s.sessions = sh.counters.sessions.load(std::memory_order_relaxed);
-    s.provisionals = sh.counters.provisionals.load(std::memory_order_relaxed);
+    s.enqueued = sh.metrics.enqueued->value();
+    s.records = sh.metrics.records->value();
+    s.watermarks = sh.metrics.watermarks->value();
+    s.sessions = sh.metrics.sessions->value();
+    s.provisionals = sh.metrics.provisionals->value();
+    s.clients_evicted = sh.metrics.clients_evicted->value();
+    s.sessions_noise_dropped = sh.metrics.noise_dropped->value();
     s.dropped = sh.queue.dropped();
     s.queue_depth = sh.queue.size();
     s.queue_high_water = sh.queue.high_water();
@@ -242,11 +290,13 @@ EngineStatsSnapshot IngestEngine::stats() const {
     snap.records_dropped += s.dropped;
     snap.sessions_reported += s.sessions;
     snap.provisionals_reported += s.provisionals;
+    snap.clients_evicted += s.clients_evicted;
+    snap.sessions_noise_dropped += s.sessions_noise_dropped;
     snap.interned_clients += s.interned_clients;
     snap.interned_snis += s.interned_snis;
     snap.max_queue_high_water = std::max(snap.max_queue_high_water,
                                          s.queue_high_water);
-    sh.counters.latency.add_to(merged);
+    sh.metrics.latency->add_to(merged);
     snap.shards.push_back(s);
   }
   snap.latency_p50_us = histogram_quantile_ns(merged, 0.50) / 1000.0;
@@ -265,7 +315,7 @@ EngineStatsSnapshot IngestEngine::stats() const {
 std::uint64_t IngestEngine::sessions_reported() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
-    total += shard->counters.sessions.load(std::memory_order_relaxed);
+    total += shard->metrics.sessions->value();
   }
   return total;
 }
@@ -273,7 +323,7 @@ std::uint64_t IngestEngine::sessions_reported() const {
 std::uint64_t IngestEngine::provisionals_reported() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
-    total += shard->counters.provisionals.load(std::memory_order_relaxed);
+    total += shard->metrics.provisionals->value();
   }
   return total;
 }

@@ -58,6 +58,7 @@
 #include "core/tls_record.hpp"
 #include "engine/engine_stats.hpp"
 #include "engine/feed.hpp"
+#include "telemetry/registry.hpp"
 #include "trace/records.hpp"
 #include "util/annotations.hpp"
 #include "util/mutex.hpp"
@@ -95,6 +96,12 @@ struct EngineConfig {
   /// threading contract). Borrowed; must outlive the engine. The alert
   /// subsystem's alert::AlertPipeline is the intended implementation.
   AlertSink* alert_sink = nullptr;
+  /// Metric registry the engine registers its "engine.shard<i>.*"
+  /// instruments in (and hands the alert sink via bind_telemetry).
+  /// Borrowed; must outlive the engine, and must not already hold another
+  /// engine's metrics (duplicate names throw). nullptr (the default): the
+  /// engine owns a private registry, reachable via registry().
+  telemetry::MetricRegistry* registry = nullptr;
 };
 
 /// Sharded multi-threaded ingest over a proxy's TLS transaction feed.
@@ -154,8 +161,23 @@ class IngestEngine {
   /// Which shard a client's records are routed to.
   std::size_t shard_of(std::string_view client) const;
 
-  /// Point-in-time statistics; safe to call while ingesting.
+  /// Point-in-time statistics; safe to call while ingesting. A view over
+  /// the telemetry registry plus the live queue/pool sources (which
+  /// refresh_gauges() republishes as gauges first).
   EngineStatsSnapshot stats() const;
+
+  /// The registry holding the engine's (and its alert sink's) metrics —
+  /// the one passed in EngineConfig::registry, or the engine-owned one.
+  /// Interval consumers (telemetry::IntervalStreamer, dashboards) sample
+  /// this.
+  telemetry::MetricRegistry& registry() const { return *registry_; }
+
+  /// Republish the registry gauges whose sources of truth live outside it
+  /// (queue depth / high water / dropped, interned pool sizes). stats()
+  /// calls this; interval samplers should too, just before sampling.
+  /// Concurrent callers race benignly: every store publishes a valid
+  /// recent reading of a monotone or instantaneous source.
+  void refresh_gauges() const;
 
   /// Total sessions reported across all shards so far.
   std::uint64_t sessions_reported() const;
@@ -180,7 +202,9 @@ class IngestEngine {
     Shard(std::size_t cap, util::BackpressurePolicy policy)
         : queue(cap, policy) {}
     util::SpscQueue<Msg> queue;
-    ShardCounters counters;
+    /// Registry-backed instruments ("engine.shard<i>.*"); see
+    /// ShardMetrics for the per-field writer contract.
+    ShardMetrics metrics;
     /// Shard-local interning pools: written only by the ingest thread,
     /// resolved by this shard's worker for refs it received through the
     /// mailbox (the queue's release/acquire pair publishes the entries).
@@ -212,6 +236,8 @@ class IngestEngine {
   DROPPKT_NOALLOC void maybe_broadcast_watermark(double start_s);
   DROPPKT_NOALLOC void flush_shard(Shard& sh);
   DROPPKT_NOALLOC void flush_all_staging();
+  /// Register shard `sh`'s instruments in the registry (setup phase).
+  void register_shard_metrics(Shard& sh);
 
   const core::QoeEstimator* estimator_;
   /// The sink mutex serializes cross-shard sink invocations; the sink
@@ -221,6 +247,9 @@ class IngestEngine {
   SessionSink sink_ DROPPKT_GUARDED_BY(sink_mutex_);
   ProvisionalSink provisional_sink_ DROPPKT_GUARDED_BY(sink_mutex_);
   EngineConfig config_;
+  /// Engine-owned registry when EngineConfig::registry is null.
+  std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
+  telemetry::MetricRegistry* registry_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   double last_watermark_s_ = 0.0;
   bool saw_record_ = false;

@@ -1,46 +1,8 @@
 #include "engine/engine_stats.hpp"
 
-#include <bit>
-#include <cmath>
 #include <cstdio>
 
 namespace droppkt::engine {
-
-void LatencyHistogram::record(std::uint64_t ns) {
-  // Bucket b holds [2^b, 2^(b+1)) ns; 0 and 1 ns land in bucket 0.
-  const std::size_t b = ns < 2 ? 0 : std::bit_width(ns) - 1;
-  buckets_[b].fetch_add(1, std::memory_order_relaxed);
-}
-
-LatencyHistogram::Counts LatencyHistogram::counts() const {
-  Counts out{};
-  add_to(out);
-  return out;
-}
-
-void LatencyHistogram::add_to(Counts& into) const {
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    into[i] += buckets_[i].load(std::memory_order_relaxed);
-  }
-}
-
-double histogram_quantile_ns(const LatencyHistogram::Counts& counts, double q) {
-  std::uint64_t total = 0;
-  for (const auto c : counts) total += c;
-  if (total == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  const double target = q * static_cast<double>(total);
-  double seen = 0.0;
-  for (std::size_t b = 0; b < counts.size(); ++b) {
-    seen += static_cast<double>(counts[b]);
-    if (seen >= target) {
-      // Geometric midpoint of [2^b, 2^(b+1)).
-      return std::ldexp(std::sqrt(2.0), static_cast<int>(b));
-    }
-  }
-  return std::ldexp(1.0, static_cast<int>(counts.size() - 1));
-}
 
 std::string EngineStatsSnapshot::to_string() const {
   std::string out;
@@ -68,6 +30,12 @@ std::string EngineStatsSnapshot::to_string() const {
                 static_cast<unsigned long long>(records_dropped),
                 static_cast<unsigned long long>(sessions_reported),
                 static_cast<unsigned long long>(provisionals_reported));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "lifecycle: %llu clients evicted, %llu noise sessions "
+                "dropped\n",
+                static_cast<unsigned long long>(clients_evicted),
+                static_cast<unsigned long long>(sessions_noise_dropped));
   out += line;
   std::snprintf(line, sizeof(line),
                 "interned: %zu clients, %zu SNIs across shard pools\n",

@@ -1,54 +1,63 @@
-// Observability for the ingest engine: per-shard counters and a lock-free
-// latency histogram, all snapshotable while the engine is running.
+// Observability for the ingest engine, as a view over the unified
+// telemetry plane (src/telemetry/): every per-shard counter, gauge and
+// latency histogram lives in a telemetry::MetricRegistry under
+// "engine.shard<i>.*" names, and the snapshot structs here are
+// point-in-time copies of those instruments.
 //
-// Counters are plain atomics written by exactly one thread each (the
-// ingest thread for enqueue-side counts, the shard worker for
-// processing-side counts), so snapshots need no locks and cost nothing on
-// the hot path.
+// Counters stay single-writer per field (the ingest thread for
+// enqueue-side counts, the shard worker for processing-side counts), so
+// snapshots need no locks and cost nothing on the hot path — the same
+// contract the pre-registry per-shard atomics had.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "telemetry/registry.hpp"
+
 namespace droppkt::engine {
 
-/// Log2-bucketed histogram of nanosecond latencies. record() is wait-free;
-/// counts() can be read concurrently (each bucket individually coherent,
-/// which is all a percentile estimate needs).
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 64;
-  using Counts = std::array<std::uint64_t, kBuckets>;
-
-  void record(std::uint64_t ns);
-
-  /// Current bucket counts.
-  Counts counts() const;
-
-  /// Accumulate this histogram's counts into `into` (for cross-shard merge).
-  void add_to(Counts& into) const;
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-};
+/// The engine's latency histogram IS the telemetry plane's histogram
+/// (log2-bucketed, wait-free record, concurrently readable counts).
+using LatencyHistogram = telemetry::Histogram;
 
 /// Quantile estimate (q in [0,1]) over merged bucket counts, in
 /// nanoseconds: the geometric midpoint of the bucket holding the q-th
-/// sample. 0 when the histogram is empty.
-double histogram_quantile_ns(const LatencyHistogram::Counts& counts, double q);
+/// sample. 0 when the histogram is empty. Thin wrapper kept for the
+/// engine's historical call sites (benches, tests).
+inline double histogram_quantile_ns(const LatencyHistogram::Counts& counts,
+                                    double q) {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  return telemetry::histogram_quantile(counts, q);
+}
 
-/// Live counters owned by one shard. Single-writer per field.
-struct ShardCounters {
-  std::atomic<std::uint64_t> enqueued{0};    // ingest thread
-  std::atomic<std::uint64_t> records{0};     // shard worker
-  std::atomic<std::uint64_t> watermarks{0};  // shard worker
-  std::atomic<std::uint64_t> sessions{0};    // shard worker
-  std::atomic<std::uint64_t> provisionals{0};  // shard worker
-  LatencyHistogram latency;                  // observe-to-classify, ns
+/// One shard's registry-backed instruments ("engine.shard<i>.*"). The
+/// pointers are stable for the registry's lifetime; hot paths update
+/// through them with relaxed atomics. Which thread writes each:
+///   ingest thread: enqueued
+///   shard worker:  records, watermarks, latency — and, via the monitor's
+///                  MonitorMetrics binding: sessions, provisionals,
+///                  clients_evicted, noise_dropped
+///   refresh_gauges (any thread): dropped, queue_depth, queue_high_water,
+///                  interned_clients, interned_snis — republished from
+///                  their sources of truth (queue, pools).
+struct ShardMetrics {
+  telemetry::Counter* enqueued = nullptr;
+  telemetry::Counter* records = nullptr;
+  telemetry::Counter* watermarks = nullptr;
+  telemetry::Counter* sessions = nullptr;
+  telemetry::Counter* provisionals = nullptr;
+  telemetry::Counter* clients_evicted = nullptr;
+  telemetry::Counter* noise_dropped = nullptr;
+  telemetry::Counter* dropped = nullptr;
+  telemetry::Gauge* queue_depth = nullptr;
+  telemetry::Gauge* queue_high_water = nullptr;
+  telemetry::Gauge* interned_clients = nullptr;
+  telemetry::Gauge* interned_snis = nullptr;
+  telemetry::Histogram* latency = nullptr;  // observe-to-classify, ns
 };
 
 /// Point-in-time copy of one shard's counters.
@@ -59,6 +68,8 @@ struct ShardStatsSnapshot {
   std::uint64_t watermarks = 0;
   std::uint64_t sessions = 0;
   std::uint64_t provisionals = 0;
+  std::uint64_t clients_evicted = 0;         // idle-timeout evictions
+  std::uint64_t sessions_noise_dropped = 0;  // below min_session_records
   std::uint64_t dropped = 0;
   std::size_t queue_depth = 0;
   std::size_t queue_high_water = 0;
@@ -74,6 +85,8 @@ struct EngineStatsSnapshot {
   std::uint64_t records_dropped = 0;    // shed by kDropOldest backpressure
   std::uint64_t sessions_reported = 0;
   std::uint64_t provisionals_reported = 0;  // in-flight estimates emitted
+  std::uint64_t clients_evicted = 0;        // idle-timeout client evictions
+  std::uint64_t sessions_noise_dropped = 0;  // too short to report
   std::size_t interned_clients = 0;  // distinct clients across shard pools
   std::size_t interned_snis = 0;     // distinct SNIs across shard pools
   std::size_t max_queue_high_water = 0;

@@ -1,0 +1,115 @@
+#include "engine/replay.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/expect.hpp"
+
+namespace droppkt::engine {
+
+trace::FeedCapture capture_feed(std::span<const FeedRecord> feed,
+                                const CaptureConfig& config) {
+  DROPPKT_EXPECT(config.marker_interval_s > 0.0,
+                 "capture_feed: marker interval must be positive");
+  trace::FeedCapture out;
+  out.reserve(feed.size() + feed.size() / 16 + 2);
+  std::uint64_t seq = 0;
+  double last_marker_s = 0.0;
+  bool saw_record = false;
+  for (const FeedRecord& r : feed) {
+    // Mirror of the engine's watermark cadence: a marker before the first
+    // record and before every record that crosses the interval — so the
+    // replayed marker instants land exactly where the live watermark
+    // broadcasts did.
+    if (!saw_record ||
+        r.txn.start_s - last_marker_s >= config.marker_interval_s) {
+      trace::CaptureEvent m;
+      m.kind = trace::CaptureEvent::Kind::kMarker;
+      m.marker_seq = seq++;
+      m.marker_time_s = r.txn.start_s;
+      out.push_back(std::move(m));
+      last_marker_s = r.txn.start_s;
+      saw_record = true;
+    }
+    trace::CaptureEvent ev;
+    ev.kind = trace::CaptureEvent::Kind::kRecord;
+    ev.client = r.client;
+    ev.txn = r.txn;
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+ReplayStats replay_capture(const trace::FeedCapture& capture,
+                           IngestEngine& engine, const ReplayConfig& config) {
+  DROPPKT_EXPECT(config.batch >= 1, "replay_capture: batch must be >= 1");
+  DROPPKT_EXPECT(config.time_scale >= 0.0,
+                 "replay_capture: time scale must be >= 0");
+  auto now_ns = config.now_ns;
+  if (!now_ns) {
+    now_ns = [] {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+    };
+  }
+  auto sleep_ns = config.sleep_ns;
+  if (!sleep_ns) {
+    sleep_ns = [](std::uint64_t ns) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    };
+  }
+
+  ReplayStats stats;
+  std::vector<FeedRecord> staging;
+  staging.reserve(config.batch);
+  const std::uint64_t wall0_ns = now_ns();
+  double feed0_s = 0.0;
+  bool saw_marker = false;
+  bool saw_record = false;
+  const auto flush = [&] {
+    if (staging.empty()) return;
+    engine.ingest_batch(staging);
+    staging.clear();
+  };
+  for (const trace::CaptureEvent& ev : capture) {
+    if (ev.kind == trace::CaptureEvent::Kind::kRecord) {
+      DROPPKT_EXPECT(!ev.client.empty(),
+                     "replay_capture: record event with empty client");
+      if (!saw_record) {
+        stats.first_s = ev.txn.start_s;
+        saw_record = true;
+      }
+      stats.last_s = ev.txn.start_s;
+      staging.push_back(FeedRecord{ev.client, ev.txn});
+      if (staging.size() >= config.batch) flush();
+      ++stats.records;
+    } else {
+      // Pace at markers only: the flush keeps record order intact, the
+      // sleep (if any) merely delays when the next span is offered — the
+      // engine's outputs cannot observe the difference.
+      flush();
+      ++stats.markers;
+      if (config.time_scale > 0.0) {
+        if (!saw_marker) {
+          feed0_s = ev.marker_time_s;
+          saw_marker = true;
+        }
+        const double feed_elapsed_s = ev.marker_time_s - feed0_s;
+        const double target_ns = feed_elapsed_s / config.time_scale * 1e9;
+        const std::uint64_t elapsed_ns = now_ns() - wall0_ns;
+        if (target_ns > static_cast<double>(elapsed_ns)) {
+          sleep_ns(static_cast<std::uint64_t>(target_ns) - elapsed_ns);
+        }
+      }
+      if (config.on_marker) config.on_marker(ev);
+    }
+  }
+  flush();
+  stats.wall_seconds =
+      static_cast<double>(now_ns() - wall0_ns) / 1e9;
+  return stats;
+}
+
+}  // namespace droppkt::engine

@@ -165,6 +165,7 @@ void CompiledForest::predict_proba_into(std::span<const double> features,
   }
   const double inv = 1.0 / static_cast<double>(roots_.size());
   for (auto& v : out) v *= inv;
+  if (rows_predicted_ != nullptr) rows_predicted_->inc();
 }
 
 int CompiledForest::predict(std::span<const double> features) const {
@@ -181,6 +182,7 @@ void CompiledForest::batch_rows(std::span<const double> matrix,
   const auto c_count = static_cast<std::size_t>(num_classes_);
   const std::size_t rows = matrix.size() / width;
   const double inv = 1.0 / static_cast<double>(roots_.size());
+  if (rows_predicted_ != nullptr) rows_predicted_->add(rows);
   auto one_tile = [&](std::size_t tile) {
     const std::size_t lo = tile * kRowTile;
     const std::size_t hi = std::min(lo + kRowTile, rows);

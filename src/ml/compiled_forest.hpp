@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/registry.hpp"
+
 namespace droppkt::ml {
 
 class Dataset;
@@ -83,6 +85,12 @@ class CompiledForest {
   void predict_proba_batch(const Dataset& data, std::span<double> out,
                            std::size_t num_threads = 1) const;
 
+  /// Count every predicted row into `rows` (a telemetry counter; nullptr
+  /// unbinds). One relaxed add per single-row call, one per batch — the
+  /// zero-alloc inference paths stay zero-alloc. Rebind after compile()
+  /// assignment: a freshly compiled forest starts unbound.
+  void bind_telemetry(telemetry::Counter* rows) { rows_predicted_ = rows; }
+
   /// Serialize the compiled forest (text format, versioned header; leaves
   /// are written in logical form, not as self-loops).
   void save(std::ostream& os) const;
@@ -125,6 +133,8 @@ class CompiledForest {
   std::vector<double> leaf_probs_;    // num_classes_ per leaf, contiguous
   std::int32_t num_classes_ = 0;
   std::int32_t num_features_ = 0;
+  /// Borrowed prediction-throughput counter; see bind_telemetry().
+  telemetry::Counter* rows_predicted_ = nullptr;
 };
 
 }  // namespace droppkt::ml

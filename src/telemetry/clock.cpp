@@ -1,0 +1,15 @@
+#include "telemetry/clock.hpp"
+
+#include <chrono>
+
+namespace droppkt::telemetry {
+
+std::uint64_t monotonic_now_ns() {
+  const auto tp = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp).count());
+}
+
+NowFn monotonic_clock() { return [] { return monotonic_now_ns(); }; }
+
+}  // namespace droppkt::telemetry

@@ -1,0 +1,53 @@
+// The telemetry plane's single clock seam. Interval sampling needs a
+// monotonic time source, but the determinism rules (tools/droppkt_analyze)
+// forbid wall clocks in the analytical layers — so all of telemetry reads
+// time through a NowFn, and the one real steady_clock call in the entire
+// subsystem lives behind monotonic_now_ns() in clock.cpp (allowlisted in
+// tools/droppkt_analyze.allow). Tests and the replay driver substitute a
+// ManualClock so sampled intervals are fully deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace droppkt::telemetry {
+
+/// Nanoseconds from an arbitrary monotonic epoch.
+using NowFn = std::function<std::uint64_t()>;
+
+/// The process monotonic clock (std::chrono::steady_clock). The only
+/// sanctioned wall-time read in src/telemetry/.
+std::uint64_t monotonic_now_ns();
+
+/// A NowFn reading the real monotonic clock.
+NowFn monotonic_clock();
+
+/// Hand-cranked clock for tests and deterministic replay: time moves only
+/// when advance()/set() is called. Thread-safe (relaxed atomic — readers
+/// see some recent value, which is the same guarantee a real clock gives
+/// across threads).
+class ManualClock {
+ public:
+  explicit ManualClock(std::uint64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  void advance(std::uint64_t delta_ns) {
+    now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t now_ns) {
+    now_ns_.store(now_ns, std::memory_order_relaxed);
+  }
+  std::uint64_t now_ns() const {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// A NowFn view over this clock. The clock must outlive the function.
+  NowFn fn() {
+    return [this] { return now_ns(); };
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_ns_;
+};
+
+}  // namespace droppkt::telemetry

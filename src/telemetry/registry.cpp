@@ -1,0 +1,134 @@
+#include "telemetry/registry.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace droppkt::telemetry {
+
+void Histogram::record(std::uint64_t value) {
+  // Bucket b holds values in [2^b, 2^(b+1)); 0 lands in bucket 0.
+  const int b = value == 0 ? 0 : std::bit_width(value) - 1;
+  buckets_[static_cast<std::size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Counts Histogram::counts() const {
+  Counts out{};
+  add_to(out);
+  return out;
+}
+
+void Histogram::add_to(Counts& into) const {
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    into[b] += buckets_[b].load(std::memory_order_relaxed);
+  }
+}
+
+double histogram_quantile(const Histogram::Counts& counts, double q) {
+  DROPPKT_EXPECT(q >= 0.0 && q <= 1.0,
+                 "histogram_quantile: q must be in [0,1]");
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    seen += counts[b];
+    if (seen > rank) {
+      // Geometric midpoint of [2^b, 2^(b+1)): 2^b * sqrt(2).
+      return std::ldexp(std::sqrt(2.0), static_cast<int>(b));
+    }
+  }
+  return std::ldexp(std::sqrt(2.0), static_cast<int>(Histogram::kBuckets - 1));
+}
+
+MetricRegistry::Slot& MetricRegistry::register_slot(std::string_view name,
+                                                    std::string_view unit,
+                                                    MetricKind kind) {
+  DROPPKT_EXPECT(!name.empty(), "MetricRegistry: metric name must be non-empty");
+  const auto [it, inserted] = by_name_.emplace(
+      std::string(name), static_cast<MetricId>(directory_.size()));
+  DROPPKT_EXPECT(inserted, "MetricRegistry: duplicate metric name: " + it->first);
+  MetricDesc desc;
+  desc.id = it->second;
+  desc.kind = kind;
+  desc.name = it->first;
+  desc.unit = std::string(unit);
+  directory_.push_back(std::move(desc));
+  Slot slot;
+  slot.kind = kind;
+  slots_.push_back(slot);
+  return slots_.back();
+}
+
+Counter& MetricRegistry::counter(std::string_view name, std::string_view unit) {
+  Slot& slot = register_slot(name, unit, MetricKind::kCounter);
+  slot.index = counters_.size();
+  counters_.emplace_back();
+  return counters_.back();
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name, std::string_view unit) {
+  Slot& slot = register_slot(name, unit, MetricKind::kGauge);
+  slot.index = gauges_.size();
+  gauges_.emplace_back();
+  return gauges_.back();
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::string_view unit) {
+  Slot& slot = register_slot(name, unit, MetricKind::kHistogram);
+  slot.index = histograms_.size();
+  histograms_.emplace_back();
+  return histograms_.back();
+}
+
+const MetricDesc* MetricRegistry::find(std::string_view name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return &directory_[it->second];
+}
+
+std::uint64_t MetricRegistry::scalar_value(MetricId id) const {
+  DROPPKT_EXPECT(id < directory_.size(), "MetricRegistry: metric id out of range");
+  const Slot& slot = slots_[id];
+  switch (slot.kind) {
+    case MetricKind::kCounter:
+      return counters_[slot.index].value();
+    case MetricKind::kGauge:
+      return gauges_[slot.index].value();
+    case MetricKind::kHistogram:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint64_t MetricRegistry::value(std::string_view name) const {
+  const MetricDesc* desc = find(name);
+  DROPPKT_EXPECT(desc != nullptr,
+                 "MetricRegistry: unknown metric name: " + std::string(name));
+  return scalar_value(desc->id);
+}
+
+const Histogram* MetricRegistry::histogram_at(MetricId id) const {
+  DROPPKT_EXPECT(id < directory_.size(), "MetricRegistry: metric id out of range");
+  const Slot& slot = slots_[id];
+  if (slot.kind != MetricKind::kHistogram) return nullptr;
+  return &histograms_[slot.index];
+}
+
+void MetricRegistry::snapshot_scalars(std::vector<std::uint64_t>& out) const {
+  out.assign(directory_.size(), 0);
+  for (MetricId id = 0; id < directory_.size(); ++id) {
+    const Slot& slot = slots_[id];
+    if (slot.kind == MetricKind::kCounter) {
+      out[id] = counters_[slot.index].value();
+    } else if (slot.kind == MetricKind::kGauge) {
+      out[id] = gauges_[slot.index].value();
+    }
+  }
+}
+
+}  // namespace droppkt::telemetry

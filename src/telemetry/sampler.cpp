@@ -1,0 +1,55 @@
+#include "telemetry/sampler.hpp"
+
+#include "util/expect.hpp"
+
+namespace droppkt::telemetry {
+
+IntervalSampler::IntervalSampler(const MetricRegistry& registry, NowFn now)
+    : registry_(registry), now_(std::move(now)) {
+  DROPPKT_EXPECT(now_ != nullptr, "IntervalSampler: now function required");
+  registry_.snapshot_scalars(prev_scalars_);
+  for (const MetricDesc& desc : registry_.directory()) {
+    if (desc.kind == MetricKind::kHistogram) {
+      prev_hists_.emplace_back(desc.id,
+                               registry_.histogram_at(desc.id)->counts());
+    }
+  }
+  prev_t_ns_ = now_();
+}
+
+void IntervalSampler::sample(IntervalSample& out) {
+  DROPPKT_EXPECT(registry_.size() == prev_scalars_.size(),
+                 "IntervalSampler: metrics registered after sampler creation");
+  registry_.snapshot_scalars(cur_scalars_);
+  const std::uint64_t t1 = now_();
+
+  out.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  out.t0_ns = prev_t_ns_;
+  out.t1_ns = t1;
+  out.scalars.resize(cur_scalars_.size());
+
+  const std::vector<MetricDesc>& dir = registry_.directory();
+  for (MetricId id = 0; id < dir.size(); ++id) {
+    if (dir[id].kind == MetricKind::kCounter) {
+      out.scalars[id] = cur_scalars_[id] - prev_scalars_[id];  // wrap-safe
+    } else {
+      out.scalars[id] = cur_scalars_[id];  // gauge level; histogram 0
+    }
+  }
+
+  out.hist_deltas.resize(prev_hists_.size());
+  for (std::size_t h = 0; h < prev_hists_.size(); ++h) {
+    const MetricId id = prev_hists_[h].first;
+    const Histogram::Counts cur = registry_.histogram_at(id)->counts();
+    out.hist_deltas[h].first = id;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      out.hist_deltas[h].second[b] = cur[b] - prev_hists_[h].second[b];
+    }
+    prev_hists_[h].second = cur;
+  }
+
+  prev_scalars_.swap(cur_scalars_);
+  prev_t_ns_ = t1;
+}
+
+}  // namespace droppkt::telemetry

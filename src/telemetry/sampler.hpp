@@ -1,0 +1,70 @@
+// Interval sampling over a MetricRegistry: the jittertrap-style seam that
+// turns monotonically growing counters into per-interval deltas. The
+// sampler snapshots every scalar and histogram at construction, then each
+// sample() call diffs the current registry state against the previous
+// snapshot — counters and histograms become interval deltas, gauges pass
+// through as last-value.
+//
+// Threading: sample() is called from one thread (the streamer's producer
+// side); the instruments it reads may be updated concurrently from any
+// thread (relaxed reads, per-value coherence — see registry.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "telemetry/clock.hpp"
+#include "telemetry/registry.hpp"
+
+namespace droppkt::telemetry {
+
+/// One sampled interval: deltas for counters/histograms, levels for
+/// gauges, bracketed by monotonic timestamps.
+struct IntervalSample {
+  std::uint64_t seq = 0;    // 0-based interval index
+  std::uint64_t t0_ns = 0;  // interval start (previous sample time)
+  std::uint64_t t1_ns = 0;  // interval end (this sample time)
+  /// Indexed by MetricId. Counters: delta over the interval. Gauges:
+  /// value at t1. Histogram ids: 0 (their deltas live below).
+  std::vector<std::uint64_t> scalars;
+  /// Per-histogram bucket deltas over the interval, in id order.
+  std::vector<std::pair<MetricId, Histogram::Counts>> hist_deltas;
+
+  double seconds() const {
+    return static_cast<double>(t1_ns - t0_ns) * 1e-9;
+  }
+};
+
+/// Diffs registry snapshots on a caller-supplied monotonic clock.
+/// The full metric directory must be registered before the sampler is
+/// constructed — it sizes its baselines once and never re-reads the
+/// directory.
+class IntervalSampler {
+ public:
+  IntervalSampler(const MetricRegistry& registry, NowFn now);
+
+  /// Sample the next interval into `out` (buffers reused). Counter deltas
+  /// use wrap-safe u64 subtraction, so a single-writer store() that goes
+  /// backwards (which the contract forbids) shows up as a huge delta
+  /// rather than UB.
+  void sample(IntervalSample& out);
+
+  /// Readable from any thread (relaxed — the count is a progress signal,
+  /// not a synchronization point; sample() itself stays single-caller).
+  std::uint64_t intervals_sampled() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const MetricRegistry& registry_;
+  NowFn now_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::uint64_t prev_t_ns_ = 0;
+  std::vector<std::uint64_t> prev_scalars_;
+  std::vector<std::uint64_t> cur_scalars_;
+  std::vector<std::pair<MetricId, Histogram::Counts>> prev_hists_;
+};
+
+}  // namespace droppkt::telemetry

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/expect.hpp"
@@ -86,6 +87,41 @@ std::string fixed(double v, int decimals) {
 
 std::string pct(double fraction, int decimals) {
   return fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+  if (values.empty()) return "";
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  static constexpr std::size_t kLevels = sizeof(kRamp) - 2;  // top index
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const double v : values) {
+    if (!std::isfinite(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const std::size_t cells = width == 0 ? values.size() : width;
+  std::string out;
+  out.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    // Nearest-sample resampling keeps every cell an actual series value.
+    const std::size_t idx =
+        width == 0 ? c
+                   : std::min(values.size() - 1,
+                              (c * values.size() + cells / 2) / cells);
+    const double v = values[idx];
+    if (!std::isfinite(v)) {
+      out.push_back('?');
+    } else if (!(hi > lo)) {
+      // Flat (or single-valued) series: mid-ramp, so "all zero" and "all
+      // high" both read as a steady line rather than empty space.
+      out.push_back(kRamp[kLevels / 2]);
+    } else {
+      const double t = (v - lo) / (hi - lo);
+      out.push_back(kRamp[static_cast<std::size_t>(t * kLevels + 0.5)]);
+    }
+  }
+  return out;
 }
 
 std::string cdf_chart(const std::vector<double>& values,

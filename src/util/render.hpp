@@ -45,6 +45,13 @@ std::string histogram(const std::vector<double>& values,
 std::string box_plot(const std::vector<std::pair<std::string, std::vector<double>>>& groups,
                      const std::string& value_label);
 
+/// One-line ASCII sparkline of a value series, min-max normalized onto a
+/// ten-level ramp (" .:-=+*#%@"). `width` 0 renders one cell per value;
+/// otherwise the series is resampled (nearest sample) to `width` cells.
+/// Non-finite values render as '?'; an empty series renders "".
+std::string sparkline(const std::vector<double>& values,
+                      std::size_t width = 0);
+
 /// Format a fraction as a percent string like "72%".
 std::string pct(double fraction, int decimals = 0);
 

@@ -127,6 +127,60 @@ TEST(LocationDetector, SnapshotReportsEveryTrackedLocation) {
   EXPECT_FALSE(snap[0].second.degraded);
 }
 
+TEST(LocationDetector, SnapshotAtProjectsDecayWithoutMutating) {
+  LocationDetector det(decay_cfg(100.0));
+  det.observe("cell", 0.0, true);
+  // snapshot_at is a pure evaluation: projecting one half-life into the
+  // future halves the weight, and asking again at t=0 still sees the
+  // undecayed state.
+  const auto future = det.snapshot_at(100.0);
+  ASSERT_EQ(future.size(), 1u);
+  EXPECT_NEAR(future[0].second.effective_sessions, 0.5, 1e-12);
+  const auto now = det.snapshot_at(0.0);
+  EXPECT_NEAR(now[0].second.effective_sessions, 1.0, 1e-12);
+  // snapshot(t) is the same evaluation.
+  EXPECT_NEAR(det.snapshot(100.0)[0].second.effective_sessions, 0.5, 1e-12);
+}
+
+TEST(LocationDetector, HorizonCurveTracksProjectedDecay) {
+  DetectorConfig cfg = decay_cfg(100.0, /*min_eff=*/2.0);
+  cfg.alert_rate = 0.3;
+  LocationDetector det(cfg);
+  for (int i = 0; i < 10; ++i) det.observe("cell", 0.0, true);
+  ASSERT_TRUE(det.window("cell", 0.0).degraded);
+
+  const auto curve = det.horizon_curve("cell", 0.0, 200.0, 3);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_NEAR(curve[0].effective_sessions, 10.0, 1e-9);
+  EXPECT_NEAR(curve[1].effective_sessions, 5.0, 1e-9);  // +1 half-life
+  EXPECT_NEAR(curve[2].effective_sessions, 2.5, 1e-9);  // +2 half-lives
+  // Pure decay of all-low evidence: still degraded until the effective
+  // count crosses the floor.
+  EXPECT_TRUE(curve[0].degraded);
+  EXPECT_TRUE(curve[2].degraded);
+  const auto far = det.horizon_curve("cell", 0.0, 2000.0, 2);
+  EXPECT_FALSE(far[1].degraded);  // decayed under min_effective_sessions
+}
+
+TEST(LocationDetector, HorizonCurveOfUnseenLocationIsVacuous) {
+  const LocationDetector det(decay_cfg());
+  const auto curve = det.horizon_curve("nowhere", 0.0, 100.0, 4);
+  ASSERT_EQ(curve.size(), 4u);
+  for (const auto& w : curve) {
+    EXPECT_EQ(w.effective_sessions, 0.0);
+    EXPECT_FALSE(w.degraded);
+  }
+}
+
+TEST(LocationDetector, HorizonCurveValidates) {
+  LocationDetector det(decay_cfg());
+  det.observe("cell", 0.0, true);
+  EXPECT_THROW(det.horizon_curve("cell", 0.0, 100.0, 1),
+               droppkt::ContractViolation);
+  EXPECT_THROW(det.horizon_curve("cell", 0.0, -1.0, 3),
+               droppkt::ContractViolation);
+}
+
 TEST(LocationDetector, UnseenLocationIsVacuous) {
   const LocationDetector det(decay_cfg());
   const auto w = det.window("nowhere", 10.0);

@@ -1,0 +1,220 @@
+// Record/replay determinism: a DPFC capture replayed through a fresh
+// engine must reproduce the live run's alert sequence byte-for-byte and
+// its final stats counters exactly — for any shard count, batch size and
+// time scale. Pacing (ReplayConfig::time_scale) may only change *when*
+// batches are offered to ingest, never which records or their order, so
+// the replay output is clock-independent; a ManualClock behind the
+// now_ns/sleep_ns seams keeps these tests instant and deterministic.
+#include "engine/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "alert/pipeline.hpp"
+#include "core/dataset_builder.hpp"
+#include "engine/engine.hpp"
+#include "engine/feed.hpp"
+#include "has/service_profile.hpp"
+#include "telemetry/clock.hpp"
+#include "trace/capture.hpp"
+#include "util/expect.hpp"
+
+namespace droppkt::engine {
+namespace {
+
+const core::QoeEstimator& shared_estimator() {
+  static const core::QoeEstimator* est = [] {
+    core::DatasetConfig dcfg;
+    dcfg.num_sessions = 600;
+    dcfg.seed = 41;
+    auto* e = new core::QoeEstimator();
+    e->train(core::build_dataset(has::svc1_profile(), dcfg));
+    return e;
+  }();
+  return *est;
+}
+
+const Feed& shared_feed() {
+  static const Feed* feed = [] {
+    IncidentFeedConfig fcfg;
+    fcfg.num_locations = 6;
+    fcfg.degraded_locations = 2;
+    fcfg.clients_per_location = 6;
+    fcfg.sessions_per_client = 3;
+    fcfg.incident_start_s = 600.0;
+    fcfg.seed = 1000;
+    return new Feed(incident_feed(has::svc1_profile(), fcfg));
+  }();
+  return *feed;
+}
+
+alert::AlertPipelineConfig alert_config() {
+  alert::AlertPipelineConfig acfg;
+  acfg.filter.hysteresis_k = 3;
+  acfg.filter.min_confidence = 0.5;
+  acfg.detector.half_life_s = 600.0;
+  acfg.detector.min_effective_sessions = 4.0;
+  acfg.detector.alert_rate = 0.35;
+  acfg.manager.defaults.raise_rate = 0.35;
+  acfg.manager.defaults.clear_rate = 0.2;
+  return acfg;
+}
+
+EngineConfig engine_config(std::size_t shards, alert::AlertPipeline* sink) {
+  EngineConfig ecfg;
+  ecfg.num_shards = shards;
+  ecfg.monitor.client_idle_timeout_s = 120.0;
+  ecfg.monitor.provisional_every = 4;
+  ecfg.watermark_interval_s = 15.0;
+  ecfg.alert_sink = sink;
+  return ecfg;
+}
+
+struct RunResult {
+  std::string alert_canon;
+  EngineStatsSnapshot stats;
+};
+
+std::string canon_of(const alert::AlertPipeline& alerts) {
+  std::string canon;
+  char line[256];
+  for (const auto& ev : alerts.log_snapshot()) {
+    std::snprintf(
+        line, sizeof(line), "%" PRIu64 " %s %s %.17g %.17g %.17g %.17g\n",
+        ev.id,
+        ev.kind == alert::AlertEvent::Kind::kRaised ? "RAISED" : "CLEARED",
+        ev.location.c_str(), ev.time_s, ev.rate_low, ev.rate_high,
+        ev.effective_sessions);
+    canon += line;
+  }
+  return canon;
+}
+
+RunResult run_live() {
+  alert::AlertPipeline alerts(alert_config());
+  IngestEngine eng(shared_estimator(),
+                   [](const core::MonitoredSessionView&) {},
+                   engine_config(2, &alerts));
+  for (const auto& r : shared_feed()) eng.ingest(r.client, r.txn);
+  eng.finish();
+  return {canon_of(alerts), eng.stats()};
+}
+
+RunResult run_replay(const trace::FeedCapture& capture, std::size_t shards,
+                     double time_scale, std::size_t batch = 256) {
+  alert::AlertPipeline alerts(alert_config());
+  IngestEngine eng(shared_estimator(),
+                   [](const core::MonitoredSessionView&) {},
+                   engine_config(shards, &alerts));
+  telemetry::ManualClock clock;
+  ReplayConfig rcfg;
+  rcfg.time_scale = time_scale;
+  rcfg.batch = batch;
+  rcfg.now_ns = clock.fn();
+  rcfg.sleep_ns = [&clock](std::uint64_t ns) { clock.advance(ns); };
+  replay_capture(capture, eng, rcfg);
+  eng.finish();
+  return {canon_of(alerts), eng.stats()};
+}
+
+void expect_same_outcome(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.alert_canon, b.alert_canon);
+  EXPECT_EQ(a.stats.records_ingested, b.stats.records_ingested);
+  EXPECT_EQ(a.stats.records_processed, b.stats.records_processed);
+  EXPECT_EQ(a.stats.sessions_reported, b.stats.sessions_reported);
+  EXPECT_EQ(a.stats.provisionals_reported, b.stats.provisionals_reported);
+  EXPECT_EQ(a.stats.verdict_transitions, b.stats.verdict_transitions);
+  EXPECT_EQ(a.stats.alerts_raised, b.stats.alerts_raised);
+  EXPECT_EQ(a.stats.alerts_cleared, b.stats.alerts_cleared);
+}
+
+TEST(Replay, CaptureInterleavesMarkersAtWatermarkCadence) {
+  const trace::FeedCapture capture = capture_feed(shared_feed());
+  ASSERT_FALSE(capture.empty());
+  // A marker precedes the first record, marker seqs are dense, marker
+  // times are non-decreasing, and every record of the feed is present in
+  // feed order.
+  EXPECT_EQ(capture[0].kind, trace::CaptureEvent::Kind::kMarker);
+  std::uint64_t next_marker_seq = 0;
+  double last_marker_s = -1e300;
+  std::size_t records = 0;
+  for (const auto& ev : capture) {
+    if (ev.kind == trace::CaptureEvent::Kind::kMarker) {
+      EXPECT_EQ(ev.marker_seq, next_marker_seq++);
+      EXPECT_GE(ev.marker_time_s, last_marker_s);
+      last_marker_s = ev.marker_time_s;
+    } else {
+      EXPECT_EQ(ev.client, shared_feed()[records].client);
+      EXPECT_EQ(ev.txn.start_s, shared_feed()[records].txn.start_s);
+      ++records;
+    }
+  }
+  EXPECT_EQ(records, shared_feed().size());
+  EXPECT_GE(next_marker_seq, 2u);
+}
+
+TEST(Replay, ReproducesLiveAlertSequenceByteForByte) {
+  const RunResult live = run_live();
+  // A gate that passes vacuously on an alert-free run proves nothing.
+  ASSERT_NE(live.alert_canon.find("RAISED"), std::string::npos);
+
+  const trace::FeedCapture capture = capture_feed(shared_feed());
+  expect_same_outcome(live, run_replay(capture, 2, /*time_scale=*/1.0));
+  expect_same_outcome(live, run_replay(capture, 2, /*time_scale=*/8.0));
+}
+
+TEST(Replay, OutcomeIndependentOfShardsBatchAndPacing) {
+  const trace::FeedCapture capture = capture_feed(shared_feed());
+  const RunResult base = run_replay(capture, 1, /*time_scale=*/0.0);
+  expect_same_outcome(base, run_replay(capture, 4, 0.0, /*batch=*/1));
+  expect_same_outcome(base, run_replay(capture, 3, 64.0, /*batch=*/7));
+}
+
+TEST(Replay, PacingFollowsTheManualClock) {
+  const trace::FeedCapture capture = capture_feed(shared_feed());
+  telemetry::ManualClock clock;
+  alert::AlertPipeline alerts(alert_config());
+  IngestEngine eng(shared_estimator(),
+                   [](const core::MonitoredSessionView&) {},
+                   engine_config(1, &alerts));
+  ReplayConfig rcfg;
+  rcfg.time_scale = 8.0;
+  rcfg.now_ns = clock.fn();
+  rcfg.sleep_ns = [&clock](std::uint64_t ns) { clock.advance(ns); };
+  std::size_t markers_seen = 0;
+  rcfg.on_marker = [&](const trace::CaptureEvent& ev) {
+    EXPECT_EQ(ev.kind, trace::CaptureEvent::Kind::kMarker);
+    ++markers_seen;
+  };
+  const ReplayStats rs = replay_capture(capture, eng, rcfg);
+  eng.finish();
+  EXPECT_EQ(rs.records, shared_feed().size());
+  EXPECT_EQ(rs.markers, markers_seen);
+  // Processing is instant under the manual clock, so the wall time is
+  // exactly the pacing sleeps: the span up to the LAST MARKER compressed
+  // by the time scale (records after it, at most one marker interval's
+  // worth, are not paced).
+  EXPECT_NEAR(rs.wall_seconds, (rs.last_s - rs.first_s) / 8.0,
+              /*abs_error=*/15.0 / 8.0);
+}
+
+TEST(Replay, ValidatesConfig) {
+  const trace::FeedCapture capture = capture_feed(shared_feed());
+  alert::AlertPipeline alerts(alert_config());
+  IngestEngine eng(shared_estimator(),
+                   [](const core::MonitoredSessionView&) {},
+                   engine_config(1, &alerts));
+  ReplayConfig bad_batch;
+  bad_batch.batch = 0;
+  EXPECT_THROW(replay_capture(capture, eng, bad_batch), ContractViolation);
+  ReplayConfig bad_scale;
+  bad_scale.time_scale = -1.0;
+  EXPECT_THROW(replay_capture(capture, eng, bad_scale), ContractViolation);
+  eng.finish();
+}
+
+}  // namespace
+}  // namespace droppkt::engine

@@ -65,5 +65,13 @@ TEST(FuzzRegression, Csv) { replay("csv", one_csv, 4); }
 
 TEST(FuzzRegression, Model) { replay("model", one_model, 6); }
 
+TEST(FuzzRegression, TelemetryWire) {
+  replay("telemetry_wire", one_telemetry_wire, 3);
+}
+
+TEST(FuzzRegression, FeedCapture) {
+  replay("feed_capture", one_feed_capture, 3);
+}
+
 }  // namespace
 }  // namespace droppkt::fuzz

@@ -1,0 +1,141 @@
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace droppkt::telemetry {
+namespace {
+
+TEST(TelemetryCounter, IncAddStore) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+  // store() publishes an absolute total (block-drain idiom).
+  c.store(4);
+  EXPECT_EQ(c.value(), 4u);
+}
+
+TEST(TelemetryGauge, LastValueWins) {
+  Gauge g;
+  g.set(7);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3u);
+}
+
+TEST(TelemetryHistogram, Log2Buckets) {
+  Histogram h;
+  h.record(0);
+  h.record(1);  // both < 2 -> bucket 0
+  h.record(2);
+  h.record(3);  // bucket 1
+  h.record(4);  // bucket 2
+  h.record(std::uint64_t{1} << 20);  // bucket 20
+  const auto counts = h.counts();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[20], 1u);
+  Histogram::Counts merged{};
+  h.add_to(merged);
+  h.add_to(merged);
+  EXPECT_EQ(merged[1], 4u);
+}
+
+TEST(TelemetryHistogram, QuantileGeometricMidpoint) {
+  Histogram h;
+  for (int i = 0; i < 3; ++i) h.record(5);  // bucket 2: [4, 8)
+  const auto counts = h.counts();
+  const double mid = std::sqrt(2.0) * 4.0;
+  EXPECT_NEAR(histogram_quantile(counts, 0.0), mid, 1e-9);
+  EXPECT_NEAR(histogram_quantile(counts, 0.5), mid, 1e-9);
+  EXPECT_NEAR(histogram_quantile(counts, 1.0), mid, 1e-9);
+}
+
+TEST(TelemetryHistogram, QuantileSpreadAndEdges) {
+  Histogram h;
+  h.record(1);    // bucket 0
+  h.record(100);  // bucket 6: [64, 128)
+  const auto counts = h.counts();
+  EXPECT_LT(histogram_quantile(counts, 0.0), 2.0);
+  EXPECT_GT(histogram_quantile(counts, 1.0), 64.0);
+  EXPECT_EQ(histogram_quantile(Histogram::Counts{}, 0.5), 0.0);
+  EXPECT_THROW(histogram_quantile(counts, -0.1), ContractViolation);
+  EXPECT_THROW(histogram_quantile(counts, 1.1), ContractViolation);
+}
+
+TEST(TelemetryRegistry, DenseIdsInRegistrationOrder) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("a.count", "events");
+  Gauge& g = reg.gauge("b.level");
+  Histogram& h = reg.histogram("c.latency", "ns");
+  (void)h;
+  ASSERT_EQ(reg.size(), 3u);
+  const auto& dir = reg.directory();
+  EXPECT_EQ(dir[0].name, "a.count");
+  EXPECT_EQ(dir[0].id, 0u);
+  EXPECT_EQ(dir[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(dir[0].unit, "events");
+  EXPECT_EQ(dir[1].id, 1u);
+  EXPECT_EQ(dir[1].kind, MetricKind::kGauge);
+  EXPECT_EQ(dir[2].kind, MetricKind::kHistogram);
+
+  c.add(5);
+  g.set(9);
+  EXPECT_EQ(reg.value("a.count"), 5u);
+  EXPECT_EQ(reg.scalar_value(1), 9u);
+  EXPECT_EQ(reg.scalar_value(2), 0u);  // histograms have no scalar
+  EXPECT_NE(reg.histogram_at(2), nullptr);
+  EXPECT_EQ(reg.histogram_at(0), nullptr);
+  ASSERT_NE(reg.find("b.level"), nullptr);
+  EXPECT_EQ(reg.find("b.level")->id, 1u);
+  EXPECT_EQ(reg.find("missing"), nullptr);
+  EXPECT_THROW(reg.value("missing"), ContractViolation);
+}
+
+TEST(TelemetryRegistry, DuplicateNamesThrowAcrossKinds) {
+  MetricRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.counter("x"), ContractViolation);
+  EXPECT_THROW(reg.gauge("x"), ContractViolation);
+  EXPECT_THROW(reg.histogram("x"), ContractViolation);
+}
+
+TEST(TelemetryRegistry, InstrumentReferencesStayStableAsDirectoryGrows) {
+  MetricRegistry reg;
+  Counter& first = reg.counter("first");
+  // Deque-backed storage: growing the directory must not move "first".
+  char name[16];
+  for (int i = 0; i < 200; ++i) {
+    std::snprintf(name, sizeof(name), "c%d", i);
+    reg.counter(name);
+    std::snprintf(name, sizeof(name), "g%d", i);
+    reg.gauge(name);
+    std::snprintf(name, sizeof(name), "h%d", i);
+    reg.histogram(name);
+  }
+  first.add(3);
+  EXPECT_EQ(reg.value("first"), 3u);
+}
+
+TEST(TelemetryRegistry, SnapshotScalars) {
+  MetricRegistry reg;
+  reg.counter("c").add(11);
+  reg.histogram("h").record(1);
+  reg.gauge("g").set(22);
+  std::vector<std::uint64_t> out;
+  reg.snapshot_scalars(out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 11u);
+  EXPECT_EQ(out[1], 0u);  // histogram slot
+  EXPECT_EQ(out[2], 22u);
+}
+
+}  // namespace
+}  // namespace droppkt::telemetry

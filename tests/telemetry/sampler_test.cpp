@@ -1,0 +1,87 @@
+#include "telemetry/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/clock.hpp"
+#include "telemetry/registry.hpp"
+
+namespace droppkt::telemetry {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000;
+
+TEST(TelemetrySampler, CountersBecomeDeltasGaugesPassThrough) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  ManualClock clock(1000);
+  IntervalSampler sampler(reg, clock.fn());
+
+  c.add(10);
+  g.set(7);
+  clock.advance(2 * kSecond);
+  IntervalSample s;
+  sampler.sample(s);
+  EXPECT_EQ(s.seq, 0u);
+  EXPECT_EQ(s.t0_ns, 1000u);
+  EXPECT_EQ(s.t1_ns, 1000u + 2 * kSecond);
+  EXPECT_NEAR(s.seconds(), 2.0, 1e-12);
+  ASSERT_EQ(s.scalars.size(), 2u);
+  EXPECT_EQ(s.scalars[0], 10u);
+  EXPECT_EQ(s.scalars[1], 7u);
+
+  // Second interval: only the increment since the last sample; the gauge
+  // reports its level, not a difference.
+  c.add(5);
+  g.set(2);
+  clock.advance(kSecond);
+  sampler.sample(s);
+  EXPECT_EQ(s.seq, 1u);
+  EXPECT_EQ(s.scalars[0], 5u);
+  EXPECT_EQ(s.scalars[1], 2u);
+  EXPECT_EQ(sampler.intervals_sampled(), 2u);
+}
+
+TEST(TelemetrySampler, HistogramBucketDeltas) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("h", "ns");
+  ManualClock clock;
+  IntervalSampler sampler(reg, clock.fn());
+
+  h.record(3);  // bucket 1
+  clock.advance(kSecond);
+  IntervalSample s;
+  sampler.sample(s);
+  ASSERT_EQ(s.hist_deltas.size(), 1u);
+  EXPECT_EQ(s.hist_deltas[0].first, 0u);
+  EXPECT_EQ(s.hist_deltas[0].second[1], 1u);
+
+  // Quiet interval: all-zero deltas even though the cumulative counts
+  // are not zero.
+  clock.advance(kSecond);
+  sampler.sample(s);
+  for (const auto b : s.hist_deltas[0].second) EXPECT_EQ(b, 0u);
+
+  h.record(3);
+  h.record(100);  // bucket 6
+  clock.advance(kSecond);
+  sampler.sample(s);
+  EXPECT_EQ(s.hist_deltas[0].second[1], 1u);
+  EXPECT_EQ(s.hist_deltas[0].second[6], 1u);
+}
+
+TEST(TelemetrySampler, BaselineIsTakenAtConstruction) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("c");
+  c.add(1000);  // pre-existing total, must not appear as a delta
+  ManualClock clock;
+  IntervalSampler sampler(reg, clock.fn());
+  c.add(1);
+  clock.advance(kSecond);
+  IntervalSample s;
+  sampler.sample(s);
+  EXPECT_EQ(s.scalars[0], 1u);
+}
+
+}  // namespace
+}  // namespace droppkt::telemetry

@@ -1,0 +1,223 @@
+#include "telemetry/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "telemetry/clock.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/sampler.hpp"
+#include "util/expect.hpp"
+
+namespace droppkt::telemetry {
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const std::size_t old = out.size();
+  out.resize(old + sizeof v);
+  std::memcpy(out.data() + old, &v, sizeof v);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const std::size_t old = out.size();
+  out.resize(old + sizeof v);
+  std::memcpy(out.data() + old, &v, sizeof v);
+}
+
+TmInterval sample_interval() {
+  TmInterval iv;
+  iv.seq = 3;
+  iv.t0_ns = 1'000'000'000;
+  iv.t1_ns = 6'000'000'000;
+  iv.scalars = {{0, 42}, {2, 7}};
+  TmHistogramDelta hd;
+  hd.id = 1;
+  hd.deltas[0] = 2;
+  hd.deltas[17] = 5;
+  iv.hist_deltas.push_back(hd);
+  TmLocation loc;
+  loc.name = "cell-3";
+  loc.degraded = true;
+  loc.rate_low = 0.31;
+  loc.rate_high = 0.78;
+  loc.effective_sessions = 12.5;
+  loc.class_counts = {4, 2, 1};
+  iv.locations.push_back(loc);
+  return iv;
+}
+
+std::vector<TmFrame> sample_frames() {
+  TmFrame dir;
+  dir.kind = TmFrame::Kind::kDirectory;
+  dir.directory = {{0, MetricKind::kCounter, "engine.shard0.records", ""},
+                   {1, MetricKind::kHistogram, "engine.shard0.latency", "ns"},
+                   {2, MetricKind::kGauge, "engine.shard0.queue_depth", ""}};
+  TmFrame iv;
+  iv.kind = TmFrame::Kind::kInterval;
+  iv.interval = sample_interval();
+  return {dir, iv};
+}
+
+TEST(TelemetryWire, EncodeDecodeRoundTrip) {
+  const auto frames = sample_frames();
+  const auto bytes = tm_encode_frames(frames);
+  const auto back = tm_decode_stream(bytes);
+  EXPECT_EQ(back, frames);
+}
+
+TEST(TelemetryWire, DirectoryOfRegistry) {
+  MetricRegistry reg;
+  reg.counter("c", "events");
+  reg.histogram("h", "ns");
+  const auto dir = tm_directory_of(reg);
+  ASSERT_EQ(dir.size(), 2u);
+  EXPECT_EQ(dir[0].id, 0u);
+  EXPECT_EQ(dir[0].name, "c");
+  EXPECT_EQ(dir[0].unit, "events");
+  EXPECT_EQ(dir[1].kind, MetricKind::kHistogram);
+}
+
+TEST(TelemetryWire, CompactIntervalElidesZeros) {
+  MetricRegistry reg;
+  Counter& busy = reg.counter("busy");
+  reg.counter("idle");  // never incremented
+  Gauge& level = reg.gauge("level");
+  Histogram& h = reg.histogram("lat", "ns");
+  reg.histogram("quiet_hist", "ns");  // never recorded
+  ManualClock clock;
+  IntervalSampler sampler(reg, clock.fn());
+
+  busy.add(9);
+  level.set(4);
+  h.record(100);
+  clock.advance(1'000'000'000);
+  IntervalSample s;
+  sampler.sample(s);
+
+  std::vector<std::uint8_t> bytes;
+  tm_write_header(bytes);
+  tm_write_interval(bytes, s, {});
+  const auto frames = tm_decode_stream(bytes);
+  ASSERT_EQ(frames.size(), 1u);
+  const TmInterval& iv = frames[0].interval;
+  // Only the two non-zero scalars and the one active histogram made it
+  // onto the wire; absent ids read back as 0 via scalar().
+  EXPECT_EQ(iv.scalars.size(), 2u);
+  EXPECT_EQ(iv.scalar(reg.find("busy")->id), 9u);
+  EXPECT_EQ(iv.scalar(reg.find("idle")->id), 0u);
+  EXPECT_EQ(iv.scalar(reg.find("level")->id), 4u);
+  ASSERT_EQ(iv.hist_deltas.size(), 1u);
+  EXPECT_EQ(iv.hist_deltas[0].id, reg.find("lat")->id);
+  EXPECT_EQ(iv.hist_deltas[0].deltas[6], 1u);  // 100 -> bucket 6
+}
+
+TEST(TelemetryWire, TruncationNeverCrashes) {
+  const auto full = tm_encode_frames(sample_frames());
+  const auto whole = tm_decode_stream(full);
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    const std::span<const std::uint8_t> prefix(full.data(), n);
+    try {
+      const auto got = tm_decode_stream(prefix);
+      // A prefix that decodes cleanly must be a frame-boundary cut: the
+      // decoded frames are a prefix of the full sequence.
+      ASSERT_LE(got.size(), whole.size());
+      for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], whole[i]);
+    } catch (const ParseError&) {
+      // mid-frame cut: the expected rejection
+    }
+  }
+}
+
+TEST(TelemetryWire, RejectsBadMagicAndVersion) {
+  auto bytes = tm_encode_frames(sample_frames());
+  auto bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(tm_decode_stream(bad_magic), ParseError);
+  auto bad_version = bytes;
+  bad_version[4] = 0xEE;
+  EXPECT_THROW(tm_decode_stream(bad_version), ParseError);
+}
+
+TEST(TelemetryWire, RejectsLengthBombs) {
+  // Frame payload length far beyond the buffer.
+  std::vector<std::uint8_t> bytes;
+  tm_write_header(bytes);
+  put_u8(bytes, 2);  // interval frame
+  put_u32(bytes, 0xFFFFFFFFu);
+  EXPECT_THROW(tm_decode_stream(bytes), ParseError);
+
+  // Directory count that cannot fit the remaining payload.
+  bytes.clear();
+  tm_write_header(bytes);
+  put_u8(bytes, 1);   // directory frame
+  put_u32(bytes, 8);  // payload: just the count + 4 bytes
+  put_u32(bytes, 0x00FFFFFFu);
+  put_u32(bytes, 0);
+  EXPECT_THROW(tm_decode_stream(bytes), ParseError);
+
+  // Location name length past the field.
+  bytes.clear();
+  tm_write_header(bytes);
+  std::vector<std::uint8_t> payload;
+  put_u8(payload, 4);  // locations tag
+  std::vector<std::uint8_t> field;
+  field.push_back(2);
+  field.push_back(0);           // u16 count = 2
+  field.push_back(0xFF);
+  field.push_back(0x7F);        // u16 name_len = 32767, nothing behind it
+  put_u32(payload, static_cast<std::uint32_t>(field.size()));
+  payload.insert(payload.end(), field.begin(), field.end());
+  put_u8(bytes, 2);
+  put_u32(bytes, static_cast<std::uint32_t>(payload.size()));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  EXPECT_THROW(tm_decode_stream(bytes), ParseError);
+}
+
+TEST(TelemetryWire, SkipsUnknownFrameTypesAndTags) {
+  std::vector<std::uint8_t> bytes;
+  tm_write_header(bytes);
+  // An unknown frame type with an opaque payload...
+  put_u8(bytes, 99);
+  put_u32(bytes, 3);
+  bytes.insert(bytes.end(), {0xDE, 0xAD, 0xBF});
+  // ...then an interval frame carrying an unknown tag before its header
+  // tag: both must be skipped via their length prefixes.
+  std::vector<std::uint8_t> payload;
+  put_u8(payload, 9);  // unknown tag
+  put_u32(payload, 4);
+  payload.insert(payload.end(), {1, 2, 3, 4});
+  put_u8(payload, 1);  // interval header tag
+  put_u32(payload, 24);
+  put_u64(payload, 77);  // seq
+  put_u64(payload, 0);
+  put_u64(payload, 1'000'000'000);
+  put_u8(bytes, 2);
+  put_u32(bytes, static_cast<std::uint32_t>(payload.size()));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+  const auto frames = tm_decode_stream(bytes);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].kind, TmFrame::Kind::kInterval);
+  EXPECT_EQ(frames[0].interval.seq, 77u);
+  EXPECT_NEAR(frames[0].interval.seconds(), 1.0, 1e-12);
+}
+
+TEST(TelemetryWire, IncrementalFrameDecodeMatchesWholeStream) {
+  const auto frames = sample_frames();
+  const auto bytes = tm_encode_frames(frames);
+  std::size_t offset = 0;
+  tm_decode_header(bytes, offset);
+  TmFrame f;
+  std::vector<TmFrame> got;
+  while (tm_decode_frame(bytes, offset, f)) got.push_back(f);
+  EXPECT_EQ(got, frames);
+  EXPECT_EQ(offset, bytes.size());
+}
+
+}  // namespace
+}  // namespace droppkt::telemetry

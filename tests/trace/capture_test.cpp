@@ -1,0 +1,176 @@
+#include "trace/capture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace droppkt::trace {
+namespace {
+
+TlsTransaction make_txn(double start, double end, std::string sni) {
+  TlsTransaction t;
+  t.start_s = start;
+  t.end_s = end;
+  t.ul_bytes = 800.0;
+  t.dl_bytes = 1.2e6;
+  t.http_count = 4;
+  t.sni = std::move(sni);
+  return t;
+}
+
+CaptureEvent record(std::string client, double start, double end,
+                    std::string sni = "video.example.com") {
+  CaptureEvent ev;
+  ev.kind = CaptureEvent::Kind::kRecord;
+  ev.client = std::move(client);
+  ev.txn = make_txn(start, end, std::move(sni));
+  return ev;
+}
+
+CaptureEvent marker(std::uint64_t seq, double time_s) {
+  CaptureEvent ev;
+  ev.kind = CaptureEvent::Kind::kMarker;
+  ev.marker_seq = seq;
+  ev.marker_time_s = time_s;
+  return ev;
+}
+
+void expect_equal(const FeedCapture& a, const FeedCapture& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].client, b[i].client);
+    EXPECT_EQ(a[i].txn.start_s, b[i].txn.start_s);
+    EXPECT_EQ(a[i].txn.end_s, b[i].txn.end_s);
+    EXPECT_EQ(a[i].txn.ul_bytes, b[i].txn.ul_bytes);
+    EXPECT_EQ(a[i].txn.dl_bytes, b[i].txn.dl_bytes);
+    EXPECT_EQ(a[i].txn.http_count, b[i].txn.http_count);
+    EXPECT_EQ(a[i].txn.sni, b[i].txn.sni);
+    EXPECT_EQ(a[i].marker_seq, b[i].marker_seq);
+    EXPECT_EQ(a[i].marker_time_s, b[i].marker_time_s);
+  }
+}
+
+void patch_f64(std::vector<std::uint8_t>& bytes, std::size_t off, double v) {
+  ASSERT_LE(off + sizeof v, bytes.size());
+  std::memcpy(bytes.data() + off, &v, sizeof v);
+}
+
+void patch_u32(std::vector<std::uint8_t>& bytes, std::size_t off,
+               std::uint32_t v) {
+  ASSERT_LE(off + sizeof v, bytes.size());
+  std::memcpy(bytes.data() + off, &v, sizeof v);
+}
+
+// One-record capture with client "c": fixed, documented byte offsets.
+//   0 magic, 4 version, 8 count, 16 kind, 17 client_len, 21 client,
+//   22 start_s, 30 end_s, 38 ul, 46 dl, 54 http, 62 sni_len, 66 sni.
+FeedCapture one_record() { return {record("c", 1.0, 2.0, "")}; }
+
+TEST(FeedCaptureFormat, RoundTripEmptyAndMixed) {
+  expect_equal(read_feed_capture(feed_capture_bytes({})), {});
+  const FeedCapture capture = {marker(0, 0.0), record("loc0/cl0", 0.5, 2.0),
+                               record("loc1/cl1", 3.0, 3.0, ""),
+                               marker(1, 15.0)};
+  expect_equal(read_feed_capture(feed_capture_bytes(capture)), capture);
+}
+
+TEST(FeedCaptureFormat, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "capture_roundtrip.dpfc";
+  const FeedCapture capture = {marker(0, 0.0), record("client-a", 0.0, 4.5)};
+  write_feed_capture_file(capture, path);
+  expect_equal(read_feed_capture_file(path), capture);
+  std::remove(path.c_str());
+}
+
+TEST(FeedCaptureFormat, WriterEnforcesFormatLimits) {
+  EXPECT_THROW(feed_capture_bytes({record("", 0.0, 1.0)}), ContractViolation);
+  EXPECT_THROW(feed_capture_bytes({record(std::string(4097, 'c'), 0.0, 1.0)}),
+               ContractViolation);
+  EXPECT_THROW(
+      feed_capture_bytes(
+          {record("c", 0.0, 1.0, std::string(64 * 1024 + 1, 's'))}),
+      ContractViolation);
+  EXPECT_THROW(feed_capture_bytes(
+                   {record("c", std::numeric_limits<double>::quiet_NaN(), 1.0)}),
+               ContractViolation);
+  CaptureEvent bad_marker = marker(0, std::numeric_limits<double>::infinity());
+  EXPECT_THROW(feed_capture_bytes({bad_marker}), ContractViolation);
+  // At the limits, not over them: accepted.
+  const FeedCapture edge = {
+      record(std::string(4096, 'c'), 0.0, 1.0, std::string(64 * 1024, 's'))};
+  expect_equal(read_feed_capture(feed_capture_bytes(edge)), edge);
+}
+
+TEST(FeedCaptureFormat, RejectsBadMagicVersionAndTrailingBytes) {
+  auto bytes = feed_capture_bytes(one_record());
+  auto bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(read_feed_capture(bad_magic), ParseError);
+  auto bad_version = bytes;
+  bad_version[4] = 9;
+  EXPECT_THROW(read_feed_capture(bad_version), ParseError);
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW(read_feed_capture(trailing), ParseError);
+}
+
+TEST(FeedCaptureFormat, RejectsCountAndLengthBombs) {
+  auto bytes = feed_capture_bytes(one_record());
+  // Event count far beyond what the buffer can hold: rejected before any
+  // allocation via the count * min-event-size check.
+  auto bomb = bytes;
+  const std::uint64_t huge = 0x0FFFFFFFFFFFFFFFull;
+  std::memcpy(bomb.data() + 8, &huge, sizeof huge);
+  EXPECT_THROW(read_feed_capture(bomb), ParseError);
+  auto zero_client = bytes;
+  patch_u32(zero_client, 17, 0);
+  EXPECT_THROW(read_feed_capture(zero_client), ParseError);
+  auto long_client = bytes;
+  patch_u32(long_client, 17, 5000);
+  EXPECT_THROW(read_feed_capture(long_client), ParseError);
+  auto sni_bomb = bytes;
+  patch_u32(sni_bomb, 62, 0xFFFFFFFFu);
+  EXPECT_THROW(read_feed_capture(sni_bomb), ParseError);
+}
+
+TEST(FeedCaptureFormat, RejectsInvalidNumericFields) {
+  auto bytes = feed_capture_bytes(one_record());
+  auto nan_start = bytes;
+  patch_f64(nan_start, 22, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(read_feed_capture(nan_start), ParseError);
+  auto backwards = bytes;
+  patch_f64(backwards, 30, 0.5);  // end_s < start_s
+  EXPECT_THROW(read_feed_capture(backwards), ParseError);
+  auto negative_dl = bytes;
+  patch_f64(negative_dl, 46, -1.0);
+  EXPECT_THROW(read_feed_capture(negative_dl), ParseError);
+  auto nan_ul = bytes;
+  patch_f64(nan_ul, 38, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(read_feed_capture(nan_ul), ParseError);
+  auto bad_kind = bytes;
+  bad_kind[16] = 7;
+  EXPECT_THROW(read_feed_capture(bad_kind), ParseError);
+}
+
+TEST(FeedCaptureFormat, EveryTruncationIsRejected) {
+  const auto bytes =
+      feed_capture_bytes({marker(0, 0.0), record("cl", 0.0, 1.0)});
+  // The header announces the event count, so every strict prefix is a
+  // malformed stream — none may crash or be silently accepted.
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_THROW(
+        read_feed_capture(std::span<const std::uint8_t>(bytes.data(), n)),
+        ParseError)
+        << "prefix length " << n;
+  }
+}
+
+}  // namespace
+}  // namespace droppkt::trace

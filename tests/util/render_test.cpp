@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "util/expect.hpp"
 
@@ -102,6 +103,53 @@ TEST(Histogram, LastBinInclusive) {
 TEST(Histogram, ValidatesShape) {
   EXPECT_THROW(histogram({}, {0}, {}, "t"), ContractViolation);
   EXPECT_THROW(histogram({}, {0, 1}, {"a", "b"}, "t"), ContractViolation);
+}
+
+TEST(Sparkline, MapsMinToBottomAndMaxToTopOfRamp) {
+  const std::string out = sparkline({0.0, 5.0, 10.0});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.front(), ' ');  // min -> bottom of ramp
+  EXPECT_EQ(out.back(), '@');   // max -> top of ramp
+}
+
+TEST(Sparkline, FlatSeriesRendersMidRampNotEmpty) {
+  const std::string zeros = sparkline({0.0, 0.0, 0.0});
+  const std::string highs = sparkline({9e9, 9e9});
+  EXPECT_EQ(zeros, std::string(3, zeros[0]));
+  EXPECT_NE(zeros[0], ' ');
+  EXPECT_EQ(highs[0], zeros[0]);  // same glyph regardless of level
+}
+
+TEST(Sparkline, ResamplesToRequestedWidth) {
+  std::vector<double> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  const std::string out = sparkline(v, 10);
+  ASSERT_EQ(out.size(), 10u);
+  // Monotone series stays monotone after nearest-sample resampling —
+  // measured in ramp position, since the glyphs are not in ASCII order.
+  const std::string ramp = " .:-=+*#%@";
+  std::vector<std::size_t> levels;
+  for (const char c : out) {
+    const std::size_t level = ramp.find(c);
+    ASSERT_NE(level, std::string::npos);
+    levels.push_back(level);
+  }
+  EXPECT_TRUE(std::is_sorted(levels.begin(), levels.end()));
+  EXPECT_EQ(levels.front(), 0u);
+  // The last cell is a nearest sample (v[90]), not the series max, so it
+  // lands near — not necessarily at — the top of the ramp.
+  EXPECT_GE(levels.back(), ramp.size() - 2);
+  EXPECT_EQ(sparkline(v, 200).size(), 200u);  // upsampling too
+}
+
+TEST(Sparkline, NonFiniteAndEmptyInputs) {
+  EXPECT_EQ(sparkline({}), "");
+  const std::string out =
+      sparkline({0.0, std::numeric_limits<double>::quiet_NaN(), 1.0});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1], '?');
+  EXPECT_EQ(out[0], ' ');  // finite values still normalized min..max
+  EXPECT_EQ(out[2], '@');
 }
 
 TEST(BoxPlot, ReportsQuartiles) {
